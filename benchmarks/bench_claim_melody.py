@@ -1,0 +1,82 @@
+"""CLAIM-MELODY — §6's music queries.
+
+``sub_select([A??F])(L)`` and the ``all_anc`` context query over songs
+of growing length, naive scan vs the position-index plan the optimizer
+produces.  Expected shape: naive grows linearly with song length at
+fixed match count; the indexed plan grows with the number of A-notes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra import all_anc_list, split_list_pieces, sub_select_list
+from repro.optimizer import Optimizer
+from repro.query import Q, evaluate
+from repro.query import expr as E
+from repro.storage import Database
+from repro.workloads import by_pitch, song_with_melody
+
+MELODY = ["A", "C", "D", "F"]
+
+
+@pytest.mark.parametrize("length", [200, 1000, 5000])
+def test_claim_melody_naive(benchmark, length):
+    song = song_with_melody(length, MELODY, occurrences=4, seed=length)
+    result = benchmark(sub_select_list, "[A??F]", song, by_pitch)
+    assert len(result) == 4
+
+
+@pytest.mark.parametrize("length", [200, 1000, 5000])
+def test_claim_melody_indexed(benchmark, length):
+    song = song_with_melody(length, MELODY, occurrences=4, seed=length)
+    db = Database()
+    db.bind_root("song", song)
+    db.list_index(song, ["pitch"])
+    query = Q.root("song").lsub_select("[A??F]", resolver=by_pitch).build()
+    plan, _ = Optimizer(db).optimize(query)
+    assert isinstance(plan, E.IndexedListSubSelect)
+    result = benchmark(evaluate, plan, db)
+    assert len(result) == 4
+
+
+def test_claim_melody_counters():
+    song = song_with_melody(5000, MELODY, occurrences=4, seed=1)
+    db = Database()
+    db.bind_root("song", song)
+    query = Q.root("song").lsub_select("[A??F]", resolver=by_pitch).build()
+
+    evaluate(query, db)
+    naive_positions = db.stats["positions_scanned"]
+    db.stats.reset()
+
+    plan, _ = Optimizer(db).optimize(query)
+    evaluate(plan, db)
+    indexed_positions = db.stats["positions_scanned"]
+
+    assert naive_positions == 5000 + 4 * len(MELODY) + 1
+    assert indexed_positions < naive_positions / 100
+
+
+@pytest.mark.parametrize("length", [500, 2000])
+def test_claim_melody_all_anc(benchmark, length):
+    song = song_with_melody(length, MELODY, occurrences=3, seed=length + 1)
+    result = benchmark(
+        all_anc_list,
+        "[A??F]",
+        lambda before, melody: (len(before), len(melody)),
+        song,
+        by_pitch,
+    )
+    assert len(result) == 3
+
+
+@pytest.mark.parametrize("length", [500, 2000])
+def test_claim_melody_split_reassembly(benchmark, length):
+    song = song_with_melody(length, MELODY, occurrences=3, seed=length + 2)
+
+    def run() -> bool:
+        pieces = split_list_pieces("[A??F]", song, resolver=by_pitch)
+        return all(p.reassembled() == song for p in pieces)
+
+    assert benchmark(run) is True

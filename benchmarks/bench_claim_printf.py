@@ -1,0 +1,51 @@
+"""CLAIM-PRINTF — §5's variable-arity query.
+
+``sub_select(printf(?* LargeData ?* LargeData ?*))(T)`` over synthetic C
+parse trees: find every printf referring to ``LargeData`` at least
+twice.  Measures the naive scan, the index-anchored plan, and the effect
+of call arity on the sibling-closure matching cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra import sub_select
+from repro.core import AquaTree
+from repro.optimizer import Optimizer
+from repro.query import Q, evaluate
+from repro.query import expr as E
+from repro.storage import Database
+from repro.workloads import by_op_name, random_c_program
+
+PATTERN = "printf(?* LargeData ?* LargeData ?*)"
+
+
+@pytest.mark.parametrize("size", [1000, 4000])
+def test_claim_printf_naive(benchmark, size):
+    program = random_c_program(size, seed=size, printf_count=20, double_ref_count=6)
+    result = benchmark(sub_select, PATTERN, program, by_op_name)
+    assert len(result) == 6
+
+
+@pytest.mark.parametrize("size", [1000, 4000])
+def test_claim_printf_indexed(benchmark, size):
+    program = random_c_program(size, seed=size, printf_count=20, double_ref_count=6)
+    db = Database()
+    db.bind_root("prog", program)
+    db.tree_index(program, ["OpName"])
+    query = Q.root("prog").sub_select(PATTERN, resolver=by_op_name).build()
+    plan, _ = Optimizer(db).optimize(query)
+    assert isinstance(plan, E.IndexedSubSelect)
+    result = benchmark(evaluate, plan, db)
+    assert len(result) == 6
+
+
+@pytest.mark.parametrize("max_arity", [4, 8, 16])
+def test_claim_printf_arity_sweep(benchmark, max_arity):
+    """Sibling closures cost more as the argument lists grow."""
+    program = random_c_program(
+        1500, seed=max_arity, printf_count=25, double_ref_count=8, max_arity=max_arity
+    )
+    result = benchmark(sub_select, PATTERN, program, by_op_name)
+    assert len(result) == 8

@@ -1,0 +1,66 @@
+"""EXT-APPROX — §7's distance-based queries, measured.
+
+Tree edit distance (Zhang–Shasha) scaling, and the
+"subtrees which almost satisfy P" retrieval with and without the
+size-window lower-bound pruning.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.approximate import approx_matches, tree_edit_distance
+from repro.core import AquaTree
+from repro.workloads import element, random_labeled_tree, random_rna_structure
+
+
+@pytest.mark.parametrize("size", [20, 60, 180])
+def test_approx_distance_scales(benchmark, size):
+    t1 = random_labeled_tree(size, "abcd", seed=size)
+    t2 = random_labeled_tree(size, "abcd", seed=size + 1)
+    distance = benchmark(tree_edit_distance, t1, t2)
+    assert 0 <= distance <= 2 * size
+
+
+def _motif() -> AquaTree:
+    return AquaTree.build(
+        element("S"),
+        [
+            AquaTree.build(
+                element("B"),
+                [AquaTree.build(element("S"), [AquaTree.leaf(element("H"))])],
+            )
+        ],
+    )
+
+
+def _kind_relabel(a, b) -> float:
+    return 0.0 if a.kind == b.kind else 1.0
+
+
+@pytest.mark.parametrize("size", [150, 500])
+def test_approx_retrieval_with_window(benchmark, size):
+    structure = random_rna_structure(size, seed=size)
+    target = _motif()
+    matches = benchmark(
+        approx_matches, target, 1.0, structure, _kind_relabel, None, 1
+    )
+    assert all(m.distance <= 1.0 for m in matches)
+
+
+@pytest.mark.parametrize("size", [150, 500])
+def test_approx_retrieval_without_window(benchmark, size):
+    structure = random_rna_structure(size, seed=size)
+    target = _motif()
+    matches = benchmark(
+        approx_matches, target, 1.0, structure, _kind_relabel, None, 10**9
+    )
+    assert all(m.distance <= 1.0 for m in matches)
+
+
+def test_window_and_full_agree():
+    structure = random_rna_structure(200, seed=5)
+    target = _motif()
+    with_window = approx_matches(target, 1.0, structure, _kind_relabel, None, 1)
+    without = approx_matches(target, 1.0, structure, _kind_relabel, None, 10**9)
+    assert {id(m.root) for m in with_window} == {id(m.root) for m in without}

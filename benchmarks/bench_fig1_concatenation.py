@@ -1,0 +1,53 @@
+"""FIG1 — concatenation points in tree patterns (paper Figure 1).
+
+Reproduces the figure exactly (the pattern ``a(b(d(f g)e)c)`` written as
+``[[a(α1 α2)]] ∘α1 [[b(d(f g)e)]] ∘α2 c``) and measures the cost of
+value-level and pattern-level concatenation as structures grow.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import alpha, parse_tree
+from repro.patterns import parse_tree_pattern, tree_in_language
+from repro.workloads import random_labeled_tree
+
+FIG1_TARGET = "a(b(d(fg)e)c)"
+
+
+def fig1_value_level():
+    left = parse_tree("a(@1 @2)")
+    combined = left.concat(alpha(1), parse_tree("b(d(fg)e)")).concat(
+        alpha(2), parse_tree("c")
+    )
+    return combined
+
+
+def test_fig1_exact(benchmark):
+    """The figure's equation, timed: two concatenations on a 7-node tree."""
+    result = benchmark(fig1_value_level)
+    assert result == parse_tree(FIG1_TARGET)
+
+
+def test_fig1_pattern_level(benchmark):
+    """Pattern-level concatenation: membership of the composed pattern."""
+    pattern = parse_tree_pattern("[[a(@1 @2)]] .@1 [[b(d(f g) e)]] .@2 c")
+    target = parse_tree(FIG1_TARGET)
+    result = benchmark(tree_in_language, pattern, target)
+    assert result is True
+
+
+@pytest.mark.parametrize("size", [100, 1000, 4000])
+def test_fig1_concat_scales_linearly(benchmark, size):
+    """Plugging a large subtree into a point: one pass over the host."""
+    host = random_labeled_tree(size, "abcd", seed=size)
+    # Attach a labeled NULL at the end of the host's root children.
+    from repro.core.aqua_tree import AquaTree, TreeNode
+    from repro.core.concat import ConcatPoint
+
+    host.root.children.append(TreeNode(ConcatPoint("9")))
+    payload = random_labeled_tree(size, "wxyz", seed=size + 1)
+
+    result = benchmark(host.concat, alpha(9), payload)
+    assert result.size() == 2 * size

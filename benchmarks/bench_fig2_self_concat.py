@@ -1,0 +1,56 @@
+"""FIG2 — iterative self-concatenation ``[[a(b c α)]]*α`` (Figure 2).
+
+Checks the first elements of the language exactly, then measures
+membership cost as the unfolding depth grows — linear in depth, because
+the matcher unrolls the closure lazily along the data spine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AquaTree, parse_tree
+from repro.patterns import parse_tree_pattern, tree_in_language
+
+PATTERN = parse_tree_pattern("[[a(b c @)]]*@")
+
+
+def unfolding(depth: int) -> AquaTree:
+    """The depth-``d`` element of L([[a(b c α)]]*α)."""
+    tree = AquaTree.build("a", ["b", "c"])
+    for _ in range(depth - 1):
+        tree = AquaTree.build("a", ["b", "c", tree])
+    return tree
+
+
+def test_fig2_first_four_elements(benchmark):
+    """The four elements shown in Figure 2, all verified in one shot."""
+
+    def check() -> bool:
+        return all(tree_in_language(PATTERN, unfolding(d)) for d in range(1, 5))
+
+    assert benchmark(check) is True
+
+
+def test_fig2_non_elements_rejected(benchmark):
+    bad = [parse_tree(t) for t in ["a(b)", "a(b c d)", "b", "a(a(b c) c b)"]]
+
+    def check() -> bool:
+        return not any(tree_in_language(PATTERN, t) for t in bad)
+
+    assert benchmark(check) is True
+
+
+@pytest.mark.parametrize("depth", [4, 16, 64])
+def test_fig2_membership_scales_with_depth(benchmark, depth):
+    tree = unfolding(depth)
+    result = benchmark(tree_in_language, PATTERN, tree)
+    assert result is True
+
+
+@pytest.mark.parametrize("depth", [4, 16, 64])
+def test_fig2_plus_closure(benchmark, depth):
+    pattern = parse_tree_pattern("[[a(b c @)]]+@")
+    tree = unfolding(depth)
+    result = benchmark(tree_in_language, pattern, tree)
+    assert result is True

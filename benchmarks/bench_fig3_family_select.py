@@ -1,0 +1,48 @@
+"""FIG3 — the family tree and order-preserving select (Figure 3).
+
+Reproduces the literal figure semantics (edge contraction, forest
+results), then scales ``select`` over random family trees: stable select
+is a single pass, so time grows linearly with tree size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra import apply_tree, select
+from repro.workloads import BRAZIL, USA, figure3_family_tree, random_family_tree
+
+
+def test_fig3_select_brazil_exact(benchmark):
+    family = figure3_family_tree()
+    forest = benchmark(select, BRAZIL, family)
+    (survivors,) = forest
+    assert survivors.to_notation(lambda p: p.name) == "Maria(Mat(Ana) Tom(Rita))"
+
+
+def test_fig3_select_usa_forest(benchmark):
+    family = figure3_family_tree()
+    forest = benchmark(select, USA, family)
+    assert sorted(t.to_notation(lambda p: p.name) for t in forest) == ["Ed(Bill)"]
+
+
+def test_fig3_apply_names(benchmark):
+    family = figure3_family_tree()
+    result = benchmark(apply_tree, lambda p: p.name, family)
+    assert result.size() == family.size()
+
+
+@pytest.mark.parametrize("size", [200, 1000, 4000])
+def test_fig3_select_scales_linearly(benchmark, size):
+    family = random_family_tree(size, seed=size, planted_matches=3)
+    forest = benchmark(select, BRAZIL, family)
+    survivors = sum(t.size() for t in forest)
+    expected = sum(1 for p in family.values() if p.citizen == "Brazil")
+    assert survivors == expected
+
+
+@pytest.mark.parametrize("size", [200, 1000, 4000])
+def test_fig3_apply_scales_linearly(benchmark, size):
+    family = random_family_tree(size, seed=size, planted_matches=1)
+    result = benchmark(apply_tree, lambda p: p.citizen, family)
+    assert result.size() == size

@@ -1,0 +1,57 @@
+"""FIG4 — ``split(Brazil(!?* USA !?*), λ(x,y,z)⟨x,y,z⟩)(T)`` (Figure 4).
+
+Reproduces the figure's three pieces exactly, verifies the reassembly
+invariant, then scales the split over random family trees with a fixed
+number of planted matches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra import split, split_pieces
+from repro.core import make_tuple
+from repro.workloads import by_citizen_or_name, figure3_family_tree, random_family_tree
+
+PATTERN = "Brazil(!?* USA !?*)"
+
+
+def test_fig4_exact_pieces(benchmark):
+    family = figure3_family_tree()
+    result = benchmark(
+        split,
+        PATTERN,
+        lambda x, y, z: make_tuple(x, y, z),
+        family,
+        by_citizen_or_name,
+    )
+    assert len(result) == 1
+    x, y, z = next(iter(result))
+    name = lambda p: p.name
+    assert x.to_notation(name) == "Maria(@ Tom(Rita Carl))"
+    assert y.to_notation(name) == "Mat(@1 Ed(@2))"
+    assert [t.to_notation(name) for t in z.values()] == ["Ana", "Bill"]
+
+
+def test_fig4_reassembly(benchmark):
+    family = figure3_family_tree()
+
+    def split_and_reassemble() -> bool:
+        pieces = split_pieces(PATTERN, family, resolver=by_citizen_or_name)
+        return all(piece.reassembled() == family for piece in pieces)
+
+    assert benchmark(split_and_reassemble) is True
+
+
+@pytest.mark.parametrize("size", [200, 1000, 4000])
+def test_fig4_split_scales(benchmark, size):
+    family = random_family_tree(size, seed=size * 7, planted_matches=3)
+    pieces = benchmark(split_pieces, PATTERN, family, by_citizen_or_name)
+    assert len(pieces) == 3
+
+
+@pytest.mark.parametrize("plants", [1, 8, 32])
+def test_fig4_split_scales_with_matches(benchmark, plants):
+    family = random_family_tree(2000, seed=plants, planted_matches=plants)
+    pieces = benchmark(split_pieces, PATTERN, family, by_citizen_or_name)
+    assert len(pieces) == plants

@@ -1,0 +1,66 @@
+"""FIG5 — the §5 parse-tree rewrite, done with the algebra (Figure 5).
+
+``select(R, and(p1,p2)) ≡ select(select(R,p1),p2)`` located with
+``split("select(!? and)")`` and rebuilt by the three-place function.
+Measures one rewrite on the literal figure and rewrite-to-fixpoint
+throughput on larger random operator trees.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra import split, sub_select
+from repro.core import AquaTree
+from repro.workloads import (
+    by_op_name,
+    figure5_parse_tree,
+    random_algebra_tree,
+    section5_rebuild,
+)
+
+REDEX = "select(!? and)"
+
+
+def rewrite_once(tree: AquaTree) -> AquaTree | None:
+    for result in split(REDEX, section5_rebuild, tree, resolver=by_op_name):
+        return result
+    return None
+
+
+def rewrite_to_fixpoint(tree: AquaTree) -> tuple[AquaTree, int]:
+    steps = 0
+    while True:
+        rewritten = rewrite_once(tree)
+        if rewritten is None:
+            return tree, steps
+        tree, steps = rewritten, steps + 1
+
+
+def test_fig5_single_rewrite_exact(benchmark):
+    tree = figure5_parse_tree()
+    result = benchmark(rewrite_once, tree)
+    assert result is not None
+    assert result.to_notation(lambda v: v.OpName) == (
+        "join(select(select(R p1) p2) scan(S))"
+    )
+
+
+@pytest.mark.parametrize("size,redexes", [(100, 2), (400, 6), (1600, 12)])
+def test_fig5_fixpoint_scales(benchmark, size, redexes):
+    tree = random_algebra_tree(size, seed=size, planted_redexes=redexes)
+
+    def run() -> int:
+        _, steps = rewrite_to_fixpoint(tree)
+        return steps
+
+    steps = benchmark(run)
+    assert steps == redexes
+
+
+@pytest.mark.parametrize("size", [400, 1600])
+def test_fig5_redex_detection_cost(benchmark, size):
+    """Just locating the redexes (the sub_select half of the rewrite)."""
+    tree = random_algebra_tree(size, seed=size + 1, planted_redexes=5)
+    result = benchmark(sub_select, REDEX, tree, by_op_name)
+    assert len(result) == 5

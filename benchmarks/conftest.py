@@ -1,0 +1,23 @@
+"""Shared fixtures and knobs for the benchmark suite.
+
+Every ``bench_*`` module regenerates one experiment from DESIGN.md §4
+(one per paper figure or performance claim).  Sizes are chosen so the
+whole suite completes in a few minutes on a laptop; the *shape* of the
+results (who wins, by what factor, where crossovers sit) is what
+EXPERIMENTS.md records, not absolute numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    # Keep benchmark output grouped per experiment module.
+    items.sort(key=lambda item: item.module.__name__)
+
+
+@pytest.fixture(scope="session")
+def bench_sizes():
+    """Input sizes shared across scaling benchmarks."""
+    return (200, 1000, 4000)

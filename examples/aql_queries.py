@@ -1,0 +1,51 @@
+"""AQL: the user-level text language over the algebra.
+
+Run with ``python examples/aql_queries.py``.
+
+The paper keeps the user level open ("We do not assume any particular
+user-level language") and positions the algebra as the optimizer's
+input.  AQL demonstrates that layering: pipeline text compiles to the
+same expression nodes the optimizer rewrites, so every query below runs
+through the full stack — parse → optimize → evaluate — and can be
+EXPLAINed.
+"""
+
+from __future__ import annotations
+
+from repro.core import Record
+from repro.query import explain_optimization, parse_aql, run_aql
+from repro.storage import Database
+from repro.workloads import figure3_family_tree, song_with_melody
+
+
+def main() -> None:
+    db = Database()
+    db.bind_root("family", figure3_family_tree())
+    db.bind_root("song", song_with_melody(80, ["A", "C", "D", "F"], 3, seed=2))
+    db.insert_many(
+        [
+            Record(name=f"p{i}", age=i % 60, city=f"C{i % 12}", salary=40 + i % 50)
+            for i in range(500)
+        ],
+        "Person",
+    )
+    db.create_index("Person", "city")
+
+    queries = [
+        'root family | sub_select "Brazil(!?* USA !?*)" by citizen',
+        'root family | select {citizen = "Brazil"}',
+        'root song | lsub_select "[A??F]" by pitch',
+        'extent Person | sselect {age > 40 and city = "C3"} | project name',
+    ]
+    for text in queries:
+        result = run_aql(text, db)
+        print(f"aql> {text}")
+        print(f"     -> {len(result)} result(s)")
+
+    # The same text, explained end to end:
+    print()
+    print(explain_optimization(parse_aql(queries[0]), db))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Structured-document queries (the multimedia motivation of §1).
+
+Run with ``python examples/document_search.py``.
+
+A document is a tree of components (sections, paragraphs, figures,
+tables).  The example asks shape-sensitive questions no per-node
+predicate could express:
+
+* sections that contain a figure *directly followed by* a paragraph;
+* sections about a topic that contain a figure anywhere below;
+* extract every figure with its enclosing context (``split``).
+"""
+
+from __future__ import annotations
+
+from repro.algebra import select, split_pieces, sub_select
+from repro.predicates import attr
+from repro.workloads import by_kind, random_document
+
+
+def label(component) -> str:
+    return component.kind[0].upper()
+
+
+def main() -> None:
+    document = random_document(sections=10, seed=4, depth=3)
+    print("document with", document.size(), "components")
+
+    # -- order-sensitive sibling shape: figure immediately before paragraph --
+    shaped = sub_select(
+        "section(?* figure paragraph ?*)", document, resolver=by_kind
+    )
+    print("sections with figure→paragraph adjacency:", len(shaped))
+
+    # -- topic + structure: a databases section containing a figure ----------
+    topical = sub_select(
+        '{kind = "section" and topic = "databases"}(?* figure ?*)',
+        document,
+        resolver=by_kind,
+    )
+    print("databases sections containing a figure:", len(topical))
+
+    # -- split: each figure with its context, for rendering a gallery --------
+    gallery = []
+    for piece in split_pieces("figure", document, resolver=by_kind):
+        assert piece.reassembled() == document
+        depth = piece.context.size()  # everything around the figure
+        gallery.append((piece.match.to_notation(label), depth))
+    print("figures extracted with context:", len(gallery))
+
+    # -- order-preserving select: the section skeleton -------------------------
+    skeleton = select(attr("kind") == "section", document)
+    print(
+        "section skeleton forest:",
+        [tree.size() for tree in skeleton],
+        "sections total:",
+        sum(tree.size() for tree in skeleton),
+    )
+
+    # -- long sections: an attribute comparison inside a pattern --------------
+    wordy = sub_select(
+        'section(?* {kind = "paragraph" and words >= 250} ?*)',
+        document,
+        resolver=by_kind,
+    )
+    print("sections containing a 250+ word paragraph:", len(wordy))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""The family-tree walkthrough of §4 (Figures 3 and 4).
+
+Run with ``python examples/family_tree.py``.
+
+Reproduces, step by step, every operator the paper demonstrates on the
+family tree: ``select``, ``apply``, ``sub_select``, ``split`` (the
+Figure 4 decomposition, checked against the reassembly invariant),
+``all_anc`` and ``all_desc``.
+"""
+
+from __future__ import annotations
+
+from repro.algebra import (
+    all_anc,
+    all_desc,
+    apply_tree,
+    select,
+    split,
+    split_pieces,
+    sub_select,
+)
+from repro.core import make_tuple
+from repro.predicates import attr
+from repro.workloads import (
+    BRAZIL,
+    USA,
+    by_citizen_or_name,
+    by_name,
+    figure3_family_tree,
+)
+
+
+def show(tree, label=lambda person: person.name) -> str:
+    return tree.to_notation(label)
+
+
+def main() -> None:
+    family = figure3_family_tree()
+    print("Figure 3 family tree:", show(family))
+
+    # -- select: who is Brazilian?  (order/ancestry preserved) ---------------
+    brazilians = select(BRAZIL, family)
+    print("select(Brazil):", sorted(show(t) for t in brazilians))
+    # Ancestry is contracted over the non-Brazilian Ed: Maria..Mat..Ana.
+
+    # -- apply: a tree of names, isomorphic to the input ---------------------
+    names = apply_tree(lambda person: person.name, family)
+    print("apply(name):", names.to_notation())
+
+    # -- sub_select with the Figure 4 caption's pattern -----------------------
+    matches = sub_select('Mat(? "Ed")', family, resolver=by_name)
+    print('sub_select(Mat(? "Ed")):', [show(m) for m in matches])
+
+    # -- Figure 4: split on "parent is Brazilian, one child is American" -----
+    query_pattern = "Brazil(!?* USA !?*)"
+    result = split(
+        query_pattern,
+        lambda x, y, z: make_tuple(x, y, z),
+        family,
+        resolver=by_citizen_or_name,
+    )
+    print(f"split({query_pattern}) produced {len(result)} tuple(s):")
+    for triple in result:
+        x, y, z = triple
+        print("   x (ancestors):  ", show(x))
+        print("   y (match):      ", show(y))
+        print("   z (descendants):", [show(t) for t in z.values()])
+
+    # The formal invariant: x ∘α (y ∘α1 t1 ... ∘αn tn) = T.
+    for piece in split_pieces(query_pattern, family, resolver=by_citizen_or_name):
+        assert piece.reassembled() == family
+    print("reassembly invariant holds")
+
+    # -- all_anc / all_desc ----------------------------------------------------
+    anc = all_anc(
+        query_pattern,
+        lambda ancestors, match: (show(ancestors), show(match)),
+        family,
+        resolver=by_citizen_or_name,
+    )
+    print("all_anc:", sorted(anc))
+
+    desc = all_desc(
+        query_pattern,
+        lambda match, descendants: (show(match), tuple(show(t) for t in descendants.values())),
+        family,
+        resolver=by_citizen_or_name,
+    )
+    print("all_desc:", sorted(desc))
+
+    # -- attribute predicates beyond citizenship ------------------------------
+    educated = select(attr("education") == "PhD", family)
+    print("PhD holders:", sorted(show(t) for t in educated))
+
+
+if __name__ == "__main__":
+    main()

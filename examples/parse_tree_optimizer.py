@@ -1,0 +1,83 @@
+"""§5: building a rewrite-based query optimizer *with* the tree algebra.
+
+Run with ``python examples/parse_tree_optimizer.py``.
+
+"We can specify compile time optimizations on T using our tree
+operators.  This suggests that our tree query language would be useful
+in constructing a rewrite based optimizer."
+
+The rule ``select(R, and(p1, p2)) ≡ select(select(R, p1), p2)`` is
+applied by:
+
+1. ``split("select(!? and)")`` — locate every redex *with its context*;
+2. the rebuild function ``f(x, y, z)`` — construct
+   ``select(select(R, p1), p2)`` and plug it back into the ancestors.
+
+The example then drives the rule to a fixpoint over a larger random
+parse tree — a miniature rewrite optimizer made of algebra operators.
+"""
+
+from __future__ import annotations
+
+from repro.algebra import split
+from repro.core import AquaTree
+from repro.workloads import (
+    by_op_name,
+    figure5_parse_tree,
+    random_algebra_tree,
+    section5_rebuild,
+)
+
+REDEX_PATTERN = "select(!? and)"
+
+
+def ops(tree: AquaTree) -> str:
+    return tree.to_notation(lambda node: node.OpName)
+
+
+def rewrite_once(tree: AquaTree) -> AquaTree | None:
+    """Apply the rule at one redex; None when no redex remains."""
+    results = split(REDEX_PATTERN, section5_rebuild, tree, resolver=by_op_name)
+    for rewritten in results:
+        return rewritten  # one redex at a time, deterministic enough for a demo
+    return None
+
+
+def rewrite_to_fixpoint(tree: AquaTree) -> tuple[AquaTree, int]:
+    steps = 0
+    while True:
+        rewritten = rewrite_once(tree)
+        if rewritten is None:
+            return tree, steps
+        tree = rewritten
+        steps += 1
+
+
+def count_redexes(tree: AquaTree) -> int:
+    from repro.algebra import sub_select
+
+    return len(sub_select(REDEX_PATTERN, tree, resolver=by_op_name))
+
+
+def main() -> None:
+    # -- the worked Figure 5 example -------------------------------------------
+    parse_tree = figure5_parse_tree()
+    print("before:", ops(parse_tree))
+    rewritten = rewrite_once(parse_tree)
+    assert rewritten is not None
+    print("after: ", ops(rewritten))
+    assert "select(select(R p1) p2)" in ops(rewritten)
+
+    # -- a bigger program: drive the rule to a fixpoint --------------------------
+    big = random_algebra_tree(120, seed=9, planted_redexes=4)
+    print("\nrandom parse tree with", count_redexes(big), "redexes, size", big.size())
+    optimized, steps = rewrite_to_fixpoint(big)
+    print("fixpoint after", steps, "rewrites; remaining redexes:", count_redexes(optimized))
+    assert count_redexes(optimized) == 0
+    # Each rewrite replaces and(p1,p2) by a second select: same node count.
+    assert optimized.size() == big.size()
+    print("node count preserved:", optimized.size())
+
+
+if __name__ == "__main__":
+    main()

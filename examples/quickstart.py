@@ -1,0 +1,71 @@
+"""Quickstart: the AQUA list/tree algebra in five minutes.
+
+Run with ``python examples/quickstart.py``.
+
+Covers: the paper's text notation, alphabet-predicates, the
+order-preserving ``select``, pattern-based ``sub_select``/``split`` with
+the reassembly invariant, list queries, and the optimizer producing an
+index-backed plan.
+"""
+
+from __future__ import annotations
+
+from repro import parse_list, parse_tree
+from repro.algebra import select, split_pieces, sub_select, sub_select_list
+from repro.optimizer import Optimizer
+from repro.predicates import attr, sym
+from repro.query import Q, evaluate
+from repro.storage import Database
+
+
+def main() -> None:
+    # -- 1. Trees and lists use the paper's notation ------------------------
+    tree = parse_tree("a(b(d(fg)e)c)")  # Figure 1's tree
+    song = parse_list("[gaxyfbacdfe]")
+    print("tree:", tree.to_notation(), "| size:", tree.size())
+    print("list:", song.to_notation(), "| length:", len(song))
+
+    # -- 2. Order-preserving select (edges contract over losers) -----------
+    survivors = select(lambda v: v in "adf", tree)
+    print("select {a,d,f}:", sorted(t.to_notation() for t in survivors))
+
+    # -- 3. Pattern-based sub_select ----------------------------------------
+    # A pattern is a tree regular expression; bare symbols match payloads.
+    matches = sub_select("d(f g)", tree)
+    print("sub_select d(f g):", [m.to_notation() for m in matches])
+
+    # -- 4. split: break a tree around a match, put it back together -------
+    for piece in split_pieces("b(!? e)", tree):
+        print(
+            "split  x:", piece.context.to_notation(),
+            "| y:", piece.match.to_notation(),
+            "| z:", [t.to_notation() for t in piece.descendants.values()],
+        )
+        assert piece.reassembled() == tree  # the §4 invariant
+        print("reassembled == original:", piece.reassembled() == tree)
+
+    # -- 5. List patterns are regular expressions ---------------------------
+    melodies = sub_select_list("[a??f]", song)
+    print("melodies [a??f]:", sorted(m.to_notation() for m in melodies))
+
+    # -- 6. Databases, plans, and the optimizer ------------------------------
+    db = Database()
+    db.bind_root("T", parse_tree("r(d(e(h i) j) s(d(e(h i) j) k) d(x))"))
+    query = Q.root("T").sub_select("d(e(h i) j)")
+    plan, trace = Optimizer(db).optimize(query.build())
+    print("logical :", query.describe())
+    print("physical:", plan.describe())
+    naive = query.run(db)
+    optimized = evaluate(plan, db)
+    assert naive == optimized
+    print("answers agree:", sorted(t.to_notation() for t in optimized))
+
+    # -- 7. Predicates are inspectable ASTs, not opaque lambdas -------------
+    adult_brazilian = (attr("age") >= 18) & (attr("citizen") == "Brazil")
+    print("predicate:", adult_brazilian.describe())
+    print("conjuncts:", [c.describe() for c in adult_brazilian.conjuncts()])
+    print("indexable:", adult_brazilian.indexable_terms())
+
+
+if __name__ == "__main__":
+    main()

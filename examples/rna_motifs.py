@@ -1,0 +1,64 @@
+"""RNA secondary-structure motif queries (§1's molecular-biology pitch,
+reference [28]).
+
+Run with ``python examples/rna_motifs.py``.
+
+Secondary structures are trees of stems (S), hairpins (H), bulges (B),
+internal loops (I) and multi-branch loops (M).  Motifs are tree
+patterns; the vertical closure ``*α`` expresses "a run of stem/bulge
+elements of any depth" — something flat per-node predicates cannot.
+"""
+
+from __future__ import annotations
+
+from repro.algebra import split_pieces, sub_select
+from repro.patterns import find_tree_matches, parse_tree_pattern
+from repro.predicates import attr
+from repro.workloads import by_element, count_elements, random_rna_structure
+
+
+def label(el) -> str:
+    return el.kind
+
+
+def main() -> None:
+    structure = random_rna_structure(160, seed=1)
+    print(
+        "structure:",
+        structure.size(),
+        "elements —",
+        {k: count_elements(structure, k) for k in "SHBIM"},
+    )
+
+    # -- simple motif: a stem closing straight into a hairpin ----------------
+    stem_loop = sub_select("S(H)", structure, resolver=by_element)
+    print("stem-hairpin motifs:", len(stem_loop))
+
+    # -- bulged stem: S(B(S(H))) — a bulge interrupting a helix ---------------
+    bulged = sub_select("S(B(S(H)))", structure, resolver=by_element)
+    print("bulged stem-loops:", len(bulged))
+
+    # -- vertical closure: any depth of alternating stem/bulge, then hairpin --
+    # [[S(B(@))]]*@ pumps the S-B unit; concatenating H closes the chain.
+    ladder = parse_tree_pattern("[[S(B(@))]]+@ .@ S(H)", resolver=by_element)
+    matches = find_tree_matches(ladder, structure)
+    print("S-B ladders ending in a hairpin:", len(matches))
+
+    # -- multiloop arity: a junction fanning into 3+ stems ---------------------
+    junctions = sub_select("M(S S S ?*)", structure, resolver=by_element)
+    print("3+-way junctions:", len(junctions))
+
+    # -- attribute predicates: long stems only ----------------------------------
+    long_stems = sub_select(
+        "{kind = \"S\" and length >= 8}(H)", structure, resolver=by_element
+    )
+    print("long stems closing into hairpins:", len(long_stems))
+
+    # -- split: excise each hairpin with context (e.g. for refolding) ----------
+    pieces = split_pieces("H", structure, resolver=by_element)
+    assert all(p.reassembled() == structure for p in pieces)
+    print("hairpins excised and reassembled:", len(pieces))
+
+
+if __name__ == "__main__":
+    main()

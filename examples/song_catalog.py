@@ -1,0 +1,76 @@
+"""Compositions of bulk types: a set of songs, a set of documents (§1).
+
+Run with ``python examples/song_catalog.py``.
+
+"Queries on arbitrary compositions of these bulk types (e.g.,
+set[tree]) could be handled more uniformly."  The example runs exactly
+such compositions: a catalog (AQUA set) of songs (AQUA lists) queried
+with list patterns inside set operators, and a library (set) of
+documents (trees) queried with tree patterns inside set operators —
+no special plumbing, just the operators composing.
+"""
+
+from __future__ import annotations
+
+from repro.algebra import sub_select, sub_select_list
+from repro.core import AquaSet, make_tuple
+from repro.workloads import (
+    by_kind,
+    by_pitch,
+    pitches_of,
+    random_document,
+    song_with_melody,
+)
+
+MELODY = ["A", "C", "D", "F"]
+
+
+def main() -> None:
+    # -- set[list]: a catalog of songs ----------------------------------------
+    catalog = AquaSet(
+        song_with_melody(40, MELODY, occurrences=i % 3, seed=i) for i in range(8)
+    )
+    print("catalog:", len(catalog), "songs")
+
+    # Which songs contain the melody at all?  (select over the set, with
+    # a list sub_select inside the predicate.)
+    def contains_melody(song) -> bool:
+        return bool(sub_select_list("[A??F]", song, resolver=by_pitch))
+
+    hits = catalog.select(contains_melody)
+    print("songs containing [A??F]:", len(hits))
+
+    # How many occurrences per song?  (apply over the set producing
+    # ⟨song, count⟩ tuples.)
+    counts = catalog.apply(
+        lambda song: make_tuple(
+            pitches_of(song)[:16], len(sub_select_list("[A??F]", song, resolver=by_pitch))
+        )
+    )
+    for prefix, count in sorted(counts, key=lambda t: -t[1]):
+        print(f"  {count}×  {prefix}...")
+
+    # Fold: total occurrences across the catalog.
+    total = catalog.fold(
+        lambda acc, song: acc + len(sub_select_list("[A??F]", song, resolver=by_pitch)),
+        0,
+    )
+    print("total melody occurrences:", total)
+
+    # -- set[tree]: a library of documents -------------------------------------
+    library = AquaSet(random_document(sections=5, seed=seed) for seed in range(6))
+
+    def has_figure_paragraph_adjacency(document) -> bool:
+        return bool(
+            sub_select("section(?* figure paragraph ?*)", document, resolver=by_kind)
+        )
+
+    shaped = library.select(has_figure_paragraph_adjacency)
+    print("documents with figure→paragraph sections:", len(shaped), "of", len(library))
+
+    sizes = library.apply(lambda d: d.size())
+    print("document sizes:", sorted(sizes))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+"""repro — a reproduction of the AQUA list/tree query algebra (ICDE 1995).
+
+The public API re-exports the pieces a downstream user needs most:
+
+* the bulk types (:class:`AquaList`, :class:`AquaTree`, :class:`AquaSet`,
+  :class:`AquaMultiset`, :class:`AquaTuple`, :class:`AquaGraph`) and the
+  notation parsers,
+* the predicate DSL (:func:`attr`, :func:`sym`, :data:`ANY`),
+* the pattern parsers (:func:`list_pattern`, :func:`tree_pattern`),
+* the algebra operators (``select``, ``apply_tree``, ``sub_select``,
+  ``all_anc``, ``all_desc``, ``split`` for trees; ``*_list`` for lists),
+* the storage substrate (:class:`Database`), the optimizer entry point
+  (:func:`optimize`), the evaluator (:func:`evaluate`), the fluent
+  builder (:class:`Q`) and the AQL text language (:func:`run_aql`).
+
+See README.md for a guided tour and DESIGN.md for the paper-to-module map.
+"""
+
+from .algebra import (
+    all_anc,
+    all_anc_list,
+    all_desc,
+    all_desc_list,
+    apply_list,
+    apply_tree,
+    select,
+    select_list,
+    split,
+    split_list,
+    split_pieces,
+    sub_select,
+    sub_select_approx,
+    sub_select_list,
+    tree_edit_distance,
+)
+from .core import (
+    ALPHA,
+    NIL,
+    AquaGraph,
+    AquaList,
+    AquaMultiset,
+    AquaSet,
+    AquaTree,
+    AquaTuple,
+    Cell,
+    ConcatPoint,
+    Record,
+    alpha,
+    deref,
+    format_list,
+    format_tree,
+    make_tuple,
+    parse_list,
+    parse_tree,
+    tree,
+)
+from .optimizer import Optimizer, optimize
+from .patterns import list_pattern, tree_pattern
+from .predicates import ANY, attr, parse_predicate, pred, sym
+from .query import Q, evaluate, explain, explain_optimization, parse_aql, run_aql
+from .storage import Database
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALPHA",
+    "ANY",
+    "AquaGraph",
+    "AquaList",
+    "AquaMultiset",
+    "AquaSet",
+    "AquaTree",
+    "AquaTuple",
+    "Cell",
+    "ConcatPoint",
+    "Database",
+    "NIL",
+    "Optimizer",
+    "Q",
+    "Record",
+    "all_anc",
+    "all_anc_list",
+    "all_desc",
+    "all_desc_list",
+    "alpha",
+    "apply_list",
+    "apply_tree",
+    "attr",
+    "deref",
+    "evaluate",
+    "explain",
+    "explain_optimization",
+    "format_list",
+    "format_tree",
+    "list_pattern",
+    "make_tuple",
+    "optimize",
+    "parse_aql",
+    "parse_list",
+    "parse_predicate",
+    "parse_tree",
+    "pred",
+    "run_aql",
+    "select",
+    "select_list",
+    "split",
+    "split_list",
+    "split_pieces",
+    "sub_select",
+    "sub_select_approx",
+    "sub_select_list",
+    "sym",
+    "tree",
+    "tree_edit_distance",
+    "tree_pattern",
+    "__version__",
+]

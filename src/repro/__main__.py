@@ -1,0 +1,164 @@
+"""``python -m repro`` — a small interactive AQL shell.
+
+Commands (backslash-prefixed) manage the session; anything else is an
+AQL query (see :mod:`repro.query.aql`)::
+
+    \\load FILE          load a database serialized with \\save
+    \\save FILE          serialize the current database to FILE
+    \\demo               load the built-in demo database
+    \\roots              list named roots
+    \\extents            list extents and sizes
+    \\explain QUERY      show the optimization story for an AQL query
+    \\noopt QUERY        run a query without the optimizer
+    \\stats              show instrumentation counters
+    \\help               this text
+    \\quit               exit
+
+Non-interactive usage: ``python -m repro -c 'root T | sub_select "d"'``
+runs one query against the demo database (or ``--db FILE``) and prints
+the result — handy for scripting and for the test suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any
+
+from .core import AquaList, AquaSet, AquaTree
+from .errors import AquaError
+from .query import evaluate, explain_optimization, parse_aql
+from .query.aql import run_aql
+from .storage import Database
+from .storage.serialize import dump_database, load_database
+from .workloads import figure3_family_tree, figure5_parse_tree, song_with_melody
+
+
+def demo_database() -> Database:
+    """The database the examples use: family tree, song, parse tree."""
+    db = Database()
+    db.bind_root("family", figure3_family_tree())
+    db.bind_root("song", song_with_melody(60, ["A", "C", "D", "F"], 2, seed=11))
+    db.bind_root("plan", figure5_parse_tree())
+    return db
+
+
+def render(value: Any) -> str:
+    """Human-friendly rendering of a query result."""
+    if isinstance(value, AquaTree):
+        return value.to_notation(_label)
+    if isinstance(value, AquaList):
+        return value.to_notation(_label)
+    if isinstance(value, AquaSet):
+        members = [render(v) for v in value]
+        body = "\n".join(f"  {m}" for m in sorted(members))
+        return f"{{{len(members)} result(s)}}\n{body}" if members else "{0 results}"
+    return repr(value)
+
+
+def _label(payload: Any) -> str:
+    for attribute in ("name", "pitch", "OpName", "kind", "label"):
+        value = getattr(payload, attribute, None)
+        if value is not None:
+            return str(value)
+    return str(payload)
+
+
+class Shell:
+    def __init__(self, db: Database | None = None) -> None:
+        self.db = db or demo_database()
+
+    def execute(self, line: str) -> str:
+        """Run one shell line and return the printable response."""
+        line = line.strip()
+        if not line:
+            return ""
+        try:
+            if line.startswith("\\"):
+                return self._command(line[1:])
+            return render(run_aql(line, self.db))
+        except AquaError as exc:
+            return f"error: {exc}"
+        except FileNotFoundError as exc:
+            return f"error: {exc}"
+
+    def _command(self, text: str) -> str:
+        name, _, argument = text.partition(" ")
+        argument = argument.strip()
+        if name == "help":
+            return __doc__ or ""
+        if name == "demo":
+            self.db = demo_database()
+            return "demo database loaded"
+        if name == "roots":
+            return "\n".join(self.db.roots()) or "(no roots)"
+        if name == "extents":
+            return (
+                "\n".join(
+                    f"{name}: {self.db.extent_size(name)}"
+                    for name in self.db.extents()
+                )
+                or "(no extents)"
+            )
+        if name == "stats":
+            snapshot = self.db.stats.snapshot()
+            return (
+                "\n".join(f"{k}: {v}" for k, v in sorted(snapshot.items()))
+                or "(no counters)"
+            )
+        if name == "explain":
+            return explain_optimization(parse_aql(argument), self.db)
+        if name == "noopt":
+            return render(evaluate(parse_aql(argument), self.db))
+        if name == "save":
+            with open(argument, "w") as handle:
+                json.dump(dump_database(self.db), handle)
+            return f"saved to {argument}"
+        if name == "load":
+            with open(argument) as handle:
+                self.db = load_database(json.load(handle))
+            return f"loaded {argument}"
+        if name in ("quit", "exit"):
+            raise SystemExit(0)
+        return f"unknown command \\{name} (try \\help)"
+
+    def repl(self) -> None:  # pragma: no cover - interactive loop
+        print("AQUA shell — \\help for commands, \\quit to exit")
+        while True:
+            try:
+                line = input("aqua> ")
+            except (EOFError, KeyboardInterrupt):
+                print()
+                return
+            response = self.execute(line)
+            if response:
+                print(response)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
+    parser.add_argument("-c", "--command", help="run one AQL query and exit")
+    parser.add_argument("--db", help="load this serialized database first")
+    parser.add_argument("--explain", action="store_true", help="explain instead of run")
+    arguments = parser.parse_args(argv)
+
+    db: Database | None = None
+    if arguments.db:
+        with open(arguments.db) as handle:
+            db = load_database(json.load(handle))
+    shell = Shell(db)
+
+    if arguments.command:
+        if arguments.explain:
+            print(shell.execute(f"\\explain {arguments.command}"))
+        else:
+            print(shell.execute(arguments.command))
+        return 0
+
+    shell.repl()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,93 @@
+"""The AQUA query operators for trees, lists, sets and multisets (§4–§6),
+plus navigation/update/structural operators (§4's undiscussed family)
+and approximate matching (§7)."""
+
+from .approximate import (
+    ApproxMatch,
+    approx_matches,
+    nearest_subtrees,
+    sub_select_approx,
+    tree_edit_distance,
+)
+from .derived import all_anc_via_split, all_desc_via_split, sub_select_via_split
+from .list_ops import (
+    ListSplitPiece,
+    all_anc_list,
+    all_desc_list,
+    apply_list,
+    select_list,
+    split_list,
+    split_list_pieces,
+    sub_select_list,
+)
+from .list_tree_bridge import (
+    list_pattern_to_tree_pattern,
+    select_via_tree,
+    sub_select_via_tree,
+)
+from .set_ops import (
+    apply_set,
+    difference,
+    dup_elim,
+    fold_set,
+    intersection,
+    multiset_of,
+    select_set,
+    set_of,
+    union,
+)
+from .tree_ops import (
+    SplitPiece,
+    all_anc,
+    all_desc,
+    apply_tree,
+    reassemble,
+    select,
+    split,
+    split_pieces,
+    sub_select,
+)
+
+from . import navigation, update
+
+__all__ = [
+    "ApproxMatch",
+    "ListSplitPiece",
+    "approx_matches",
+    "navigation",
+    "nearest_subtrees",
+    "sub_select_approx",
+    "tree_edit_distance",
+    "update",
+    "SplitPiece",
+    "all_anc",
+    "all_anc_list",
+    "all_anc_via_split",
+    "all_desc",
+    "all_desc_list",
+    "all_desc_via_split",
+    "apply_list",
+    "apply_set",
+    "apply_tree",
+    "difference",
+    "dup_elim",
+    "fold_set",
+    "intersection",
+    "list_pattern_to_tree_pattern",
+    "multiset_of",
+    "reassemble",
+    "select",
+    "select_list",
+    "select_set",
+    "select_via_tree",
+    "set_of",
+    "split",
+    "split_list",
+    "split_list_pieces",
+    "split_pieces",
+    "sub_select",
+    "sub_select_list",
+    "sub_select_via_split",
+    "sub_select_via_tree",
+    "union",
+]

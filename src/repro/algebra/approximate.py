@@ -1,0 +1,224 @@
+"""Approximate tree matching (paper §7, references [35, 36]).
+
+"Recent work on approximate tree matching ... propose[s] various
+distance metrics for trees.  These metrics are useful in answering
+queries such as 'give me all the subtrees of T which almost satisfy
+pattern P'.  Such metrics are easily accommodated in our formalisms."
+
+This module accommodates them: the Zhang–Shasha ordered tree edit
+distance (the metric of reference [36]) and distance-thresholded query
+operators built on it.
+
+* :func:`tree_edit_distance` — minimum-cost sequence of node
+  relabelings, deletions and insertions turning one ordered tree into
+  another; ``O(|T1|·|T2|·min(depth,leaves)²)`` dynamic programming.
+* :func:`sub_select_approx` — "all subtrees of T within distance k of
+  the target"; the approximate analog of ``sub_select`` (an exact match
+  is distance 0).
+* :func:`nearest_subtrees` — the ranked top-``n`` closest subtrees,
+  the distance-based retrieval of [35].
+
+Costs default to unit insert/delete and 0/1 relabel (values compared
+with ``==``); pass ``relabel``/``indel`` for weighted metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from ..core.aqua_set import AquaSet
+from ..core.aqua_tree import AquaTree, TreeNode
+from ..errors import QueryError
+
+RelabelCost = Callable[[Any, Any], float]
+IndelCost = Callable[[Any], float]
+
+
+def _default_relabel(a: Any, b: Any) -> float:
+    return 0.0 if a == b else 1.0
+
+
+def _default_indel(value: Any) -> float:
+    del value
+    return 1.0
+
+
+@dataclass
+class _Annotated:
+    """Postorder arrays for Zhang–Shasha (1-indexed)."""
+
+    values: list[Any]          # values[i] = payload of postorder node i
+    leftmost: list[int]        # l(i) = postorder index of i's leftmost leaf
+    keyroots: list[int]        # LR-keyroots, ascending
+
+
+def _annotate(tree: AquaTree) -> _Annotated:
+    values: list[Any] = [None]  # 1-indexed
+    leftmost: list[int] = [0]
+
+    def walk(node: TreeNode) -> int:
+        """Postorder-number the subtree; return this node's index."""
+        first_leaf: int | None = None
+        for child in node.children:
+            child_index = walk(child)
+            if first_leaf is None:
+                first_leaf = leftmost[child_index]
+        values.append(node.value)
+        index = len(values) - 1
+        leftmost.append(first_leaf if first_leaf is not None else index)
+        return index
+
+    if tree.root is not None:
+        walk(tree.root)
+
+    n = len(values) - 1
+    seen: set[int] = set()
+    keyroots = []
+    for i in range(n, 0, -1):  # highest postorder wins per leftmost-leaf class
+        if leftmost[i] not in seen:
+            seen.add(leftmost[i])
+            keyroots.append(i)
+    keyroots.sort()
+    return _Annotated(values, leftmost, keyroots)
+
+
+def tree_edit_distance(
+    t1: AquaTree,
+    t2: AquaTree,
+    relabel: RelabelCost | None = None,
+    indel: IndelCost | None = None,
+) -> float:
+    """The Zhang–Shasha ordered edit distance between two trees."""
+    relabel = relabel or _default_relabel
+    indel = indel or _default_indel
+
+    a = _annotate(t1)
+    b = _annotate(t2)
+    n = len(a.values) - 1
+    m = len(b.values) - 1
+    if n == 0 or m == 0:
+        return float(
+            sum(indel(v) for v in a.values[1:]) + sum(indel(v) for v in b.values[1:])
+        )
+
+    distance = [[0.0] * (m + 1) for _ in range(n + 1)]
+
+    def treedist(i: int, j: int) -> None:
+        li, lj = a.leftmost[i], b.leftmost[j]
+        rows = i - li + 2
+        cols = j - lj + 2
+        forest = [[0.0] * cols for _ in range(rows)]
+        for di in range(1, rows):
+            forest[di][0] = forest[di - 1][0] + indel(a.values[li + di - 1])
+        for dj in range(1, cols):
+            forest[0][dj] = forest[0][dj - 1] + indel(b.values[lj + dj - 1])
+        for di in range(1, rows):
+            ii = li + di - 1
+            for dj in range(1, cols):
+                jj = lj + dj - 1
+                delete = forest[di - 1][dj] + indel(a.values[ii])
+                insert = forest[di][dj - 1] + indel(b.values[jj])
+                if a.leftmost[ii] == li and b.leftmost[jj] == lj:
+                    match = forest[di - 1][dj - 1] + relabel(a.values[ii], b.values[jj])
+                    forest[di][dj] = min(delete, insert, match)
+                    distance[ii][jj] = forest[di][dj]
+                else:
+                    bridge = (
+                        forest[a.leftmost[ii] - li][b.leftmost[jj] - lj]
+                        + distance[ii][jj]
+                    )
+                    forest[di][dj] = min(delete, insert, bridge)
+
+    for i in a.keyroots:
+        for j in b.keyroots:
+            treedist(i, j)
+    return distance[n][m]
+
+
+@dataclass(frozen=True)
+class ApproxMatch:
+    """A subtree of the input within the distance threshold."""
+
+    subtree: AquaTree
+    distance: float
+    root: TreeNode
+
+    def __repr__(self) -> str:
+        return f"ApproxMatch(d={self.distance}, {self.subtree.to_notation()})"
+
+
+def _all_subtrees(tree: AquaTree) -> list[TreeNode]:
+    return [node for node in tree.element_nodes()]
+
+
+def approx_matches(
+    target: AquaTree,
+    max_distance: float,
+    tree: AquaTree,
+    relabel: RelabelCost | None = None,
+    indel: IndelCost | None = None,
+    size_window: int | None = None,
+) -> list[ApproxMatch]:
+    """All subtrees of ``tree`` within ``max_distance`` of ``target``.
+
+    ``size_window`` prunes candidates whose node count differs from the
+    target's by more than the window (defaults to ``max_distance`` with
+    unit costs — a valid lower bound on the edit distance).
+    """
+    if target.root is None:
+        raise QueryError("the approximate target must be non-empty")
+    target_size = target.size()
+    if size_window is None and relabel is None and indel is None:
+        size_window = int(max_distance)
+
+    results: list[ApproxMatch] = []
+    for node in _all_subtrees(tree):
+        candidate = AquaTree(node)
+        if size_window is not None:
+            if abs(candidate.size() - target_size) > size_window:
+                continue
+        d = tree_edit_distance(candidate, target, relabel, indel)
+        if d <= max_distance:
+            results.append(
+                ApproxMatch(subtree=candidate.clone(), distance=d, root=node)
+            )
+    results.sort(key=lambda m: m.distance)
+    return results
+
+
+def sub_select_approx(
+    target: AquaTree,
+    max_distance: float,
+    tree: AquaTree,
+    relabel: RelabelCost | None = None,
+    indel: IndelCost | None = None,
+) -> AquaSet:
+    """"All the subtrees of T which almost satisfy" the target (§7).
+
+    Returns the set of qualifying subtrees; distance 0 members are
+    exactly the anchored-at-node exact matches.
+    """
+    return AquaSet(
+        match.subtree
+        for match in approx_matches(target, max_distance, tree, relabel, indel)
+    )
+
+
+def nearest_subtrees(
+    target: AquaTree,
+    count: int,
+    tree: AquaTree,
+    relabel: RelabelCost | None = None,
+    indel: IndelCost | None = None,
+) -> list[ApproxMatch]:
+    """The ``count`` closest subtrees, ranked by edit distance ([35])."""
+    scored = approx_matches(
+        target,
+        float("inf"),
+        tree,
+        relabel,
+        indel,
+        size_window=10**9,
+    )
+    return scored[:count]

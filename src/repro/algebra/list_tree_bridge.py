@@ -1,0 +1,176 @@
+"""The list ⇄ tree correspondence (paper §6).
+
+"Ignoring typing issues for the moment, we can view a list as a tree in
+which each tree-node has at most one child."  §6 then maps every list
+operator to the corresponding tree operator on such *list-like trees*,
+including a translation of list patterns to tree patterns:
+
+* ``[abc]`` becomes ``a(b(c))``;
+* ``[abc] ∘ [cba]`` becomes ``a(b(c(α))) ∘α c(b(a))``;
+* ``[d [[ac]]* b]`` — viewed as ``[d] ∘ [ac]* ∘ [b]`` — becomes
+  ``d(α1) ∘α1 [[a(c(α2))]]*α2 ∘α2 b``.
+
+:func:`list_pattern_to_tree_pattern` implements that translation in
+general (continuation-passing over the list AST, one fresh point per
+closure or concatenation boundary), and the ``*_via_tree`` operators run
+list queries through the tree engine.  The property suite checks the
+natives in :mod:`repro.algebra.list_ops` against these round-trips —
+the paper's central §6 claim made executable.
+
+Limitations (documented in DESIGN.md):
+
+* **Empty matches** — a tree pattern matches *at a node*, so the empty
+  sublist (which nullable list patterns match) has no tree image; the
+  engines agree on all non-empty matches.
+* **Prunes** — ``!`` prunes do not translate —
+a pruned *run* in the middle of a list corresponds to excising part of a
+chain, whereas the tree ``!`` prunes a whole subtree, which in a
+list-like tree would swallow the rest of the list.  Patterns containing
+prunes therefore only run on the native list engine.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable
+
+from ..core.aqua_list import AquaList
+from ..core.aqua_set import AquaSet
+from ..core.aqua_tree import AquaTree
+from ..core.concat import ConcatPoint
+from ..errors import PatternError
+from ..patterns.list_ast import (
+    Atom,
+    Concat,
+    Epsilon,
+    ListPattern,
+    ListPatternNode,
+    Plus,
+    Prune,
+    Star,
+    Union,
+)
+from ..patterns.tree_ast import (
+    CHILD_EPSILON,
+    PointAtom,
+    TreeAtom,
+    TreeConcat,
+    TreePattern,
+    TreePatternNode,
+    TreePlus,
+    TreePrune,
+    TreeStar,
+    TreeUnion,
+)
+from ..predicates.alphabet import ANY
+from .tree_ops import select as tree_select
+from .tree_ops import sub_select as tree_sub_select
+
+
+class _PointSupply:
+    """Fresh, collision-free concatenation points for the translation."""
+
+    def __init__(self) -> None:
+        self._counter = itertools.count(1)
+
+    def fresh(self) -> ConcatPoint:
+        return ConcatPoint(f"t{next(self._counter)}")
+
+
+def list_pattern_to_tree_pattern(pattern: ListPattern) -> TreePattern:
+    """Translate a list pattern into the equivalent tree pattern (§6).
+
+    The translated pattern matches exactly the list-like-tree images of
+    the sublists the list pattern matches.  An end anchor forces the
+    last matched node to be the tree's leaf (children = ε); without it
+    the chain's tail is implicitly pruned, mirroring how a bare tree
+    atom prunes descendants.
+    """
+    if pattern.contains_prune():
+        raise PatternError("prune markers do not translate to tree patterns")
+    supply = _PointSupply()
+    body = _translate(pattern.body, None, pattern.anchor_end, supply)
+    return TreePattern(body, root_anchor=pattern.anchor_start)
+
+
+def _translate(
+    node: ListPatternNode,
+    continuation: TreePatternNode | None,
+    anchored_end: bool,
+    supply: _PointSupply,
+) -> TreePatternNode:
+    """CPS translation: build the pattern for ``node`` followed by
+    ``continuation`` (None = end of pattern)."""
+    if isinstance(node, Epsilon):
+        if continuation is None:
+            raise PatternError("cannot translate a pattern matching only []")
+        return continuation
+    if isinstance(node, Atom):
+        if continuation is not None:
+            return TreeAtom(node.predicate, continuation)
+        if anchored_end:
+            return TreeAtom(node.predicate, CHILD_EPSILON)
+        return TreeAtom(node.predicate, None)  # bare: tail pruned implicitly
+    if isinstance(node, Concat):
+        result = continuation
+        for part in reversed(node.parts):
+            result = _translate(part, result, anchored_end, supply)
+            anchored_end = False  # only the last part sees the anchor
+        if result is None:
+            raise PatternError("cannot translate an empty concatenation")
+        return result
+    if isinstance(node, Union):
+        return TreeUnion(
+            [_translate(a, continuation, anchored_end, supply) for a in node.alternatives]
+        )
+    if isinstance(node, (Star, Plus)):
+        point = supply.fresh()
+        inner = _translate(node.inner, PointAtom(point), False, supply)
+        closure: TreePatternNode = (
+            TreeStar(inner, point) if isinstance(node, Star) else TreePlus(inner, point)
+        )
+        if continuation is None:
+            if anchored_end:
+                return closure  # exits must land exactly on the leaf
+            # A trailing closure's exit sits mid-chain: the rest of the
+            # list is outside the match.  Absorb it with an optional
+            # whole-subtree prune (the chain-tail), mirroring how a bare
+            # atom implicitly prunes its descendants.
+            continuation = TreePrune(TreeAtom(ANY, None), optional=True)
+        return TreeConcat(closure, point, continuation)
+    if isinstance(node, Prune):
+        raise PatternError("prune markers do not translate to tree patterns")
+    raise PatternError(f"cannot translate {node!r}")
+
+
+# ---------------------------------------------------------------------------
+# List operators routed through the tree engine (§6's defining view)
+# ---------------------------------------------------------------------------
+
+
+def select_via_tree(predicate: Callable[[Any], bool], aqua_list: AquaList) -> AquaList:
+    """List select as tree select on the list-like tree (§6).
+
+    On a list-like tree, select returns a singleton set containing a
+    list-like tree (or the empty set); converting back yields the list.
+    """
+    forest = tree_select(predicate, aqua_list.to_list_like_tree())
+    trees = list(forest)
+    if not trees:
+        return AquaList.empty()
+    if len(trees) != 1:
+        raise PatternError("select on a list-like tree must yield one tree")
+    return AquaList.from_list_like_tree(trees[0])
+
+
+def sub_select_via_tree(
+    pattern: ListPattern, aqua_list: AquaList
+) -> AquaSet:
+    """List sub_select as tree sub_select on the translated pattern."""
+    tp = list_pattern_to_tree_pattern(pattern)
+    tree_results = tree_sub_select(tp, aqua_list.to_list_like_tree())
+    return AquaSet(
+        AquaList.from_list_like_tree(result.close_points())
+        for result in tree_results
+        if isinstance(result, AquaTree)
+    )

@@ -1,0 +1,73 @@
+"""Operator-style wrappers for the set/multiset algebra (paper §2, [19]).
+
+The bulk types carry their operators as methods; this module provides
+the free-standing operator spelling the algebra papers use, with the
+equality notion as an explicit parameter — "AQUA allows equality to be
+specified as a parameter to some of its operators (e.g., set union)".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from ..core.aqua_set import AquaMultiset, AquaSet
+from ..core.equality import DEFAULT, Equality
+from ..errors import TypeMismatchError
+
+
+def select_set(predicate: Callable[[Any], bool], collection: AquaSet | AquaMultiset):
+    """``select(p)(S)`` for sets and multisets."""
+    return collection.select(predicate)
+
+
+def apply_set(function: Callable[[Any], Any], collection: AquaSet | AquaMultiset):
+    """``apply(f)(S)`` — the functor/map."""
+    return collection.apply(function)
+
+
+def fold_set(
+    function: Callable[[Any, Any], Any],
+    initial: Any,
+    collection: AquaSet | AquaMultiset,
+) -> Any:
+    """``fold(f, z)(S)`` — the unordered catamorphism (split's cousin)."""
+    return collection.fold(function, initial)
+
+
+def union(
+    left: AquaSet,
+    right: AquaSet,
+    equality: Equality | None = None,
+) -> AquaSet:
+    return left.union(right, equality)
+
+
+def intersection(
+    left: AquaSet,
+    right: AquaSet,
+    equality: Equality | None = None,
+) -> AquaSet:
+    return left.intersection(right, equality)
+
+
+def difference(
+    left: AquaSet,
+    right: AquaSet,
+    equality: Equality | None = None,
+) -> AquaSet:
+    return left.difference(right, equality)
+
+
+def dup_elim(collection: AquaMultiset) -> AquaSet:
+    """Duplicate elimination: multiset → set of representatives."""
+    if not isinstance(collection, AquaMultiset):
+        raise TypeMismatchError("dup_elim expects a multiset")
+    return collection.dup_elim()
+
+
+def set_of(items: Iterable[Any], equality: Equality = DEFAULT) -> AquaSet:
+    return AquaSet(items, equality)
+
+
+def multiset_of(items: Iterable[Any], equality: Equality = DEFAULT) -> AquaMultiset:
+    return AquaMultiset(items, equality)

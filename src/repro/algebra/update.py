@@ -1,0 +1,163 @@
+"""Update operators for lists and trees — persistent (copy-on-write).
+
+The second half of §4's undiscussed operator family ("navigating,
+**updating**, and providing structural information").  Every operator
+returns a new structure sharing payload objects with the input; the
+input is never mutated, matching the value-style discipline of the query
+operators (and what the §5 rewrite example needs: build the new parse
+tree, keep the old one).
+
+Tree positions are the paths of :mod:`repro.algebra.navigation`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..core.aqua_list import AquaList
+from ..core.aqua_tree import AquaTree, TreeNode
+from ..core.identity import as_cell
+from ..errors import QueryError
+from .navigation import Path, node_at
+
+# ---------------------------------------------------------------------------
+# List updates
+# ---------------------------------------------------------------------------
+
+
+def insert_at(aqua_list: AquaList, position: int, payload: Any) -> AquaList:
+    """A new list with ``payload`` inserted before element ``position``."""
+    values = aqua_list.values()
+    if not 0 <= position <= len(values):
+        raise QueryError(f"insert position {position} out of range")
+    return AquaList.from_values(values[:position] + [payload] + values[position:])
+
+
+def delete_at(aqua_list: AquaList, position: int) -> AquaList:
+    values = aqua_list.values()
+    if not 0 <= position < len(values):
+        raise QueryError(f"delete position {position} out of range")
+    return AquaList.from_values(values[:position] + values[position + 1 :])
+
+
+def replace_at(aqua_list: AquaList, position: int, payload: Any) -> AquaList:
+    values = aqua_list.values()
+    if not 0 <= position < len(values):
+        raise QueryError(f"replace position {position} out of range")
+    return AquaList.from_values(values[:position] + [payload] + values[position + 1 :])
+
+
+def splice(aqua_list: AquaList, start: int, stop: int, run: Sequence[Any]) -> AquaList:
+    """Replace the element window ``[start, stop)`` with ``run``."""
+    values = aqua_list.values()
+    if not 0 <= start <= stop <= len(values):
+        raise QueryError(f"splice window [{start}, {stop}) out of range")
+    return AquaList.from_values(values[:start] + list(run) + values[stop:])
+
+
+# ---------------------------------------------------------------------------
+# Tree updates
+# ---------------------------------------------------------------------------
+
+
+def _rebuild(node: TreeNode, path: Path, editor) -> TreeNode | None:
+    """Copy the spine along ``path``; ``editor(node)`` rewrites the target.
+
+    ``editor`` returns the replacement node, or None to delete.
+    Untouched subtrees are shared, not copied.
+    """
+    if not path:
+        return editor(node)
+    index = path[0]
+    if not 0 <= index < len(node.children):
+        raise QueryError(f"path step {index} out of range")
+    children = list(node.children)
+    replacement = _rebuild(children[index], path[1:], editor)
+    if replacement is None:
+        del children[index]
+    else:
+        children[index] = replacement
+    return TreeNode(node.item, children)
+
+
+def _edit(tree: AquaTree, path: Path, editor) -> AquaTree:
+    if tree.root is None:
+        raise QueryError("cannot edit an empty tree")
+    return AquaTree(_rebuild(tree.root, path, editor))
+
+
+def replace_subtree(tree: AquaTree, path: Path, subtree: AquaTree) -> AquaTree:
+    """A new tree with the subtree at ``path`` replaced by ``subtree``."""
+    if subtree.root is None:
+        return delete_subtree(tree, path)
+    node_at(tree, path)  # validates the path
+    return _edit(tree, path, lambda _node: subtree.clone().root)
+
+
+def delete_subtree(tree: AquaTree, path: Path) -> AquaTree:
+    """A new tree with the subtree at ``path`` removed.
+
+    Deleting the root yields the empty tree.
+    """
+    if not path:
+        return AquaTree.empty()
+    node_at(tree, path)
+    return _edit(tree, path, lambda _node: None)
+
+
+def insert_child(
+    tree: AquaTree, path: Path, payload_or_subtree: Any, position: int | None = None
+) -> AquaTree:
+    """A new tree with a child grafted under the node at ``path``.
+
+    ``position`` defaults to appending after the existing children.
+    """
+    if isinstance(payload_or_subtree, AquaTree):
+        if payload_or_subtree.root is None:
+            raise QueryError("cannot insert an empty tree")
+        child = payload_or_subtree.clone().root
+    else:
+        child = TreeNode(as_cell(payload_or_subtree))
+
+    def editor(node: TreeNode) -> TreeNode:
+        children = list(node.children)
+        slot = len(children) if position is None else position
+        if not 0 <= slot <= len(children):
+            raise QueryError(f"child position {slot} out of range")
+        children.insert(slot, child)
+        return TreeNode(node.item, children)
+
+    node_at(tree, path)
+    return _edit(tree, path, editor)
+
+
+def replace_value(tree: AquaTree, path: Path, payload: Any) -> AquaTree:
+    """A new tree with the node at ``path`` re-pointed at ``payload``
+    (children preserved)."""
+
+    def editor(node: TreeNode) -> TreeNode:
+        return TreeNode(as_cell(payload), list(node.children))
+
+    node_at(tree, path)
+    return _edit(tree, path, editor)
+
+
+def promote_children(tree: AquaTree, path: Path) -> AquaTree:
+    """Delete the node at ``path``, splicing its children into its place
+    (the update-flavored cousin of select's edge contraction)."""
+    if not path:
+        raise QueryError("cannot promote the root's children over the root")
+    target = node_at(tree, path)
+
+    def editor(node: TreeNode) -> TreeNode:
+        del node
+        return None  # type: ignore[return-value]
+
+    parent_path, index = path[:-1], path[-1]
+
+    def parent_editor(parent: TreeNode) -> TreeNode:
+        children = list(parent.children)
+        children[index : index + 1] = list(target.children)
+        return TreeNode(parent.item, children)
+
+    return _edit(tree, parent_path, parent_editor)

@@ -1,0 +1,52 @@
+"""Core AQUA data model: identity, equality, bulk types, concatenation.
+
+This package implements §2 and §3.5 of the paper: the object model with
+identity and cells, parameterized equality, the unordered bulk types (set,
+multiset, tuple) from the DBPL'93 algebra, the ordered bulk types (list,
+tree) with labeled-NULL concatenation points, and the textual notation
+used throughout the paper's figures.
+"""
+
+from .aqua_graph import AquaGraph
+from .aqua_list import AquaList
+from .aqua_set import AquaMultiset, AquaSet
+from .aqua_tree import AquaTree, TreeNode, subtree_at, tree
+from .aqua_tuple import AquaTuple, make_tuple
+from .concat import ALPHA, NIL, ConcatPoint, Nil, alpha, is_concat_point
+from .equality import DEEP, DEFAULT, IDENTITY, SHALLOW, Equality
+from .identity import Cell, DatabaseObject, Record, as_cell, deref, fresh_oid
+from .notation import format_list, format_tree, parse_list, parse_tree
+
+__all__ = [
+    "ALPHA",
+    "AquaGraph",
+    "AquaList",
+    "AquaMultiset",
+    "AquaSet",
+    "AquaTree",
+    "AquaTuple",
+    "Cell",
+    "ConcatPoint",
+    "DatabaseObject",
+    "DEEP",
+    "DEFAULT",
+    "Equality",
+    "IDENTITY",
+    "NIL",
+    "Nil",
+    "Record",
+    "SHALLOW",
+    "TreeNode",
+    "alpha",
+    "as_cell",
+    "deref",
+    "format_list",
+    "format_tree",
+    "fresh_oid",
+    "is_concat_point",
+    "make_tuple",
+    "parse_list",
+    "parse_tree",
+    "subtree_at",
+    "tree",
+]

@@ -1,0 +1,148 @@
+"""A minimal AQUA ``Graph`` bulk type (paper §2).
+
+The paper lists ``Graph`` among AQUA's type constructors but defines no
+graph-specific query operators (related work points at GraphDB [14]).
+This module provides the constructor itself so the bulk-type family is
+complete, with the two operators every bulk type shares — ``select``
+and ``apply`` — given their natural graph semantics:
+
+* ``select(p)`` keeps the satisfying nodes and the edges *between*
+  them (the induced subgraph).  Unlike trees there is no meaningful
+  order-contraction for arbitrary graphs, so no edges are synthesized;
+  this matches the set-operators-generalize design rule of §2 (a graph
+  with no edges behaves exactly like a set).
+* ``apply(f)`` maps payloads, preserving the edge structure.
+
+Nodes are cells, so duplicate payloads are representable, exactly as in
+lists and trees.  Trees embed via :func:`from_tree`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Iterable, Iterator
+
+from ..errors import TypeMismatchError
+from .aqua_set import AquaSet
+from .aqua_tree import AquaTree
+from .identity import Cell, as_cell, deref
+
+
+class AquaGraph:
+    """A directed graph of cells with ordered adjacency lists."""
+
+    def __init__(self) -> None:
+        self._nodes: list[Cell] = []
+        self._successors: dict[int, list[Cell]] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def add_node(self, payload: Any) -> Cell:
+        cell = as_cell(payload)
+        if id(cell) in self._successors:
+            raise TypeMismatchError("cell is already a node of this graph")
+        self._nodes.append(cell)
+        self._successors[id(cell)] = []
+        return cell
+
+    def add_edge(self, source: Cell, target: Cell) -> None:
+        if id(source) not in self._successors or id(target) not in self._successors:
+            raise TypeMismatchError("both endpoints must be nodes of this graph")
+        self._successors[id(source)].append(target)
+
+    @classmethod
+    def from_edges(
+        cls, payloads: Iterable[Any], edges: Iterable[tuple[int, int]]
+    ) -> "AquaGraph":
+        """Build from payloads plus (source-index, target-index) pairs."""
+        graph = cls()
+        cells = [graph.add_node(p) for p in payloads]
+        for source, target in edges:
+            graph.add_edge(cells[source], cells[target])
+        return graph
+
+    @classmethod
+    def from_tree(cls, tree: AquaTree) -> "AquaGraph":
+        """Embed a tree: same cells, parent→child edges."""
+        graph = cls()
+        if tree.root is None:
+            return graph
+        mapping: dict[int, Cell] = {}
+        for node in tree.element_nodes():
+            mapping[id(node)] = graph.add_node(node.item)
+        for parent, child in tree.edges():
+            if parent.is_concat_point or child.is_concat_point:
+                continue
+            graph.add_edge(mapping[id(parent)], mapping[id(child)])
+        return graph
+
+    # -- inspection ------------------------------------------------------------
+
+    def nodes(self) -> list[Cell]:
+        return list(self._nodes)
+
+    def values(self) -> list[Any]:
+        return [deref(cell) for cell in self._nodes]
+
+    def successors(self, node: Cell) -> list[Cell]:
+        return list(self._successors[id(node)])
+
+    def edges(self) -> Iterator[tuple[Cell, Cell]]:
+        for node in self._nodes:
+            for successor in self._successors[id(node)]:
+                yield (node, successor)
+
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    def edge_count(self) -> int:
+        return sum(len(s) for s in self._successors.values())
+
+    # -- the shared bulk-type operators ---------------------------------------------
+
+    def select(self, predicate: Callable[[Any], bool]) -> "AquaGraph":
+        """The induced subgraph over satisfying nodes."""
+        result = AquaGraph()
+        kept: dict[int, Cell] = {}
+        for cell in self._nodes:
+            if predicate(deref(cell)):
+                kept[id(cell)] = cell
+                result._nodes.append(cell)
+                result._successors[id(cell)] = []
+        for cell in result._nodes:
+            for successor in self._successors[id(cell)]:
+                if id(successor) in kept:
+                    result._successors[id(cell)].append(successor)
+        return result
+
+    def apply(self, function: Callable[[Any], Any]) -> "AquaGraph":
+        """An isomorphic graph of ``f``-images (fresh cells)."""
+        result = AquaGraph()
+        mapping: dict[int, Cell] = {}
+        for cell in self._nodes:
+            mapping[id(cell)] = result.add_node(function(deref(cell)))
+        for source, target in self.edges():
+            result.add_edge(mapping[id(source)], mapping[id(target)])
+        return result
+
+    def node_set(self) -> AquaSet:
+        """The nodes as an AQUA set — a graph with no edges *is* a set."""
+        return AquaSet(self._nodes)
+
+    # -- reachability helpers -----------------------------------------------------
+
+    def reachable_from(self, node: Cell) -> list[Cell]:
+        """Nodes reachable from ``node`` (inclusive), DFS preorder."""
+        seen: set[int] = set()
+        order: list[Cell] = []
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if id(current) in seen:
+                continue
+            seen.add(id(current))
+            order.append(current)
+            stack.extend(reversed(self._successors[id(current)]))
+        return order
+
+    def __repr__(self) -> str:
+        return f"AquaGraph(nodes={self.node_count()}, edges={self.edge_count()})"

@@ -1,0 +1,355 @@
+"""The AQUA ``Tree[T]`` bulk type (paper §2, §3.5).
+
+A tree is a set of nodes ``V`` plus, per node, an *ordered* list of
+children (the paper's set-of-lists of directed edges ``E``).  Edges are
+directed away from the root and children are ordered left to right.
+Variable arity is the norm: nothing constrains out-degree.
+
+Nodes are cells (:class:`~repro.core.identity.Cell`) so that the same
+element object may occur at several nodes, or they are *concatenation
+points* — labeled NULLs that only the concatenation operator can observe
+(§3.5).  Trees are value-like: operations never mutate an input tree; they
+return new trees whose nodes may share payload objects with the input.
+
+The preorder text notation of the paper (``b(d(fg)e)``) is implemented in
+:mod:`repro.core.notation`; this module only knows how to *format* it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from ..errors import ConcatenationError, TypeMismatchError
+from .concat import NIL, ConcatPoint, Nil, is_concat_point
+from .identity import Cell, as_cell, deref
+
+
+class TreeNode:
+    """One node of an :class:`AquaTree`.
+
+    ``item`` is either a :class:`Cell` (a real element) or a
+    :class:`ConcatPoint` (a labeled NULL, necessarily a leaf).
+    """
+
+    __slots__ = ("item", "children")
+
+    def __init__(self, item: Cell | ConcatPoint, children: Sequence["TreeNode"] = ()) -> None:
+        if is_concat_point(item) and children:
+            raise ConcatenationError("a concatenation point must be a leaf")
+        self.item = item
+        self.children = list(children)
+
+    @property
+    def is_concat_point(self) -> bool:
+        return is_concat_point(self.item)
+
+    @property
+    def value(self) -> Any:
+        """The dereferenced element (or the :class:`ConcatPoint` itself)."""
+        if is_concat_point(self.item):
+            return self.item
+        return deref(self.item)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TreeNode({self.value!r}, children={len(self.children)})"
+
+
+def _node(payload: Any, children: Sequence[TreeNode] = ()) -> TreeNode:
+    """Build a node, wrapping payloads in fresh cells as needed."""
+    if isinstance(payload, ConcatPoint):
+        return TreeNode(payload)
+    return TreeNode(as_cell(payload), children)
+
+
+class AquaTree:
+    """An ordered, variable-arity tree of cells; possibly empty.
+
+    The empty tree (``root is None``) plays the role of NULL when a
+    concatenation closes off a point with :data:`~repro.core.concat.NIL`.
+    """
+
+    __slots__ = ("root",)
+
+    def __init__(self, root: TreeNode | None = None) -> None:
+        self.root = root
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def build(cls, payload: Any, children: Iterable["AquaTree | TreeNode | Any"] = ()) -> "AquaTree":
+        """Build a tree from a payload and child trees/payloads.
+
+        Children may be :class:`AquaTree` instances, bare :class:`TreeNode`
+        instances, or raw payloads (which become leaves).  Child trees are
+        *not* copied — callers building bottom-up hand over ownership, the
+        idiomatic construction pattern throughout the workloads.
+        """
+        child_nodes: list[TreeNode] = []
+        for child in children:
+            if isinstance(child, AquaTree):
+                if child.root is None:
+                    continue
+                child_nodes.append(child.root)
+            elif isinstance(child, TreeNode):
+                child_nodes.append(child)
+            else:
+                child_nodes.append(_node(child))
+        return cls(_node(payload, child_nodes))
+
+    @classmethod
+    def leaf(cls, payload: Any) -> "AquaTree":
+        return cls(_node(payload))
+
+    @classmethod
+    def concat_leaf(cls, point: ConcatPoint) -> "AquaTree":
+        """A tree consisting of a single labeled NULL."""
+        return cls(TreeNode(point))
+
+    @classmethod
+    def empty(cls) -> "AquaTree":
+        return cls(None)
+
+    @classmethod
+    def from_nested(cls, nested: Any) -> "AquaTree":
+        """Build from nested tuples: ``("a", [("b", []), "c"])`` or scalars."""
+        if isinstance(nested, tuple) and len(nested) == 2 and isinstance(nested[1], (list, tuple)):
+            payload, children = nested
+            return cls.build(payload, [cls.from_nested(c) for c in children])
+        return cls.leaf(nested)
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        return self.root is None
+
+    def nodes(self) -> Iterator[TreeNode]:
+        """Preorder traversal over all nodes (concatenation points included)."""
+        if self.root is None:
+            return
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def element_nodes(self) -> Iterator[TreeNode]:
+        """Preorder traversal skipping labeled NULLs — what queries see."""
+        return (n for n in self.nodes() if not n.is_concat_point)
+
+    def edges(self) -> Iterator[tuple[TreeNode, TreeNode]]:
+        for node in self.nodes():
+            for child in node.children:
+                yield (node, child)
+
+    def values(self) -> Iterator[Any]:
+        """Preorder element values (cells dereferenced; NULLs skipped)."""
+        return (n.value for n in self.element_nodes())
+
+    def size(self) -> int:
+        """Number of element nodes (labeled NULLs are not elements)."""
+        return sum(1 for _ in self.element_nodes())
+
+    def height(self) -> int:
+        """Length of the longest root-to-leaf path in edges; empty tree = -1."""
+        if self.root is None:
+            return -1
+
+        height = -1
+        stack: list[tuple[TreeNode, int]] = [(self.root, 0)]
+        while stack:
+            node, depth = stack.pop()
+            height = max(height, depth)
+            stack.extend((child, depth + 1) for child in node.children)
+        return height
+
+    def leaves(self) -> Iterator[TreeNode]:
+        return (n for n in self.nodes() if n.is_leaf)
+
+    def concat_points(self) -> list[ConcatPoint]:
+        """All labeled NULLs present, in preorder."""
+        return [n.item for n in self.nodes() if n.is_concat_point]
+
+    def parent_map(self) -> dict[int, TreeNode | None]:
+        """Map ``id(node) -> parent node`` (None for the root)."""
+        parents: dict[int, TreeNode | None] = {}
+        if self.root is None:
+            return parents
+        parents[id(self.root)] = None
+        for node in self.nodes():
+            for child in node.children:
+                parents[id(child)] = node
+        return parents
+
+    def find(self, predicate: Callable[[Any], bool]) -> Iterator[TreeNode]:
+        """Element nodes whose dereferenced value satisfies ``predicate``."""
+        return (n for n in self.element_nodes() if predicate(n.value))
+
+    # -- copying -----------------------------------------------------------
+
+    def clone(self, fresh_cells: bool = False) -> "AquaTree":
+        """Structurally copy the tree.
+
+        With ``fresh_cells=False`` the copy shares cell objects with the
+        original (payload identity preserved); with ``fresh_cells=True``
+        every element node gets a new cell referencing the same contents —
+        required when one subtree is inserted at several concatenation
+        points, so node sets stay duplicate-free.
+        """
+        if self.root is None:
+            return AquaTree(None)
+        return AquaTree(_clone_node(self.root, fresh_cells))
+
+    # -- concatenation (∘α), paper §3.3/§3.5 -------------------------------
+
+    def concat(self, point: ConcatPoint, other: "AquaTree | Nil") -> "AquaTree":
+        """``self ∘α other``: plug ``other`` in at every ``α``-labeled NULL.
+
+        * If ``self`` has no NULL labeled ``α``, the result is ``self``
+          (paper: "the result is just the first tree").
+        * Concatenating :data:`NIL` (or an empty tree) deletes the labeled
+          leaf.
+        * When several leaves carry the label, each occurrence receives its
+          own fresh-cell copy of ``other``.
+        """
+        if self.root is None:
+            return AquaTree(None)
+        if isinstance(other, Nil):
+            other_tree: AquaTree = AquaTree(None)
+        elif isinstance(other, AquaTree):
+            other_tree = other
+        else:
+            raise ConcatenationError(f"cannot concatenate {type(other).__name__} into a tree")
+
+        inserted = 0
+
+        def rebuild(node: TreeNode) -> TreeNode | None:
+            nonlocal inserted
+            if node.is_concat_point and node.item == point:
+                if other_tree.root is None:
+                    return None
+                inserted += 1
+                # First insertion may share cells; later ones need fresh
+                # cells so the result's node set stays a set.
+                return _clone_node(other_tree.root, fresh_cells=inserted > 1)
+            children = []
+            for child in node.children:
+                rebuilt = rebuild(child)
+                if rebuilt is not None:
+                    children.append(rebuilt)
+            return TreeNode(node.item, children)
+
+        new_root = rebuild(self.root)
+        return AquaTree(new_root)
+
+    def concat_many(self, assignments: Sequence[tuple[ConcatPoint, "AquaTree | Nil"]]) -> "AquaTree":
+        """Left-to-right sequence of concatenations: ``t ∘α1 u1 ∘α2 u2 ...``."""
+        result = self
+        for point, subtree in assignments:
+            result = result.concat(point, subtree)
+        return result
+
+    def close_points(self, points: Iterable[ConcatPoint] | None = None) -> "AquaTree":
+        """Concatenate NULL into the given points (all points if None).
+
+        This is the paper's ``b ∘α1,...,αn []`` shorthand used to define
+        ``sub_select`` from ``split``.
+        """
+        targets = set(points) if points is not None else set(self.concat_points())
+        result = self
+        for point in targets:
+            result = result.concat(point, NIL)
+        return result
+
+    # -- equality and display ----------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AquaTree):
+            return NotImplemented
+        return _nodes_equal(self.root, other.root)
+
+    def __hash__(self) -> int:
+        return hash(("AquaTree", _node_key(self.root)))
+
+    def __repr__(self) -> str:
+        from .notation import format_tree
+
+        return f"AquaTree({format_tree(self)})"
+
+    def to_notation(self, label: Callable[[Any], str] | None = None) -> str:
+        from .notation import format_tree
+
+        return format_tree(self, label=label)
+
+
+def _clone_node(node: TreeNode, fresh_cells: bool) -> TreeNode:
+    if node.is_concat_point:
+        item: Cell | ConcatPoint = node.item
+    elif fresh_cells:
+        item = Cell(node.item.contents)  # type: ignore[union-attr]
+    else:
+        item = node.item
+    return TreeNode(item, [_clone_node(c, fresh_cells) for c in node.children])
+
+
+def _values_equal(a: Any, b: Any) -> bool:
+    if isinstance(a, ConcatPoint) or isinstance(b, ConcatPoint):
+        return a == b
+    return bool(a == b)
+
+
+def _nodes_equal(a: TreeNode | None, b: TreeNode | None) -> bool:
+    # Iterative pairwise preorder walk: deep (list-like) trees must not
+    # overflow the recursion limit.
+    if a is None or b is None:
+        return a is None and b is None
+    stack = [(a, b)]
+    while stack:
+        x, y = stack.pop()
+        if not _values_equal(x.value, y.value):
+            return False
+        if len(x.children) != len(y.children):
+            return False
+        stack.extend(zip(x.children, y.children))
+    return True
+
+
+def _node_key(node: TreeNode | None) -> Any:
+    """A flat, hashable preorder serialization: ``(head, arity)`` pairs.
+
+    Flat (rather than nested) so that hashing a deep list-like tree does
+    not recurse; two trees are equal iff their serializations are.
+    """
+    if node is None:
+        return None
+    parts: list[Any] = []
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        value = current.value
+        if isinstance(value, ConcatPoint):
+            head: Any = ("@", value.label)
+        else:
+            try:
+                hash(value)
+            except TypeError:
+                head = repr(value)
+            else:
+                head = value
+        parts.append((head, len(current.children)))
+        stack.extend(reversed(current.children))
+    return tuple(parts)
+
+
+def subtree_at(node: TreeNode) -> AquaTree:
+    """View the subtree rooted at ``node`` as a tree (no copying)."""
+    return AquaTree(node)
+
+
+def tree(payload: Any, *children: "AquaTree | Any") -> AquaTree:
+    """The paper's ``tree`` constructor operator (used in the §5 rewrite)."""
+    return AquaTree.build(payload, children)

@@ -1,0 +1,88 @@
+"""Concatenation points: labeled NULLs (paper §3.3 and §3.5).
+
+Regular-expression concatenation does not generalize directly to trees
+because it is not clear *where* the right operand should attach.  The paper
+adopts *concatenation points* (after Doner; Thatcher & Wright): designated
+leaves labeled ``α``, ``α1``, ``α2``, ... mark the attachment sites, and
+concatenation is parameterized by a label, written ``∘α``.
+
+Concatenation points also appear in *instances* (not just patterns): when a
+concatenation point occurs in a list or tree it is treated as a **labeled
+NULL**.  Only the concatenation operator can observe such NULLs (§3.5);
+every query operator skips over them.  This is the mechanism that lets
+``split`` hand back three pieces that reassemble exactly into the input.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class ConcatPoint:
+    """A labeled NULL / attachment site.
+
+    Instances are value objects: two concatenation points are equal iff
+    their labels are equal, so a pattern and a piece produced by ``split``
+    agree on which sites line up.  The conventional plain point ``α`` is
+    represented by the empty-string label and prints as ``@``; subscripted
+    points ``α1``, ``α2`` carry their subscript as the label and print as
+    ``@1``, ``@2``.
+    """
+
+    __slots__ = ("label",)
+
+    #: Label reserved for the single anonymous point ``α``.
+    PLAIN = ""
+
+    def __init__(self, label: str = PLAIN) -> None:
+        self.label = str(label)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ConcatPoint) and other.label == self.label
+
+    def __hash__(self) -> int:
+        return hash(("ConcatPoint", self.label))
+
+    def __repr__(self) -> str:
+        return f"ConcatPoint({self.label!r})"
+
+    def __str__(self) -> str:
+        return f"@{self.label}"
+
+
+#: The anonymous concatenation point ``α``.
+ALPHA = ConcatPoint()
+
+
+def alpha(label: int | str = ConcatPoint.PLAIN) -> ConcatPoint:
+    """Convenience constructor: ``alpha(1)`` is ``α1``; ``alpha()`` is ``α``."""
+    return ConcatPoint(str(label))
+
+
+def is_concat_point(value: Any) -> bool:
+    """True when ``value`` is a labeled NULL (concatenation point)."""
+    return isinstance(value, ConcatPoint)
+
+
+class Nil:
+    """The NULL tree/list.
+
+    Concatenating :data:`NIL` into a concatenation point *deletes* the
+    labeled leaf — this is how the "last iteration" of an iterative
+    self-concatenation closes off remaining points (§3.3).  ``Nil`` is a
+    singleton.
+    """
+
+    _instance: "Nil | None" = None
+
+    def __new__(cls) -> "Nil":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "NIL"
+
+
+#: The unique NULL structure.
+NIL = Nil()

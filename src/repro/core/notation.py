@@ -1,0 +1,282 @@
+"""The paper's textual notation for lists and trees (§2).
+
+* Lists: elements in sequence surrounded by ``[]`` — ``[abc]``.
+* Trees: preorder, a node followed by a parenthesized list of its
+  children — ``b(d(fg)e)``.
+* Concatenation points (labeled NULLs): ``@`` for the anonymous ``α``,
+  ``@1``/``@2``/... for subscripted points (``α1``, ``α2``...).
+
+Tokenization follows the paper's two writing styles:
+
+* **compact** (no whitespace/commas anywhere, as in ``b(d(fg)e)`` and
+  ``[abc]``): every lowercase letter is its own single-character symbol,
+  so ``fg`` denotes the two nodes ``f`` and ``g``.  Runs containing an
+  uppercase letter, a digit or an underscore stay whole (``Mat``).
+* **word** (any whitespace or comma present, as in ``Mat(Ann Tom)``):
+  every run is one symbol.
+
+Quoted symbols (``'two words'`` or ``"x(y)"``) are never split and may
+contain structural characters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from ..errors import NotationError
+from .aqua_list import AquaList
+from .aqua_tree import AquaTree, TreeNode
+from .concat import ConcatPoint
+from .identity import as_cell
+
+_STRUCTURAL = "()[]"
+_QUOTES = "'\""
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: ``kind`` is a structural char, 'sym' or 'alpha'."""
+
+    kind: str
+    text: str
+    position: int
+
+
+def use_word_mode(text: str) -> bool:
+    """Decide between the paper's compact and word tokenization styles.
+
+    Word mode (runs stay whole) applies when the text contains any
+    whitespace or comma, or when it contains no structural characters at
+    all — a bare ``figure`` is one symbol.  Otherwise (structure present,
+    no whitespace — the figures' style, e.g. ``b(d(fg)e)`` or ``[abc]``)
+    compact mode splits all-lowercase runs into single-character
+    symbols.  Multi-character lowercase symbols used *with* structure
+    must therefore be space-separated or quoted: ``section( figure )``.
+    """
+    if any(c.isspace() or c == "," for c in text):
+        return True
+    return not any(c in "()[]{}@" for c in text)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize list/tree notation into structural and symbol tokens."""
+    word_mode = use_word_mode(text)
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c.isspace() or c == ",":
+            i += 1
+            continue
+        if c in _STRUCTURAL:
+            tokens.append(Token(c, c, i))
+            i += 1
+            continue
+        if c in _QUOTES:
+            end = text.find(c, i + 1)
+            if end == -1:
+                raise NotationError("unterminated quote", text, i)
+            tokens.append(Token("sym", text[i + 1 : end], i))
+            i = end + 1
+            continue
+        if c == "@":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            tokens.append(Token("alpha", text[i + 1 : j], i))
+            i = j
+            continue
+        if c.isalnum() or c == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            run = text[i:j]
+            if not word_mode and len(run) > 1 and run.isalpha() and run.islower():
+                for offset, char in enumerate(run):
+                    tokens.append(Token("sym", char, i + offset))
+            else:
+                tokens.append(Token("sym", run, i))
+            i = j
+            continue
+        raise NotationError(f"unexpected character {c!r}", text, i)
+    return tokens
+
+
+class _TokenStream:
+    def __init__(self, tokens: list[Token], text: str) -> None:
+        self._tokens = tokens
+        self._text = text
+        self._index = 0
+
+    def peek(self) -> Token | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise NotationError("unexpected end of input", self._text, len(self._text))
+        self._index += 1
+        return token
+
+    def expect(self, kind: str) -> Token:
+        token = self.next()
+        if token.kind != kind:
+            raise NotationError(
+                f"expected {kind!r} but found {token.text!r}", self._text, token.position
+            )
+        return token
+
+    @property
+    def exhausted(self) -> bool:
+        return self._index >= len(self._tokens)
+
+
+def parse_tree(text: str) -> AquaTree:
+    """Parse preorder tree notation like ``b(d(fg)e)`` or ``a(@1 @2)``.
+
+    Symbols become string payloads wrapped in fresh cells; ``@label``
+    becomes a concatenation-point leaf.
+    """
+    stream = _TokenStream(tokenize(text), text)
+    if stream.exhausted:
+        return AquaTree.empty()
+    node = _parse_tree_node(stream, text)
+    if not stream.exhausted:
+        leftover = stream.peek()
+        assert leftover is not None
+        raise NotationError("trailing input after tree", text, leftover.position)
+    return AquaTree(node)
+
+
+def _parse_tree_node(stream: _TokenStream, text: str) -> TreeNode:
+    token = stream.next()
+    if token.kind == "alpha":
+        return TreeNode(ConcatPoint(token.text))
+    if token.kind != "sym":
+        raise NotationError(f"expected a node symbol, found {token.text!r}", text, token.position)
+    children: list[TreeNode] = []
+    nxt = stream.peek()
+    if nxt is not None and nxt.kind == "(":
+        stream.next()
+        while True:
+            nxt = stream.peek()
+            if nxt is None:
+                raise NotationError("unterminated '('", text, token.position)
+            if nxt.kind == ")":
+                stream.next()
+                break
+            children.append(_parse_tree_node(stream, text))
+    return TreeNode(as_cell(token.text), children)
+
+
+def parse_list(text: str) -> AquaList:
+    """Parse list notation like ``[abc]``, ``[A B C]`` or ``[ab@1]``."""
+    stream = _TokenStream(tokenize(text), text)
+    stream.expect("[")
+    entries: list[Any] = []
+    while True:
+        token = stream.peek()
+        if token is None:
+            raise NotationError("unterminated '['", text, 0)
+        if token.kind == "]":
+            stream.next()
+            break
+        token = stream.next()
+        if token.kind == "alpha":
+            entries.append(ConcatPoint(token.text))
+        elif token.kind == "sym":
+            entries.append(token.text)
+        else:
+            raise NotationError(
+                f"unexpected {token.text!r} inside list", text, token.position
+            )
+    if not stream.exhausted:
+        leftover = stream.peek()
+        assert leftover is not None
+        raise NotationError("trailing input after list", text, leftover.position)
+    return AquaList.from_values(entries)
+
+
+def _default_label(value: Any) -> str:
+    text = str(value)
+    return text
+
+
+def _needs_quoting(text: str) -> bool:
+    if text == "":
+        return True
+    return any(c.isspace() or c in _STRUCTURAL or c in "@,'\"" for c in text)
+
+
+def _format_symbol(value: Any, label: Callable[[Any], str]) -> str:
+    if isinstance(value, ConcatPoint):
+        return str(value)
+    text = label(value)
+    if _needs_quoting(text):
+        return f"'{text}'"
+    return text
+
+
+def format_tree(tree: AquaTree, label: Callable[[Any], str] | None = None) -> str:
+    """Render a tree in the paper's preorder notation.
+
+    Multi-character symbols are space-separated so the output re-parses to
+    an equal tree (word mode); single-char lowercase symbols render
+    compactly, matching the paper's figures.
+    """
+    label = label or _default_label
+    if tree.root is None:
+        return "()"
+
+    def render(node: TreeNode) -> str:
+        head = _format_symbol(node.value, label)
+        if not node.children:
+            return head
+        inner = " ".join(render(c) for c in node.children)
+        return f"{head}({inner})"
+
+    text = render(tree.root)
+    return _compact_if_possible(text)
+
+
+def format_list(aqua_list: AquaList, label: Callable[[Any], str] | None = None) -> str:
+    """Render a list in the paper's ``[...]`` notation."""
+    label = label or _default_label
+    parts = []
+    for entry in aqua_list.entries:
+        if isinstance(entry, ConcatPoint):
+            parts.append(str(entry))
+        else:
+            parts.append(_format_symbol(entry.contents, label))
+    text = "[" + " ".join(parts) + "]"
+    return _compact_if_possible(text)
+
+
+def _compact_if_possible(text: str) -> str:
+    """Drop separating spaces when every symbol is a single lowercase char.
+
+    This reproduces the paper's compact style (``b(d(f g)e)`` prints as
+    ``b(d(fg)e)`` only when unambiguous, i.e. no multi-char symbols, no
+    quotes and no concatenation points).
+    """
+    stripped = text.replace(" ", "")
+    runs: list[str] = []
+    current: list[str] = []
+    for c in stripped:
+        if c.isalnum() or c == "_":
+            current.append(c)
+        else:
+            if current:
+                runs.append("".join(current))
+                current = []
+            if c in "@'\"":
+                return text
+    if current:
+        runs.append("".join(current))
+    if all(run.isalpha() and run.islower() for run in runs):
+        return stripped
+    return text

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the AQUA reproduction.
+
+Every error raised by the library derives from :class:`AquaError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the broad failure families below.
+"""
+
+from __future__ import annotations
+
+
+class AquaError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class NotationError(AquaError):
+    """A textual list/tree/pattern notation could not be parsed."""
+
+    def __init__(self, message: str, text: str = "", position: int | None = None):
+        self.text = text
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position} in {text!r})"
+        super().__init__(message)
+
+
+class PatternError(AquaError):
+    """A pattern is structurally invalid (e.g. misplaced anchor or prune)."""
+
+
+class PredicateError(AquaError):
+    """An alphabet-predicate is invalid or cannot be evaluated."""
+
+
+class ConcatenationError(AquaError):
+    """A concatenation (``∘α``) was applied to incompatible operands."""
+
+
+class TypeMismatchError(AquaError):
+    """An algebra operator was applied to a value of the wrong bulk type."""
+
+
+class StorageError(AquaError):
+    """Raised by the storage substrate (unknown OID, duplicate root...)."""
+
+
+class IndexError_(StorageError):
+    """An index was used inconsistently (duplicate key in unique index...).
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`, which has unrelated semantics.
+    """
+
+
+class OptimizerError(AquaError):
+    """The optimizer was given an invalid plan or rule configuration."""
+
+
+class QueryError(AquaError):
+    """A logical query expression is malformed or cannot be evaluated."""

@@ -1,0 +1,33 @@
+"""EPOQ-flavored rewrite optimizer: rules, cost model, engine."""
+
+from .cost import CostModel, list_pattern_cost, tree_pattern_cost
+from .engine import Optimizer, Region, Trace, default_regions, optimize
+from .rules import (
+    DEFAULT_RULES,
+    ConjunctDecompositionRule,
+    ListAnchorIndexRule,
+    Rule,
+    SetSelectFusionRule,
+    SplitIndexRule,
+    SubSelectIndexRule,
+    paper_split_rewrite,
+)
+
+__all__ = [
+    "CostModel",
+    "ConjunctDecompositionRule",
+    "DEFAULT_RULES",
+    "ListAnchorIndexRule",
+    "Optimizer",
+    "Region",
+    "Rule",
+    "SetSelectFusionRule",
+    "SplitIndexRule",
+    "SubSelectIndexRule",
+    "Trace",
+    "default_regions",
+    "list_pattern_cost",
+    "optimize",
+    "paper_split_rewrite",
+    "tree_pattern_cost",
+]

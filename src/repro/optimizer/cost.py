@@ -1,0 +1,180 @@
+"""A simple cost model for AQUA plans.
+
+The companion optimization paper [31] promises a full cost model; this
+reproduction implements the minimum the §4–§5 rewrites need to be
+*decisions* rather than blind rewrites:
+
+* structure sizes, resolved exactly for ``Root``/``Literal`` sources
+  (the common case in an OODB where queries start at named roots) and
+  estimated otherwise;
+* anchor selectivity, taken from the per-structure node index when one
+  exists, with a default guess otherwise;
+* pattern evaluation cost, scaled by the number of atoms and penalized
+  exponentially per closure (the paper's footnote 3: closure queries
+  can be exponential).
+
+Costs are abstract work units (≈ predicate evaluations); the benchmark
+suite confirms the model's *ordering* matches measured time.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.aqua_list import AquaList
+from ..core.aqua_tree import AquaTree
+from ..patterns.list_ast import ListPattern, Star as ListStar, Plus as ListPlus
+from ..patterns.tree_ast import TreePattern, TreeStar, TreePlus, ChildStar, ChildPlus, TreeAtom
+from ..predicates.alphabet import AlphabetPredicate
+from ..query import expr as E
+from ..storage.database import Database
+
+#: Fallback size when a source cannot be resolved at planning time.
+DEFAULT_SIZE = 1000.0
+
+#: Fallback selectivity for an anchor predicate without index statistics.
+DEFAULT_SELECTIVITY = 0.1
+
+#: Cost of one index probe, in predicate-evaluation units.
+PROBE_COST = 5.0
+
+
+def tree_pattern_cost(pattern: TreePattern) -> float:
+    """Per-candidate matching cost: atoms, with closures penalized."""
+    atoms = 0
+    closures = 0
+    for node in pattern.body.walk():
+        if isinstance(node, TreeAtom):
+            atoms += 1
+        if isinstance(node, (TreeStar, TreePlus, ChildStar, ChildPlus)):
+            closures += 1
+    return max(1.0, float(atoms)) * (2.0 ** closures)
+
+
+def list_pattern_cost(pattern: ListPattern) -> float:
+    atoms = sum(1 for _ in pattern.body.atoms())
+    closures = sum(
+        1 for node in pattern.body.walk() if isinstance(node, (ListStar, ListPlus))
+    )
+    return max(1.0, float(atoms)) * (2.0 ** closures)
+
+
+class CostModel:
+    """Estimates plan cost against a concrete database."""
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+
+    # -- source sizing -----------------------------------------------------
+
+    def source_value(self, node: E.Expr) -> Any | None:
+        """Resolve a source expression to its value when statically known."""
+        if isinstance(node, E.Literal):
+            return node.value
+        if isinstance(node, E.Root):
+            try:
+                return self.db.root(node.name)
+            except Exception:
+                return None
+        return None
+
+    def input_size(self, node: E.Expr) -> float:
+        value = self.source_value(node)
+        if isinstance(value, AquaTree):
+            return float(value.size())
+        if isinstance(value, AquaList):
+            return float(len(value))
+        if isinstance(node, E.Extent):
+            return float(self.db.extent_size(node.name)) or DEFAULT_SIZE
+        if isinstance(node, E._Unary):
+            return self.input_size(node.input)
+        return DEFAULT_SIZE
+
+    # -- selectivities -----------------------------------------------------
+
+    def anchor_selectivity(self, node: E.Expr, anchor: AlphabetPredicate) -> float:
+        """Fraction of nodes/elements an anchor's index probe returns."""
+        value = self.source_value(node)
+        if isinstance(value, AquaTree):
+            index = self.db.tree_index(value, anchor.attributes())
+            terms = index.servable_terms(anchor)
+            if terms:
+                attribute, _, constant = terms[0]
+                total = max(1, index.node_count)
+                return index.count(attribute, constant) / total
+        if isinstance(value, AquaList):
+            index = self.db.list_index(value, anchor.attributes())
+            positions, used = index.positions_for(anchor)
+            if used:
+                return len(positions) / max(1, len(value))
+        return DEFAULT_SELECTIVITY
+
+    def extent_term_selectivity(
+        self, extent: str, predicate: AlphabetPredicate
+    ) -> float:
+        total = max(1, self.db.extent_size(extent))
+        for attribute, op, constant in predicate.indexable_terms():
+            if op == "=":
+                index = self.db.index_for(extent, attribute)
+                if index is not None and hasattr(index, "count"):
+                    return index.count(constant) / total  # type: ignore[union-attr]
+            histogram = self.db.histogram(extent, attribute)
+            if histogram is not None:
+                return histogram.selectivity(op, constant)
+        return DEFAULT_SELECTIVITY
+
+    # -- plan costing --------------------------------------------------------
+
+    def cost(self, node: E.Expr) -> float:
+        """Total estimated work for evaluating ``node``."""
+        children_cost = sum(self.cost(c) for c in node.children())
+        return children_cost + self._local_cost(node)
+
+    def _local_cost(self, node: E.Expr) -> float:
+        if isinstance(node, (E.Root, E.Extent, E.Literal)):
+            return 1.0
+        size = self.input_size(node)
+        if isinstance(node, E.SubSelect):
+            return size * tree_pattern_cost(node.pattern)
+        if isinstance(node, E.IndexedSubSelect):
+            selectivity = sum(
+                self.anchor_selectivity(node.input, anchor) for anchor in node.anchors
+            )
+            candidates = min(size, size * selectivity)
+            return (
+                PROBE_COST * len(node.anchors)
+                + candidates * tree_pattern_cost(node.pattern)
+            )
+        if isinstance(node, E.ListSubSelect):
+            return size * list_pattern_cost(node.pattern)
+        if isinstance(node, E.IndexedListSubSelect):
+            selectivity = self.anchor_selectivity(node.input, node.anchor)
+            starts = min(size, size * selectivity * max(1, len(node.offsets)))
+            return PROBE_COST + starts * list_pattern_cost(node.pattern)
+        if isinstance(node, (E.TreeSelect, E.ListSelect, E.SetSelect)):
+            return size
+        if isinstance(node, E.IndexedSetSelect):
+            if isinstance(node.input, E.Extent):
+                selectivity = self.extent_term_selectivity(
+                    node.input.name, node.indexed
+                )
+                return PROBE_COST + size * selectivity * 2.0
+            return size
+        if isinstance(node, E.IndexedSplit):
+            selectivity = sum(
+                self.anchor_selectivity(node.input, anchor) for anchor in node.anchors
+            )
+            candidates = min(size, size * selectivity)
+            return (
+                PROBE_COST * len(node.anchors)
+                + candidates * tree_pattern_cost(node.pattern) * 2.0
+            )
+        if isinstance(node, (E.Split, E.AllAnc, E.AllDesc)):
+            return size * tree_pattern_cost(node.pattern) * 2.0
+        if isinstance(node, E.ListSplit):
+            return size * list_pattern_cost(node.pattern) * 2.0
+        if isinstance(node, (E.TreeApply, E.ListApply, E.SetApply)):
+            return size
+        if isinstance(node, (E.SetUnion, E.SetIntersection, E.SetDifference)):
+            return self.input_size(node.left) + self.input_size(node.right)
+        return size

@@ -1,0 +1,272 @@
+"""Rewrite rules (paper §4 "Why Split?", §5, and [31]).
+
+Each rule is a local transformation on one expression node.  Rules come
+in two flavors:
+
+* **access-path rules** introduce physical operators when an index can
+  serve part of a pattern or predicate — the split/index rewrite for
+  trees, the position-anchor rewrite for lists, and the relational-style
+  conjunct decomposition for extent selects;
+* **algebraic rules** reshape logical plans (select fusion / cascade).
+
+A rule returns the rewritten node or ``None`` when it does not apply;
+the engine (:mod:`repro.optimizer.engine`) handles traversal, cost
+gating and tracing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..patterns.list_ast import Atom as ListAtom
+from ..patterns.list_ast import Concat as ListConcat
+from ..patterns.list_ast import ListPatternNode
+from ..predicates.alphabet import AlphabetPredicate, And
+from ..query import expr as E
+from ..storage.database import Database
+
+
+class Rule:
+    """Base class: a named local rewrite."""
+
+    name = "rule"
+
+    def apply(self, node: E.Expr, db: Database) -> E.Expr | None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<Rule {self.name}>"
+
+
+class SubSelectIndexRule(Rule):
+    """``sub_select(tp)(T)`` → probe the root-predicate indexes (§4).
+
+    Mirrors the paper's rewrite of ``sub_select(d(e(h i)j))(T)`` into
+    ``apply(sub_select(⊤d(e(h i)j)))(split(d, reassemble)(T))``: every
+    match is rooted at a node satisfying one of the pattern's root
+    predicates, so probing those predicates' indexes yields a complete,
+    typically tiny, candidate set.
+
+    Applies when the pattern exposes usable root predicates — non-opaque,
+    each with at least one equality term an index can serve.
+    """
+
+    name = "sub_select→indexed"
+
+    def apply(self, node: E.Expr, db: Database) -> E.Expr | None:
+        del db
+        if not isinstance(node, E.SubSelect):
+            return None
+        if node.pattern.root_anchor:
+            return None  # already pinned to the tree root; nothing to gain
+        anchors = node.pattern.root_predicates()
+        if not anchors:
+            return None
+        usable: list[AlphabetPredicate] = []
+        for anchor in anchors:
+            if anchor.opaque:
+                return None
+            if not any(op == "=" for _, op, _ in anchor.indexable_terms()):
+                return None
+            usable.append(anchor)
+        # The candidate-roots restriction plays the role of the paper's
+        # ⊤-anchoring of the inner sub_select: the pattern itself stays
+        # unanchored, but it is only tried at the probed roots.
+        return E.IndexedSubSelect(
+            node.input, pattern=node.pattern, anchors=tuple(usable)
+        )
+
+
+class SplitIndexRule(Rule):
+    """``split(tp, f)(T)`` → index-probed candidate roots (§4).
+
+    The paper's literal sentence: "the split operator uses the index on
+    d to pick all the subtrees of T that are rooted at d."  Same anchor
+    analysis as :class:`SubSelectIndexRule`.
+    """
+
+    name = "split→indexed"
+
+    def apply(self, node: E.Expr, db: Database) -> E.Expr | None:
+        del db
+        if not isinstance(node, E.Split):
+            return None
+        if node.pattern.root_anchor:
+            return None
+        anchors = node.pattern.root_predicates()
+        if not anchors:
+            return None
+        usable: list[AlphabetPredicate] = []
+        for anchor in anchors:
+            if anchor.opaque:
+                return None
+            if not any(op == "=" for _, op, _ in anchor.indexable_terms()):
+                return None
+            usable.append(anchor)
+        return E.IndexedSplit(
+            node.input,
+            pattern=node.pattern,
+            function=node.function,
+            anchors=tuple(usable),
+        )
+
+
+def _anchor_offsets(parts: Sequence[ListPatternNode], index: int) -> tuple[int, ...] | None:
+    """Possible distances from a match start to the ``index``-th part."""
+    minimum = 0
+    maximum = 0
+    for part in parts[:index]:
+        minimum += part.min_length()
+        part_max = part.max_length()
+        if part_max is None:
+            return None
+        maximum += part_max
+    return tuple(range(minimum, maximum + 1))
+
+
+class ListAnchorIndexRule(Rule):
+    """``sub_select(lp)(L)`` → probe a position index on a required atom.
+
+    Picks an atom of the pattern that every match must contain at a
+    bounded offset from the match start (e.g. the leading ``A`` of
+    ``[A??F]``), probes the list's position index for it, and restricts
+    candidate start positions to ``position - offset``.  This is the
+    list-flavored instance of the paper's decompose-and-index strategy.
+    """
+
+    name = "list_sub_select→indexed"
+
+    def apply(self, node: E.Expr, db: Database) -> E.Expr | None:
+        del db
+        if not isinstance(node, E.ListSubSelect):
+            return None
+        body = node.pattern.body
+        parts: Sequence[ListPatternNode]
+        if isinstance(body, ListConcat):
+            parts = body.parts
+        else:
+            parts = (body,)
+        best: tuple[int, AlphabetPredicate, tuple[int, ...]] | None = None
+        for index, part in enumerate(parts):
+            if not isinstance(part, ListAtom):
+                continue
+            predicate = part.predicate
+            if predicate.opaque:
+                continue
+            if not any(op == "=" for _, op, _ in predicate.indexable_terms()):
+                continue
+            offsets = _anchor_offsets(parts, index)
+            if offsets is None:
+                continue
+            if best is None or len(offsets) < len(best[2]):
+                best = (index, predicate, offsets)
+        if best is None:
+            return None
+        _, anchor, offsets = best
+        return E.IndexedListSubSelect(
+            node.input, pattern=node.pattern, anchor=anchor, offsets=offsets
+        )
+
+
+class ConjunctDecompositionRule(Rule):
+    """``select(p1 ∧ p2)(extent)`` → indexed conjunct + residual (§4).
+
+    "In relational optimization, a select with a complex conjunctive
+    predicate might be rewritten as an intersection of two or more
+    selects, each containing a different conjunct ... some of which
+    might be very cheap to process (e.g., by using an index)."
+    """
+
+    name = "conjunct-decomposition"
+
+    def apply(self, node: E.Expr, db: Database) -> E.Expr | None:
+        if not isinstance(node, E.SetSelect):
+            return None
+        if not isinstance(node.input, E.Extent):
+            return None
+        conjuncts = node.predicate.conjuncts()
+        extent = node.input.name
+        indexed: AlphabetPredicate | None = None
+        residual: list[AlphabetPredicate] = []
+        for conjunct in conjuncts:
+            if indexed is None and not conjunct.opaque:
+                servable = any(
+                    db.has_index(extent, attribute)
+                    for attribute, _, _ in conjunct.indexable_terms()
+                )
+                if servable:
+                    indexed = conjunct
+                    continue
+            residual.append(conjunct)
+        if indexed is None:
+            return None
+        residual_pred = (
+            None
+            if not residual
+            else (residual[0] if len(residual) == 1 else And(*residual))
+        )
+        return E.IndexedSetSelect(node.input, indexed=indexed, residual=residual_pred)
+
+
+class SetSelectFusionRule(Rule):
+    """``select(p1)(select(p2)(S))`` → ``select(p2 ∧ p1)(S)``.
+
+    The inverse of decomposition; applied before access-path selection
+    so the decomposition rule sees the whole conjunction at once.
+    """
+
+    name = "set-select-fusion"
+
+    def apply(self, node: E.Expr, db: Database) -> E.Expr | None:
+        del db
+        if not isinstance(node, E.SetSelect):
+            return None
+        if not isinstance(node.input, E.SetSelect):
+            return None
+        fused = And(node.input.predicate, node.predicate)
+        return E.SetSelect(node.input.input, predicate=fused)
+
+
+def paper_split_rewrite(node: E.SubSelect) -> E.Expr | None:
+    """§4's rewrite, verbatim (for demonstration and equivalence tests):
+
+    ``sub_select(tp)(T)`` ⇒
+    ``apply(sub_select(⊤tp))(split(anchor, λ(x,y,z) y ∘α1..αn z)(T))``
+    flattened into one result set.
+
+    The production path uses the fused :class:`~repro.query.expr.
+    IndexedSubSelect` instead — same plan shape with the split's
+    reassembly and the per-piece sub_select collapsed into an index
+    probe plus a roots-restricted match.  ``None`` when the pattern
+    exposes no usable single root predicate.
+    """
+    from ..algebra.tree_ops import reassemble, sub_select as run_sub_select
+    from ..patterns.tree_ast import TreeAtom, TreePattern
+
+    anchors = node.pattern.root_predicates()
+    if len(anchors) != 1 or anchors[0].opaque:
+        return None
+    anchor_pattern = TreePattern(TreeAtom(anchors[0], None))
+    anchored = node.pattern.anchored()
+
+    def rebuild(x, y, z):
+        del x
+        return reassemble(y, z)
+
+    def per_subtree(subtree):
+        return run_sub_select(anchored, subtree)
+
+    split_node = E.Split(node.input, pattern=anchor_pattern, function=rebuild)
+    applied = E.SetApply(split_node, function=per_subtree)
+    return E.SetFlatten(applied)
+
+
+#: The default rule pipeline, in the order the engine's regions run them.
+DEFAULT_RULES: list[Rule] = [
+    SetSelectFusionRule(),
+    SubSelectIndexRule(),
+    SplitIndexRule(),
+    ListAnchorIndexRule(),
+    ConjunctDecompositionRule(),
+]

@@ -1,0 +1,462 @@
+"""Tree-pattern matching (paper §3.3–§3.5, §4).
+
+The matcher enumerates every *instance* of a tree pattern in a data
+tree: a connected subgraph whose shape is in the pattern's language once
+its concatenation points are closed with NULL (the condition
+``y ∘α1 nil ... ∘αn nil ∈ L(tp)`` in the formal definition of ``split``).
+
+Matching works node-by-node with an **environment** that maps
+concatenation-point labels to continuation patterns:
+
+* ``tp1 ∘α tp2``     — match ``tp1`` with ``α ↦ tp2``;
+* ``tp*α``           — match NULL (consume nothing) or ``tp`` with
+  ``α ↦ tp*α``;
+* ``tp+α``           — match ``tp`` with ``α ↦ tp*α``;
+* an unbound ``α``   — match a literal labeled NULL in the data (§3.5).
+
+A match is recorded as a :class:`Shape`: the kept data nodes plus, in
+order, the places where subtrees were pruned — either explicitly by a
+``!`` marker or implicitly because a bare pattern leaf matched an
+interior node (its children become *descendants of the match*, §4).
+
+Complexity note: enumeration is worst-case exponential, exactly as the
+paper's footnote 3 admits for closure-heavy queries; the optimizer's
+job (§4, "Why Split?") is to narrow the candidate roots so the
+exponential machinery runs on small fragments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Sequence
+
+from ..core.aqua_tree import AquaTree, TreeNode
+from ..core.concat import ConcatPoint
+from ..errors import PatternError
+from .tree_ast import (
+    ChildAlt,
+    ChildEpsilon,
+    ChildPatternNode,
+    ChildPlus,
+    ChildSeq,
+    ChildStar,
+    PointAtom,
+    TreeAtom,
+    TreeConcat,
+    TreePattern,
+    TreePatternNode,
+    TreePlus,
+    TreePrune,
+    TreeStar,
+    TreeUnion,
+)
+
+class _StarCont:
+    """Continuation binding for a closure's own point.
+
+    ``tp*α`` unfolds as ``tp`` with ``α ↦ tp*α`` — but the *zero-
+    iterations* case of that inner star must see whatever ``α`` meant
+    *outside* the closure (e.g. the right operand of an enclosing
+    ``∘α``).  Binding the plain star node would shadow that outer
+    meaning, so the environment binds this closure object instead: the
+    star plus the environment captured where the closure was entered.
+    """
+
+    __slots__ = ("star", "env")
+
+    def __init__(self, star: "TreeStar", env: "_Env") -> None:
+        self.star = star
+        self.env = env
+
+
+_Env = dict[str, "TreePatternNode | _StarCont"]
+
+
+def _guard_key(node: TreeNode, binding: "TreePatternNode | _StarCont") -> tuple:
+    """Cycle-guard key for expanding a point binding at a node.
+
+    Non-consuming expansions can only loop through the *same* binding
+    (or the same closure — fresh ``_StarCont`` wrappers around one star
+    are semantically identical), so the key pairs the node with the
+    binding's identity, collapsing continuations to their star.
+    """
+    if isinstance(binding, _StarCont):
+        return (id(node), "star", id(binding.star))
+    return (id(node), "pat", id(binding))
+
+
+@dataclass(frozen=True)
+class Pruned:
+    """A pruned attachment: the data subtree rooted here goes to ``z``."""
+
+    node: TreeNode
+
+
+@dataclass(frozen=True)
+class Shape:
+    """A kept data node of the match plus its (kept/pruned) children."""
+
+    node: TreeNode
+    children: tuple["Shape | Pruned", ...]
+
+
+def _shape_key(part: "Shape | Pruned") -> tuple:
+    if isinstance(part, Pruned):
+        return ("p", id(part.node))
+    return ("k", id(part.node), tuple(_shape_key(c) for c in part.children))
+
+
+class TreeMatch:
+    """One instance of a tree pattern in a data tree."""
+
+    def __init__(self, shape: Shape) -> None:
+        self.shape = shape
+
+    @property
+    def root(self) -> TreeNode:
+        return self.shape.node
+
+    def key(self) -> tuple:
+        return _shape_key(self.shape)
+
+    def kept_nodes(self) -> list[TreeNode]:
+        """Kept data nodes in preorder."""
+        result: list[TreeNode] = []
+
+        def walk(part: Shape | Pruned) -> None:
+            if isinstance(part, Shape):
+                result.append(part.node)
+                for child in part.children:
+                    walk(child)
+
+        walk(self.shape)
+        return result
+
+    def pruned_nodes(self) -> list[TreeNode]:
+        """Roots of pruned subtrees, in attachment (preorder) order."""
+        result: list[TreeNode] = []
+
+        def walk(part: Shape | Pruned) -> None:
+            if isinstance(part, Pruned):
+                result.append(part.node)
+            else:
+                for child in part.children:
+                    walk(child)
+
+        walk(self.shape)
+        return result
+
+    def match_tree(self) -> tuple[AquaTree, list[ConcatPoint]]:
+        """The piece ``y``: kept nodes with fresh points ``α1..αn``.
+
+        Returns the tree and the points, ordered to line up with
+        :meth:`pruned_subtrees` — the invariant
+        ``y ∘α1 z1 ∘α2 z2 ... = full match subgraph`` holds.
+        """
+        counter = 0
+        points: list[ConcatPoint] = []
+
+        def build(part: Shape | Pruned) -> TreeNode:
+            nonlocal counter
+            if isinstance(part, Pruned):
+                counter += 1
+                point = ConcatPoint(str(counter))
+                points.append(point)
+                return TreeNode(point)
+            return TreeNode(part.node.item, [build(c) for c in part.children])
+
+        root = build(self.shape)
+        return AquaTree(root), points
+
+    def pruned_subtrees(self) -> list[AquaTree]:
+        """The pruned subtrees ``z = [t1..tn]``, cloned (cells shared)."""
+        return [AquaTree(node).clone() for node in self.pruned_nodes()]
+
+    def __repr__(self) -> str:
+        tree, _ = self.match_tree()
+        return f"TreeMatch({tree.to_notation()})"
+
+
+class _TreeMatcher:
+    """One matcher instance per (pattern, input tree) pair."""
+
+    _MAX_POINT_EXPANSIONS = 512
+
+    def __init__(self, leaf_anchor: bool) -> None:
+        self.leaf_anchor = leaf_anchor
+
+    # -- nullability (can the pattern denote NULL?) --------------------------
+
+    def nullable(
+        self,
+        tp: "TreePatternNode | ChildPatternNode | _StarCont",
+        env: _Env,
+        depth: int = 0,
+    ) -> bool:
+        if depth > 64:
+            raise PatternError("concatenation-point bindings form a cycle")
+        if isinstance(tp, _StarCont):
+            return self.nullable(tp.star, tp.env, depth + 1)
+        if isinstance(tp, (TreeAtom,)):
+            return False
+        if isinstance(tp, PointAtom):
+            binding = env.get(tp.point.label)
+            if binding is None:
+                # An unbound point is a deletable labeled NULL — the
+                # paper closes leftover points with nil before the
+                # membership check (``y ∘αi nil ∈ L(tp)``).
+                return True
+            return self.nullable(binding, env, depth + 1)
+        if isinstance(tp, TreeUnion):
+            return any(self.nullable(a, env, depth + 1) for a in tp.alternatives)
+        if isinstance(tp, TreeStar):
+            # Zero iterations: the star *is* its point — deletable when
+            # unbound, otherwise as nullable as the outer continuation.
+            binding = env.get(tp.point.label)
+            if binding is None:
+                return True
+            return self.nullable(binding, env, depth + 1)
+        if isinstance(tp, TreePlus):
+            inner_env = dict(env)
+            inner_env[tp.point.label] = _StarCont(TreeStar(tp.inner, tp.point), dict(env))
+            return self.nullable(tp.inner, inner_env, depth + 1)
+        if isinstance(tp, TreeConcat):
+            inner_env = dict(env)
+            inner_env[tp.point.label] = tp.right
+            return self.nullable(tp.left, inner_env, depth + 1)
+        if isinstance(tp, TreePrune):
+            return tp.optional or self.nullable(tp.inner, env, depth + 1)
+        if isinstance(tp, ChildEpsilon):
+            return True
+        if isinstance(tp, ChildSeq):
+            return all(self.nullable(p, env, depth + 1) for p in tp.parts)
+        if isinstance(tp, ChildAlt):
+            return any(self.nullable(a, env, depth + 1) for a in tp.alternatives)
+        if isinstance(tp, ChildStar):
+            return True
+        if isinstance(tp, ChildPlus):
+            return self.nullable(tp.inner, env, depth + 1)
+        raise PatternError(f"unknown pattern node {tp!r}")
+
+    # -- node-level matching (consumes exactly one data node) ----------------
+
+    def match_node(
+        self,
+        tp: TreePatternNode,
+        node: TreeNode,
+        env: _Env,
+        guard: frozenset = frozenset(),
+    ) -> "Iterator[Shape | Pruned]":
+        if isinstance(tp, TreeAtom):
+            if node.is_concat_point or not tp.predicate(node.value):
+                return
+            if tp.children is None:
+                if self.leaf_anchor:
+                    if not node.children:
+                        yield Shape(node, ())
+                else:
+                    yield Shape(node, tuple(Pruned(c) for c in node.children))
+                return
+            for end, fragments in self.match_children(tp.children, node.children, 0, env):
+                if end == len(node.children):
+                    yield Shape(node, fragments)
+            return
+        if isinstance(tp, PointAtom):
+            binding = env.get(tp.point.label)
+            if binding is None:
+                if node.is_concat_point and node.item == tp.point:
+                    yield Shape(node, ())
+                return
+            key = _guard_key(node, binding)
+            if key in guard:
+                return
+            if isinstance(binding, _StarCont):
+                yield from self.match_node(binding.star, node, binding.env, guard | {key})
+            else:
+                yield from self.match_node(binding, node, env, guard | {key})
+            return
+        if isinstance(tp, TreeUnion):
+            for alternative in tp.alternatives:
+                yield from self.match_node(alternative, node, env, guard)
+            return
+        if isinstance(tp, TreeStar):
+            # Zero iterations: the star degenerates to its point, which
+            # matches whatever α means outside the closure (or a literal
+            # labeled NULL in the data).
+            binding = env.get(tp.point.label)
+            if binding is None:
+                if node.is_concat_point and node.item == tp.point:
+                    yield Shape(node, ())
+            else:
+                key = _guard_key(node, binding)
+                if key not in guard:
+                    if isinstance(binding, _StarCont):
+                        yield from self.match_node(
+                            binding.star, node, binding.env, guard | {key}
+                        )
+                    else:
+                        yield from self.match_node(binding, node, env, guard | {key})
+            # One or more iterations: unfold, rebinding the point to this
+            # closure *with the current outer environment captured*.
+            inner_env = dict(env)
+            inner_env[tp.point.label] = _StarCont(tp, dict(env))
+            yield from self.match_node(tp.inner, node, inner_env, guard)
+            return
+        if isinstance(tp, TreePlus):
+            inner_env = dict(env)
+            inner_env[tp.point.label] = _StarCont(TreeStar(tp.inner, tp.point), dict(env))
+            yield from self.match_node(tp.inner, node, inner_env, guard)
+            return
+        if isinstance(tp, TreeConcat):
+            inner_env = dict(env)
+            inner_env[tp.point.label] = tp.right
+            yield from self.match_node(tp.left, node, inner_env, guard)
+            return
+        if isinstance(tp, TreePrune):
+            # A prune consumes the node and hides its whole subtree; the
+            # inner pattern only gates whether the prune applies.  The ⊥
+            # leaf anchor does not reach inside prunes — pruned subtrees
+            # are excluded from the match, so their leaves need not align.
+            inner_matcher = self if not self.leaf_anchor else _TreeMatcher(False)
+            matched = any(
+                True for _ in inner_matcher.match_node(tp.inner, node, env, guard)
+            )
+            if matched:
+                yield Pruned(node)
+            return
+        raise PatternError(f"unknown tree pattern node {tp!r}")
+
+    # -- child-sequence matching ----------------------------------------------
+
+    def match_children(
+        self,
+        cp: ChildPatternNode | TreePatternNode,
+        children: Sequence[TreeNode],
+        index: int,
+        env: _Env,
+    ) -> Iterator[tuple[int, tuple[Shape | Pruned, ...]]]:
+        """Yield ``(next_index, fragments)`` for matches starting at ``index``."""
+        if isinstance(cp, ChildEpsilon):
+            yield index, ()
+            return
+        if isinstance(cp, ChildSeq):
+            yield from self._match_seq(cp.parts, 0, children, index, env)
+            return
+        if isinstance(cp, ChildAlt):
+            for alternative in cp.alternatives:
+                yield from self.match_children(alternative, children, index, env)
+            return
+        if isinstance(cp, ChildStar):
+            yield from self._match_child_star(cp.inner, children, index, env)
+            return
+        if isinstance(cp, ChildPlus):
+            for mid, head in self.match_children(cp.inner, children, index, env):
+                for end, tail in self._match_child_star(cp.inner, children, mid, env):
+                    yield end, head + tail
+            return
+        # A tree pattern as a child-list atom: consumes zero children when
+        # it can denote NULL, otherwise exactly one child subtree (a
+        # TreePrune consumes the child and yields a Pruned fragment).
+        if isinstance(cp, TreePatternNode):
+            if self.nullable(cp, env):
+                yield index, ()
+            if index < len(children):
+                for shape in self.match_node(cp, children[index], env):
+                    yield index + 1, (shape,)
+            return
+        raise PatternError(f"unknown child pattern node {cp!r}")
+
+    def _match_seq(
+        self,
+        parts: Sequence[ChildPatternNode | TreePatternNode],
+        part_index: int,
+        children: Sequence[TreeNode],
+        index: int,
+        env: _Env,
+    ) -> Iterator[tuple[int, tuple[Shape | Pruned, ...]]]:
+        if part_index == len(parts):
+            yield index, ()
+            return
+        for mid, head in self.match_children(parts[part_index], children, index, env):
+            for end, tail in self._match_seq(parts, part_index + 1, children, mid, env):
+                yield end, head + tail
+
+    def _match_child_star(
+        self,
+        inner: ChildPatternNode | TreePatternNode,
+        children: Sequence[TreeNode],
+        index: int,
+        env: _Env,
+    ) -> Iterator[tuple[int, tuple[Shape | Pruned, ...]]]:
+        yield index, ()
+        for mid, head in self.match_children(inner, children, index, env):
+            if mid == index:
+                continue  # progress guard: nullable inner cannot loop
+            for end, tail in self._match_child_star(inner, children, mid, env):
+                yield end, head + tail
+
+
+def find_tree_matches(
+    pattern: TreePattern,
+    data: AquaTree,
+    roots: Sequence[TreeNode] | None = None,
+    limit: int | None = None,
+) -> list[TreeMatch]:
+    """Enumerate distinct matches of ``pattern`` in ``data``.
+
+    ``roots`` optionally restricts candidate match roots — the hook used
+    by the split/index rewrite (§4) to avoid scanning every node.
+    Matches are deduplicated structurally and returned in preorder of
+    their roots.
+    """
+    if isinstance(pattern.body, TreePrune):
+        raise PatternError("a prune marker cannot be the whole pattern")
+    if data.root is None:
+        return []
+    matcher = _TreeMatcher(leaf_anchor=pattern.leaf_anchor)
+
+    if pattern.root_anchor:
+        candidates: list[TreeNode] = [data.root]
+    elif roots is not None:
+        candidates = list(roots)
+    else:
+        candidates = list(data.nodes())
+
+    order = {id(node): position for position, node in enumerate(data.nodes())}
+    candidates.sort(key=lambda n: order.get(id(n), len(order)))
+
+    seen: set[tuple] = set()
+    results: list[TreeMatch] = []
+    for node in candidates:
+        for shape in matcher.match_node(pattern.body, node, {}):
+            if isinstance(shape, Pruned):
+                continue
+            match = TreeMatch(shape)
+            key = match.key()
+            if key in seen:
+                continue
+            seen.add(key)
+            results.append(match)
+            if limit is not None and len(results) >= limit:
+                return results
+    return results
+
+
+def tree_in_language(pattern: TreePattern, data: AquaTree) -> bool:
+    """Is the whole tree an element of the pattern's language?
+
+    Language membership requires the match to cover the entire tree: it
+    must start at the root and leave nothing pruned (no implicit
+    descendants, no ``!`` leftovers), i.e. the paper's ``I ∈ L(P')``.
+    """
+    if data.root is None:
+        matcher = _TreeMatcher(leaf_anchor=False)
+        return matcher.nullable(pattern.body, {})
+    matcher = _TreeMatcher(leaf_anchor=pattern.leaf_anchor)
+    for shape in matcher.match_node(pattern.body, data.root, {}):
+        if isinstance(shape, Pruned):
+            continue
+        match = TreeMatch(shape)
+        if not match.pruned_nodes():
+            return True
+    return False

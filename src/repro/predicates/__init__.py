@@ -1,0 +1,40 @@
+"""Alphabet-predicates (paper §3.1): the atoms of list/tree patterns.
+
+Build predicates with the DSL (:func:`attr`, :func:`sym`, :data:`ANY`,
+``& | ~`` combinators), or parse the paper's lambda notation with
+:func:`parse_predicate`.
+"""
+
+from .alphabet import (
+    ANY,
+    AlphabetPredicate,
+    And,
+    AttrRef,
+    Comparison,
+    Not,
+    Or,
+    RawPredicate,
+    SymbolEquals,
+    TruePredicate,
+    attr,
+    pred,
+    sym,
+)
+from .parser import parse_predicate
+
+__all__ = [
+    "ANY",
+    "AlphabetPredicate",
+    "And",
+    "AttrRef",
+    "Comparison",
+    "Not",
+    "Or",
+    "RawPredicate",
+    "SymbolEquals",
+    "TruePredicate",
+    "attr",
+    "parse_predicate",
+    "pred",
+    "sym",
+]

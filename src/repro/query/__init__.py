@@ -1,0 +1,18 @@
+"""Logical query expressions, their evaluator, EXPLAIN, and the AQL
+user-level text language."""
+
+from . import expr
+from .aql import parse_aql, run_aql
+from .builder import Q
+from .explain import explain, explain_optimization
+from .interpreter import evaluate
+
+__all__ = [
+    "Q",
+    "evaluate",
+    "explain",
+    "explain_optimization",
+    "expr",
+    "parse_aql",
+    "run_aql",
+]

@@ -1,0 +1,82 @@
+"""EXPLAIN for query plans: the expression tree with cost estimates.
+
+``explain(expr, db)`` renders a plan the way database shells do::
+
+    flatten  (cost≈12, total≈152)
+      sapply[per_subtree]  (cost≈10, total≈140)
+        split[d]  (cost≈120, total≈130)
+          root(T)  (cost≈1, size≈15)
+
+Costs come from the optimizer's :class:`~repro.optimizer.cost.CostModel`
+(abstract predicate-evaluation units); sizes are the model's input-size
+estimates, exact when the source is a bound root or literal.
+``explain_diff`` renders the before/after story of an optimization run,
+including the rewrite trace.
+"""
+
+from __future__ import annotations
+
+from ..storage.database import Database
+from . import expr as E
+
+
+def _node_line(node: E.Expr, model) -> str:
+    local = model._local_cost(node)
+    total = model.cost(node)
+    if isinstance(node, (E.Root, E.Extent, E.Literal)):
+        size = model.input_size(node)
+        return f"{node.describe()}  (cost≈{local:.0f}, size≈{size:.0f})"
+    return f"{_head(node)}  (cost≈{local:.0f}, total≈{total:.0f})"
+
+
+def _head(node: E.Expr) -> str:
+    """The node's describe() with the input elided (children are shown
+    as indented lines instead)."""
+    text = node.describe()
+    for child in node.children():
+        child_text = f"({child.describe()})"
+        if text.endswith(child_text):
+            return text[: -len(child_text)]
+        text = text.replace(child.describe(), "…", 1)
+    return text
+
+
+def explain(expr: E.Expr, db: Database, indent: int = 0) -> str:
+    """Render ``expr`` as an indented plan tree with cost annotations."""
+    from ..optimizer.cost import CostModel
+
+    model = CostModel(db)
+    lines: list[str] = []
+
+    def walk(node: E.Expr, depth: int) -> None:
+        lines.append("  " * depth + _node_line(node, model))
+        for child in node.children():
+            walk(child, depth + 1)
+
+    walk(expr, indent)
+    return "\n".join(lines)
+
+
+def explain_optimization(expr: E.Expr, db: Database) -> str:
+    """The full before/after story: logical plan, rewrites, physical plan."""
+    from ..optimizer.engine import Optimizer
+
+    plan, trace = Optimizer(db).optimize(expr)
+    parts = [
+        "Logical plan:",
+        explain(expr, db, indent=1),
+        "",
+        "Rewrites:",
+    ]
+    if trace.steps:
+        parts.extend(f"  {step}" for step in trace.steps)
+    else:
+        parts.append("  (none applied)")
+    parts.extend(
+        [
+            "",
+            f"Physical plan (cost {trace.initial_cost:.0f} → {trace.final_cost:.0f}):",
+            explain(plan, db, indent=1),
+        ]
+    )
+    return "\n".join(parts)

@@ -1,0 +1,338 @@
+"""Logical query expressions over the AQUA algebra.
+
+AQUA is "a standard input language for query optimizers" (§1): queries
+arrive as operator trees, get rewritten algebraically, and are then
+evaluated.  This module defines that operator tree.  Each node is a
+small immutable value object; the interpreter
+(:mod:`repro.query.interpreter`) gives them semantics against a
+:class:`~repro.storage.Database`, and the optimizer
+(:mod:`repro.optimizer`) rewrites them.
+
+Logical nodes mirror the paper's operators; *physical* nodes (the
+``Indexed*`` variants) are the access-path-committed forms the optimizer
+introduces — they make the §4 rewrites visible as plan shapes::
+
+    SubSelect(tp, src)                      -- scan every node
+    IndexedSubSelect(tp, anchor, src)       -- split-style: probe the
+                                               anchor's index, match at
+                                               the survivors only
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from ..patterns.list_ast import ListPattern
+from ..patterns.tree_ast import TreePattern
+from ..predicates.alphabet import AlphabetPredicate
+
+
+class Expr:
+    """Base class for query expression nodes."""
+
+    def children(self) -> tuple["Expr", ...]:
+        return ()
+
+    def with_children(self, children: tuple["Expr", ...]) -> "Expr":
+        if children:
+            raise ValueError(f"{type(self).__name__} takes no children")
+        return self
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def walk(self) -> Iterator["Expr"]:
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        return self.describe()
+
+
+# ---------------------------------------------------------------------------
+# Sources
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, repr=False)
+class Root(Expr):
+    """A named database root (a tree, list or any bound object)."""
+
+    name: str
+
+    def describe(self) -> str:
+        return f"root({self.name})"
+
+
+@dataclass(frozen=True, repr=False)
+class Extent(Expr):
+    """A class extent, as an AQUA set."""
+
+    name: str
+
+    def describe(self) -> str:
+        return f"extent({self.name})"
+
+
+@dataclass(frozen=True, repr=False)
+class Literal(Expr):
+    """An inline value (tree, list, set...)."""
+
+    value: Any
+
+    def describe(self) -> str:
+        return f"lit({self.value!r})"
+
+
+# ---------------------------------------------------------------------------
+# Unary-input operator base
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, repr=False)
+class _Unary(Expr):
+    input: Expr
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.input,)
+
+    def with_children(self, children: tuple[Expr, ...]) -> Expr:
+        (child,) = children
+        return dataclasses.replace(self, input=child)
+
+
+# ---------------------------------------------------------------------------
+# Tree operators (§4)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, repr=False)
+class TreeSelect(_Unary):
+    predicate: AlphabetPredicate = field(kw_only=True)
+
+    def describe(self) -> str:
+        return f"select[{self.predicate.describe()}]({self.input.describe()})"
+
+
+@dataclass(frozen=True, repr=False)
+class TreeApply(_Unary):
+    function: Callable[[Any], Any] = field(kw_only=True)
+
+    def describe(self) -> str:
+        name = getattr(self.function, "__name__", "f")
+        return f"apply[{name}]({self.input.describe()})"
+
+
+@dataclass(frozen=True, repr=False)
+class SubSelect(_Unary):
+    pattern: TreePattern = field(kw_only=True)
+
+    def describe(self) -> str:
+        return f"sub_select[{self.pattern.describe()}]({self.input.describe()})"
+
+
+@dataclass(frozen=True, repr=False)
+class IndexedSubSelect(_Unary):
+    """Physical: probe the anchors' node indexes, then match only there.
+
+    This is the plan shape of §4's rewrite
+    ``apply(sub_select(⊤tp))(split(d, reassemble)(T))`` with the split
+    fused away: the index probes play the role of ``split(d, ...)``.
+    ``anchors`` is the set of root predicates — every match root must
+    satisfy one of them, so their probes jointly cover all matches.
+    """
+
+    pattern: TreePattern = field(kw_only=True)
+    anchors: tuple[AlphabetPredicate, ...] = field(kw_only=True)
+
+    def describe(self) -> str:
+        anchors = " | ".join(a.describe() for a in self.anchors)
+        return (
+            f"ix_sub_select[{self.pattern.describe()};"
+            f" anchors={anchors}]({self.input.describe()})"
+        )
+
+
+@dataclass(frozen=True, repr=False)
+class Split(_Unary):
+    pattern: TreePattern = field(kw_only=True)
+    function: Callable[..., Any] = field(kw_only=True)
+
+    def describe(self) -> str:
+        return f"split[{self.pattern.describe()}]({self.input.describe()})"
+
+
+@dataclass(frozen=True, repr=False)
+class IndexedSplit(_Unary):
+    """Physical: "the split operator uses the index on d" (§4) — probe
+    the anchors' node indexes to find candidate match roots, then build
+    the (x, y, z) pieces only there."""
+
+    pattern: TreePattern = field(kw_only=True)
+    function: Callable[..., Any] = field(kw_only=True)
+    anchors: tuple[AlphabetPredicate, ...] = field(kw_only=True)
+
+    def describe(self) -> str:
+        anchors = " | ".join(a.describe() for a in self.anchors)
+        return (
+            f"ix_split[{self.pattern.describe()};"
+            f" anchors={anchors}]({self.input.describe()})"
+        )
+
+
+@dataclass(frozen=True, repr=False)
+class AllAnc(_Unary):
+    pattern: TreePattern = field(kw_only=True)
+    function: Callable[..., Any] = field(kw_only=True)
+
+    def describe(self) -> str:
+        return f"all_anc[{self.pattern.describe()}]({self.input.describe()})"
+
+
+@dataclass(frozen=True, repr=False)
+class AllDesc(_Unary):
+    pattern: TreePattern = field(kw_only=True)
+    function: Callable[..., Any] = field(kw_only=True)
+
+    def describe(self) -> str:
+        return f"all_desc[{self.pattern.describe()}]({self.input.describe()})"
+
+
+# ---------------------------------------------------------------------------
+# List operators (§6)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, repr=False)
+class ListSelect(_Unary):
+    predicate: AlphabetPredicate = field(kw_only=True)
+
+    def describe(self) -> str:
+        return f"lselect[{self.predicate.describe()}]({self.input.describe()})"
+
+
+@dataclass(frozen=True, repr=False)
+class ListApply(_Unary):
+    function: Callable[[Any], Any] = field(kw_only=True)
+
+    def describe(self) -> str:
+        name = getattr(self.function, "__name__", "f")
+        return f"lapply[{name}]({self.input.describe()})"
+
+
+@dataclass(frozen=True, repr=False)
+class ListSubSelect(_Unary):
+    pattern: ListPattern = field(kw_only=True)
+
+    def describe(self) -> str:
+        return f"lsub_select[{self.pattern.describe()}]({self.input.describe()})"
+
+
+@dataclass(frozen=True, repr=False)
+class IndexedListSubSelect(_Unary):
+    """Physical: use a position index on ``anchor`` to limit start
+    positions; ``offsets`` are the possible distances from a match start
+    to the anchor's position (computed by the optimizer)."""
+
+    pattern: ListPattern = field(kw_only=True)
+    anchor: AlphabetPredicate = field(kw_only=True)
+    offsets: tuple[int, ...] = field(kw_only=True)
+
+    def describe(self) -> str:
+        return (
+            f"ix_lsub_select[{self.pattern.describe()};"
+            f" anchor={self.anchor.describe()} @-{list(self.offsets)}]"
+            f"({self.input.describe()})"
+        )
+
+
+@dataclass(frozen=True, repr=False)
+class ListSplit(_Unary):
+    pattern: ListPattern = field(kw_only=True)
+    function: Callable[..., Any] = field(kw_only=True)
+
+    def describe(self) -> str:
+        return f"lsplit[{self.pattern.describe()}]({self.input.describe()})"
+
+
+# ---------------------------------------------------------------------------
+# Set operators (§2)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, repr=False)
+class SetSelect(_Unary):
+    predicate: AlphabetPredicate = field(kw_only=True)
+
+    def describe(self) -> str:
+        return f"sselect[{self.predicate.describe()}]({self.input.describe()})"
+
+
+@dataclass(frozen=True, repr=False)
+class IndexedSetSelect(_Unary):
+    """Physical: serve ``indexed`` from an extent index, re-check
+    ``residual`` on the survivors (the relational-style decomposition of
+    §4's "Why Split?" discussion)."""
+
+    indexed: AlphabetPredicate = field(kw_only=True)
+    residual: AlphabetPredicate | None = field(kw_only=True, default=None)
+
+    def describe(self) -> str:
+        residual = self.residual.describe() if self.residual else "true"
+        return (
+            f"ix_sselect[{self.indexed.describe()};"
+            f" residual={residual}]({self.input.describe()})"
+        )
+
+
+@dataclass(frozen=True, repr=False)
+class SetApply(_Unary):
+    function: Callable[[Any], Any] = field(kw_only=True)
+
+    def describe(self) -> str:
+        name = getattr(self.function, "__name__", "f")
+        return f"sapply[{name}]({self.input.describe()})"
+
+
+@dataclass(frozen=True, repr=False)
+class SetFlatten(_Unary):
+    """Union of a set of sets — needed to express §4's literal rewrite
+    ``apply(sub_select(⊤tp))(split(d, reassemble)(T))`` whose apply step
+    produces a set of per-subtree result sets."""
+
+    def describe(self) -> str:
+        return f"flatten({self.input.describe()})"
+
+
+@dataclass(frozen=True, repr=False)
+class _Binary(Expr):
+    left: Expr
+    right: Expr
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: tuple[Expr, ...]) -> Expr:
+        left, right = children
+        return type(self)(left, right)
+
+
+@dataclass(frozen=True, repr=False)
+class SetUnion(_Binary):
+    def describe(self) -> str:
+        return f"union({self.left.describe()}, {self.right.describe()})"
+
+
+@dataclass(frozen=True, repr=False)
+class SetIntersection(_Binary):
+    def describe(self) -> str:
+        return f"intersect({self.left.describe()}, {self.right.describe()})"
+
+
+@dataclass(frozen=True, repr=False)
+class SetDifference(_Binary):
+    def describe(self) -> str:
+        return f"difference({self.left.describe()}, {self.right.describe()})"

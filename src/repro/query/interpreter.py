@@ -1,0 +1,262 @@
+"""Evaluator for logical/physical query expressions.
+
+Gives semantics to :mod:`repro.query.expr` nodes against a
+:class:`~repro.storage.Database`.  The physical (``Indexed*``) nodes
+exercise the access paths; everything else routes to the algebra in
+:mod:`repro.algebra`.  All predicate evaluations run through the
+database's :class:`~repro.storage.Instrumentation` counters so plans can
+be compared by work as well as by wall-clock.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..algebra import (
+    all_anc,
+    all_desc,
+    apply_list,
+    apply_tree,
+    select,
+    select_list,
+    split,
+    split_list,
+    sub_select,
+    sub_select_list,
+)
+from ..core.aqua_list import AquaList
+from ..core.aqua_set import AquaSet
+from ..core.aqua_tree import AquaTree, TreeNode
+from ..errors import QueryError
+from ..storage.database import Database
+from . import expr as E
+
+
+def evaluate(node: E.Expr, db: Database) -> Any:
+    """Evaluate a query expression against ``db``."""
+    method = _DISPATCH.get(type(node))
+    if method is None:
+        raise QueryError(f"no evaluation rule for {type(node).__name__}")
+    return method(node, db)
+
+
+def _as_tree(value: Any, node: E.Expr) -> AquaTree:
+    if not isinstance(value, AquaTree):
+        raise QueryError(f"{node.describe()} expects a tree input, got {type(value).__name__}")
+    return value
+
+
+def _as_list(value: Any, node: E.Expr) -> AquaList:
+    if not isinstance(value, AquaList):
+        raise QueryError(f"{node.describe()} expects a list input, got {type(value).__name__}")
+    return value
+
+
+def _as_set(value: Any, node: E.Expr) -> AquaSet:
+    if not isinstance(value, AquaSet):
+        raise QueryError(f"{node.describe()} expects a set input, got {type(value).__name__}")
+    return value
+
+
+# -- sources -------------------------------------------------------------------
+
+
+def _eval_root(node: E.Root, db: Database) -> Any:
+    return db.root(node.name)
+
+
+def _eval_extent(node: E.Extent, db: Database) -> AquaSet:
+    return db.extent(node.name)
+
+
+def _eval_literal(node: E.Literal, db: Database) -> Any:
+    del db
+    return node.value
+
+
+# -- tree operators ---------------------------------------------------------------
+
+
+def _eval_tree_select(node: E.TreeSelect, db: Database) -> AquaSet:
+    tree = _as_tree(evaluate(node.input, db), node)
+    return select(db.stats.counting(node.predicate), tree)
+
+
+def _eval_tree_apply(node: E.TreeApply, db: Database) -> AquaTree:
+    tree = _as_tree(evaluate(node.input, db), node)
+    return apply_tree(node.function, tree)
+
+
+def _eval_sub_select(node: E.SubSelect, db: Database) -> AquaSet:
+    tree = _as_tree(evaluate(node.input, db), node)
+    db.stats.bump("nodes_scanned", tree.size())
+    return sub_select(node.pattern, tree)
+
+
+def _eval_indexed_sub_select(node: E.IndexedSubSelect, db: Database) -> AquaSet:
+    tree = _as_tree(evaluate(node.input, db), node)
+    attributes: set[str] = set()
+    for anchor in node.anchors:
+        attributes |= anchor.attributes()
+    index = db.tree_index(tree, attributes)
+    roots: dict[int, TreeNode] = {}
+    for anchor in node.anchors:
+        candidates, used = index.candidate_nodes(anchor, db.stats)
+        if not used:
+            # The access path fell through (no servable term): behave
+            # like the logical operator rather than re-scanning twice.
+            return sub_select(node.pattern, tree)
+        for candidate in candidates:
+            if anchor(candidate.value):
+                roots[id(candidate)] = candidate
+    return sub_select(node.pattern, tree, roots=list(roots.values()))
+
+
+def _eval_split(node: E.Split, db: Database) -> AquaSet:
+    tree = _as_tree(evaluate(node.input, db), node)
+    return split(node.pattern, node.function, tree)
+
+
+def _eval_indexed_split(node: E.IndexedSplit, db: Database) -> AquaSet:
+    tree = _as_tree(evaluate(node.input, db), node)
+    attributes: set[str] = set()
+    for anchor in node.anchors:
+        attributes |= anchor.attributes()
+    index = db.tree_index(tree, attributes)
+    roots: dict[int, TreeNode] = {}
+    for anchor in node.anchors:
+        candidates, used = index.candidate_nodes(anchor, db.stats)
+        if not used:
+            return split(node.pattern, node.function, tree)
+        for candidate in candidates:
+            if anchor(candidate.value):
+                roots[id(candidate)] = candidate
+    return split(node.pattern, node.function, tree, roots=list(roots.values()))
+
+
+def _eval_all_anc(node: E.AllAnc, db: Database) -> AquaSet:
+    tree = _as_tree(evaluate(node.input, db), node)
+    return all_anc(node.pattern, node.function, tree)
+
+
+def _eval_all_desc(node: E.AllDesc, db: Database) -> AquaSet:
+    tree = _as_tree(evaluate(node.input, db), node)
+    return all_desc(node.pattern, node.function, tree)
+
+
+# -- list operators ------------------------------------------------------------------
+
+
+def _eval_list_select(node: E.ListSelect, db: Database) -> AquaList:
+    values = _as_list(evaluate(node.input, db), node)
+    return select_list(db.stats.counting(node.predicate), values)
+
+
+def _eval_list_apply(node: E.ListApply, db: Database) -> AquaList:
+    values = _as_list(evaluate(node.input, db), node)
+    return apply_list(node.function, values)
+
+
+def _eval_list_sub_select(node: E.ListSubSelect, db: Database) -> AquaSet:
+    values = _as_list(evaluate(node.input, db), node)
+    db.stats.bump("positions_scanned", len(values) + 1)
+    return sub_select_list(node.pattern, values)
+
+
+def _eval_indexed_list_sub_select(node: E.IndexedListSubSelect, db: Database) -> AquaSet:
+    values = _as_list(evaluate(node.input, db), node)
+    index = db.list_index(values, node.anchor.attributes())
+    positions, used = index.positions_for(node.anchor, db.stats)
+    if not used:
+        return sub_select_list(node.pattern, values)
+    starts = sorted(
+        {p - offset for p in positions for offset in node.offsets if p - offset >= 0}
+    )
+    db.stats.bump("positions_scanned", len(starts))
+    return sub_select_list(node.pattern, values, starts=starts)
+
+
+def _eval_list_split(node: E.ListSplit, db: Database) -> AquaSet:
+    values = _as_list(evaluate(node.input, db), node)
+    return split_list(node.pattern, node.function, values)
+
+
+# -- set operators --------------------------------------------------------------------
+
+
+def _eval_set_select(node: E.SetSelect, db: Database) -> AquaSet:
+    collection = _as_set(evaluate(node.input, db), node)
+    return collection.select(db.stats.counting(node.predicate))
+
+
+def _eval_indexed_set_select(node: E.IndexedSetSelect, db: Database) -> AquaSet:
+    if isinstance(node.input, E.Extent):
+        rows, _ = db.candidates(node.input.name, node.indexed)
+        base = AquaSet(rows)
+    else:
+        base = _as_set(evaluate(node.input, db), node)
+    checked = base.select(db.stats.counting(node.indexed))
+    if node.residual is None:
+        return checked
+    return checked.select(db.stats.counting(node.residual))
+
+
+def _eval_set_apply(node: E.SetApply, db: Database) -> AquaSet:
+    collection = _as_set(evaluate(node.input, db), node)
+    return collection.apply(node.function)
+
+
+def _eval_set_flatten(node: E.SetFlatten, db: Database) -> AquaSet:
+    collection = _as_set(evaluate(node.input, db), node)
+    result: AquaSet = AquaSet()
+    for member in collection:
+        if not isinstance(member, AquaSet):
+            raise QueryError("flatten expects a set of sets")
+        for item in member:
+            result.add(item)
+    return result
+
+
+def _eval_union(node: E.SetUnion, db: Database) -> AquaSet:
+    return _as_set(evaluate(node.left, db), node).union(
+        _as_set(evaluate(node.right, db), node)
+    )
+
+
+def _eval_intersection(node: E.SetIntersection, db: Database) -> AquaSet:
+    return _as_set(evaluate(node.left, db), node).intersection(
+        _as_set(evaluate(node.right, db), node)
+    )
+
+
+def _eval_difference(node: E.SetDifference, db: Database) -> AquaSet:
+    return _as_set(evaluate(node.left, db), node).difference(
+        _as_set(evaluate(node.right, db), node)
+    )
+
+
+_DISPATCH = {
+    E.Root: _eval_root,
+    E.Extent: _eval_extent,
+    E.Literal: _eval_literal,
+    E.TreeSelect: _eval_tree_select,
+    E.TreeApply: _eval_tree_apply,
+    E.SubSelect: _eval_sub_select,
+    E.IndexedSubSelect: _eval_indexed_sub_select,
+    E.Split: _eval_split,
+    E.IndexedSplit: _eval_indexed_split,
+    E.AllAnc: _eval_all_anc,
+    E.AllDesc: _eval_all_desc,
+    E.ListSelect: _eval_list_select,
+    E.ListApply: _eval_list_apply,
+    E.ListSubSelect: _eval_list_sub_select,
+    E.IndexedListSubSelect: _eval_indexed_list_sub_select,
+    E.ListSplit: _eval_list_split,
+    E.SetSelect: _eval_set_select,
+    E.IndexedSetSelect: _eval_indexed_set_select,
+    E.SetApply: _eval_set_apply,
+    E.SetFlatten: _eval_set_flatten,
+    E.SetUnion: _eval_union,
+    E.SetIntersection: _eval_intersection,
+    E.SetDifference: _eval_difference,
+}

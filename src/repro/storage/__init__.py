@@ -1,0 +1,38 @@
+"""Storage substrate: object store, extents, indexes, instrumentation."""
+
+from .database import Database
+from .index import VALUE_ATTRIBUTE, HashIndex, OrderedIndex
+from .serialize import (
+    dump_database,
+    dump_value,
+    dumps_database,
+    dumps_value,
+    load_database,
+    load_value,
+    loads_database,
+    loads_value,
+)
+from .statistics import AttributeHistogram
+from .stats import GLOBAL_STATS, Instrumentation
+from .tree_index import ListIndex, NodeLabel, TreeIndex
+
+__all__ = [
+    "AttributeHistogram",
+    "Database",
+    "GLOBAL_STATS",
+    "HashIndex",
+    "Instrumentation",
+    "ListIndex",
+    "NodeLabel",
+    "OrderedIndex",
+    "TreeIndex",
+    "VALUE_ATTRIBUTE",
+    "dump_database",
+    "dump_value",
+    "dumps_database",
+    "dumps_value",
+    "load_database",
+    "load_value",
+    "loads_database",
+    "loads_value",
+]

@@ -1,0 +1,190 @@
+"""The OODB storage substrate: object store, extents, roots, indexes.
+
+The paper assumes an object-oriented database around the algebra —
+objects with identity, per-class extents over which queries range, and
+attribute indexes the optimizer can exploit.  This module supplies that
+substrate in memory:
+
+* :meth:`Database.insert` registers objects (OIDs come from the object
+  model) under a class extent;
+* named **roots** bind persistent entry points (the family tree, a song
+  list, a parse tree) to names;
+* :meth:`Database.create_index` builds hash or ordered attribute
+  indexes over an extent, and :meth:`Database.candidates` serves a
+  predicate from the best index available (reporting whether it could);
+* per-tree/list node indexes are created with :meth:`tree_index` /
+  :meth:`list_index` and cached.
+
+Everything is instrumented through an :class:`Instrumentation` sink so
+benchmarks can report scans vs probes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from ..core.aqua_list import AquaList
+from ..core.aqua_set import AquaSet
+from ..core.aqua_tree import AquaTree
+from ..core.identity import DatabaseObject
+from ..errors import StorageError
+from ..predicates.alphabet import AlphabetPredicate
+from .index import VALUE_ATTRIBUTE, HashIndex, OrderedIndex, read_key
+from .stats import Instrumentation
+from .tree_index import ListIndex, TreeIndex
+
+
+class Database:
+    """An in-memory OODB: extents, named roots and indexes."""
+
+    def __init__(self, stats: Instrumentation | None = None) -> None:
+        self._extents: dict[str, list[Any]] = {}
+        self._roots: dict[str, Any] = {}
+        self._indexes: dict[tuple[str, str], HashIndex | OrderedIndex] = {}
+        self._tree_indexes: dict[int, TreeIndex] = {}
+        self._list_indexes: dict[int, ListIndex] = {}
+        self._histograms: dict[tuple[str, str], Any] = {}
+        self.stats = stats or Instrumentation()
+
+    # -- extents ---------------------------------------------------------------
+
+    def insert(self, obj: Any, extent: str | None = None) -> Any:
+        """Register ``obj`` under ``extent`` (default: its class name)."""
+        name = extent or type(obj).__name__
+        self._extents.setdefault(name, []).append(obj)
+        for (extent_name, attribute), index in self._indexes.items():
+            if extent_name == name:
+                index.insert(obj)
+        return obj
+
+    def insert_many(self, objects: Iterable[Any], extent: str | None = None) -> list[Any]:
+        return [self.insert(obj, extent) for obj in objects]
+
+    def extent(self, name: str) -> AquaSet:
+        """The extent as an AQUA set (empty if never populated)."""
+        return AquaSet(self._extents.get(name, ()))
+
+    def extent_size(self, name: str) -> int:
+        return len(self._extents.get(name, ()))
+
+    def extents(self) -> list[str]:
+        return sorted(self._extents)
+
+    # -- named roots -------------------------------------------------------------
+
+    def bind_root(self, name: str, value: Any) -> None:
+        if name in self._roots:
+            raise StorageError(f"root {name!r} is already bound")
+        self._roots[name] = value
+
+    def rebind_root(self, name: str, value: Any) -> None:
+        self._roots[name] = value
+
+    def root(self, name: str) -> Any:
+        try:
+            return self._roots[name]
+        except KeyError:
+            raise StorageError(f"unknown root {name!r}") from None
+
+    def roots(self) -> list[str]:
+        return sorted(self._roots)
+
+    # -- extent indexes ------------------------------------------------------------
+
+    def create_index(
+        self, extent: str, attribute: str, ordered: bool = False
+    ) -> HashIndex | OrderedIndex:
+        """Build (or return) an index on ``extent.attribute``."""
+        key = (extent, attribute)
+        if key in self._indexes:
+            return self._indexes[key]
+        index: HashIndex | OrderedIndex
+        index = OrderedIndex(attribute) if ordered else HashIndex(attribute)
+        index.bulk_load(self._extents.get(extent, ()))
+        self._indexes[key] = index
+        return index
+
+    def index_for(self, extent: str, attribute: str) -> HashIndex | OrderedIndex | None:
+        return self._indexes.get((extent, attribute))
+
+    def has_index(self, extent: str, attribute: str) -> bool:
+        return (extent, attribute) in self._indexes
+
+    def candidates(
+        self, extent: str, predicate: AlphabetPredicate
+    ) -> tuple[list[Any], bool]:
+        """Objects of ``extent`` that might satisfy ``predicate``.
+
+        Serves the most selective indexable term if one has an index
+        (``used_index=True``); otherwise returns the whole extent for a
+        scan.  Callers must re-apply the full predicate either way.
+        """
+        if not predicate.opaque:
+            best: tuple[int, list[Any]] | None = None
+            for attribute, op, constant in predicate.indexable_terms():
+                index = self._indexes.get((extent, attribute))
+                if index is None:
+                    continue
+                if isinstance(index, HashIndex):
+                    if op != "=":
+                        continue
+                    self.stats.bump("index_probes")
+                    rows = index.lookup(constant)
+                else:
+                    self.stats.bump("index_probes")
+                    rows = index.probe_term(op, constant)
+                if best is None or len(rows) < best[0]:
+                    best = (len(rows), rows)
+            if best is not None:
+                self.stats.bump("index_candidates", best[0])
+                return best[1], True
+        rows = list(self._extents.get(extent, ()))
+        self.stats.bump("full_scans")
+        self.stats.bump("objects_scanned", len(rows))
+        return rows, False
+
+    def select(self, extent: str, predicate: AlphabetPredicate) -> AquaSet:
+        """Index-assisted extent select (re-checks the full predicate)."""
+        rows, _ = self.candidates(extent, predicate)
+        counted = self.stats.counting(predicate)
+        return AquaSet(row for row in rows if counted(row))
+
+    # -- statistics (histograms for the cost model) -----------------------------------
+
+    def analyze(self, extent: str, attribute: str, buckets: int = 32):
+        """Build (or refresh) a histogram on ``extent.attribute``."""
+        from .statistics import AttributeHistogram
+
+        histogram = AttributeHistogram.build(
+            attribute, self._extents.get(extent, ()), buckets
+        )
+        self._histograms[(extent, attribute)] = histogram
+        return histogram
+
+    def histogram(self, extent: str, attribute: str):
+        """The histogram built by :meth:`analyze`, or None."""
+        return self._histograms.get((extent, attribute))
+
+    # -- per-structure node indexes ---------------------------------------------------
+
+    def tree_index(self, tree: AquaTree, attributes: Iterable[str] = ()) -> TreeIndex:
+        """A (cached) node index for ``tree``; extends attributes as needed."""
+        cached = self._tree_indexes.get(id(tree))
+        if cached is None or cached.tree is not tree:
+            cached = TreeIndex(tree, attributes)
+            self._tree_indexes[id(tree)] = cached
+        else:
+            for attribute in attributes:
+                cached.add_attribute(attribute)
+        return cached
+
+    def list_index(self, aqua_list: AquaList, attributes: Iterable[str] = ()) -> ListIndex:
+        cached = self._list_indexes.get(id(aqua_list))
+        if cached is None or cached.aqua_list is not aqua_list:
+            cached = ListIndex(aqua_list, attributes)
+            self._list_indexes[id(aqua_list)] = cached
+        return cached
+
+    def __repr__(self) -> str:
+        extents = ", ".join(f"{k}×{len(v)}" for k, v in sorted(self._extents.items()))
+        return f"Database({extents}; roots={self.roots()})"

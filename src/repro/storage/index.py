@@ -1,0 +1,165 @@
+"""Attribute indexes over object extents.
+
+The paper's optimizations "frequently make good use of indexes" (§1) and
+§4 explicitly assumes "we can use an index to efficiently locate all
+nodes in T that match d".  Two classic access methods are provided:
+
+* :class:`HashIndex` — equality probes in O(1);
+* :class:`OrderedIndex` — a sorted-key index (binary search) answering
+  equality and range probes, standing in for the B⁺-tree a disk-based
+  OODB would use.
+
+Both index *stored attribute values* of objects (or, via the reserved
+pseudo-attribute ``__value__``, the payloads themselves — what the
+single-letter figure trees need).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Callable, Hashable, Iterable, Iterator
+
+from ..errors import IndexError_
+
+#: Pseudo-attribute meaning "the object itself" (see SymbolEquals).
+VALUE_ATTRIBUTE = "__value__"
+
+_MISSING = object()
+
+
+def read_key(obj: Any, attribute: str) -> Any:
+    """Extract the index key for ``obj``; ``_MISSING`` when absent."""
+    if attribute == VALUE_ATTRIBUTE:
+        return obj
+    if isinstance(obj, dict):
+        return obj.get(attribute, _MISSING)
+    return getattr(obj, attribute, _MISSING)
+
+
+class HashIndex:
+    """Equality index: attribute value → entries (insertion-ordered)."""
+
+    def __init__(self, attribute: str) -> None:
+        self.attribute = attribute
+        self._buckets: dict[Hashable, list[Any]] = {}
+        self.probes = 0
+
+    def insert(self, entry: Any, key: Any = _MISSING) -> None:
+        """Index ``entry``; the key defaults to its attribute value."""
+        if key is _MISSING:
+            key = read_key(entry, self.attribute)
+        if key is _MISSING:
+            return  # objects without the attribute are simply not indexed
+        try:
+            bucket = self._buckets.setdefault(key, [])
+        except TypeError as exc:
+            raise IndexError_(f"unhashable index key {key!r}") from exc
+        bucket.append(entry)
+
+    def bulk_load(self, entries: Iterable[Any]) -> None:
+        for entry in entries:
+            self.insert(entry)
+
+    def lookup(self, key: Any) -> list[Any]:
+        self.probes += 1
+        return list(self._buckets.get(key, ()))
+
+    def keys(self) -> Iterator[Any]:
+        return iter(self._buckets)
+
+    def count(self, key: Any) -> int:
+        return len(self._buckets.get(key, ()))
+
+    def __len__(self) -> int:
+        return sum(len(b) for b in self._buckets.values())
+
+    def selectivity(self, key: Any, total: int) -> float:
+        """Fraction of the extent a probe on ``key`` returns."""
+        if total <= 0:
+            return 1.0
+        return self.count(key) / total
+
+    def __repr__(self) -> str:
+        return f"HashIndex({self.attribute!r}, keys={len(self._buckets)})"
+
+
+class OrderedIndex:
+    """Sorted-key index supporting equality and range probes.
+
+    Keys must be mutually comparable.  Internally a sorted list of
+    ``(key, entry)`` pairs — the in-memory stand-in for a B⁺-tree.
+    """
+
+    def __init__(self, attribute: str) -> None:
+        self.attribute = attribute
+        self._keys: list[Any] = []
+        self._entries: list[Any] = []
+        self.probes = 0
+
+    def insert(self, entry: Any, key: Any = _MISSING) -> None:
+        if key is _MISSING:
+            key = read_key(entry, self.attribute)
+        if key is _MISSING:
+            return
+        position = bisect.bisect_right(self._keys, key)
+        self._keys.insert(position, key)
+        self._entries.insert(position, entry)
+
+    def bulk_load(self, entries: Iterable[Any]) -> None:
+        pairs = []
+        for entry in entries:
+            key = read_key(entry, self.attribute)
+            if key is not _MISSING:
+                pairs.append((key, entry))
+        pairs.sort(key=lambda pair: pair[0])
+        self._keys = [k for k, _ in pairs]
+        self._entries = [e for _, e in pairs]
+
+    def lookup(self, key: Any) -> list[Any]:
+        self.probes += 1
+        left = bisect.bisect_left(self._keys, key)
+        right = bisect.bisect_right(self._keys, key)
+        return self._entries[left:right]
+
+    def range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> list[Any]:
+        """Entries with ``low (≤|<) key (≤|<) high`` (None = unbounded)."""
+        self.probes += 1
+        if low is None:
+            left = 0
+        elif include_low:
+            left = bisect.bisect_left(self._keys, low)
+        else:
+            left = bisect.bisect_right(self._keys, low)
+        if high is None:
+            right = len(self._keys)
+        elif include_high:
+            right = bisect.bisect_right(self._keys, high)
+        else:
+            right = bisect.bisect_left(self._keys, high)
+        return self._entries[left:right]
+
+    def probe_term(self, op: str, constant: Any) -> list[Any]:
+        """Serve one ``(attribute, op, constant)`` indexable term."""
+        if op == "=":
+            return self.lookup(constant)
+        if op == "<":
+            return self.range(high=constant, include_high=False)
+        if op == "<=":
+            return self.range(high=constant)
+        if op == ">":
+            return self.range(low=constant, include_low=False)
+        if op == ">=":
+            return self.range(low=constant)
+        raise IndexError_(f"ordered index cannot serve operator {op!r}")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"OrderedIndex({self.attribute!r}, entries={len(self._entries)})"

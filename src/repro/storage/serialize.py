@@ -1,0 +1,208 @@
+"""JSON (de)serialization for AQUA values and databases.
+
+An OODB substrate needs a way to get data in and out; this module
+round-trips the bulk types and :class:`~repro.core.identity.Record`
+payloads through plain JSON-able dictionaries:
+
+* trees, lists, sets, multisets, tuples and records nest freely;
+* object identity is preserved *within one dump*: if the same record
+  object appears at several nodes (the cell-sharing §2 allows), it is
+  emitted once and referenced thereafter, and loading recreates the
+  sharing;
+* labeled NULLs (concatenation points) serialize with their labels, so
+  pieces produced by ``split`` can be stored and reassembled later —
+  the "break up a tree and put it back together later" workflow.
+
+``dump_database``/``load_database`` cover extents, named roots and the
+list of indexes to rebuild (index *contents* are derived data and are
+reconstructed on load).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..core.aqua_list import AquaList
+from ..core.aqua_set import AquaMultiset, AquaSet
+from ..core.aqua_tree import AquaTree, TreeNode
+from ..core.aqua_tuple import AquaTuple
+from ..core.concat import ConcatPoint
+from ..core.identity import Cell, Record
+from ..errors import StorageError
+from .database import Database
+
+
+class _Dumper:
+    def __init__(self) -> None:
+        self._record_ids: dict[int, int] = {}
+        self.records: list[dict[str, Any]] = []
+
+    def value(self, value: Any) -> Any:
+        if value is None or isinstance(value, (bool, int, float, str)):
+            return value
+        if isinstance(value, Record):
+            return {"$record": self._record(value)}
+        if isinstance(value, ConcatPoint):
+            return {"$point": value.label}
+        if isinstance(value, AquaTree):
+            return {"$tree": self._tree(value.root)}
+        if isinstance(value, AquaList):
+            return {"$list": [self.value(_entry_value(e)) for e in value.entries]}
+        if isinstance(value, AquaSet):
+            return {"$set": [self.value(v) for v in value]}
+        if isinstance(value, AquaMultiset):
+            return {"$multiset": [self.value(v) for v in value]}
+        if isinstance(value, AquaTuple):
+            return {"$tuple": [self.value(v) for v in value]}
+        if isinstance(value, (list, tuple)):
+            return {"$pylist": [self.value(v) for v in value]}
+        if isinstance(value, dict):
+            return {"$pydict": {str(k): self.value(v) for k, v in value.items()}}
+        raise StorageError(f"cannot serialize {type(value).__name__}")
+
+    def _record(self, record: Record) -> int:
+        existing = self._record_ids.get(id(record))
+        if existing is not None:
+            return existing
+        index = len(self.records)
+        self._record_ids[id(record)] = index
+        self.records.append({})  # reserve the slot (cycles appear as refs)
+        self.records[index] = {
+            name: self.value(value)
+            for name, value in sorted(record.stored_attributes().items())
+        }
+        return index
+
+    def _tree(self, node: TreeNode | None) -> Any:
+        if node is None:
+            return None
+        if node.is_concat_point:
+            return {"point": node.item.label}  # type: ignore[union-attr]
+        return {
+            "value": self.value(node.value),
+            "children": [self._tree(c) for c in node.children],
+        }
+
+
+def _entry_value(entry: "Cell | ConcatPoint") -> Any:
+    if isinstance(entry, ConcatPoint):
+        return entry
+    return entry.contents
+
+
+class _Loader:
+    def __init__(self, records: list[dict[str, Any]]) -> None:
+        self._raw_records = records
+        self._loaded: dict[int, Record] = {}
+
+    def record(self, index: int) -> Record:
+        cached = self._loaded.get(index)
+        if cached is not None:
+            return cached
+        record = Record()
+        self._loaded[index] = record  # register before recursing (cycles)
+        for name, raw in self._raw_records[index].items():
+            setattr(record, name, self.value(raw))
+        return record
+
+    def value(self, raw: Any) -> Any:
+        if raw is None or isinstance(raw, (bool, int, float, str)):
+            return raw
+        if isinstance(raw, dict):
+            if "$record" in raw:
+                return self.record(raw["$record"])
+            if "$point" in raw:
+                return ConcatPoint(raw["$point"])
+            if "$tree" in raw:
+                return AquaTree(self._tree(raw["$tree"]))
+            if "$list" in raw:
+                return AquaList.from_values([self.value(v) for v in raw["$list"]])
+            if "$set" in raw:
+                return AquaSet(self.value(v) for v in raw["$set"])
+            if "$multiset" in raw:
+                return AquaMultiset(self.value(v) for v in raw["$multiset"])
+            if "$tuple" in raw:
+                return AquaTuple(*(self.value(v) for v in raw["$tuple"]))
+            if "$pylist" in raw:
+                return [self.value(v) for v in raw["$pylist"]]
+            if "$pydict" in raw:
+                return {k: self.value(v) for k, v in raw["$pydict"].items()}
+        raise StorageError(f"cannot deserialize {raw!r}")
+
+    def _tree(self, raw: Any) -> TreeNode | None:
+        if raw is None:
+            return None
+        if "point" in raw:
+            return TreeNode(ConcatPoint(raw["point"]))
+        return TreeNode(
+            Cell(self.value(raw["value"])),
+            [self._tree(c) for c in raw["children"]],
+        )
+
+
+def dump_value(value: Any) -> dict[str, Any]:
+    """Serialize one AQUA value into a JSON-able document."""
+    dumper = _Dumper()
+    body = dumper.value(value)
+    return {"records": dumper.records, "body": body}
+
+
+def load_value(document: dict[str, Any]) -> Any:
+    """Inverse of :func:`dump_value`."""
+    loader = _Loader(document.get("records", []))
+    return loader.value(document["body"])
+
+
+def dumps_value(value: Any) -> str:
+    return json.dumps(dump_value(value))
+
+
+def loads_value(text: str) -> Any:
+    return load_value(json.loads(text))
+
+
+def dump_database(db: Database) -> dict[str, Any]:
+    """Serialize extents, roots and index definitions."""
+    dumper = _Dumper()
+    extents = {
+        name: [dumper.value(obj) for obj in db.extent(name)]
+        for name in db.extents()
+    }
+    roots = {name: dumper.value(db.root(name)) for name in db.roots()}
+    indexes = [
+        {
+            "extent": extent,
+            "attribute": attribute,
+            "ordered": type(index).__name__ == "OrderedIndex",
+        }
+        for (extent, attribute), index in db._indexes.items()
+    ]
+    return {
+        "records": dumper.records,
+        "extents": extents,
+        "roots": roots,
+        "indexes": indexes,
+    }
+
+
+def load_database(document: dict[str, Any]) -> Database:
+    """Rebuild a database: data first, then derived indexes."""
+    loader = _Loader(document.get("records", []))
+    db = Database()
+    for name, rows in document.get("extents", {}).items():
+        for raw in rows:
+            db.insert(loader.value(raw), name)
+    for name, raw in document.get("roots", {}).items():
+        db.bind_root(name, loader.value(raw))
+    for spec in document.get("indexes", []):
+        db.create_index(spec["extent"], spec["attribute"], ordered=spec["ordered"])
+    return db
+
+
+def dumps_database(db: Database) -> str:
+    return json.dumps(dump_database(db))
+
+
+def loads_database(text: str) -> Database:
+    return load_database(json.loads(text))

@@ -1,0 +1,124 @@
+"""Attribute statistics for the cost model: equi-width histograms.
+
+The companion paper [31] promises "a cost model ... and access methods";
+a cost model is only as good as its selectivity estimates.  This module
+provides the classical building block: per-attribute equi-width
+histograms over an extent, built on demand by
+:meth:`~repro.storage.database.Database.analyze`, consulted by the
+optimizer's :class:`~repro.optimizer.cost.CostModel` for range
+predicates (equality predicates are served more precisely by the index
+itself).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from ..errors import StorageError
+from .index import _MISSING, read_key
+
+
+@dataclass
+class AttributeHistogram:
+    """An equi-width histogram plus the standard scalar statistics."""
+
+    attribute: str
+    buckets: list[int] = field(default_factory=list)
+    low: float = 0.0
+    high: float = 0.0
+    total: int = 0
+    distinct: int = 0
+    null_count: int = 0  # objects missing the attribute
+
+    @classmethod
+    def build(
+        cls, attribute: str, objects: Iterable[Any], bucket_count: int = 32
+    ) -> "AttributeHistogram":
+        values: list[float] = []
+        null_count = 0
+        distinct: set[float] = set()
+        for obj in objects:
+            raw = read_key(obj, attribute)
+            if raw is _MISSING or raw is None:
+                null_count += 1
+                continue
+            if not isinstance(raw, (int, float)) or isinstance(raw, bool):
+                raise StorageError(
+                    f"histograms require numeric attributes; {attribute!r} has"
+                    f" {type(raw).__name__} values"
+                )
+            values.append(float(raw))
+            distinct.add(float(raw))
+
+        histogram = cls(attribute=attribute)
+        histogram.total = len(values)
+        histogram.null_count = null_count
+        histogram.distinct = len(distinct)
+        if not values:
+            return histogram
+        histogram.low = min(values)
+        histogram.high = max(values)
+        bucket_count = max(1, bucket_count)
+        histogram.buckets = [0] * bucket_count
+        width = (histogram.high - histogram.low) or 1.0
+        for value in values:
+            slot = int((value - histogram.low) / width * bucket_count)
+            slot = min(slot, bucket_count - 1)
+            histogram.buckets[slot] += 1
+        return histogram
+
+    # -- selectivity estimation --------------------------------------------
+
+    def _fraction_below(self, constant: float, inclusive: bool) -> float:
+        """Estimated fraction of values ``< constant`` (``<=`` when
+        inclusive), with linear interpolation inside the bucket."""
+        if self.total == 0:
+            return 0.0
+        if constant < self.low:
+            return 0.0
+        if constant > self.high:
+            return 1.0
+        bucket_count = len(self.buckets)
+        width = (self.high - self.low) / bucket_count or 1.0
+        slot = min(int((constant - self.low) / width), bucket_count - 1)
+        below = sum(self.buckets[:slot])
+        inside = self.buckets[slot]
+        bucket_start = self.low + slot * width
+        within = (constant - bucket_start) / width
+        if inclusive:
+            within = min(1.0, within + 1.0 / max(1, inside) if inside else within)
+        estimate = (below + inside * within) / self.total
+        return max(0.0, min(1.0, estimate))
+
+    def selectivity(self, op: str, constant: Any) -> float:
+        """Estimated fraction of the extent satisfying ``attr OP constant``."""
+        if not isinstance(constant, (int, float)) or isinstance(constant, bool):
+            return 0.1
+        value = float(constant)
+        if op == "=":
+            if self.distinct == 0:
+                return 0.0
+            if value < self.low or value > self.high:
+                return 0.0
+            return 1.0 / self.distinct
+        if op == "!=":
+            return 1.0 - self.selectivity("=", value)
+        if op == "<":
+            return self._fraction_below(value, inclusive=False)
+        if op == "<=":
+            return self._fraction_below(value, inclusive=True)
+        if op == ">":
+            return 1.0 - self._fraction_below(value, inclusive=True)
+        if op == ">=":
+            return 1.0 - self._fraction_below(value, inclusive=False)
+        return 0.1
+
+    def estimated_rows(self, op: str, constant: Any) -> float:
+        return self.selectivity(op, constant) * self.total
+
+    def __repr__(self) -> str:
+        return (
+            f"AttributeHistogram({self.attribute!r}, n={self.total},"
+            f" range=[{self.low}, {self.high}], distinct={self.distinct})"
+        )

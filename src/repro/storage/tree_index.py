@@ -1,0 +1,199 @@
+"""Node-level indexes over one tree (or list) instance.
+
+§4's split rewrite assumes the system can "use an index to efficiently
+locate all nodes in T that match d".  A :class:`TreeIndex` provides that:
+it walks a tree once, assigns every node its preorder/postorder interval
+label (the classic ancestor-test encoding), and builds hash indexes from
+stored attribute values — plus the payload itself — to nodes.
+
+Given an alphabet-predicate it answers :meth:`candidate_nodes`: the
+nodes that *might* match, served from an index when the predicate has an
+indexable equality term, falling back to a full scan otherwise (and
+saying which happened, so benchmarks can report the narrowing).
+
+:class:`ListIndex` is the positional analogue for lists: predicate value
+→ element positions, which the optimizer feeds to the pattern engines'
+``starts`` hook.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from ..core.aqua_list import AquaList
+from ..core.aqua_tree import AquaTree, TreeNode
+from ..predicates.alphabet import AlphabetPredicate
+from .index import VALUE_ATTRIBUTE, HashIndex, read_key
+from .stats import Instrumentation
+
+
+@dataclass(frozen=True)
+class NodeLabel:
+    """Preorder/postorder interval label: ``a`` is an ancestor of ``b``
+    iff ``a.pre < b.pre`` and ``b.post < a.post``."""
+
+    pre: int
+    post: int
+    depth: int
+
+
+class TreeIndex:
+    """Attribute → node indexes plus interval labels for one tree."""
+
+    def __init__(self, tree: AquaTree, attributes: Iterable[str] = ()) -> None:
+        self.tree = tree
+        self.labels: dict[int, NodeLabel] = {}
+        self._value_index = HashIndex(VALUE_ATTRIBUTE)
+        self._attribute_indexes: dict[str, HashIndex] = {
+            attribute: HashIndex(attribute) for attribute in attributes
+        }
+        self.node_count = 0
+        self._build()
+
+    def _build(self) -> None:
+        if self.tree.root is None:
+            return
+        counter = 0
+
+        def walk(node: TreeNode, depth: int) -> None:
+            nonlocal counter
+            pre = counter
+            counter += 1
+            for child in node.children:
+                walk(child, depth + 1)
+            self.labels[id(node)] = NodeLabel(pre=pre, post=counter, depth=depth)
+            counter += 1
+            if node.is_concat_point:
+                return
+            value = node.value
+            self._value_index.insert(node, key=_hashable_key(value))
+            for attribute, index in self._attribute_indexes.items():
+                key = read_key(value, attribute)
+                index.insert(node, key=_hashable_key(key))
+
+        walk(self.tree.root, 0)
+        self.node_count = sum(1 for _ in self.tree.nodes())
+
+    # -- structural predicates ------------------------------------------------
+
+    def is_ancestor(self, ancestor: TreeNode, descendant: TreeNode) -> bool:
+        a = self.labels[id(ancestor)]
+        b = self.labels[id(descendant)]
+        return a.pre < b.pre and b.post < a.post
+
+    def depth(self, node: TreeNode) -> int:
+        return self.labels[id(node)].depth
+
+    # -- candidate retrieval ----------------------------------------------------
+
+    def add_attribute(self, attribute: str) -> None:
+        if attribute in self._attribute_indexes:
+            return
+        index = HashIndex(attribute)
+        for node in self.tree.element_nodes():
+            index.insert(node, key=_hashable_key(read_key(node.value, attribute)))
+        self._attribute_indexes[attribute] = index
+
+    def indexed_attributes(self) -> set[str]:
+        return set(self._attribute_indexes)
+
+    def probe(self, attribute: str, key: Any) -> list[TreeNode]:
+        if attribute == VALUE_ATTRIBUTE:
+            return self._value_index.lookup(_hashable_key(key))
+        return self._attribute_indexes[attribute].lookup(_hashable_key(key))
+
+    def count(self, attribute: str, key: Any) -> int:
+        if attribute == VALUE_ATTRIBUTE:
+            return self._value_index.count(_hashable_key(key))
+        return self._attribute_indexes[attribute].count(_hashable_key(key))
+
+    def servable_terms(
+        self, predicate: AlphabetPredicate
+    ) -> list[tuple[str, str, Any]]:
+        """The predicate's equality terms this index can serve."""
+        if predicate.opaque:
+            return []
+        return [
+            (attribute, op, constant)
+            for attribute, op, constant in predicate.indexable_terms()
+            if op == "="
+            and (attribute == VALUE_ATTRIBUTE or attribute in self._attribute_indexes)
+        ]
+
+    def candidate_nodes(
+        self,
+        predicate: AlphabetPredicate,
+        stats: Instrumentation | None = None,
+    ) -> tuple[list[TreeNode], bool]:
+        """Nodes that might satisfy ``predicate``; ``(nodes, used_index)``.
+
+        With a servable equality term the candidates come from one index
+        probe (then get re-checked by the caller's full predicate); with
+        none, every element node is returned and the caller scans.
+        """
+        terms = self.servable_terms(predicate)
+        if terms:
+            # Pick the most selective servable term.
+            attribute, _, constant = min(
+                terms, key=lambda term: self.count(term[0], term[2])
+            )
+            if stats is not None:
+                stats.bump("index_probes")
+            nodes = self.probe(attribute, constant)
+            if stats is not None:
+                stats.bump("index_candidates", len(nodes))
+            return nodes, True
+        nodes = list(self.tree.element_nodes())
+        if stats is not None:
+            stats.bump("full_scans")
+            stats.bump("nodes_scanned", len(nodes))
+        return nodes, False
+
+
+class ListIndex:
+    """Value/attribute → element positions for one list."""
+
+    def __init__(self, aqua_list: AquaList, attributes: Iterable[str] = ()) -> None:
+        self.aqua_list = aqua_list
+        self.values = aqua_list.values()
+        self._value_positions: dict[Any, list[int]] = {}
+        self._attribute_positions: dict[str, dict[Any, list[int]]] = {
+            attribute: {} for attribute in attributes
+        }
+        for position, value in enumerate(self.values):
+            self._value_positions.setdefault(_hashable_key(value), []).append(position)
+            for attribute, mapping in self._attribute_positions.items():
+                key = _hashable_key(read_key(value, attribute))
+                mapping.setdefault(key, []).append(position)
+
+    def positions_for(
+        self,
+        predicate: AlphabetPredicate,
+        stats: Instrumentation | None = None,
+    ) -> tuple[list[int], bool]:
+        """Positions that might satisfy ``predicate``; ``(positions, used_index)``."""
+        if not predicate.opaque:
+            for attribute, op, constant in predicate.indexable_terms():
+                if op != "=":
+                    continue
+                if attribute == VALUE_ATTRIBUTE:
+                    if stats is not None:
+                        stats.bump("index_probes")
+                    return list(self._value_positions.get(_hashable_key(constant), ())), True
+                if attribute in self._attribute_positions:
+                    if stats is not None:
+                        stats.bump("index_probes")
+                    mapping = self._attribute_positions[attribute]
+                    return list(mapping.get(_hashable_key(constant), ())), True
+        if stats is not None:
+            stats.bump("full_scans")
+        return list(range(len(self.values))), False
+
+
+def _hashable_key(value: Any) -> Any:
+    try:
+        hash(value)
+    except TypeError:
+        return repr(value)
+    return value

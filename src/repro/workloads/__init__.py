@@ -1,0 +1,66 @@
+"""Synthetic workload generators for every example domain in the paper."""
+
+from .documents import by_kind, component, random_document
+from .family import (
+    BRAZIL,
+    USA,
+    by_citizen_or_name,
+    by_name,
+    citizens,
+    figure3_family_tree,
+    person,
+    random_family_tree,
+)
+from .generators import (
+    plant_chain,
+    plant_run,
+    random_labeled_tree,
+    random_list,
+    random_tree,
+    rng_from,
+)
+from .music import by_pitch, note, pitches_of, random_song, song_with_melody
+from .parsetrees import (
+    by_op_name,
+    figure5_parse_tree,
+    op,
+    random_algebra_tree,
+    random_c_program,
+    section5_rebuild,
+)
+from .rna import by_element, count_elements, element, random_rna_structure
+
+__all__ = [
+    "BRAZIL",
+    "USA",
+    "by_citizen_or_name",
+    "by_element",
+    "by_kind",
+    "by_name",
+    "by_op_name",
+    "by_pitch",
+    "citizens",
+    "component",
+    "count_elements",
+    "element",
+    "figure3_family_tree",
+    "figure5_parse_tree",
+    "note",
+    "op",
+    "person",
+    "pitches_of",
+    "plant_chain",
+    "plant_run",
+    "random_algebra_tree",
+    "random_c_program",
+    "random_document",
+    "random_family_tree",
+    "random_labeled_tree",
+    "random_list",
+    "random_rna_structure",
+    "random_song",
+    "random_tree",
+    "rng_from",
+    "section5_rebuild",
+    "song_with_melody",
+]

@@ -1,0 +1,91 @@
+"""Structured-document workload (paper §1).
+
+"A document can be viewed as a tree of document components" — the
+multimedia motivation for tree queries.  Documents here follow a
+conventional schema: ``document → section* → (paragraph | figure |
+table | section)*``, every component carrying ``kind``, ``title``/
+``topic`` and ``words`` attributes.  The document-search example and
+benchmarks query shapes like "a section about X that contains a figure"
+with ``sub_select`` and ``split``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..core.aqua_tree import AquaTree
+from ..core.identity import Record
+from ..predicates.alphabet import AlphabetPredicate, Comparison
+from .generators import rng_from
+
+TOPICS = (
+    "databases",
+    "algebra",
+    "patterns",
+    "multimedia",
+    "optimization",
+    "storage",
+    "indexing",
+    "history",
+)
+
+
+def component(kind: str, topic: str, words: int = 0, title: str = "") -> Record:
+    return Record(kind=kind, topic=topic, words=words, title=title or topic)
+
+
+def by_kind(symbol: str) -> AlphabetPredicate:
+    """Resolver: bare symbols in document patterns mean ``kind = symbol``."""
+    return Comparison("kind", "=", symbol)
+
+
+def random_document(
+    sections: int = 8,
+    seed: "int | random.Random" = 0,
+    depth: int = 2,
+    children_per_section: tuple[int, int] = (2, 6),
+    topics: Sequence[str] = TOPICS,
+) -> AquaTree:
+    """A random document tree.
+
+    ``depth`` controls section nesting; leaves are paragraphs, figures
+    and tables with word counts and topics.
+    """
+    rng = rng_from(seed)
+
+    def make_section(level: int, index: int) -> AquaTree:
+        topic = rng.choice(list(topics))
+        low, high = children_per_section
+        count = rng.randint(low, high)
+        children = []
+        for child_index in range(count):
+            roll = rng.random()
+            if roll < 0.25 and level < depth:
+                children.append(make_section(level + 1, child_index))
+            elif roll < 0.45:
+                children.append(
+                    AquaTree.leaf(component("figure", rng.choice(list(topics))))
+                )
+            elif roll < 0.55:
+                children.append(
+                    AquaTree.leaf(component("table", rng.choice(list(topics))))
+                )
+            else:
+                children.append(
+                    AquaTree.leaf(
+                        component(
+                            "paragraph",
+                            rng.choice(list(topics)),
+                            words=rng.randint(30, 300),
+                        )
+                    )
+                )
+        return AquaTree.build(
+            component("section", topic, title=f"Section {level}.{index}"), children
+        )
+
+    return AquaTree.build(
+        component("document", "root", title="A Document"),
+        [make_section(1, i) for i in range(sections)],
+    )

@@ -1,0 +1,151 @@
+"""The family-tree workload (paper §4, Figures 3 and 4).
+
+"Consider a family tree containing the descendants of a famous person.
+Each node represents a person object ... we only list the name,
+citizenship, eye color, and education attributes."  Each edge is
+"a child of"; a path is "a descendant of".
+
+:func:`figure3_family_tree` reconstructs a tree consistent with every
+behavior the paper states for it:
+
+* ``split(Brazil(!?* USA !?*), λ(x,y,z)⟨x,y,z⟩)(T)`` has **exactly one
+  match**, whose pieces carry ``α`` (ancestors), ``α1`` (a sibling
+  subtree pruned by the first ``!?*``) and ``α2`` (a descendant of the
+  matched USA person) — the three pieces of Figure 4;
+* the pattern ``Mat(? "Ed")`` of the Figure 4 caption has a match.
+
+(The original figure is an image; the reconstruction fixes concrete
+names where the text allows freedom and DESIGN.md records this.)
+
+:func:`random_family_tree` scales the same schema to arbitrary sizes
+with a controllable number of planted Brazilian-parent/American-child
+sites, the knob the FIG4/CLAIM-SPLIT benchmarks sweep.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from ..core.aqua_tree import AquaTree, TreeNode
+from ..core.identity import Cell, Record
+from ..predicates.alphabet import AlphabetPredicate, Comparison, attr
+from .generators import rng_from
+
+EYE_COLORS = ("brown", "blue", "green", "hazel")
+EDUCATIONS = ("None", "HighSchool", "College", "PhD")
+CITIZENSHIPS = ("Brazil", "USA", "Chile", "Peru", "France")
+
+
+def person(
+    name: str,
+    citizen: str,
+    eyes: str = "brown",
+    education: str = "College",
+) -> Record:
+    """A person object with the four attributes the paper lists."""
+    return Record(name=name, citizen=citizen, eyes=eyes, education=education)
+
+
+def by_name(symbol: str) -> AlphabetPredicate:
+    """Pattern-symbol resolver: a bare symbol means ``name = symbol``."""
+    return Comparison("name", "=", symbol)
+
+
+#: The paper's shorthand predicates: "Brazil" / "USA" stand for
+#: ``λ(p) p.citizen = "Brazil"`` etc.
+BRAZIL = attr("citizen") == "Brazil"
+USA = attr("citizen") == "USA"
+
+
+def by_citizen_or_name(symbol: str) -> AlphabetPredicate:
+    """Resolver for §4's patterns: citizenships resolve to citizen
+    predicates, anything else to a name predicate."""
+    if symbol in CITIZENSHIPS:
+        return Comparison("citizen", "=", symbol)
+    return Comparison("name", "=", symbol)
+
+
+def figure3_family_tree() -> AquaTree:
+    """The reconstructed Figure 3 family tree (8 people, 3 generations)."""
+    return AquaTree.build(
+        person("Maria", "Brazil", "brown", "PhD"),
+        [
+            AquaTree.build(
+                person("Mat", "Brazil", "brown", "College"),
+                [
+                    AquaTree.leaf(person("Ana", "Brazil", "green", "HighSchool")),
+                    AquaTree.build(
+                        person("Ed", "USA", "blue", "College"),
+                        [AquaTree.leaf(person("Bill", "USA", "blue", "None"))],
+                    ),
+                ],
+            ),
+            AquaTree.build(
+                person("Tom", "Brazil", "hazel", "PhD"),
+                [
+                    AquaTree.leaf(person("Rita", "Brazil", "brown", "College")),
+                    AquaTree.leaf(person("Carl", "Chile", "green", "HighSchool")),
+                ],
+            ),
+        ],
+    )
+
+
+def random_family_tree(
+    size: int,
+    seed: "int | random.Random" = 0,
+    planted_matches: int = 1,
+    max_children: int = 4,
+) -> AquaTree:
+    """A random family tree with exactly ``planted_matches`` sites where
+    a Brazilian parent has at least one American child.
+
+    The bulk of the tree draws citizenships from the non-Brazil,
+    non-USA pool so that no accidental match sites appear; the knob
+    therefore controls the result cardinality of the Figure 4 split
+    exactly, and anchor selectivity ≈ ``planted_matches / size``.
+    """
+    if size < 2 + 2 * planted_matches:
+        raise ValueError("tree too small for the requested planted matches")
+    rng = rng_from(seed)
+    neutral = [c for c in CITIZENSHIPS if c not in ("Brazil", "USA")]
+
+    def fresh_person(index: int, citizen: str) -> Record:
+        return person(
+            f"P{index}",
+            citizen,
+            rng.choice(EYE_COLORS),
+            rng.choice(EDUCATIONS),
+        )
+
+    root = TreeNode(Cell(fresh_person(0, rng.choice(neutral))))
+    open_nodes = [root]
+    nodes = [root]
+    for index in range(1, size - 2 * planted_matches):
+        parent = rng.choice(open_nodes)
+        child = TreeNode(Cell(fresh_person(index, rng.choice(neutral))))
+        parent.children.append(child)
+        if len(parent.children) >= max_children:
+            open_nodes.remove(parent)
+        open_nodes.append(child)
+        nodes.append(child)
+
+    # Plant the Brazilian-parent/American-child sites under distinct,
+    # randomly chosen parents.
+    hosts = rng.sample(nodes, planted_matches)
+    for plant_index, host in enumerate(hosts):
+        brazilian = TreeNode(
+            Cell(person(f"B{plant_index}", "Brazil", rng.choice(EYE_COLORS)))
+        )
+        american = TreeNode(
+            Cell(person(f"U{plant_index}", "USA", rng.choice(EYE_COLORS)))
+        )
+        brazilian.children.append(american)
+        host.children.append(brazilian)
+    return AquaTree(root)
+
+
+def citizens(tree: AquaTree, citizen: str) -> list[Record]:
+    """All persons in ``tree`` with the given citizenship (helper)."""
+    return [v for v in tree.values() if getattr(v, "citizen", None) == citizen]

@@ -1,0 +1,121 @@
+"""Seeded random structure generators shared by the workloads.
+
+Every generator takes an explicit ``seed`` (or an already-constructed
+:class:`random.Random`), so tests and benchmarks are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Sequence
+
+from ..core.aqua_list import AquaList
+from ..core.aqua_tree import AquaTree, TreeNode
+from ..core.identity import as_cell
+
+
+def rng_from(seed: "int | random.Random") -> random.Random:
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def random_tree(
+    size: int,
+    seed: "int | random.Random" = 0,
+    max_arity: int = 4,
+    payload: Callable[[random.Random, int], Any] | None = None,
+) -> AquaTree:
+    """A uniformly grown ordered tree with exactly ``size`` nodes.
+
+    Nodes are attached one at a time under a parent drawn uniformly from
+    the nodes that still have arity budget — this yields bushy,
+    realistic shapes rather than degenerate chains.  ``payload`` maps
+    ``(rng, node_index)`` to the node's payload (default: ``n<i>``).
+    """
+    if size <= 0:
+        return AquaTree.empty()
+    rng = rng_from(seed)
+    payload = payload or (lambda r, i: f"n{i}")
+
+    root = TreeNode(as_cell(payload(rng, 0)))
+    open_nodes = [root]
+    for index in range(1, size):
+        parent = rng.choice(open_nodes)
+        child = TreeNode(as_cell(payload(rng, index)))
+        parent.children.append(child)
+        if len(parent.children) >= max_arity:
+            open_nodes.remove(parent)
+        open_nodes.append(child)
+    return AquaTree(root)
+
+
+def random_labeled_tree(
+    size: int,
+    labels: Sequence[str],
+    seed: "int | random.Random" = 0,
+    max_arity: int = 4,
+    weights: Sequence[float] | None = None,
+) -> AquaTree:
+    """A random tree whose payloads are drawn from ``labels``.
+
+    ``weights`` skews the draw — the knob benchmarks use to control
+    anchor selectivity.
+    """
+    rng = rng_from(seed)
+
+    def payload(r: random.Random, index: int) -> str:
+        del index
+        if weights is None:
+            return r.choice(list(labels))
+        return r.choices(list(labels), weights=list(weights), k=1)[0]
+
+    return random_tree(size, rng, max_arity=max_arity, payload=payload)
+
+
+def random_list(
+    size: int,
+    alphabet: Sequence[Any],
+    seed: "int | random.Random" = 0,
+    weights: Sequence[float] | None = None,
+) -> AquaList:
+    """A random list over ``alphabet`` (optionally weighted)."""
+    rng = rng_from(seed)
+    if weights is None:
+        values = [rng.choice(list(alphabet)) for _ in range(size)]
+    else:
+        values = rng.choices(list(alphabet), weights=list(weights), k=size)
+    return AquaList.from_values(values)
+
+
+def plant_chain(
+    tree: AquaTree,
+    chain: Sequence[Any],
+    seed: "int | random.Random" = 0,
+) -> AquaTree:
+    """Attach a downward chain of payloads under a random node (in place).
+
+    Used to plant a known vertical pattern occurrence in a random tree.
+    Returns the same tree for chaining.
+    """
+    if tree.root is None or not chain:
+        return tree
+    rng = rng_from(seed)
+    nodes = list(tree.element_nodes())
+    parent = rng.choice(nodes)
+    for payload in chain:
+        child = TreeNode(as_cell(payload))
+        parent.children.append(child)
+        parent = child
+    return tree
+
+
+def plant_run(
+    aqua_list: AquaList,
+    run: Sequence[Any],
+    position: int,
+) -> AquaList:
+    """Return a new list with ``run`` spliced in at element ``position``."""
+    values = aqua_list.values()
+    position = max(0, min(position, len(values)))
+    return AquaList.from_values(values[:position] + list(run) + values[position:])

@@ -1,0 +1,79 @@
+"""The music-database workload (paper §6).
+
+"The database consists of a large number of songs, where each song is
+represented as a list ... each note has a few properties like pitch
+(e.g., A, B, C, etc.) and duration."  The paper's queries:
+
+* ``sub_select([A??F])(L)`` — find the melody;
+* ``all_anc([A??F], λ(x,y)⟨x,y⟩)(L)`` — the melody plus the notes
+  preceding it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..core.aqua_list import AquaList
+from ..core.identity import Record
+from ..predicates.alphabet import AlphabetPredicate, Comparison
+from .generators import rng_from
+
+PITCHES = ("A", "B", "C", "D", "E", "F", "G")
+DURATIONS = (1, 2, 4, 8)
+
+
+def note(pitch: str, duration: int = 4) -> Record:
+    return Record(pitch=pitch, duration=duration)
+
+
+def by_pitch(symbol: str) -> AlphabetPredicate:
+    """Pattern-symbol resolver: a bare symbol means ``pitch = symbol``."""
+    return Comparison("pitch", "=", symbol.upper())
+
+
+def random_song(
+    length: int,
+    seed: "int | random.Random" = 0,
+    pitch_weights: Sequence[float] | None = None,
+) -> AquaList:
+    """A random song of ``length`` notes."""
+    rng = rng_from(seed)
+    weights = list(pitch_weights) if pitch_weights is not None else None
+    notes = []
+    for _ in range(length):
+        if weights is None:
+            pitch = rng.choice(PITCHES)
+        else:
+            pitch = rng.choices(PITCHES, weights=weights, k=1)[0]
+        notes.append(note(pitch, rng.choice(DURATIONS)))
+    return AquaList.from_values(notes)
+
+
+def song_with_melody(
+    length: int,
+    melody: Sequence[str],
+    occurrences: int = 1,
+    seed: "int | random.Random" = 0,
+    background: Sequence[str] = ("B", "C", "D", "E", "G"),
+) -> AquaList:
+    """A song whose background avoids the melody's pitches, with the
+    melody planted exactly ``occurrences`` times at random positions.
+
+    Because the background pool excludes the melody's first and last
+    pitches, the planted occurrences are the only matches — benchmarks
+    can sweep selectivity precisely.
+    """
+    rng = rng_from(seed)
+    pool = [p for p in background if p not in (melody[0], melody[-1])]
+    values = [note(rng.choice(pool), rng.choice(DURATIONS)) for _ in range(length)]
+    slots = sorted(rng.sample(range(max(1, length)), min(occurrences, length)))
+    for offset, slot in enumerate(slots):
+        insert_at = slot + offset * len(melody)
+        values[insert_at:insert_at] = [note(p, rng.choice(DURATIONS)) for p in melody]
+    return AquaList.from_values(values)
+
+
+def pitches_of(song: AquaList) -> str:
+    """The song's pitch string — a compact display/debug helper."""
+    return "".join(value.pitch for value in song.values())

@@ -1,0 +1,94 @@
+"""RNA secondary-structure workload (paper §1, reference [28]).
+
+Shapiro & Zhang compare RNA secondary structures as trees whose nodes
+are structural elements: stems (S), hairpin loops (H), bulges (B),
+internal loops (I) and multi-branch loops (M).  The paper cites this as
+a motivating domain for tree queries; the reproduction generates such
+trees and queries motifs (e.g. "a stem whose loop contains a bulge
+followed by a hairpin") with ``sub_select``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.aqua_tree import AquaTree
+from ..core.identity import Record
+from ..predicates.alphabet import AlphabetPredicate, Comparison
+from .generators import rng_from
+
+ELEMENTS = ("S", "H", "B", "I", "M")
+
+
+def element(kind: str, length: int = 0) -> Record:
+    """One secondary-structure element with its base-pair/nt length."""
+    return Record(kind=kind, length=length)
+
+
+def by_element(symbol: str) -> AlphabetPredicate:
+    """Resolver: bare symbols mean ``kind = symbol`` (S, H, B, I, M)."""
+    return Comparison("kind", "=", symbol)
+
+
+def random_rna_structure(
+    size: int,
+    seed: "int | random.Random" = 0,
+) -> AquaTree:
+    """A random RNA secondary-structure tree with ~``size`` elements.
+
+    Grammar-shaped growth: stems extend into one inner element; loops
+    terminate; multi-branch loops fan out into several stems — matching
+    the branching statistics of real structures closely enough for
+    motif-query benchmarks.
+    """
+    rng = rng_from(seed)
+    best: AquaTree | None = None
+    for _ in range(32):
+        candidate = _grow_structure(rng, size)
+        if best is None or candidate.size() > best.size():
+            best = candidate
+        if best.size() >= max(1, size) // 2:
+            break
+    assert best is not None
+    return best
+
+
+#: Vertical growth cap: real structures are broad, not thousand-deep,
+#: and Python recursion must stay well under the interpreter limit.
+_MAX_DEPTH = 100
+
+
+def _grow_structure(rng: random.Random, size: int) -> AquaTree:
+    budget = max(1, size)
+
+    def grow_stem(depth: int = 0) -> AquaTree:
+        nonlocal budget
+        budget -= 1
+        inner = grow_inner(depth + 1)
+        return AquaTree.build(element("S", rng.randint(2, 12)), [inner])
+
+    def grow_inner(depth: int = 0) -> AquaTree:
+        nonlocal budget
+        budget -= 1
+        if budget <= 2 or depth >= _MAX_DEPTH:
+            return AquaTree.leaf(element("H", rng.randint(3, 8)))
+        # Slightly supercritical branching; the budget guard terminates
+        # growth, so the result lands near the requested size.
+        roll = rng.random()
+        if roll < 0.12:
+            return AquaTree.leaf(element("H", rng.randint(3, 8)))
+        if roll < 0.44:
+            return AquaTree.build(element("B", rng.randint(1, 5)), [grow_stem(depth + 1)])
+        if roll < 0.76:
+            return AquaTree.build(element("I", rng.randint(2, 6)), [grow_stem(depth + 1)])
+        fan = rng.randint(2, 3)
+        return AquaTree.build(
+            element("M", rng.randint(4, 10)),
+            [grow_stem(depth + 1) for _ in range(fan)],
+        )
+
+    return grow_stem()
+
+
+def count_elements(structure: AquaTree, kind: str) -> int:
+    return sum(1 for v in structure.values() if v.kind == kind)

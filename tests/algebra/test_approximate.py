@@ -1,0 +1,119 @@
+"""Tests for approximate tree matching (§7, Zhang–Shasha distance)."""
+
+import pytest
+
+from repro.algebra.approximate import (
+    approx_matches,
+    nearest_subtrees,
+    sub_select_approx,
+    tree_edit_distance,
+)
+from repro.core import AquaTree, parse_tree
+from repro.errors import QueryError
+
+
+class TestEditDistance:
+    def test_identical_trees(self):
+        assert tree_edit_distance(parse_tree("a(bc)"), parse_tree("a(bc)")) == 0.0
+
+    def test_single_relabel(self):
+        assert tree_edit_distance(parse_tree("a(bc)"), parse_tree("a(bd)")) == 1.0
+
+    def test_single_delete(self):
+        assert tree_edit_distance(parse_tree("a(bc)"), parse_tree("a(b)")) == 1.0
+
+    def test_single_insert(self):
+        assert tree_edit_distance(parse_tree("a(b)"), parse_tree("a(bc)")) == 1.0
+
+    def test_classic_zhang_shasha_example(self):
+        # The canonical example from the 1989 paper: distance 2.
+        t1 = parse_tree("f(d(a c(b)) e)")
+        t2 = parse_tree("f(c(d(a b)) e)")
+        assert tree_edit_distance(t1, t2) == 2.0
+
+    def test_empty_tree_costs_full_insertion(self):
+        assert tree_edit_distance(AquaTree.empty(), parse_tree("a(bc)")) == 3.0
+        assert tree_edit_distance(parse_tree("a(bc)"), AquaTree.empty()) == 3.0
+        assert tree_edit_distance(AquaTree.empty(), AquaTree.empty()) == 0.0
+
+    def test_symmetry(self):
+        t1 = parse_tree("a(b(c) d e)")
+        t2 = parse_tree("a(d(c b))")
+        assert tree_edit_distance(t1, t2) == tree_edit_distance(t2, t1)
+
+    def test_triangle_inequality_sample(self):
+        t1, t2, t3 = (parse_tree(t) for t in ["a(bc)", "a(bd(e))", "x(y)"])
+        d12 = tree_edit_distance(t1, t2)
+        d23 = tree_edit_distance(t2, t3)
+        d13 = tree_edit_distance(t1, t3)
+        assert d13 <= d12 + d23
+
+    def test_custom_relabel_cost(self):
+        half = lambda a, b: 0.0 if a == b else 0.5
+        assert tree_edit_distance(parse_tree("a"), parse_tree("b"), relabel=half) == 0.5
+
+    def test_custom_indel_cost(self):
+        costly = lambda value: 10.0
+        assert (
+            tree_edit_distance(parse_tree("a(b)"), parse_tree("a"), indel=costly)
+            == 10.0
+        )
+
+    def test_distance_bounded_by_sizes(self):
+        t1 = parse_tree("a(b(c d) e)")
+        t2 = parse_tree("x(y)")
+        assert tree_edit_distance(t1, t2) <= t1.size() + t2.size()
+
+
+class TestApproxQueries:
+    TREE = parse_tree("r(a(bc)a(bd)x(a(bc))q)")
+    TARGET = parse_tree("a(bc)")
+
+    def test_exact_matches_have_distance_zero(self):
+        matches = approx_matches(self.TARGET, 0, self.TREE)
+        assert len(matches) == 2
+        assert all(m.distance == 0.0 for m in matches)
+
+    def test_threshold_one_includes_neighbors(self):
+        matches = approx_matches(self.TARGET, 1, self.TREE)
+        notations = sorted(m.subtree.to_notation() for m in matches)
+        assert notations == ["a(bc)", "a(bc)", "a(bd)", "x(a(bc))"]
+
+    def test_results_sorted_by_distance(self):
+        matches = approx_matches(self.TARGET, 2, self.TREE)
+        distances = [m.distance for m in matches]
+        assert distances == sorted(distances)
+
+    def test_sub_select_approx_is_a_set(self):
+        result = sub_select_approx(self.TARGET, 1, self.TREE)
+        assert sorted(t.to_notation() for t in result) == [
+            "a(bc)",
+            "a(bd)",
+            "x(a(bc))",
+        ]
+
+    def test_nearest_subtrees_ranked(self):
+        nearest = nearest_subtrees(self.TARGET, 3, self.TREE)
+        assert [m.distance for m in nearest] == [0.0, 0.0, 1.0]
+
+    def test_size_window_pruning_safe(self):
+        # With the default unit costs the window never prunes a true match.
+        loose = approx_matches(self.TARGET, 1, self.TREE, size_window=10**9)
+        tight = approx_matches(self.TARGET, 1, self.TREE)
+        assert {m.subtree.to_notation() for m in loose} == {
+            m.subtree.to_notation() for m in tight
+        }
+
+    def test_empty_target_rejected(self):
+        with pytest.raises(QueryError):
+            approx_matches(AquaTree.empty(), 1, self.TREE)
+
+    def test_distance_zero_agrees_with_leaf_anchored_exact_match(self):
+        from repro.algebra import sub_select
+
+        exact = sub_select("a(b c)$", self.TREE)
+        approx = {
+            m.subtree.to_notation()
+            for m in approx_matches(self.TARGET, 0, self.TREE)
+        }
+        assert {t.to_notation() for t in exact} <= approx

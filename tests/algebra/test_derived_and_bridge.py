@@ -1,0 +1,122 @@
+"""Derived-operator equivalence (§4) and the list-as-tree bridge (§6)."""
+
+import pytest
+
+from repro.algebra.derived import (
+    all_anc_via_split,
+    all_desc_via_split,
+    sub_select_via_split,
+)
+from repro.algebra.list_ops import select_list, sub_select_list
+from repro.algebra.list_tree_bridge import (
+    list_pattern_to_tree_pattern,
+    select_via_tree,
+    sub_select_via_tree,
+)
+from repro.algebra.tree_ops import all_anc, all_desc, sub_select
+from repro.core import parse_list, parse_tree
+from repro.errors import PatternError
+from repro.patterns.list_parser import parse_list_pattern
+from repro.workloads.family import by_citizen_or_name, figure3_family_tree
+
+TREES = [
+    "r(d(e(h i) j) s(d(e(h i) j) k) d(x))",
+    "a(b(d(fg)e)c)",
+    "r(B(x U(w) y) q)",
+    "d(d(d))",
+]
+
+PATTERNS = ["d", "d(e(h i) j)", "B(!?* U !?*)", "? (d)", "d | e"]
+
+
+class TestDerivedEquivalence:
+    @pytest.mark.parametrize("tree_text", TREES)
+    @pytest.mark.parametrize("pattern_text", ["d", "B(!?* U !?*)", "d(e(h i) j)"])
+    def test_sub_select_matches_definition(self, tree_text, pattern_text):
+        tree = parse_tree(tree_text)
+        assert sub_select(pattern_text, tree) == sub_select_via_split(
+            pattern_text, tree
+        )
+
+    def test_sub_select_on_family_tree(self):
+        family = figure3_family_tree()
+        native = sub_select("Brazil(!?* USA !?*)", family, resolver=by_citizen_or_name)
+        derived = sub_select_via_split(
+            "Brazil(!?* USA !?*)", family, resolver=by_citizen_or_name
+        )
+        assert native == derived
+
+    def test_all_anc_matches_definition(self):
+        tree = parse_tree("r(s(d(x)))")
+        f = lambda a, b: (a.to_notation(), b.to_notation())
+        assert all_anc("d", f, tree) == all_anc_via_split("d", f, tree)
+
+    def test_all_desc_matches_definition(self):
+        tree = parse_tree("r(d(x y))")
+        f = lambda m, z: (m.to_notation(), tuple(t.to_notation() for t in z.values()))
+        assert all_desc("d", f, tree) == all_desc_via_split("d", f, tree)
+
+
+class TestPatternTranslation:
+    def test_simple_chain(self):
+        tp = list_pattern_to_tree_pattern(parse_list_pattern("[abc]"))
+        assert tp.describe() == "a(b(c))"
+
+    def test_star_uses_points(self):
+        tp = list_pattern_to_tree_pattern(parse_list_pattern("[d[[ac]]*b]"))
+        text = tp.describe()
+        assert "*" in text and "@" in text and text.startswith("d(")
+
+    def test_anchors_translate(self):
+        tp = list_pattern_to_tree_pattern(parse_list_pattern("^[ab]"))
+        assert tp.root_anchor
+
+    def test_end_anchor_forces_leaf(self):
+        tp = list_pattern_to_tree_pattern(parse_list_pattern("[ab]$"))
+        assert "b()" in tp.describe()
+
+    def test_union_translates(self):
+        tp = list_pattern_to_tree_pattern(parse_list_pattern("[[[a|b]] c]"))
+        assert "|" in tp.describe()
+
+    def test_prune_rejected(self):
+        with pytest.raises(PatternError):
+            list_pattern_to_tree_pattern(parse_list_pattern("[!a b]"))
+
+    def test_epsilon_only_rejected(self):
+        from repro.patterns.list_ast import EPSILON, ListPattern
+
+        with pytest.raises(PatternError):
+            list_pattern_to_tree_pattern(ListPattern(EPSILON))
+
+    def test_trailing_closure_translates(self):
+        tp = list_pattern_to_tree_pattern(parse_list_pattern("[a b*]"))
+        assert "«opt»" in tp.describe()
+
+
+class TestOperatorsViaTree:
+    @pytest.mark.parametrize(
+        "pattern_text,list_text",
+        [
+            ("[a??f]", "[gaxyfbacdfe]"),
+            ("[ab]", "[ababab]"),
+            ("[d[[ac]]*b]", "[dacacbdb]"),
+            ("[[[a|b]] c]", "[acbc]"),
+            ("^[ab]", "[abab]"),
+            ("[a+]", "[aab]"),
+        ],
+    )
+    def test_sub_select_agrees_with_tree_engine(self, pattern_text, list_text):
+        pattern = parse_list_pattern(pattern_text)
+        values = parse_list(list_text)
+        native = sub_select_list(pattern, values)
+        via_tree = sub_select_via_tree(pattern, values)
+        assert native == via_tree
+
+    def test_select_agrees_with_tree_engine(self):
+        values = parse_list("[abcabc]")
+        predicate = lambda v: v in "ac"
+        assert select_list(predicate, values) == select_via_tree(predicate, values)
+
+    def test_select_via_tree_empty(self):
+        assert select_via_tree(lambda v: False, parse_list("[ab]")).is_empty

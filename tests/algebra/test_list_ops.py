@@ -1,0 +1,125 @@
+"""Tests for the list operators (paper §6)."""
+
+from repro.algebra.list_ops import (
+    all_anc_list,
+    all_desc_list,
+    apply_list,
+    select_list,
+    split_list,
+    split_list_pieces,
+    sub_select_list,
+)
+from repro.core import AquaList, parse_list
+from repro.workloads.music import by_pitch, note, pitches_of
+
+
+class TestSelectApply:
+    def test_select_preserves_order(self):
+        result = select_list(lambda v: v in "ac", parse_list("[abcabc]"))
+        assert result == parse_list("[acac]")
+
+    def test_select_empty_result(self):
+        assert select_list(lambda v: False, parse_list("[ab]")).is_empty
+
+    def test_select_skips_labeled_nulls(self):
+        result = select_list(lambda v: True, parse_list("[a @1 b]"))
+        assert result == parse_list("[ab]")
+
+    def test_apply(self):
+        result = apply_list(str.upper, parse_list("[ab]"))
+        assert result.values() == ["A", "B"]
+
+    def test_apply_on_records(self):
+        song = AquaList.from_values([note("A"), note("B")])
+        pitches = apply_list(lambda n: n.pitch, song)
+        assert pitches.values() == ["A", "B"]
+
+
+class TestSubSelect:
+    def test_melody(self):
+        result = sub_select_list("[a??f]", parse_list("[gaxyfbacdfe]"))
+        assert sorted(m.to_notation() for m in result) == ["[acdf]", "[axyf]"]
+
+    def test_with_resolver(self):
+        song = AquaList.from_values([note(p) for p in "GACDFB"])
+        result = sub_select_list("[A??F]", song, resolver=by_pitch)
+        assert [pitches_of(m) for m in result] == ["ACDF"]
+
+    def test_pruned_elements_excluded(self):
+        result = sub_select_list("[x !?* y]", parse_list("[xaaby]"))
+        assert [m.to_notation() for m in result] == ["[xy]"]
+
+    def test_starts_restriction(self):
+        result = sub_select_list("[a]", parse_list("[aaa]"), starts=[2])
+        assert len(result) == 1
+
+
+class TestSplit:
+    def test_pieces_structure(self):
+        (piece,) = split_list_pieces("[x !?* y]", parse_list("[pxaabyq]"))
+        assert piece.context.values() == ["p"]
+        assert piece.context.concat_points() != []
+        assert piece.match.values() == ["x", "y"]
+        runs = [run.to_notation() for run in piece.descendants.values()]
+        assert runs == ["[aab]", "[q]"]
+
+    def test_reassembly(self):
+        original = parse_list("[pxaabyq]")
+        for piece in split_list_pieces("[x !?* y]", original):
+            assert piece.reassembled() == original
+
+    def test_match_at_list_end_has_no_suffix_point(self):
+        (piece,) = split_list_pieces("[y]", parse_list("[xy]"))
+        assert len(piece.points) == 0
+        assert piece.reassembled() == parse_list("[xy]")
+
+    def test_match_at_start_has_empty_prefix(self):
+        (piece,) = split_list_pieces("[x]", parse_list("[xy]"))
+        assert piece.context.values() == []
+        assert piece.reassembled() == parse_list("[xy]")
+
+    def test_split_function_applied(self):
+        result = split_list(
+            "[b]",
+            lambda x, y, z: (x.to_notation(), y.values(), len(z)),
+            parse_list("[abc]"),
+        )
+        ((x_text, y_values, z_len),) = result
+        assert y_values == ["b"]
+        assert z_len == 1  # the suffix [c]
+
+    def test_multiple_matches(self):
+        pieces = split_list_pieces("[a]", parse_list("[axa]"))
+        assert len(pieces) == 2
+        assert all(p.reassembled() == parse_list("[axa]") for p in pieces)
+
+
+class TestAllAncDesc:
+    def test_all_anc_music_query(self):
+        song = AquaList.from_values([note(p) for p in "GGACDFB"])
+        result = all_anc_list(
+            "[A??F]",
+            lambda before, melody: (pitches_of(before), pitches_of(melody)),
+            song,
+            resolver=by_pitch,
+        )
+        assert sorted(result) == [("GG", "ACDF")]
+
+    def test_all_desc(self):
+        result = all_desc_list(
+            "[b]",
+            lambda match, after: (
+                match.values()[0],
+                [run.to_notation() for run in after.values()],
+            ),
+            parse_list("[abc]"),
+        )
+        assert sorted(result) == [("b", ["[c]"])]
+
+    def test_all_desc_at_end_has_no_descendants(self):
+        result = all_desc_list(
+            "[c]",
+            lambda match, after: len(after.values()),
+            parse_list("[abc]"),
+        )
+        assert sorted(result) == [0]

@@ -1,0 +1,137 @@
+"""Tests for the navigation and structural-information operators."""
+
+import pytest
+
+from repro.algebra import navigation as nav
+from repro.core import AquaList, parse_list, parse_tree
+from repro.errors import QueryError
+
+
+class TestListNavigation:
+    def test_head_last_tail(self):
+        song = parse_list("[abc]")
+        assert nav.head(song) == "a"
+        assert nav.last(song) == "c"
+        assert nav.tail(song) == parse_list("[bc]")
+
+    def test_head_of_empty_rejected(self):
+        with pytest.raises(QueryError):
+            nav.head(AquaList.empty())
+
+    def test_last_of_empty_rejected(self):
+        with pytest.raises(QueryError):
+            nav.last(AquaList.empty())
+
+    def test_tail_of_empty_is_empty(self):
+        assert nav.tail(AquaList.empty()).is_empty
+
+    def test_at(self):
+        song = parse_list("[abc]")
+        assert nav.at(song, 1) == "b"
+        assert nav.at(song, -1) == "c"
+
+    def test_at_out_of_range(self):
+        with pytest.raises(QueryError):
+            nav.at(parse_list("[a]"), 5)
+
+    def test_positions(self):
+        assert nav.positions(parse_list("[abab]"), lambda v: v == "a") == [0, 2]
+
+    def test_reverse(self):
+        assert nav.reverse(parse_list("[abc]")) == parse_list("[cba]")
+
+    def test_zip(self):
+        zipped = nav.zip_lists(parse_list("[ab]"), parse_list("[xyz]"))
+        assert [tuple(t) for t in zipped.values()] == [("a", "x"), ("b", "y")]
+
+    def test_take_drop_while(self):
+        song = parse_list("[aabba]")
+        assert nav.take_while(song, lambda v: v == "a") == parse_list("[aa]")
+        assert nav.drop_while(song, lambda v: v == "a") == parse_list("[bba]")
+
+
+class TestTreeNavigation:
+    TREE = "a(b(c d) e)"
+
+    def test_node_at_paths(self):
+        tree = parse_tree(self.TREE)
+        assert nav.value_at(tree, ()) == "a"
+        assert nav.value_at(tree, (0,)) == "b"
+        assert nav.value_at(tree, (0, 1)) == "d"
+        assert nav.value_at(tree, (1,)) == "e"
+
+    def test_bad_path_rejected(self):
+        with pytest.raises(QueryError):
+            nav.node_at(parse_tree(self.TREE), (5,))
+
+    def test_path_of_round_trip(self):
+        tree = parse_tree(self.TREE)
+        for node in tree.element_nodes():
+            assert nav.node_at(tree, nav.path_of(tree, node)) is node
+
+    def test_path_of_foreign_node_rejected(self):
+        tree = parse_tree(self.TREE)
+        other = parse_tree("x")
+        with pytest.raises(QueryError):
+            nav.path_of(tree, other.root)
+
+    def test_parent_of(self):
+        tree = parse_tree(self.TREE)
+        c = nav.node_at(tree, (0, 0))
+        assert nav.parent_of(tree, c).value == "b"
+        assert nav.parent_of(tree, tree.root) is None
+
+    def test_children_of(self):
+        tree = parse_tree(self.TREE)
+        assert nav.children_of(tree.root).values() == ["b", "e"]
+
+    def test_children_of_skips_nulls(self):
+        tree = parse_tree("a(@1 b)")
+        assert nav.children_of(tree.root).values() == ["b"]
+
+    def test_siblings(self):
+        tree = parse_tree(self.TREE)
+        b = nav.node_at(tree, (0,))
+        assert [s.value for s in nav.siblings_of(tree, b)] == ["e"]
+
+    def test_ancestors(self):
+        tree = parse_tree(self.TREE)
+        d = nav.node_at(tree, (0, 1))
+        assert [a.value for a in nav.ancestors_of(tree, d)] == ["a", "b"]
+
+    def test_descendants(self):
+        tree = parse_tree(self.TREE)
+        assert [n.value for n in nav.descendants_of(tree.root)] == ["b", "c", "d", "e"]
+
+
+class TestStructuralInfo:
+    def test_degree_ignores_nulls(self):
+        tree = parse_tree("a(@1 b c)")
+        assert nav.degree(tree.root) == 2
+
+    def test_depth_of(self):
+        tree = parse_tree("a(b(c))")
+        c = nav.node_at(tree, (0, 0))
+        assert nav.depth_of(tree, c) == 2
+
+    def test_arity_profile(self):
+        tree = parse_tree("a(b(c d) e)")
+        assert nav.arity_profile(tree) == {2: 2, 0: 3}
+
+    def test_fixed_arity(self):
+        assert nav.is_fixed_arity(parse_tree("a(b(c d) e(f g))"))
+        assert nav.is_fixed_arity(parse_tree("a(b c)"), expected=2)
+        assert not nav.is_fixed_arity(parse_tree("a(b(c) d e)"))
+
+    def test_level(self):
+        tree = parse_tree("a(b(c d) e)")
+        assert nav.level(tree, 1).values() == ["b", "e"]
+        assert nav.level(tree, 2).values() == ["c", "d"]
+
+    def test_frontier(self):
+        assert nav.frontier(parse_tree("a(b(c d) e)")).values() == ["c", "d", "e"]
+
+    def test_paths_to(self):
+        tree = parse_tree("a(b a(b))")
+        paths = nav.paths_to(tree, lambda v: v == "b")
+        assert sorted(paths) == [(0,), (1, 0)]

@@ -1,0 +1,74 @@
+"""Tests for the set-operator wrappers and the §2 degeneration claim."""
+
+import pytest
+
+from repro.algebra.set_ops import (
+    apply_set,
+    difference,
+    dup_elim,
+    fold_set,
+    intersection,
+    multiset_of,
+    select_set,
+    set_of,
+    union,
+)
+from repro.algebra.tree_ops import select as tree_select
+from repro.core import AquaSet, AquaTree
+from repro.core.equality import SHALLOW
+from repro.core.identity import Record
+from repro.errors import TypeMismatchError
+
+
+class TestWrappers:
+    def test_select(self):
+        assert sorted(select_set(lambda x: x > 1, set_of([1, 2, 3]))) == [2, 3]
+
+    def test_apply(self):
+        assert sorted(apply_set(lambda x: x * 10, set_of([1, 2]))) == [10, 20]
+
+    def test_fold(self):
+        assert fold_set(lambda acc, x: acc + x, 0, set_of([1, 2, 3])) == 6
+
+    def test_union_intersection_difference(self):
+        a, b = set_of([1, 2]), set_of([2, 3])
+        assert sorted(union(a, b)) == [1, 2, 3]
+        assert sorted(intersection(a, b)) == [2]
+        assert sorted(difference(a, b)) == [1]
+
+    def test_equality_parameter(self):
+        a = set_of([Record(x=1)])
+        b = set_of([Record(x=1)])
+        assert len(union(a, b, SHALLOW)) == 1
+        assert len(union(a, b)) == 2
+
+    def test_dup_elim(self):
+        assert sorted(dup_elim(multiset_of([1, 1, 2]))) == [1, 2]
+
+    def test_dup_elim_type_checked(self):
+        with pytest.raises(TypeMismatchError):
+            dup_elim(set_of([1]))
+
+    def test_multiset_select_via_wrapper(self):
+        m = multiset_of([1, 1, 2])
+        assert select_set(lambda x: x == 1, m).count(1) == 2
+
+
+class TestEmptyEdgeSetDegeneration:
+    """§2: trees with empty edge sets behave like sets under select."""
+
+    def test_singleton_tree_select_matches_set_select(self):
+        payloads = ["a", "b", "c"]
+        trees = [AquaTree.leaf(p) for p in payloads]
+        predicate = lambda v: v in "ab"
+
+        surviving_sets = [tree_select(predicate, t) for t in trees]
+        survivors = [
+            next(iter(s)).root.value for s in surviving_sets if len(s) == 1
+        ]
+        set_result = set_of(payloads).select(predicate)
+        assert sorted(survivors) == sorted(set_result)
+
+    def test_tree_select_on_leaf_returns_empty_or_singleton(self):
+        assert len(tree_select(lambda v: True, AquaTree.leaf("a"))) == 1
+        assert len(tree_select(lambda v: False, AquaTree.leaf("a"))) == 0

@@ -1,0 +1,171 @@
+"""Tests for the tree operators (paper §4)."""
+
+import pytest
+
+from repro.algebra.tree_ops import (
+    all_anc,
+    all_desc,
+    apply_tree,
+    reassemble,
+    select,
+    split,
+    split_pieces,
+    sub_select,
+)
+from repro.core import AquaList, AquaSet, AquaTree, make_tuple, parse_tree
+from repro.errors import TypeMismatchError
+from repro.workloads.family import by_citizen_or_name, figure3_family_tree
+
+
+class TestSelect:
+    def test_root_survives_single_tree(self):
+        forest = select(lambda v: v in "adf", parse_tree("a(b(d(fg)e)c)"))
+        assert sorted(t.to_notation() for t in forest) == ["a(d(f))"]
+
+    def test_root_dies_gives_forest(self):
+        forest = select(lambda v: v in "bc", parse_tree("a(b(x) c)"))
+        assert sorted(t.to_notation() for t in forest) == ["b", "c"]
+
+    def test_edge_contraction(self):
+        # a-x-a chain: the two a's become parent/child.
+        forest = select(lambda v: v == "a", parse_tree("a(x(a))"))
+        assert [t.to_notation() for t in forest] == ["a(a)"]
+
+    def test_ancestry_preserved(self):
+        tree = parse_tree("a(b(a(c) a) c(a))")
+        (result,) = select(lambda v: v == "a", tree)
+        assert result.to_notation() == "a(aaa)"
+
+    def test_nothing_survives(self):
+        assert select(lambda v: False, parse_tree("a(b)")) == AquaSet()
+
+    def test_everything_survives_is_identity(self):
+        tree = parse_tree("a(b(c)d)")
+        (result,) = select(lambda v: True, tree)
+        assert result == tree
+
+    def test_empty_tree(self):
+        assert select(lambda v: True, AquaTree.empty()) == AquaSet()
+
+    def test_labeled_nulls_invisible(self):
+        forest = select(lambda v: True, parse_tree("a(@1 b)"))
+        (result,) = forest
+        assert result == parse_tree("a(b)")
+
+    def test_sibling_order_preserved(self):
+        (result,) = select(lambda v: v != "x", parse_tree("r(a x b x c)"))
+        assert result.to_notation() == "r(abc)"
+
+
+class TestApply:
+    def test_isomorphic_result(self):
+        tree = parse_tree("a(b(c)d)")
+        result = apply_tree(str.upper, tree)
+        assert result.to_notation() == "A(B(C) D)"
+        assert result.size() == tree.size()
+
+    def test_labeled_nulls_preserved(self):
+        result = apply_tree(str.upper, parse_tree("a(@1 b)"))
+        assert result == parse_tree("A(@1 B)")
+
+    def test_empty(self):
+        assert apply_tree(str.upper, AquaTree.empty()).is_empty
+
+    def test_input_untouched(self):
+        tree = parse_tree("a(b)")
+        apply_tree(str.upper, tree)
+        assert tree == parse_tree("a(b)")
+
+
+class TestSplit:
+    def test_figure4_pieces(self):
+        family = figure3_family_tree()
+        (piece,) = split_pieces(
+            "Brazil(!?* USA !?*)", family, resolver=by_citizen_or_name
+        )
+        name = lambda p: p.name
+        assert piece.context.to_notation(name) == "Maria(@ Tom(Rita Carl))"
+        assert piece.match.to_notation(name) == "Mat(@1 Ed(@2))"
+        assert [t.to_notation(name) for t in piece.descendants.values()] == ["Ana", "Bill"]
+
+    def test_reassembly_invariant(self):
+        tree = parse_tree("r(B(x U(w) y) q)")
+        for piece in split_pieces("B(!?* U !?*)", tree):
+            assert piece.reassembled() == tree
+
+    def test_match_at_root(self):
+        tree = parse_tree("B(U)")
+        (piece,) = split_pieces("B(U)", tree)
+        assert piece.context.to_notation() == "@"
+        assert piece.reassembled() == tree
+
+    def test_split_applies_function_per_match(self):
+        tree = parse_tree("r(d(x) d(y))")
+        result = split("d", lambda x, y, z: y.to_notation(), tree)
+        assert sorted(result) == ["d(@1)", "d(@1)"][:len(result)]
+
+    def test_split_returns_set_of_tuples(self):
+        tree = parse_tree("r(d(x))")
+        result = split("d", lambda x, y, z: make_tuple(x, y, z), tree)
+        ((x, y, z),) = result
+        assert isinstance(x, AquaTree)
+        assert isinstance(y, AquaTree)
+        assert isinstance(z, AquaList)
+
+    def test_roots_restriction(self):
+        tree = parse_tree("r(d(x) d(y))")
+        all_pieces = split_pieces("d", tree)
+        assert len(all_pieces) == 2
+        restricted = split_pieces("d", tree, roots=[all_pieces[0].tree_match.root])
+        assert len(restricted) == 1
+
+
+class TestSubSelect:
+    def test_basic(self):
+        result = sub_select("d(e(h i) j)", parse_tree("r(d(e(h i) j) k)"))
+        assert [t.to_notation() for t in result] == ["d(e(hi)j)"]
+
+    def test_points_closed(self):
+        # Bare-atom descendants are pruned and closed away.
+        result = sub_select("d", parse_tree("r(d(xy))"))
+        assert [t.to_notation() for t in result] == ["d"]
+
+    def test_set_semantics_dedupe(self):
+        # Two structurally identical matches of string payloads collapse.
+        result = sub_select("d(x)", parse_tree("r(d(x) d(x))"))
+        assert len(result) == 1
+
+    def test_printf_query(self):
+        tree = parse_tree("r(printf(f L a L) printf(f L))")
+        result = sub_select("printf(?* L ?* L ?*)", tree)
+        assert [t.to_notation() for t in result] == ["printf(f L a L)"]
+
+
+class TestAllAncDesc:
+    def test_all_anc(self):
+        tree = parse_tree("r(s(d(x)))")
+        result = all_anc("d", lambda ancestors, match: (
+            ancestors.to_notation(), match.to_notation()), tree)
+        assert sorted(result) == [("r(s(@))", "d")]
+
+    def test_all_desc(self):
+        tree = parse_tree("r(d(x y))")
+        result = all_desc("d", lambda match, desc: (
+            match.to_notation(), tuple(t.to_notation() for t in desc.values())), tree)
+        assert sorted(result) == [("d(@1 @2)", ("x", "y"))]
+
+
+class TestReassemble:
+    def test_reattaches_in_order(self):
+        match = parse_tree("d(@1 @2)")
+        rebuilt = reassemble(match, [parse_tree("x"), parse_tree("y(z)")])
+        assert rebuilt == parse_tree("d(x y(z))")
+
+    def test_accepts_aqua_list(self):
+        match = parse_tree("d(@1)")
+        rebuilt = reassemble(match, AquaList.from_values([parse_tree("x")]))
+        assert rebuilt == parse_tree("d(x)")
+
+    def test_rejects_non_trees(self):
+        with pytest.raises(TypeMismatchError):
+            reassemble(parse_tree("d(@1)"), ["nope"])

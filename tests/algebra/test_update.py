@@ -1,0 +1,107 @@
+"""Tests for the persistent update operators."""
+
+import pytest
+
+from repro.algebra import update as up
+from repro.core import AquaTree, parse_list, parse_tree
+from repro.errors import QueryError
+
+
+class TestListUpdates:
+    def test_insert_at(self):
+        assert up.insert_at(parse_list("[ac]"), 1, "b") == parse_list("[abc]")
+
+    def test_insert_at_ends(self):
+        assert up.insert_at(parse_list("[b]"), 0, "a") == parse_list("[ab]")
+        assert up.insert_at(parse_list("[a]"), 1, "b") == parse_list("[ab]")
+
+    def test_insert_out_of_range(self):
+        with pytest.raises(QueryError):
+            up.insert_at(parse_list("[a]"), 5, "x")
+
+    def test_delete_at(self):
+        assert up.delete_at(parse_list("[abc]"), 1) == parse_list("[ac]")
+
+    def test_replace_at(self):
+        assert up.replace_at(parse_list("[abc]"), 1, "x") == parse_list("[axc]")
+
+    def test_splice(self):
+        assert up.splice(parse_list("[abcd]"), 1, 3, ["x", "y", "z"]) == parse_list(
+            "[axyzd]"
+        )
+
+    def test_splice_empty_run_deletes(self):
+        assert up.splice(parse_list("[abcd]"), 1, 3, []) == parse_list("[ad]")
+
+    def test_inputs_untouched(self):
+        original = parse_list("[abc]")
+        up.delete_at(original, 0)
+        up.insert_at(original, 0, "z")
+        assert original == parse_list("[abc]")
+
+
+class TestTreeUpdates:
+    TREE = "a(b(c d) e)"
+
+    def test_replace_subtree(self):
+        tree = parse_tree(self.TREE)
+        result = up.replace_subtree(tree, (0,), parse_tree("x(y)"))
+        assert result == parse_tree("a(x(y) e)")
+
+    def test_replace_root(self):
+        tree = parse_tree(self.TREE)
+        assert up.replace_subtree(tree, (), parse_tree("z")) == parse_tree("z")
+
+    def test_delete_subtree(self):
+        tree = parse_tree(self.TREE)
+        assert up.delete_subtree(tree, (0,)) == parse_tree("a(e)")
+
+    def test_delete_root_gives_empty(self):
+        assert up.delete_subtree(parse_tree("a(b)"), ()).is_empty
+
+    def test_insert_child_appends(self):
+        tree = parse_tree("a(b)")
+        assert up.insert_child(tree, (), "c") == parse_tree("a(bc)")
+
+    def test_insert_child_positioned(self):
+        tree = parse_tree("a(b)")
+        assert up.insert_child(tree, (), "c", position=0) == parse_tree("a(cb)")
+
+    def test_insert_subtree(self):
+        tree = parse_tree("a(b)")
+        assert up.insert_child(tree, (0,), parse_tree("x(y)")) == parse_tree(
+            "a(b(x(y)))"
+        )
+
+    def test_insert_empty_rejected(self):
+        with pytest.raises(QueryError):
+            up.insert_child(parse_tree("a"), (), AquaTree.empty())
+
+    def test_replace_value_keeps_children(self):
+        tree = parse_tree(self.TREE)
+        assert up.replace_value(tree, (0,), "z") == parse_tree("a(z(c d) e)")
+
+    def test_promote_children(self):
+        tree = parse_tree(self.TREE)
+        assert up.promote_children(tree, (0,)) == parse_tree("a(c d e)")
+
+    def test_promote_root_rejected(self):
+        with pytest.raises(QueryError):
+            up.promote_children(parse_tree("a(b)"), ())
+
+    def test_inputs_untouched(self):
+        tree = parse_tree(self.TREE)
+        up.delete_subtree(tree, (0,))
+        up.insert_child(tree, (), "x")
+        up.replace_value(tree, (), "y")
+        assert tree == parse_tree(self.TREE)
+
+    def test_unaffected_subtrees_shared(self):
+        tree = parse_tree(self.TREE)
+        result = up.replace_value(tree, (1,), "z")
+        # The b(c d) subtree is physically shared, not copied.
+        assert result.root.children[0] is tree.root.children[0]
+
+    def test_edit_empty_rejected(self):
+        with pytest.raises(QueryError):
+            up.replace_value(AquaTree.empty(), (), "x")

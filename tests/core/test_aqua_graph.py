@@ -1,0 +1,80 @@
+"""Tests for the minimal graph bulk type."""
+
+import pytest
+
+from repro.core import AquaGraph, parse_tree
+from repro.errors import TypeMismatchError
+
+
+def diamond() -> AquaGraph:
+    #   a -> b, a -> c, b -> d, c -> d
+    return AquaGraph.from_edges("abcd", [(0, 1), (0, 2), (1, 3), (2, 3)])
+
+
+class TestConstruction:
+    def test_from_edges(self):
+        g = diamond()
+        assert g.node_count() == 4
+        assert g.edge_count() == 4
+
+    def test_duplicate_payloads_allowed(self):
+        g = AquaGraph()
+        g.add_node("x")
+        g.add_node("x")
+        assert g.node_count() == 2
+
+    def test_edge_endpoints_validated(self):
+        g = AquaGraph()
+        a = g.add_node("a")
+        other = AquaGraph().add_node("b")
+        with pytest.raises(TypeMismatchError):
+            g.add_edge(a, other)
+
+    def test_from_tree(self):
+        g = AquaGraph.from_tree(parse_tree("a(b(c) d)"))
+        assert g.node_count() == 4
+        assert g.edge_count() == 3
+
+    def test_from_tree_skips_nulls(self):
+        g = AquaGraph.from_tree(parse_tree("a(@1 b)"))
+        assert g.node_count() == 2
+        assert g.edge_count() == 1
+
+
+class TestOperators:
+    def test_select_induced_subgraph(self):
+        g = diamond()
+        sub = g.select(lambda v: v in "abd")
+        assert sorted(sub.values()) == ["a", "b", "d"]
+        assert sub.edge_count() == 2  # a->b, b->d; no contraction a->d
+
+    def test_select_no_edge_synthesis(self):
+        # a -> x -> b with x dropped: no a -> b appears (unlike trees).
+        g = AquaGraph.from_edges("axb", [(0, 1), (1, 2)])
+        sub = g.select(lambda v: v in "ab")
+        assert sub.edge_count() == 0
+
+    def test_apply_isomorphism(self):
+        g = diamond()
+        mapped = g.apply(str.upper)
+        assert sorted(mapped.values()) == ["A", "B", "C", "D"]
+        assert mapped.edge_count() == g.edge_count()
+
+    def test_edgeless_graph_behaves_like_set(self):
+        g = AquaGraph.from_edges("abc", [])
+        selected = g.select(lambda v: v in "ab")
+        assert sorted(selected.values()) == sorted(
+            g.node_set().select(lambda c: c.contents in "ab").apply(
+                lambda c: c.contents
+            )
+        )
+
+    def test_reachability(self):
+        g = diamond()
+        a = g.nodes()[0]
+        assert [c.contents for c in g.reachable_from(a)] == ["a", "b", "d", "c"]
+
+    def test_successors(self):
+        g = diamond()
+        a = g.nodes()[0]
+        assert [c.contents for c in g.successors(a)] == ["b", "c"]

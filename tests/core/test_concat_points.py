@@ -1,0 +1,41 @@
+"""Tests for concatenation points and the NULL singleton (§3.3, §3.5)."""
+
+from repro.core.concat import ALPHA, NIL, ConcatPoint, Nil, alpha, is_concat_point
+
+
+class TestConcatPoint:
+    def test_value_equality_by_label(self):
+        assert ConcatPoint("1") == ConcatPoint("1")
+        assert ConcatPoint("1") != ConcatPoint("2")
+        assert alpha(1) == ConcatPoint("1")
+
+    def test_plain_alpha(self):
+        assert alpha() == ALPHA
+        assert ALPHA.label == ConcatPoint.PLAIN
+
+    def test_hashable(self):
+        assert len({alpha(1), alpha(1), alpha(2)}) == 2
+
+    def test_str_rendering(self):
+        assert str(alpha()) == "@"
+        assert str(alpha(7)) == "@7"
+
+    def test_int_labels_normalized_to_str(self):
+        assert alpha(3).label == "3"
+
+    def test_is_concat_point(self):
+        assert is_concat_point(ALPHA)
+        assert not is_concat_point("a")
+        assert not is_concat_point(None)
+
+    def test_not_equal_to_other_types(self):
+        assert ConcatPoint("1") != "1"
+
+
+class TestNil:
+    def test_singleton(self):
+        assert Nil() is Nil()
+        assert Nil() is NIL
+
+    def test_repr(self):
+        assert repr(NIL) == "NIL"

@@ -1,0 +1,66 @@
+"""Tests for parameterized equality (paper §2)."""
+
+from repro.core.equality import DEEP, IDENTITY, SHALLOW
+from repro.core.identity import Cell, Record
+
+
+class TestIdentityEquality:
+    def test_same_object_is_equal(self):
+        r = Record(x=1)
+        assert IDENTITY.eq(r, r)
+
+    def test_structurally_equal_objects_differ(self):
+        assert not IDENTITY.eq(Record(x=1), Record(x=1))
+
+    def test_plain_values_compare_by_value(self):
+        assert IDENTITY.eq(3, 3)
+        assert not IDENTITY.eq(3, 4)
+
+    def test_key_agreement(self):
+        r = Record(x=1)
+        assert IDENTITY.key(r) == IDENTITY.key(r)
+
+
+class TestShallowEquality:
+    def test_equal_attributes_are_equal(self):
+        assert SHALLOW.eq(Record(x=1, y="a"), Record(x=1, y="a"))
+
+    def test_different_attributes_differ(self):
+        assert not SHALLOW.eq(Record(x=1), Record(x=2))
+
+    def test_cells_compare_by_contents(self):
+        shared = Record(x=1)
+        assert SHALLOW.eq(Cell(shared), Cell(shared))
+
+    def test_shallow_nested_objects_compare_by_identity(self):
+        a = Record(inner=Record(x=1))
+        b = Record(inner=Record(x=1))
+        assert not SHALLOW.eq(a, b)  # inner objects are distinct identities
+
+    def test_type_matters(self):
+        class Other(Record):
+            pass
+
+        assert not SHALLOW.eq(Record(x=1), Other(x=1))
+
+
+class TestDeepEquality:
+    def test_recursive_structure_equality(self):
+        a = Record(inner=Record(x=1), xs=[1, 2])
+        b = Record(inner=Record(x=1), xs=[1, 2])
+        assert DEEP.eq(a, b)
+
+    def test_deep_difference_detected(self):
+        a = Record(inner=Record(x=1))
+        b = Record(inner=Record(x=2))
+        assert not DEEP.eq(a, b)
+
+    def test_cells_are_transparent(self):
+        assert DEEP.eq(Cell(Record(x=1)), Cell(Record(x=1)))
+
+    def test_containers(self):
+        assert DEEP.eq({"a": [1, (2, 3)]}, {"a": [1, (2, 3)]})
+        assert not DEEP.eq({"a": [1]}, {"a": [2]})
+
+    def test_callable_interface(self):
+        assert DEEP(Record(x=1), Record(x=1))

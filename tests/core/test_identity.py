@@ -1,0 +1,94 @@
+"""Tests for the object model: OIDs, cells, records, dereferencing."""
+
+from repro.core.identity import Cell, DatabaseObject, Record, as_cell, deref, fresh_oid
+
+
+class TestOids:
+    def test_fresh_oids_are_unique(self):
+        oids = {fresh_oid() for _ in range(1000)}
+        assert len(oids) == 1000
+
+    def test_fresh_oids_are_monotonic(self):
+        first = fresh_oid()
+        second = fresh_oid()
+        assert second > first
+
+    def test_database_objects_get_oids(self):
+        a = Record(x=1)
+        b = Record(x=1)
+        assert a.oid != b.oid
+
+
+class TestIdentityEquality:
+    def test_objects_equal_only_to_themselves(self):
+        a = Record(x=1)
+        b = Record(x=1)
+        assert a == a
+        assert a != b
+
+    def test_objects_are_hashable_by_identity(self):
+        a = Record(x=1)
+        b = Record(x=1)
+        assert len({a, b}) == 2
+
+
+class TestCell:
+    def test_cell_wraps_contents(self):
+        payload = Record(name="n")
+        cell = Cell(payload)
+        assert cell.contents is payload
+
+    def test_two_cells_same_contents_are_distinct(self):
+        payload = Record(name="n")
+        c1, c2 = Cell(payload), Cell(payload)
+        assert c1 != c2
+        assert c1.contents is c2.contents
+
+    def test_as_cell_wraps_raw_values(self):
+        cell = as_cell("a")
+        assert isinstance(cell, Cell)
+        assert cell.contents == "a"
+
+    def test_as_cell_passes_cells_through(self):
+        cell = Cell("a")
+        assert as_cell(cell) is cell
+
+    def test_deref_unwraps_cells(self):
+        assert deref(Cell("a")) == "a"
+
+    def test_deref_passes_non_cells_through(self):
+        assert deref("a") == "a"
+        assert deref(None) is None
+
+    def test_nested_cells_deref_one_level(self):
+        inner = Cell("a")
+        outer = Cell(inner)
+        assert deref(outer) is inner
+
+
+class TestRecord:
+    def test_record_stores_attributes(self):
+        r = Record(name="Mat", citizen="Brazil")
+        assert r.name == "Mat"
+        assert r.citizen == "Brazil"
+
+    def test_stored_attributes_exclude_oid(self):
+        r = Record(name="Mat")
+        attrs = r.stored_attributes()
+        assert attrs == {"name": "Mat"}
+
+    def test_repr_is_stable(self):
+        r = Record(b=2, a=1)
+        assert repr(r) == "Record(a=1, b=2)"
+
+    def test_slots_subclass_stored_attributes(self):
+        class Point(DatabaseObject):
+            __slots__ = ("x", "y")
+
+            def __init__(self, x, y):
+                super().__init__()
+                self.x = x
+                self.y = y
+
+        p = Point(1, 2)
+        assert p.stored_attributes() == {"x": 1, "y": 2}

@@ -1,0 +1,119 @@
+"""Tests for the ODMG-93 mapping (§8)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.odmg import OdmgArray, OdmgBag, OdmgSet
+from repro.workloads.music import by_pitch, note
+
+
+class TestOdmgSet:
+    def test_basic_protocol(self):
+        s = OdmgSet([1, 2, 3])
+        assert s.cardinality() == 3
+        assert not s.is_empty()
+        assert s.contains_element(2)
+
+    def test_insert_is_idempotent(self):
+        s = OdmgSet([1])
+        s.insert_element(1)
+        assert s.cardinality() == 1
+
+    def test_remove(self):
+        s = OdmgSet([1, 2])
+        s.remove_element(1)
+        assert not s.contains_element(1)
+
+    def test_remove_missing_rejected(self):
+        with pytest.raises(QueryError):
+            OdmgSet([1]).remove_element(9)
+
+    def test_algebra(self):
+        a, b = OdmgSet([1, 2]), OdmgSet([2, 3])
+        assert sorted(a.union_of(b)) == [1, 2, 3]
+        assert sorted(a.intersection_of(b)) == [2]
+        assert sorted(a.difference_of(b)) == [1]
+
+    def test_subset_relations(self):
+        a, b = OdmgSet([1]), OdmgSet([1, 2])
+        assert a.is_subset_of(b)
+        assert a.is_proper_subset_of(b)
+        assert not b.is_subset_of(a)
+        assert not b.is_proper_subset_of(b)
+
+    def test_select(self):
+        assert sorted(OdmgSet(range(5)).select(lambda x: x % 2 == 0)) == [0, 2, 4]
+
+
+class TestOdmgBag:
+    def test_occurrences(self):
+        b = OdmgBag([1, 1, 2])
+        assert b.cardinality() == 3
+        assert b.occurrences_of(1) == 2
+
+    def test_union_adds(self):
+        merged = OdmgBag([1]).union_of(OdmgBag([1, 1]))
+        assert merged.occurrences_of(1) == 3
+
+    def test_intersection_min(self):
+        met = OdmgBag([1, 1, 2]).intersection_of(OdmgBag([1, 2, 2]))
+        assert met.occurrences_of(1) == 1
+        assert met.occurrences_of(2) == 1
+
+    def test_difference(self):
+        left = OdmgBag([1, 1, 2]).difference_of(OdmgBag([1]))
+        assert left.occurrences_of(1) == 1
+
+    def test_distinct(self):
+        assert sorted(OdmgBag([1, 1, 2]).distinct()) == [1, 2]
+
+    def test_remove_missing_rejected(self):
+        with pytest.raises(QueryError):
+            OdmgBag().remove_element(1)
+
+
+class TestOdmgArray:
+    def test_positional_protocol(self):
+        a = OdmgArray("xyz")
+        assert a.cardinality() == 3
+        assert a.retrieve_element_at(1) == "y"
+
+    def test_replace(self):
+        a = OdmgArray("xyz")
+        a.replace_element_at("Q", 1)
+        assert list(a) == ["x", "Q", "z"]
+
+    def test_insert_and_remove(self):
+        a = OdmgArray("xz")
+        a.insert_element_at("y", 1)
+        assert list(a) == ["x", "y", "z"]
+        assert a.remove_element_at(0) == "x"
+        assert list(a) == ["y", "z"]
+
+    def test_bounds_checked(self):
+        a = OdmgArray("x")
+        with pytest.raises(QueryError):
+            a.retrieve_element_at(5)
+        with pytest.raises(QueryError):
+            a.insert_element_at("q", 9)
+
+    def test_resize_grow_and_truncate(self):
+        a = OdmgArray("ab")
+        a.resize(4, filler="-")
+        assert list(a) == ["a", "b", "-", "-"]
+        a.resize(1)
+        assert list(a) == ["a"]
+        with pytest.raises(QueryError):
+            a.resize(-1)
+
+    def test_snapshots_are_persistent(self):
+        a = OdmgArray("abc")
+        snapshot = a.as_aqua_list()
+        a.replace_element_at("Z", 0)
+        assert snapshot.values() == ["a", "b", "c"]
+
+    def test_aqua_patterns_apply(self):
+        """§8's punchline: AQUA's predicates over the ODMG interface."""
+        melody = OdmgArray([note(p) for p in "GACDFB"])
+        matches = melody.sub_select("[A??F]", resolver=by_pitch)
+        assert len(matches) == 1

@@ -1,0 +1,65 @@
+"""Integration: queries over compositions of bulk types (§1's set[tree])."""
+
+from repro.algebra import sub_select, sub_select_list
+from repro.core import AquaSet, AquaList, AquaTree, make_tuple
+from repro.workloads import by_pitch, random_document, song_with_melody
+
+
+class TestSetOfLists:
+    def setup_method(self):
+        self.catalog = AquaSet(
+            song_with_melody(30, ["A", "C", "D", "F"], occurrences=i % 2, seed=i)
+            for i in range(6)
+        )
+
+    def test_select_with_list_pattern_inside(self):
+        def has_melody(song):
+            return bool(sub_select_list("[A??F]", song, resolver=by_pitch))
+
+        hits = self.catalog.select(has_melody)
+        assert len(hits) == 3  # seeds 1, 3, 5 planted one occurrence
+
+    def test_apply_builds_tuples(self):
+        counts = self.catalog.apply(
+            lambda song: len(sub_select_list("[A??F]", song, resolver=by_pitch))
+        )
+        assert sorted(counts) == [0, 1]
+
+    def test_fold_totals(self):
+        total = self.catalog.fold(
+            lambda acc, song: acc
+            + len(sub_select_list("[A??F]", song, resolver=by_pitch)),
+            0,
+        )
+        assert total == 3
+
+
+class TestSetOfTrees:
+    def test_tree_queries_inside_set_operators(self):
+        library = AquaSet(random_document(sections=4, seed=s) for s in range(4))
+        sizes = library.apply(lambda d: d.size())
+        assert len(sizes) >= 1
+        big = library.select(lambda d: d.size() > 10)
+        assert all(d.size() > 10 for d in big)
+
+
+class TestListOfTrees:
+    def test_split_descendants_are_a_list_of_trees(self):
+        """z in split is itself a composition: List[Tree]."""
+        from repro.algebra import split_pieces
+        from repro.core import parse_tree
+
+        tree = parse_tree("r(d(x y z))")
+        (piece,) = split_pieces("d", tree)
+        assert isinstance(piece.descendants, AquaList)
+        assert all(isinstance(t, AquaTree) for t in piece.descendants.values())
+        assert len(piece.descendants) == 3
+
+    def test_tuple_of_mixed_bulk_types(self):
+        from repro.algebra import split
+        from repro.core import parse_tree
+
+        tree = parse_tree("r(d(x))")
+        (result,) = split("d", lambda x, y, z: make_tuple(x, y, z), tree)
+        assert isinstance(result[0], AquaTree)
+        assert isinstance(result[2], AquaList)

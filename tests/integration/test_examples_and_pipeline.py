@@ -1,0 +1,68 @@
+"""Integration: examples run clean; optimizer pipeline preserves semantics."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.identity import Record
+from repro.optimizer import Optimizer
+from repro.predicates.alphabet import attr
+from repro.query import Q, evaluate
+from repro.storage import Database
+from repro.workloads import (
+    by_citizen_or_name,
+    by_pitch,
+    random_family_tree,
+    song_with_melody,
+)
+
+EXAMPLES = sorted((Path(__file__).resolve().parents[2] / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(example, capsys):
+    runpy.run_path(str(example), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out  # every example narrates its steps
+
+
+class TestOptimizedPipelines:
+    def test_tree_pipeline(self):
+        db = Database()
+        db.bind_root("family", random_family_tree(400, seed=3, planted_matches=4))
+        query = Q.root("family").sub_select(
+            "Brazil(!?* USA !?*)", resolver=by_citizen_or_name
+        )
+        plan, trace = Optimizer(db).optimize(query.build())
+        assert evaluate(plan, db) == query.run(db)
+        assert trace.final_cost <= trace.initial_cost
+
+    def test_list_pipeline(self):
+        db = Database()
+        db.bind_root("song", song_with_melody(300, ["A", "C", "E", "F"], 3, seed=5))
+        query = Q.root("song").lsub_select("[A??F]", resolver=by_pitch)
+        plan, _ = Optimizer(db).optimize(query.build())
+        assert evaluate(plan, db) == query.run(db)
+
+    def test_set_pipeline_counters_improve(self):
+        db = Database()
+        db.insert_many(
+            [Record(name=f"p{i}", age=i % 50, city=f"C{i % 25}") for i in range(1000)],
+            "Person",
+        )
+        db.create_index("Person", "city")
+        query = (
+            Q.extent("Person")
+            .sselect(attr("age") > 40)
+            .sselect(attr("city") == "C7")
+            .build()
+        )
+        naive = evaluate(query, db)
+        naive_evals = db.stats["predicate_evals"]
+        db.stats.reset()
+        plan, _ = Optimizer(db).optimize(query)
+        optimized = evaluate(plan, db)
+        assert optimized == naive
+        assert db.stats["predicate_evals"] < naive_evals

@@ -1,0 +1,23 @@
+"""Smoke test: the experiment harness's figure rows run and verify."""
+
+import benchmarks.harness as harness
+
+
+def test_figure_experiments_run(capsys):
+    for experiment in (harness.fig1, harness.fig2, harness.fig3, harness.fig4):
+        experiment()
+    out = capsys.readouterr().out
+    assert "FIG1" in out and "FIG4" in out
+    assert "True" in out
+
+
+def test_claim_listtree_row(capsys):
+    harness.claim_list_tree()
+    out = capsys.readouterr().out
+    assert "same answers" in out
+
+
+def test_timed_returns_best_of_repeats():
+    elapsed, value = harness.timed(lambda: 42, repeat=2)
+    assert value == 42
+    assert elapsed >= 0.0

@@ -1,0 +1,112 @@
+"""Tests for the ``python -m repro`` AQL shell."""
+
+import json
+
+import pytest
+
+from repro.__main__ import Shell, demo_database, main, render
+from repro.core import AquaSet, parse_list, parse_tree
+
+
+@pytest.fixture()
+def shell():
+    return Shell()
+
+
+class TestShellCommands:
+    def test_roots(self, shell):
+        assert set(shell.execute("\\roots").split()) == {"family", "song", "plan"}
+
+    def test_extents_empty(self, shell):
+        assert shell.execute("\\extents") == "(no extents)"
+
+    def test_help(self, shell):
+        assert "\\load" in shell.execute("\\help")
+
+    def test_unknown_command(self, shell):
+        assert "unknown command" in shell.execute("\\bogus")
+
+    def test_blank_line(self, shell):
+        assert shell.execute("   ") == ""
+
+    def test_quit_raises_system_exit(self, shell):
+        with pytest.raises(SystemExit):
+            shell.execute("\\quit")
+
+    def test_stats_after_query(self, shell):
+        shell.execute('root song | lsub_select "[A??F]" by pitch')
+        assert "predicate_evals" in shell.execute("\\stats") or shell.execute("\\stats")
+
+
+class TestShellQueries:
+    def test_aql_query_renders_results(self, shell):
+        out = shell.execute('root family | sub_select "Brazil(!?* USA !?*)" by citizen')
+        assert "1 result(s)" in out
+        assert "Mat(Ed)" in out
+
+    def test_melody_query(self, shell):
+        out = shell.execute('root song | lsub_select "[A??F]" by pitch')
+        assert "2 result(s)" in out
+
+    def test_error_reported_not_raised(self, shell):
+        out = shell.execute("root missing | sub_select 'd'")
+        assert out.startswith("error:")
+
+    def test_explain_command(self, shell):
+        out = shell.execute('\\explain root family | sub_select "Brazil(?*)" by citizen')
+        assert "Physical plan" in out
+
+    def test_noopt_command(self, shell):
+        out = shell.execute('\\noopt root song | lsub_select "[A??F]" by pitch')
+        assert "2 result(s)" in out
+
+
+class TestPersistenceCommands:
+    def test_save_and_load(self, shell, tmp_path):
+        path = tmp_path / "db.json"
+        assert "saved" in shell.execute(f"\\save {path}")
+        fresh = Shell()
+        assert "loaded" in fresh.execute(f"\\load {path}")
+        out = fresh.execute('root family | sub_select "Brazil(!?* USA !?*)" by citizen')
+        assert "1 result(s)" in out
+
+    def test_load_missing_file_is_error(self, shell):
+        assert shell.execute("\\load /nope/nothing.json").startswith("error:")
+
+
+class TestRender:
+    def test_tree_rendering_uses_domain_labels(self):
+        assert render(demo_database().root("family")).startswith("Maria(")
+
+    def test_list_rendering(self):
+        assert render(parse_list("[abc]")) == "[abc]"
+
+    def test_empty_set(self):
+        assert render(AquaSet()) == "{0 results}"
+
+    def test_scalar(self):
+        assert render(42) == "42"
+
+
+class TestMainEntry:
+    def test_one_shot_command(self, capsys):
+        code = main(["-c", 'root family | select {citizen = "USA"}'])
+        assert code == 0
+        assert "result" in capsys.readouterr().out
+
+    def test_one_shot_explain(self, capsys):
+        code = main(["--explain", "-c", 'root song | lsub_select "[A??F]" by pitch'])
+        assert code == 0
+        assert "Physical plan" in capsys.readouterr().out
+
+    def test_db_flag(self, tmp_path, capsys):
+        from repro.storage import Database
+        from repro.storage.serialize import dump_database
+
+        db = Database()
+        db.bind_root("T", parse_tree("a(bc)"))
+        path = tmp_path / "db.json"
+        path.write_text(json.dumps(dump_database(db)))
+        code = main(["--db", str(path), "-c", 'root T | sub_select "b"'])
+        assert code == 0
+        assert "1 result(s)" in capsys.readouterr().out

@@ -1,0 +1,235 @@
+"""Tests for the rewrite rules, cost model and engine."""
+
+import pytest
+
+from repro.core import parse_list, parse_tree
+from repro.core.identity import Record
+from repro.errors import OptimizerError
+from repro.optimizer.cost import CostModel, list_pattern_cost, tree_pattern_cost
+from repro.optimizer.engine import Optimizer, Region, optimize
+from repro.optimizer.rules import (
+    ConjunctDecompositionRule,
+    ListAnchorIndexRule,
+    SetSelectFusionRule,
+    SubSelectIndexRule,
+)
+from repro.patterns.list_parser import parse_list_pattern
+from repro.patterns.tree_parser import parse_tree_pattern
+from repro.predicates.alphabet import attr, pred, sym
+from repro.query import Q, evaluate
+from repro.query import expr as E
+from repro.storage import Database
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.bind_root("T", parse_tree("r(d(e(h i) j) s(d(e(h i) j) k) d(x))"))
+    database.bind_root("song", parse_list("[gaxyfbacdfe]"))
+    database.insert_many(
+        [Record(name=f"p{i}", age=i % 50, city=f"C{i % 10}") for i in range(100)],
+        "Person",
+    )
+    return database
+
+
+class TestSubSelectIndexRule:
+    def test_rewrites_to_physical(self, db):
+        rule = SubSelectIndexRule()
+        node = Q.root("T").sub_select("d(e(h i) j)").build()
+        rewritten = rule.apply(node, db)
+        assert isinstance(rewritten, E.IndexedSubSelect)
+        assert [a.describe() for a in rewritten.anchors] == ["x = 'd'"]
+
+    def test_union_pattern_gets_multiple_anchors(self, db):
+        node = Q.root("T").sub_select("d(x) | k").build()
+        rewritten = SubSelectIndexRule().apply(node, db)
+        assert rewritten is not None
+        assert len(rewritten.anchors) == 2
+
+    def test_skips_root_anchored_patterns(self, db):
+        node = Q.root("T").sub_select("^d(x)").build()
+        assert SubSelectIndexRule().apply(node, db) is None
+
+    def test_skips_unusable_roots(self, db):
+        node = E.SubSelect(
+            E.Root("T"),
+            pattern=parse_tree_pattern("[[d(@)]]*@"),  # star root: unknown
+        )
+        assert SubSelectIndexRule().apply(node, db) is None
+
+    def test_skips_opaque_anchor(self, db):
+        from repro.patterns.tree_ast import TreeAtom, TreePattern
+
+        node = E.SubSelect(
+            E.Root("T"), pattern=TreePattern(TreeAtom(pred(lambda v: True), None))
+        )
+        assert SubSelectIndexRule().apply(node, db) is None
+
+    def test_semantics_preserved(self, db):
+        node = Q.root("T").sub_select("d(e(h i) j)").build()
+        rewritten = SubSelectIndexRule().apply(node, db)
+        assert evaluate(node, db) == evaluate(rewritten, db)
+
+
+class TestListAnchorIndexRule:
+    def test_picks_first_atom(self, db):
+        node = Q.root("song").lsub_select("[a??f]").build()
+        rewritten = ListAnchorIndexRule().apply(node, db)
+        assert isinstance(rewritten, E.IndexedListSubSelect)
+        assert rewritten.offsets == (0,)
+
+    def test_anchor_after_star_skipped(self, db):
+        # Unbounded prefix before the atom: offsets unknown.
+        node = Q.root("song").lsub_select("[?* a]").build()
+        rewritten = ListAnchorIndexRule().apply(node, db)
+        assert rewritten is None
+
+    def test_anchor_after_bounded_prefix(self, db):
+        node = Q.root("song").lsub_select("[? a]").build()
+        rewritten = ListAnchorIndexRule().apply(node, db)
+        assert rewritten is not None
+        assert rewritten.offsets == (1,)
+        assert rewritten.anchor.describe() == "x = 'a'"
+
+    def test_semantics_preserved(self, db):
+        node = Q.root("song").lsub_select("[a??f]").build()
+        rewritten = ListAnchorIndexRule().apply(node, db)
+        assert evaluate(node, db) == evaluate(rewritten, db)
+
+    def test_no_indexable_atom(self, db):
+        node = Q.root("song").lsub_select("[??]").build()
+        assert ListAnchorIndexRule().apply(node, db) is None
+
+
+class TestConjunctDecomposition:
+    def test_rewrites_with_residual(self, db):
+        db.create_index("Person", "city")
+        node = Q.extent("Person").sselect(
+            (attr("age") > 40) & (attr("city") == "C3")
+        ).build()
+        rewritten = ConjunctDecompositionRule().apply(node, db)
+        assert isinstance(rewritten, E.IndexedSetSelect)
+        assert rewritten.indexed.describe() == "x.city = 'C3'"
+        assert rewritten.residual is not None
+
+    def test_all_conjuncts_indexed_leaves_no_residual(self, db):
+        db.create_index("Person", "city")
+        node = Q.extent("Person").sselect(attr("city") == "C3").build()
+        rewritten = ConjunctDecompositionRule().apply(node, db)
+        assert rewritten.residual is None
+
+    def test_no_index_no_rewrite(self, db):
+        node = Q.extent("Person").sselect(attr("city") == "C3").build()
+        assert ConjunctDecompositionRule().apply(node, db) is None
+
+    def test_only_on_extent_inputs(self, db):
+        db.create_index("Person", "city")
+        node = (
+            Q.extent("Person")
+            .sselect(attr("age") > 40)
+            .sselect(attr("city") == "C3")
+            .build()
+        )
+        assert ConjunctDecompositionRule().apply(node, db) is None
+
+    def test_semantics_preserved(self, db):
+        db.create_index("Person", "city")
+        node = Q.extent("Person").sselect(
+            (attr("age") > 40) & (attr("city") == "C3")
+        ).build()
+        rewritten = ConjunctDecompositionRule().apply(node, db)
+        assert evaluate(node, db) == evaluate(rewritten, db)
+
+
+class TestFusion:
+    def test_cascaded_selects_fuse(self, db):
+        node = (
+            Q.extent("Person")
+            .sselect(attr("age") > 40)
+            .sselect(attr("city") == "C3")
+            .build()
+        )
+        fused = SetSelectFusionRule().apply(node, db)
+        assert isinstance(fused, E.SetSelect)
+        assert isinstance(fused.input, E.Extent)
+        assert len(fused.predicate.conjuncts()) == 2
+
+    def test_fusion_enables_decomposition(self, db):
+        db.create_index("Person", "city")
+        node = (
+            Q.extent("Person")
+            .sselect(attr("age") > 40)
+            .sselect(attr("city") == "C3")
+            .build()
+        )
+        plan, trace = Optimizer(db).optimize(node)
+        assert isinstance(plan, E.IndexedSetSelect)
+        assert len(trace.steps) == 2
+        assert evaluate(plan, db) == evaluate(node, db)
+
+
+class TestEngine:
+    def test_end_to_end_tree_plan(self, db):
+        query = Q.root("T").sub_select("d(e(h i) j)").build()
+        plan, trace = Optimizer(db).optimize(query)
+        assert isinstance(plan, E.IndexedSubSelect)
+        assert trace.final_cost < trace.initial_cost
+
+    def test_cost_gate_rejects_regressions(self, db):
+        # With an absurd probe cost the physical plan prices worse; gate on.
+        import repro.optimizer.cost as cost_module
+
+        original = cost_module.PROBE_COST
+        cost_module.PROBE_COST = 10_000_000.0
+        try:
+            query = Q.root("T").sub_select("d(e(h i) j)").build()
+            plan, _ = Optimizer(db).optimize(query)
+            assert isinstance(plan, E.SubSelect)
+        finally:
+            cost_module.PROBE_COST = original
+
+    def test_gate_can_be_disabled(self, db):
+        query = Q.root("T").sub_select("d(e(h i) j)").build()
+        plan, _ = Optimizer(db, cost_gate=False).optimize(query)
+        assert isinstance(plan, E.IndexedSubSelect)
+
+    def test_invalid_region_strategy(self):
+        with pytest.raises(OptimizerError):
+            Region("x", [], strategy="bogus")
+
+    def test_optimize_convenience(self, db):
+        plan = optimize(Q.root("song").lsub_select("[a??f]").build(), db)
+        assert isinstance(plan, E.IndexedListSubSelect)
+
+    def test_trace_is_readable(self, db):
+        _, trace = Optimizer(db).optimize(Q.root("T").sub_select("d(x)").build())
+        assert "sub_select→indexed" in repr(trace)
+
+
+class TestCostModel:
+    def test_pattern_costs_scale_with_closures(self):
+        flat = tree_pattern_cost(parse_tree_pattern("a(b c)"))
+        closed = tree_pattern_cost(parse_tree_pattern("a(b* c)"))
+        assert closed > flat
+
+    def test_list_pattern_cost(self):
+        assert list_pattern_cost(parse_list_pattern("[ab]")) == 2.0
+        assert list_pattern_cost(parse_list_pattern("[a*b]")) == 4.0
+
+    def test_input_size_resolves_roots(self, db):
+        model = CostModel(db)
+        assert model.input_size(E.Root("T")) == 15.0
+        assert model.input_size(E.Root("song")) == 11.0
+        assert model.input_size(E.Extent("Person")) == 100.0
+
+    def test_anchor_selectivity_from_index(self, db):
+        model = CostModel(db)
+        selectivity = model.anchor_selectivity(E.Root("T"), sym("d"))
+        assert 0 < selectivity < 0.5
+
+    def test_indexed_plan_costs_less(self, db):
+        model = CostModel(db)
+        logical = Q.root("T").sub_select("d(e(h i) j)").build()
+        physical = SubSelectIndexRule().apply(logical, db)
+        assert model.cost(physical) < model.cost(logical)

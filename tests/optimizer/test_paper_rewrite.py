@@ -1,0 +1,83 @@
+"""Tests for the §4 rewrite written verbatim as expressions."""
+
+import pytest
+
+from repro.core import parse_tree
+from repro.optimizer import Optimizer, paper_split_rewrite
+from repro.query import Q, evaluate
+from repro.query import expr as E
+from repro.storage import Database
+from repro.workloads import by_citizen_or_name, figure3_family_tree, random_labeled_tree
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.bind_root("T", parse_tree("r(d(e(h i) j) s(d(e(h i) j) k) d(x))"))
+    return database
+
+
+class TestPaperSplitRewrite:
+    def test_shape_is_flatten_apply_split(self, db):
+        query = Q.root("T").sub_select("d(e(h i) j)").build()
+        rewritten = paper_split_rewrite(query)
+        assert isinstance(rewritten, E.SetFlatten)
+        assert isinstance(rewritten.input, E.SetApply)
+        assert isinstance(rewritten.input.input, E.Split)
+
+    def test_equivalence_on_figure_tree(self, db):
+        query = Q.root("T").sub_select("d(e(h i) j)").build()
+        rewritten = paper_split_rewrite(query)
+        assert evaluate(rewritten, db) == evaluate(query, db)
+
+    def test_equivalence_on_family_tree(self):
+        db = Database()
+        db.bind_root("family", figure3_family_tree())
+        query = Q.root("family").sub_select(
+            "Brazil(!?* USA !?*)", resolver=by_citizen_or_name
+        ).build()
+        rewritten = paper_split_rewrite(query)
+        assert rewritten is not None
+        assert evaluate(rewritten, db) == evaluate(query, db)
+
+    def test_equivalence_on_random_trees(self):
+        db = Database()
+        for seed in range(5):
+            tree = random_labeled_tree(60, "defgh", seed=seed)
+            db.rebind_root("R", tree) if "R" in db.roots() else db.bind_root("R", tree)
+            query = Q.root("R").sub_select("d(?*)").build()
+            rewritten = paper_split_rewrite(query)
+            assert evaluate(rewritten, db) == evaluate(query, db)
+
+    def test_none_for_unusable_roots(self, db):
+        from repro.patterns.tree_parser import parse_tree_pattern
+
+        query = E.SubSelect(E.Root("T"), pattern=parse_tree_pattern("[[d(@)]]*@"))
+        assert paper_split_rewrite(query) is None
+
+    def test_none_for_union_roots(self, db):
+        query = Q.root("T").sub_select("d | k").build()
+        assert paper_split_rewrite(query) is None
+
+    def test_agrees_with_fused_physical_plan(self, db):
+        query = Q.root("T").sub_select("d(e(h i) j)").build()
+        physical, _ = Optimizer(db).optimize(query)
+        literal = paper_split_rewrite(query)
+        assert evaluate(literal, db) == evaluate(physical, db)
+
+
+class TestSetFlatten:
+    def test_flatten_unions_members(self, db):
+        from repro.core import AquaSet
+
+        nested = AquaSet([AquaSet([1, 2]), AquaSet([2, 3])])
+        result = evaluate(E.SetFlatten(E.Literal(nested)), db)
+        assert sorted(result) == [1, 2, 3]
+
+    def test_flatten_rejects_non_sets(self, db):
+        from repro.core import AquaSet
+        from repro.errors import QueryError
+
+        nested = AquaSet([1])
+        with pytest.raises(QueryError):
+            evaluate(E.SetFlatten(E.Literal(nested)), db)

@@ -1,0 +1,74 @@
+"""Tests for the IndexedSplit rule — §4's literal sentence about split."""
+
+import pytest
+
+from repro.core import make_tuple, parse_tree
+from repro.optimizer import Optimizer, SplitIndexRule
+from repro.query import Q, evaluate
+from repro.query import expr as E
+from repro.storage import Database
+from repro.workloads import by_citizen_or_name, random_family_tree
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.bind_root("T", parse_tree("r(d(x) s(d(y)) d(z))"))
+    database.bind_root(
+        "family", random_family_tree(300, seed=4, planted_matches=3)
+    )
+    return database
+
+
+def piece_summary(x, y, z):
+    return (x.size(), y.size(), len(z.values()))
+
+
+class TestSplitIndexRule:
+    def test_rewrites_split(self, db):
+        node = Q.root("T").split("d", piece_summary).build()
+        rewritten = SplitIndexRule().apply(node, db)
+        assert isinstance(rewritten, E.IndexedSplit)
+        assert rewritten.function is piece_summary
+
+    def test_skips_anchored(self, db):
+        node = Q.root("T").split("^d", piece_summary).build()
+        assert SplitIndexRule().apply(node, db) is None
+
+    def test_skips_unusable_root(self, db):
+        from repro.patterns.tree_parser import parse_tree_pattern
+
+        node = E.Split(
+            E.Root("T"),
+            pattern=parse_tree_pattern("[[d(@)]]*@"),
+            function=piece_summary,
+        )
+        assert SplitIndexRule().apply(node, db) is None
+
+    def test_semantics_preserved(self, db):
+        node = Q.root("T").split("d", piece_summary).build()
+        rewritten = SplitIndexRule().apply(node, db)
+        assert evaluate(node, db) == evaluate(rewritten, db)
+
+    def test_family_tree_split_through_optimizer(self, db):
+        query = Q.root("family").split(
+            "Brazil(!?* USA !?*)",
+            lambda x, y, z: make_tuple(y, len(z.values())),
+            resolver=by_citizen_or_name,
+        ).build()
+        plan, trace = Optimizer(db).optimize(query)
+        assert isinstance(plan, E.IndexedSplit)
+        assert evaluate(plan, db) == evaluate(query, db)
+        assert trace.final_cost < trace.initial_cost
+
+    def test_indexed_split_counters(self, db):
+        query = Q.root("family").split(
+            "Brazil(!?* USA !?*)",
+            lambda x, y, z: y.size(),
+            resolver=by_citizen_or_name,
+        ).build()
+        plan, _ = Optimizer(db).optimize(query)
+        db.stats.reset()
+        evaluate(plan, db)
+        assert db.stats["index_probes"] >= 1
+        assert db.stats["index_candidates"] < 300 / 10

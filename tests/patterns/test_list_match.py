@@ -1,0 +1,112 @@
+"""Tests for the backtracking list matcher (spans, prunes, anchors)."""
+
+from repro.patterns.list_match import find_list_matches, find_spans, matches_whole
+from repro.patterns.list_parser import parse_list_pattern
+
+
+def spans(pattern_text, values):
+    return find_spans(parse_list_pattern(pattern_text), list(values))
+
+
+class TestSpans:
+    def test_melody(self):
+        assert spans("[A??F]", "GAXYFBACDFE") == [(1, 5), (6, 10)]
+
+    def test_single_atom(self):
+        assert spans("[a]", "aba") == [(0, 1), (2, 3)]
+
+    def test_empty_pattern_matches_everywhere(self):
+        assert spans("[a*]", "bb") == [(0, 0), (1, 1), (2, 2)]
+
+    def test_star_growth(self):
+        assert spans("[a+]", "aa") == [(0, 1), (0, 2), (1, 2)]
+
+    def test_union(self):
+        assert spans("[[[ab|ba]]]", "aba") == [(0, 2), (1, 3)]
+
+    def test_overlapping_matches_reported(self):
+        assert spans("[a?a]", "aaaa") == [(0, 3), (1, 4)]
+
+    def test_no_match(self):
+        assert spans("[z]", "abc") == []
+
+    def test_empty_input(self):
+        assert spans("[a*]", "") == [(0, 0)]
+        assert spans("[a]", "") == []
+
+
+class TestAnchors:
+    def test_start_anchor(self):
+        assert spans("^[ab]", "abab") == [(0, 2)]
+
+    def test_end_anchor(self):
+        assert spans("[ab]$", "abab") == [(2, 4)]
+
+    def test_both_anchors(self):
+        assert spans("^[a*]$", "aaa") == [(0, 3)]
+        assert spans("^[ab]$", "abab") == []
+
+
+class TestStartsRestriction:
+    def test_starts_limit_candidates(self):
+        p = parse_list_pattern("[a]")
+        ms = find_list_matches(p, list("aaa"), starts=[1])
+        assert [m.span for m in ms] == [(1, 2)]
+
+    def test_starts_respect_start_anchor(self):
+        p = parse_list_pattern("^[a]")
+        assert find_list_matches(p, list("aa"), starts=[1]) == []
+
+    def test_limit(self):
+        p = parse_list_pattern("[a]")
+        assert len(find_list_matches(p, list("aaaa"), limit=2)) == 2
+
+
+class TestPrunes:
+    def test_single_prune_run(self):
+        p = parse_list_pattern("[x !?* y]")
+        (m,) = find_list_matches(p, list("xaaby"))
+        assert m.kept == (0, 4)
+        assert m.pruned_runs == ((1, 2, 3),)
+
+    def test_zero_length_prune_run(self):
+        p = parse_list_pattern("[x !?* y]")
+        ms = find_list_matches(p, list("xy"))
+        assert [(m.kept, m.pruned_runs) for m in ms] == [((0, 1), ())]
+
+    def test_two_separate_prunes(self):
+        p = parse_list_pattern("[x !? y !? z]")
+        (m,) = find_list_matches(p, list("xaybz"))
+        assert m.kept == (0, 2, 4)
+        assert m.pruned_runs == ((1,), (3,))
+
+    def test_adjacent_prune_activations_stay_separate(self):
+        p = parse_list_pattern("[x !? !? y]")
+        (m,) = find_list_matches(p, list("xaby"))
+        assert m.pruned_runs == ((1,), (2,))
+
+    def test_repeated_prune_inside_star(self):
+        # Each iteration's prune is its own activation (its own run).
+        p = parse_list_pattern("[[[!? k]]+]")
+        ms = find_list_matches(p, list("akbk"))
+        full = [m for m in ms if m.span == (0, 4)]
+        assert any(m.pruned_runs == ((0,), (2,)) for m in full)
+
+    def test_prune_structure_distinguishes_matches(self):
+        # Same span, different prunings → distinct matches.
+        p = parse_list_pattern("[!a* a*]")
+        ms = find_list_matches(p, list("aa"))
+        full_span = [m for m in ms if m.span == (0, 2)]
+        assert len(full_span) == 3  # prune 0, 1 or 2 leading a's
+
+
+class TestWholeMatch:
+    def test_matches_whole(self):
+        p = parse_list_pattern("[d[[ac]]*b]")
+        assert matches_whole(p, list("dacacb"))
+        assert matches_whole(p, list("db"))
+        assert not matches_whole(p, list("dacac"))
+
+    def test_whole_ignores_float_anchors(self):
+        p = parse_list_pattern("[a]")
+        assert not matches_whole(p, list("ba"))

@@ -1,0 +1,66 @@
+"""Tests for the memoized span engine and its interplay with prunes."""
+
+import time
+
+from repro.patterns.list_match import find_list_matches, find_spans, matches_whole
+from repro.patterns.list_parser import parse_list_pattern
+
+
+class TestSpanMatcher:
+    def test_ambiguous_star_is_polynomial(self):
+        """(a|?)* over a^30: 2^30 derivations, but spans come back fast."""
+        pattern = parse_list_pattern("[[[a|?]]*]")
+        values = ["a"] * 30
+        start = time.perf_counter()
+        spans = find_spans(pattern, values)
+        elapsed = time.perf_counter() - start
+        assert (0, 30) in spans
+        assert elapsed < 1.0
+
+    def test_prune_free_matches_are_span_determined(self):
+        """A prune-free pattern yields one match per span, all kept."""
+        pattern = parse_list_pattern("[[[a|?]]+]")
+        matches = find_list_matches(pattern, list("aa"))
+        by_span = {(m.start, m.end) for m in matches}
+        assert len(matches) == len(by_span)
+        assert all(m.pruned_runs == () for m in matches)
+        assert all(m.kept == tuple(range(m.start, m.end)) for m in matches)
+
+    def test_pruned_segment_is_one_run(self):
+        """A prune over an ambiguous inner prunes the whole segment once
+        per span — derivations inside the prune are irrelevant."""
+        pattern = parse_list_pattern("[x ![[a|?]]* y]")
+        matches = [
+            m for m in find_list_matches(pattern, list("xaay")) if m.span == (0, 4)
+        ]
+        assert len(matches) == 1
+        assert matches[0].pruned_runs == ((1, 2),)
+
+    def test_star_of_prune_still_enumerates_partitions(self):
+        """Structure *above* prunes still backtracks: each iteration of
+        the star is its own prune activation."""
+        pattern = parse_list_pattern("[[[!a]]*]")
+        matches = [
+            m for m in find_list_matches(pattern, list("aa")) if m.span == (0, 2)
+        ]
+        runs = {m.pruned_runs for m in matches}
+        assert ((0,), (1,)) in runs  # two activations
+        assert ((0, 1),) not in runs or len(runs) >= 1
+
+    def test_spans_with_starts_restriction(self):
+        pattern = parse_list_pattern("[a]")
+        assert find_spans(pattern, list("aaa"), starts=[1]) == [(1, 2)]
+
+    def test_matches_whole_uses_span_engine(self):
+        pattern = parse_list_pattern("[[[a|?]]*]")
+        assert matches_whole(pattern, ["a"] * 200)
+
+    def test_empty_sequence(self):
+        pattern = parse_list_pattern("[a*]")
+        assert find_spans(pattern, []) == [(0, 0)]
+        assert matches_whole(pattern, [])
+
+    def test_anchors_respected(self):
+        pattern = parse_list_pattern("^[a+]$")
+        assert find_spans(pattern, list("aa")) == [(0, 2)]
+        assert find_spans(pattern, list("ab")) == []

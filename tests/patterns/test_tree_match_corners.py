@@ -1,0 +1,153 @@
+"""Corner cases of the tree matcher: bindings, guards, degenerate closures."""
+
+import pytest
+
+from repro.core import parse_tree
+from repro.core.concat import alpha
+from repro.errors import PatternError
+from repro.patterns.tree_ast import (
+    PointAtom,
+    TreeAtom,
+    TreeConcat,
+    TreePattern,
+    TreeStar,
+    TreeUnion,
+)
+from repro.patterns.tree_match import find_tree_matches, tree_in_language
+from repro.patterns.tree_parser import parse_tree_pattern
+from repro.predicates.alphabet import ANY, SymbolEquals
+
+
+def matches(pattern_text, tree_text, **kwargs):
+    return find_tree_matches(
+        parse_tree_pattern(pattern_text), parse_tree(tree_text), **kwargs
+    )
+
+
+class TestDegenerateClosures:
+    def test_star_of_point_terminates(self):
+        """[[@]]*@ — the pathological self-referential closure must not
+        loop; the guard collapses repeated expansions."""
+        pattern = TreePattern(TreeStar(PointAtom(alpha()), alpha()))
+        result = find_tree_matches(pattern, parse_tree("a(b)"))
+        assert isinstance(result, list)  # terminated; content immaterial
+
+    def test_concat_binding_to_self_point(self):
+        """tp ∘α α — the continuation is the point itself."""
+        pattern = TreePattern(
+            TreeConcat(TreeAtom(SymbolEquals("a"), None), alpha(), PointAtom(alpha()))
+        )
+        assert find_tree_matches(pattern, parse_tree("a(b)"))
+
+    def test_nested_stars_different_points(self):
+        pattern = parse_tree_pattern("[[x([[y(@2)]]*@2 .@2 @1)]]*@1 .@1 z")
+        assert tree_in_language(pattern, parse_tree("z"))
+        assert tree_in_language(pattern, parse_tree("x(z)"))
+        assert tree_in_language(pattern, parse_tree("x(y(z))"))
+        assert tree_in_language(pattern, parse_tree("x(y(y(x(z))))"))
+        assert not tree_in_language(pattern, parse_tree("y(z)"))
+
+    def test_star_with_shared_point_label(self):
+        """An outer concat and an inner star share the label α: the
+        star's exit must see the outer continuation (z)."""
+        pattern = parse_tree_pattern("[[s(@)]]*@ .@ z")
+        assert tree_in_language(pattern, parse_tree("z"))
+        assert tree_in_language(pattern, parse_tree("s(s(z))"))
+        assert not tree_in_language(pattern, parse_tree("s(s(q))"))
+
+
+class TestPointAtoms:
+    def test_unbound_point_matches_literal_null_in_data(self):
+        result = matches("a(@7)", "a(@7)")
+        assert len(result) == 1
+        assert not result[0].pruned_nodes()
+
+    def test_unbound_point_is_deletable(self):
+        # a(@7) also matches a childless a: the point closes with nil.
+        assert matches("a(@7)", "a") != []
+
+    def test_unbound_point_does_not_match_elements(self):
+        assert matches("a(@7)", "a(b)") == []
+
+    def test_bound_point_ignores_literal_nulls(self):
+        pattern = parse_tree_pattern("a(@1) .@1 b")
+        assert not tree_in_language(pattern, parse_tree("a(@1)"))
+        assert tree_in_language(pattern, parse_tree("a(b)"))
+
+
+class TestLeafAnchorInteractions:
+    def test_leaf_anchor_with_explicit_children(self):
+        assert matches("a(b)$", "r(a(b))") != []
+        assert matches("a(b)$", "r(a(b(c)))") == []
+
+    def test_leaf_anchor_with_sibling_star(self):
+        assert matches("a(b*)$", "r(a(bb))") != []
+        assert matches("a(b*)$", "r(a(b(c)))") == []
+
+    def test_leaf_anchor_allows_explicit_prunes(self):
+        result = matches("a(!? b)$", "r(a(x(deep) b))")
+        assert len(result) == 1
+
+
+class TestUnionCorners:
+    def test_union_of_identical_alternatives_dedupes(self):
+        pattern = TreePattern(
+            TreeUnion([TreeAtom(SymbolEquals("a"), None), TreeAtom(SymbolEquals("a"), None)])
+        )
+        assert len(find_tree_matches(pattern, parse_tree("a"))) == 1
+
+    def test_union_with_any_overlap(self):
+        # a | ? both match the a node; distinct shapes dedupe.
+        result = matches("a | ?", "a")
+        assert len(result) == 1
+
+    def test_union_inside_children(self):
+        assert matches("x(a | b)", "x(a)") != []
+        assert matches("x(a | b)", "x(b)") != []
+        assert matches("x(a | b)", "x(c)") == []
+
+
+class TestChildSequenceCorners:
+    def test_empty_children_vs_bare(self):
+        # a() demands a leaf; bare a absorbs children as descendants.
+        assert matches("a()", "a(b)") == []
+        assert len(matches("a", "a(b)")) == 1
+
+    def test_plus_requires_one(self):
+        assert matches("a(b+)", "a()") == []
+        assert matches("a(b+)", "a") == []
+
+    def test_trailing_star_absorbs_nothing_and_everything(self):
+        assert matches("a(b ?*)", "a(b)") != []
+        assert matches("a(b ?*)", "a(b c d e)") != []
+        assert matches("a(b ?*)", "a(c)") == []
+
+    def test_star_between_atoms(self):
+        assert matches("a(b ?* c)", "a(bc)") != []
+        assert matches("a(b ?* c)", "a(b x y c)") != []
+        assert matches("a(b ?* c)", "a(b x y)") == []
+
+    def test_concat_point_label_collision_in_data(self):
+        # Data containing @1 plus a pattern generating α1 prunes: the
+        # generated y uses fresh "1" labels; reassembly stays coherent
+        # because the pieces are built together.
+        from repro.algebra import split_pieces
+
+        tree = parse_tree("r(d(x))")
+        (piece,) = split_pieces("d", tree)
+        assert piece.reassembled() == tree
+
+
+class TestErrorPaths:
+    def test_whole_pattern_prune_rejected(self):
+        with pytest.raises(PatternError):
+            matches("!a", "a")
+
+    def test_limit_short_circuits(self):
+        result = matches("?", "a(bcdefgh)", limit=2)
+        assert len(result) == 2
+
+    def test_empty_data_tree(self):
+        from repro.core import AquaTree
+
+        assert find_tree_matches(parse_tree_pattern("a"), AquaTree.empty()) == []

@@ -1,0 +1,91 @@
+"""Properties: algebraic laws of labeled-NULL concatenation (§3.3, §3.5)."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.aqua_tree import AquaTree, TreeNode
+from repro.core.concat import NIL, ConcatPoint, alpha
+
+from .strategies import labeled_trees
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+
+@st.composite
+def trees_with_point(draw, label: str):
+    """A random tree with one extra leaf carrying the given point."""
+    tree = draw(labeled_trees(max_size=10)).clone()
+    nodes = list(tree.nodes())
+    host = draw(st.sampled_from(nodes))
+    assume(not host.is_concat_point)
+    host.children.append(TreeNode(ConcatPoint(label)))
+    return tree
+
+
+@SETTINGS
+@given(t=trees_with_point("1"), u=labeled_trees(max_size=8))
+def test_concat_consumes_the_point(t, u):
+    result = t.concat(alpha(1), u)
+    assert alpha(1) not in result.concat_points()
+    assert result.size() == t.size() + u.size()
+
+
+@SETTINGS
+@given(t=trees_with_point("1"), u=labeled_trees(max_size=8))
+def test_concat_missing_label_is_identity(t, u):
+    assert t.concat(alpha(9), u) == t
+
+
+@SETTINGS
+@given(t=trees_with_point("1"))
+def test_concat_nil_equals_close_points(t):
+    assert t.concat(alpha(1), NIL) == t.close_points([alpha(1)])
+
+
+@SETTINGS
+@given(
+    t=trees_with_point("1"),
+    u=labeled_trees(max_size=6),
+    v=labeled_trees(max_size=6),
+)
+def test_concat_sequencing_with_disjoint_labels(t, u, v):
+    """``(t ∘α1 u') ∘α2 v == t ∘α1 (u' ∘α2 v)`` when α2 lives in u only."""
+    u_with_point = u.clone()
+    u_with_point.root.children.append(TreeNode(ConcatPoint("2")))
+    left = t.concat(alpha(1), u_with_point).concat(alpha(2), v)
+    right = t.concat(alpha(1), u_with_point.concat(alpha(2), v))
+    assert left == right
+
+
+@SETTINGS
+@given(
+    t=labeled_trees(max_size=8),
+    u=labeled_trees(max_size=6),
+    v=labeled_trees(max_size=6),
+)
+def test_concat_order_irrelevant_for_distinct_points(t, u, v):
+    """Plugging α1 and α2 commutes when both points sit in ``t``."""
+    host = t.clone()
+    host.root.children.append(TreeNode(ConcatPoint("1")))
+    host.root.children.append(TreeNode(ConcatPoint("2")))
+    one_way = host.concat(alpha(1), u).concat(alpha(2), v)
+    other_way = host.concat(alpha(2), v).concat(alpha(1), u)
+    assert one_way == other_way
+
+
+@SETTINGS
+@given(t=trees_with_point("1"))
+def test_close_points_idempotent(t):
+    once = t.close_points()
+    assert once.close_points() == once
+    assert once.concat_points() == []
+
+
+@SETTINGS
+@given(t=labeled_trees(max_size=10))
+def test_clone_equality_and_independence(t):
+    copy = t.clone(fresh_cells=True)
+    assert copy == t
+    # Mutating the copy's structure must not affect the original.
+    copy.root.children.append(TreeNode(ConcatPoint("z")))
+    assert copy != t

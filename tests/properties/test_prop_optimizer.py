@@ -1,0 +1,91 @@
+"""Property: every optimizer rewrite preserves query results."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.identity import Record
+from repro.optimizer import Optimizer
+from repro.predicates.alphabet import attr
+from repro.query import Q, evaluate
+from repro.storage import Database
+from repro.workloads import (
+    by_citizen_or_name,
+    by_pitch,
+    random_family_tree,
+    song_with_melody,
+)
+
+from hypothesis import assume
+
+from .strategies import labeled_trees, list_patterns, nested_closure, tree_patterns
+
+SETTINGS = settings(max_examples=40, deadline=None)
+
+
+@SETTINGS
+@given(tree=labeled_trees(), pattern=tree_patterns())
+def test_tree_sub_select_plans_agree(tree, pattern):
+    db = Database()
+    db.bind_root("T", tree)
+    query = Q.value(tree).sub_select(pattern).build()
+    plan, _ = Optimizer(db).optimize(query)
+    assert evaluate(plan, db) == evaluate(query, db)
+
+
+@SETTINGS
+@given(
+    values=st.integers(min_value=0, max_value=10_000),
+    pattern=list_patterns(with_anchors=False),
+)
+def test_list_sub_select_plans_agree(values, pattern):
+    from repro.workloads.generators import random_list
+
+    # Derivation enumeration is exponential for nested closures; the
+    # fixed-pattern suites cover those.
+    assume(not nested_closure(pattern.body))
+    song = random_list(30, "abcd", seed=values)
+    db = Database()
+    db.bind_root("song", song)
+    query = Q.root("song").lsub_select(pattern).build()
+    plan, _ = Optimizer(db).optimize(query)
+    assert evaluate(plan, db) == evaluate(query, db)
+
+
+@SETTINGS
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    plants=st.integers(min_value=0, max_value=4),
+)
+def test_family_pipeline_agrees(seed, plants):
+    db = Database()
+    db.bind_root("family", random_family_tree(120, seed=seed, planted_matches=plants))
+    query = Q.root("family").sub_select(
+        "Brazil(!?* USA !?*)", resolver=by_citizen_or_name
+    )
+    plan, _ = Optimizer(db).optimize(query.build())
+    result = evaluate(plan, db)
+    assert result == query.run(db)
+    assert len(result) == plants
+
+
+@SETTINGS
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    low=st.integers(min_value=0, max_value=49),
+    city=st.integers(min_value=0, max_value=9),
+)
+def test_conjunct_decomposition_agrees(seed, low, city):
+    del seed
+    db = Database()
+    db.insert_many(
+        [Record(name=f"p{i}", age=i % 50, city=f"C{i % 10}") for i in range(300)],
+        "Person",
+    )
+    db.create_index("Person", "city")
+    query = (
+        Q.extent("Person")
+        .sselect((attr("age") > low) & (attr("city") == f"C{city}"))
+        .build()
+    )
+    plan, _ = Optimizer(db).optimize(query)
+    assert evaluate(plan, db) == evaluate(query, db)

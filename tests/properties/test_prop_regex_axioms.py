@@ -1,0 +1,120 @@
+"""Properties: the classical regular-event axioms hold for list patterns.
+
+The paper grounds its predicate language in the regular-expression
+literature and cites Salomaa's complete axiom systems ([25]) directly.
+These tests check the core axioms *semantically* — two patterns are
+language-equivalent when they accept exactly the same sequences — over
+random inputs, exercising the pattern AST constructors and the span
+engine together.
+"""
+
+from hypothesis import given, settings
+
+from repro.patterns.list_ast import (
+    EPSILON,
+    Concat,
+    ListPattern,
+    ListPatternNode,
+    Plus,
+    Star,
+    Union,
+)
+from repro.patterns.list_match import matches_whole
+
+from .strategies import list_pattern_nodes, sequences
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+
+def equivalent_on(a: ListPatternNode, b: ListPatternNode, values) -> bool:
+    return matches_whole(ListPattern(a), values) == matches_whole(
+        ListPattern(b), values
+    )
+
+
+@SETTINGS
+@given(p=list_pattern_nodes(), q=list_pattern_nodes(), values=sequences())
+def test_union_commutative(p, q, values):
+    assert equivalent_on(Union([p, q]), Union([q, p]), values)
+
+
+@SETTINGS
+@given(
+    p=list_pattern_nodes(),
+    q=list_pattern_nodes(),
+    r=list_pattern_nodes(),
+    values=sequences(),
+)
+def test_union_associative(p, q, r, values):
+    assert equivalent_on(Union([Union([p, q]), r]), Union([p, Union([q, r])]), values)
+
+
+@SETTINGS
+@given(p=list_pattern_nodes(), values=sequences())
+def test_union_idempotent(p, values):
+    assert equivalent_on(Union([p, p]), p, values)
+
+
+@SETTINGS
+@given(
+    p=list_pattern_nodes(),
+    q=list_pattern_nodes(),
+    r=list_pattern_nodes(),
+    values=sequences(),
+)
+def test_concat_associative(p, q, r, values):
+    assert equivalent_on(
+        Concat([Concat([p, q]), r]), Concat([p, Concat([q, r])]), values
+    )
+
+
+@SETTINGS
+@given(p=list_pattern_nodes(), values=sequences())
+def test_epsilon_is_concat_identity(p, values):
+    assert equivalent_on(Concat([EPSILON, p]), p, values)
+    assert equivalent_on(Concat([p, EPSILON]), p, values)
+
+
+@SETTINGS
+@given(
+    p=list_pattern_nodes(),
+    q=list_pattern_nodes(),
+    r=list_pattern_nodes(),
+    values=sequences(),
+)
+def test_concat_distributes_over_union(p, q, r, values):
+    assert equivalent_on(
+        Concat([p, Union([q, r])]), Union([Concat([p, q]), Concat([p, r])]), values
+    )
+    assert equivalent_on(
+        Concat([Union([q, r]), p]), Union([Concat([q, p]), Concat([r, p])]), values
+    )
+
+
+@SETTINGS
+@given(p=list_pattern_nodes(), values=sequences())
+def test_star_unrolling(p, values):
+    """Salomaa's star axiom: p* = ε | p p*."""
+    assert equivalent_on(Star(p), Union([EPSILON, Concat([p, Star(p)])]), values)
+
+
+@SETTINGS
+@given(p=list_pattern_nodes(), values=sequences(max_size=8))
+def test_star_idempotent(p, values):
+    """(p*)* = p*."""
+    assert equivalent_on(Star(Star(p)), Star(p), values)
+
+
+@SETTINGS
+@given(p=list_pattern_nodes(), values=sequences())
+def test_plus_is_p_concat_star(p, values):
+    assert equivalent_on(Plus(p), Concat([p, Star(p)]), values)
+
+
+@SETTINGS
+@given(p=list_pattern_nodes(), q=list_pattern_nodes(), values=sequences(max_size=8))
+def test_star_of_union_absorbs_stars(p, q, values):
+    """(p | q)* = (p* q*)* — a classical derived identity."""
+    assert equivalent_on(
+        Star(Union([p, q])), Star(Concat([Star(p), Star(q)])), values
+    )

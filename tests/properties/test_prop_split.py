@@ -1,0 +1,62 @@
+"""Properties of ``split``: the reassembly invariant and derived forms."""
+
+from hypothesis import given, settings
+
+from repro.algebra.derived import sub_select_via_split
+from repro.algebra.list_ops import split_list_pieces, sub_select_list
+from repro.algebra.tree_ops import split_pieces, sub_select
+
+from .strategies import (
+    aqua_lists,
+    labeled_trees,
+    list_patterns_with_prunes,
+    tree_patterns,
+    tree_patterns_with_prunes,
+)
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+
+@SETTINGS
+@given(pattern=tree_patterns_with_prunes(), tree=labeled_trees())
+def test_tree_split_reassembles(pattern, tree):
+    for piece in split_pieces(pattern, tree):
+        assert piece.reassembled() == tree
+
+
+@SETTINGS
+@given(pattern=tree_patterns(), tree=labeled_trees(max_size=10))
+def test_tree_split_reassembles_plain_patterns(pattern, tree):
+    for piece in split_pieces(pattern, tree):
+        assert piece.reassembled() == tree
+
+
+@SETTINGS
+@given(pattern=tree_patterns(), tree=labeled_trees(max_size=10))
+def test_sub_select_equals_split_definition(pattern, tree):
+    assert sub_select(pattern, tree) == sub_select_via_split(pattern, tree)
+
+
+@SETTINGS
+@given(pattern=tree_patterns_with_prunes(), tree=labeled_trees(max_size=12))
+def test_sub_select_equals_split_definition_with_prunes(pattern, tree):
+    assert sub_select(pattern, tree) == sub_select_via_split(pattern, tree)
+
+
+@SETTINGS
+@given(pattern=list_patterns_with_prunes(), values=aqua_lists())
+def test_list_split_reassembles(pattern, values):
+    for piece in split_list_pieces(pattern, values):
+        assert piece.reassembled() == values
+
+
+@SETTINGS
+@given(pattern=list_patterns_with_prunes(), values=aqua_lists())
+def test_list_sub_select_is_kept_piece(pattern, values):
+    """sub_select == split's match piece with points closed."""
+    closed = {
+        piece.match.close_points().to_notation()
+        for piece in split_list_pieces(pattern, values)
+    }
+    direct = {m.to_notation() for m in sub_select_list(pattern, values)}
+    assert direct == closed

@@ -1,0 +1,116 @@
+"""Tests for AQL, the user-level text language."""
+
+import pytest
+
+from repro.core import Record, parse_list, parse_tree
+from repro.errors import QueryError
+from repro.query import expr as E
+from repro.query.aql import attribute_resolver, parse_aql, run_aql
+from repro.storage import Database
+from repro.workloads import figure3_family_tree, song_with_melody
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.bind_root("T", parse_tree("r(d(e(h i) j) s(d(e(h i) j) k) d(x))"))
+    database.bind_root("family", figure3_family_tree())
+    database.bind_root("song", song_with_melody(60, ["A", "C", "D", "F"], 2, seed=3))
+    database.insert_many(
+        [Record(name=f"p{i}", age=i % 50, city=f"C{i % 10}") for i in range(100)],
+        "Person",
+    )
+    database.create_index("Person", "city")
+    return database
+
+
+class TestParsing:
+    def test_source_root(self):
+        assert parse_aql("root T") == E.Root("T")
+
+    def test_source_extent(self):
+        assert parse_aql("extent Person") == E.Extent("Person")
+
+    def test_sub_select_stage(self):
+        node = parse_aql('root T | sub_select "d(e(h i) j)"')
+        assert isinstance(node, E.SubSelect)
+        assert node.pattern.describe() == "d(e(h i) j)"
+
+    def test_resolver_clause(self):
+        node = parse_aql('root family | sub_select "Brazil(!?* USA !?*)" by citizen')
+        anchor = node.pattern.root_predicates()[0]
+        assert anchor.describe() == "x.citizen = 'Brazil'"
+
+    def test_predicate_stage(self):
+        node = parse_aql('extent Person | sselect {age > 30 and city = "C3"}')
+        assert isinstance(node, E.SetSelect)
+        assert len(node.predicate.conjuncts()) == 2
+
+    def test_pipeline_chains(self):
+        node = parse_aql('extent Person | sselect {age > 30} | project name')
+        assert isinstance(node, E.SetApply)
+        assert isinstance(node.input, E.SetSelect)
+
+    def test_single_quotes_accepted(self):
+        assert isinstance(parse_aql("root song | lsub_select '[A??F]' by pitch"),
+                          E.ListSubSelect)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "bogus T",
+            "root",
+            "root T | explode",
+            "root T | sub_select",
+            "root T sub_select 'x'",
+            "root T | sselect age > 3",
+            "root T | &",
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(QueryError):
+            parse_aql(bad)
+
+
+class TestExecution:
+    def test_figure4_query(self, db):
+        result = run_aql(
+            'root family | sub_select "Brazil(!?* USA !?*)" by citizen', db
+        )
+        assert len(result) == 1
+
+    def test_melody_query(self, db):
+        result = run_aql('root song | lsub_select "[A??F]" by pitch', db)
+        assert len(result) == 2
+
+    def test_extent_pipeline(self, db):
+        names = run_aql(
+            'extent Person | sselect {age > 45 and city = "C7"} | project name', db
+        )
+        assert all(name.startswith("p") for name in names)
+
+    def test_all_anc_returns_tuples(self, db):
+        result = run_aql('root T | all_anc "k"', db)
+        ((ancestors, match),) = result
+        assert match.to_notation() == "k"
+
+    def test_all_desc_returns_tuples(self, db):
+        result = run_aql('root T | all_desc "s"', db)
+        ((match, descendants),) = result
+        assert len(descendants.values()) == 2
+
+    def test_optimizer_runs_by_default(self, db):
+        unoptimized = run_aql('root T | sub_select "d(e(h i) j)"', db, optimize=False)
+        optimized = run_aql('root T | sub_select "d(e(h i) j)"', db, optimize=True)
+        assert unoptimized == optimized
+
+    def test_tree_select(self, db):
+        result = run_aql('root family | select {citizen = "USA"}', db)
+        assert len(result) == 1
+
+    def test_attribute_resolver_helper(self):
+        resolve = attribute_resolver("pitch")
+        predicate = resolve("A")
+        assert predicate(Record(pitch="A"))
+        assert not predicate(Record(pitch="B"))

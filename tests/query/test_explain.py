@@ -1,0 +1,62 @@
+"""Tests for the EXPLAIN facility."""
+
+from repro.core import parse_list, parse_tree
+from repro.query import Q
+from repro.query.explain import explain, explain_optimization
+from repro.storage import Database
+
+
+def make_db() -> Database:
+    db = Database()
+    db.bind_root("T", parse_tree("r(d(e(h i) j) s(d(e(h i) j) k) d(x))"))
+    db.bind_root("song", parse_list("[gaxyfbacdfe]"))
+    return db
+
+
+class TestExplain:
+    def test_renders_tree_with_costs(self):
+        db = make_db()
+        text = explain(Q.root("T").sub_select("d(e(h i) j)").build(), db)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("sub_select")
+        assert "cost≈" in lines[0]
+        assert lines[1].strip().startswith("root(T)")
+        assert "size≈15" in lines[1]
+
+    def test_children_are_indented(self):
+        db = make_db()
+        q = Q.root("song").lsub_select("[a??f]").lselect
+        text = explain(Q.root("song").lsub_select("[a??f]").build(), db)
+        first, second = text.splitlines()
+        assert not first.startswith(" ")
+        assert second.startswith("  ")
+
+    def test_binary_nodes(self):
+        db = make_db()
+        from repro.predicates import sym
+
+        q = (
+            Q.root("T")
+            .select(sym("d"))
+            .union(Q.root("T").select(sym("k")))
+            .build()
+        )
+        text = explain(q, db)
+        assert text.splitlines()[0].startswith("union")
+        assert len(text.splitlines()) == 5
+
+    def test_explain_optimization_story(self):
+        db = make_db()
+        text = explain_optimization(Q.root("T").sub_select("d(e(h i) j)").build(), db)
+        assert "Logical plan:" in text
+        assert "Rewrites:" in text
+        assert "sub_select→indexed" in text
+        assert "Physical plan" in text
+        assert "ix_sub_select" in text
+
+    def test_explain_optimization_no_rewrites(self):
+        db = make_db()
+        q = Q.root("T").apply(str.upper).build()
+        text = explain_optimization(q, db)
+        assert "(none applied)" in text

@@ -1,0 +1,179 @@
+"""Tests for query expressions, the builder and the interpreter."""
+
+import pytest
+
+from repro.core import AquaList, AquaSet, AquaTree, parse_list, parse_tree
+from repro.core.identity import Record
+from repro.errors import QueryError
+from repro.patterns.list_parser import parse_list_pattern
+from repro.patterns.tree_parser import parse_tree_pattern
+from repro.predicates.alphabet import attr, sym
+from repro.query import Q, evaluate
+from repro.query import expr as E
+from repro.storage import Database
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.bind_root("T", parse_tree("r(d(e(h i) j) s(d(e(h i) j) k) d(x))"))
+    database.bind_root("song", parse_list("[gaxyfbacdfe]"))
+    database.insert_many(
+        [Record(name=f"p{i}", age=i % 50, city=f"C{i % 10}") for i in range(100)],
+        "Person",
+    )
+    return database
+
+
+class TestSources:
+    def test_root(self, db):
+        assert evaluate(E.Root("T"), db) is db.root("T")
+
+    def test_extent(self, db):
+        assert len(evaluate(E.Extent("Person"), db)) == 100
+
+    def test_literal(self, db):
+        assert evaluate(E.Literal(42), db) == 42
+
+
+class TestTreeOperators:
+    def test_select(self, db):
+        result = Q.root("T").select(sym("d")).run(db)
+        assert isinstance(result, AquaSet)
+        # Three d-nodes survive, but the surviving subtrees are
+        # structurally identical leaves and select returns a *set*.
+        assert len(result) == 1
+        assert next(iter(result)).to_notation() == "d"
+
+    def test_apply(self, db):
+        result = Q.root("T").apply(str.upper).run(db)
+        assert isinstance(result, AquaTree)
+        assert next(iter(result.values())) == "R"
+
+    def test_sub_select(self, db):
+        result = Q.root("T").sub_select("d(e(h i) j)").run(db)
+        assert [t.to_notation() for t in result] == ["d(e(hi)j)"]
+
+    def test_indexed_sub_select_equivalence(self, db):
+        pattern = parse_tree_pattern("d(e(h i) j)")
+        logical = E.SubSelect(E.Root("T"), pattern=pattern)
+        physical = E.IndexedSubSelect(
+            E.Root("T"), pattern=pattern, anchors=(sym("d"),)
+        )
+        assert evaluate(logical, db) == evaluate(physical, db)
+
+    def test_indexed_sub_select_falls_back_on_opaque_anchor(self, db):
+        from repro.predicates.alphabet import pred
+
+        pattern = parse_tree_pattern("d(e(h i) j)")
+        physical = E.IndexedSubSelect(
+            E.Root("T"), pattern=pattern, anchors=(pred(lambda v: v == "d"),)
+        )
+        assert len(evaluate(physical, db)) == 1
+
+    def test_split(self, db):
+        result = Q.root("T").split("d(e(h i) j)", lambda x, y, z: y.size()).run(db)
+        assert sorted(result) == [5]
+
+    def test_all_anc_all_desc(self, db):
+        anc = Q.root("T").all_anc("k", lambda a, m: a.size()).run(db)
+        assert len(anc) == 1
+        desc = Q.root("T").all_desc("s", lambda m, z: len(z.values())).run(db)
+        assert sorted(desc) == [2]
+
+    def test_type_mismatch_rejected(self, db):
+        with pytest.raises(QueryError):
+            Q.extent("Person").sub_select("d").run(db)
+
+
+class TestListOperators:
+    def test_lselect(self, db):
+        result = Q.root("song").lselect(sym("a")).run(db)
+        assert isinstance(result, AquaList)
+        assert result.values() == ["a", "a"]
+
+    def test_lapply(self, db):
+        result = Q.root("song").lapply(str.upper).run(db)
+        assert result.values()[0] == "G"
+
+    def test_lsub_select(self, db):
+        result = Q.root("song").lsub_select("[a??f]").run(db)
+        assert sorted(m.to_notation() for m in result) == ["[acdf]", "[axyf]"]
+
+    def test_indexed_list_sub_select_equivalence(self, db):
+        pattern = parse_list_pattern("[a??f]")
+        logical = E.ListSubSelect(E.Root("song"), pattern=pattern)
+        physical = E.IndexedListSubSelect(
+            E.Root("song"), pattern=pattern, anchor=sym("a"), offsets=(0,)
+        )
+        assert evaluate(logical, db) == evaluate(physical, db)
+
+    def test_lsplit(self, db):
+        result = Q.root("song").lsplit("[a??f]", lambda x, y, z: len(x)).run(db)
+        assert sorted(result) == [1, 6]
+
+    def test_list_type_mismatch(self, db):
+        with pytest.raises(QueryError):
+            Q.root("T").lselect(sym("a")).run(db)
+
+
+class TestSetOperators:
+    def test_sselect(self, db):
+        result = Q.extent("Person").sselect(attr("age") > 45).run(db)
+        assert len(result) == 8
+
+    def test_sapply(self, db):
+        result = Q.extent("Person").sapply(lambda p: p.age).run(db)
+        assert 49 in result
+
+    def test_union_intersect_difference(self, db):
+        a = Q.extent("Person").sselect(attr("age") > 45)
+        b = Q.extent("Person").sselect(attr("age") > 47)
+        assert len(a.union(b).run(db)) == 8
+        assert len(a.intersect(b).run(db)) == 4
+        assert len(a.difference(b).run(db)) == 4
+
+    def test_indexed_set_select(self, db):
+        db.create_index("Person", "city")
+        physical = E.IndexedSetSelect(
+            E.Extent("Person"), indexed=attr("city") == "C3", residual=attr("age") > 10
+        )
+        result = evaluate(physical, db)
+        assert all(p.city == "C3" and p.age > 10 for p in result)
+
+    def test_indexed_set_select_no_residual(self, db):
+        db.create_index("Person", "city")
+        physical = E.IndexedSetSelect(
+            E.Extent("Person"), indexed=attr("city") == "C3", residual=None
+        )
+        assert len(evaluate(physical, db)) == 10
+
+
+class TestExprProtocol:
+    def test_describe_mentions_operator(self):
+        q = Q.root("T").sub_select("d").build()
+        assert "sub_select" in q.describe()
+
+    def test_walk(self):
+        q = Q.root("T").sub_select("d").build()
+        kinds = [type(n).__name__ for n in q.walk()]
+        assert kinds == ["SubSelect", "Root"]
+
+    def test_with_children_replaces_input(self):
+        q = Q.root("T").sub_select("d").build()
+        replaced = q.with_children((E.Root("U"),))
+        assert replaced.input == E.Root("U")
+        assert replaced.pattern == q.pattern
+
+    def test_unknown_node_rejected(self, db):
+        class Weird(E.Expr):
+            def describe(self):
+                return "weird"
+
+        with pytest.raises(QueryError):
+            evaluate(Weird(), db)
+
+    def test_builder_round_trip_descriptions(self, db):
+        q = Q.extent("Person").sselect(attr("age") > 45).sapply(lambda p: p.age)
+        assert "sapply" in q.describe()
+        assert repr(q).startswith("Q<")

@@ -1,0 +1,86 @@
+"""Tests for hash/ordered extent indexes."""
+
+import pytest
+
+from repro.core.identity import Record
+from repro.errors import IndexError_
+from repro.storage.index import VALUE_ATTRIBUTE, HashIndex, OrderedIndex
+
+
+def people():
+    return [Record(name=f"p{i}", age=i % 5, city=f"C{i % 3}") for i in range(30)]
+
+
+class TestHashIndex:
+    def test_lookup(self):
+        index = HashIndex("city")
+        index.bulk_load(people())
+        assert len(index.lookup("C0")) == 10
+        assert index.lookup("nope") == []
+
+    def test_count_and_selectivity(self):
+        index = HashIndex("age")
+        index.bulk_load(people())
+        assert index.count(0) == 6
+        assert index.selectivity(0, 30) == pytest.approx(0.2)
+
+    def test_missing_attribute_skipped(self):
+        index = HashIndex("height")
+        index.bulk_load(people())
+        assert len(index) == 0
+
+    def test_value_pseudo_attribute(self):
+        index = HashIndex(VALUE_ATTRIBUTE)
+        index.bulk_load(["a", "b", "a"])
+        assert len(index.lookup("a")) == 2
+
+    def test_unhashable_key_rejected(self):
+        index = HashIndex("k")
+        with pytest.raises(IndexError_):
+            index.insert(Record(k=[1, 2]))
+
+    def test_probe_counter(self):
+        index = HashIndex("age")
+        index.bulk_load(people())
+        index.lookup(1)
+        index.lookup(2)
+        assert index.probes == 2
+
+    def test_incremental_insert(self):
+        index = HashIndex("age")
+        index.insert(Record(age=7))
+        assert index.count(7) == 1
+
+
+class TestOrderedIndex:
+    def test_equality_lookup(self):
+        index = OrderedIndex("age")
+        index.bulk_load(people())
+        assert len(index.lookup(2)) == 6
+
+    def test_range(self):
+        index = OrderedIndex("age")
+        index.bulk_load(people())
+        assert len(index.range(low=3)) == 12
+        assert len(index.range(high=1)) == 12
+        assert len(index.range(low=1, high=3, include_high=False)) == 12
+
+    def test_probe_term_operators(self):
+        index = OrderedIndex("age")
+        index.bulk_load(people())
+        assert len(index.probe_term("=", 2)) == 6
+        assert len(index.probe_term("<", 2)) == 12
+        assert len(index.probe_term("<=", 2)) == 18
+        assert len(index.probe_term(">", 2)) == 12
+        assert len(index.probe_term(">=", 2)) == 18
+
+    def test_probe_term_rejects_neq(self):
+        index = OrderedIndex("age")
+        with pytest.raises(IndexError_):
+            index.probe_term("!=", 2)
+
+    def test_incremental_insert_keeps_sorted(self):
+        index = OrderedIndex("k")
+        for value in [5, 1, 3]:
+            index.insert(Record(k=value))
+        assert [r.k for r in index.range()] == [1, 3, 5]

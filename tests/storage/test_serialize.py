@@ -1,0 +1,145 @@
+"""Tests for JSON serialization of AQUA values and databases."""
+
+import pytest
+
+from repro.core import (
+    AquaList,
+    AquaMultiset,
+    AquaSet,
+    AquaTree,
+    Record,
+    make_tuple,
+    parse_list,
+    parse_tree,
+)
+from repro.errors import StorageError
+from repro.predicates import attr
+from repro.storage import Database
+from repro.storage.serialize import (
+    dumps_database,
+    dumps_value,
+    loads_database,
+    loads_value,
+)
+
+
+def round_trip(value):
+    return loads_value(dumps_value(value))
+
+
+class TestValueRoundTrips:
+    def test_scalars(self):
+        for value in [None, True, 3, 2.5, "text"]:
+            assert round_trip(value) == value
+
+    def test_record(self):
+        record = Record(name="Mat", age=40)
+        loaded = round_trip(record)
+        assert loaded.name == "Mat"
+        assert loaded.age == 40
+
+    def test_tree(self):
+        tree = parse_tree("a(b(c d) @1 e)")
+        assert round_trip(tree) == tree
+
+    def test_empty_tree(self):
+        assert round_trip(AquaTree.empty()).is_empty
+
+    def test_list_with_points(self):
+        values = parse_list("[a @1 b]")
+        assert round_trip(values) == values
+
+    def test_set_and_multiset(self):
+        assert round_trip(AquaSet([1, 2, 3])) == AquaSet([1, 2, 3])
+        assert round_trip(AquaMultiset([1, 1, 2])) == AquaMultiset([1, 1, 2])
+
+    def test_tuple(self):
+        assert round_trip(make_tuple(1, "x")) == make_tuple(1, "x")
+
+    def test_nested_composition(self):
+        value = AquaSet([make_tuple(parse_tree("a(b)"), parse_list("[xy]"))])
+        loaded = round_trip(value)
+        ((tree, values),) = loaded
+        assert tree == parse_tree("a(b)")
+        assert values == parse_list("[xy]")
+
+    def test_shared_record_identity_preserved(self):
+        shared = Record(name="twin")
+        values = AquaList.of(shared, shared)
+        loaded = round_trip(values)
+        a, b = loaded.values()
+        assert a is b
+        assert a.name == "twin"
+
+    def test_record_tree_payloads(self):
+        tree = AquaTree.build(Record(kind="S"), [AquaTree.leaf(Record(kind="H"))])
+        loaded = round_trip(tree)
+        assert [v.kind for v in loaded.values()] == ["S", "H"]
+
+    def test_python_containers(self):
+        assert round_trip({"xs": [1, (2, 3)]}) == {"xs": [1, [2, 3]]}
+
+    def test_unserializable_rejected(self):
+        with pytest.raises(StorageError):
+            dumps_value(object())
+
+    def test_split_pieces_survive_storage(self):
+        """Store split pieces, load them, reassemble the original."""
+        from repro.algebra import split_pieces
+
+        tree = parse_tree("r(B(x U(w) y) q)")
+        (piece,) = split_pieces("B(!?* U !?*)", tree)
+        stored = dumps_value(
+            make_tuple(piece.context, piece.match, piece.descendants)
+        )
+        x, y, z = loads_value(stored)
+        rebuilt = y
+        from repro.core import ConcatPoint
+
+        for index, subtree in enumerate(z.values(), start=1):
+            rebuilt = rebuilt.concat(ConcatPoint(str(index)), subtree)
+        from repro.core import ALPHA
+
+        assert x.concat(ALPHA, rebuilt) == tree
+
+
+class TestDatabaseRoundTrip:
+    def test_extents_roots_indexes(self):
+        db = Database()
+        db.insert_many(
+            [Record(name=f"p{i}", city=f"C{i % 3}") for i in range(30)], "Person"
+        )
+        db.create_index("Person", "city")
+        db.bind_root("T", parse_tree("a(bc)"))
+        db.bind_root("song", parse_list("[abc]"))
+
+        loaded = loads_database(dumps_database(db))
+        assert loaded.extent_size("Person") == 30
+        assert loaded.root("T") == parse_tree("a(bc)")
+        assert loaded.root("song") == parse_list("[abc]")
+        assert loaded.has_index("Person", "city")
+
+    def test_loaded_indexes_serve_queries(self):
+        db = Database()
+        db.insert_many(
+            [Record(name=f"p{i}", city=f"C{i % 5}") for i in range(50)], "Person"
+        )
+        db.create_index("Person", "city")
+        loaded = loads_database(dumps_database(db))
+        rows, used = loaded.candidates("Person", attr("city") == "C2")
+        assert used
+        assert len(rows) == 10
+
+    def test_ordered_index_kind_preserved(self):
+        db = Database()
+        db.insert_many([Record(age=i) for i in range(10)], "Person")
+        db.create_index("Person", "age", ordered=True)
+        loaded = loads_database(dumps_database(db))
+        rows, used = loaded.candidates("Person", attr("age") >= 8)
+        assert used
+        assert len(rows) == 2
+
+    def test_empty_database(self):
+        loaded = loads_database(dumps_database(Database()))
+        assert loaded.extents() == []
+        assert loaded.roots() == []

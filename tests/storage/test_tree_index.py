@@ -1,0 +1,108 @@
+"""Tests for per-structure node indexes and interval labels."""
+
+from repro.core import parse_list, parse_tree
+from repro.predicates.alphabet import attr, pred, sym
+from repro.storage.stats import Instrumentation
+from repro.storage.tree_index import ListIndex, TreeIndex
+from repro.workloads.family import BRAZIL, figure3_family_tree
+
+
+class TestIntervalLabels:
+    def test_ancestor_test(self):
+        tree = parse_tree("a(b(c)d)")
+        index = TreeIndex(tree)
+        a = tree.root
+        b, d = a.children
+        c = b.children[0]
+        assert index.is_ancestor(a, c)
+        assert index.is_ancestor(b, c)
+        assert not index.is_ancestor(b, d)
+        assert not index.is_ancestor(c, a)
+
+    def test_depths(self):
+        tree = parse_tree("a(b(c))")
+        index = TreeIndex(tree)
+        nodes = list(tree.nodes())
+        assert [index.depth(n) for n in nodes] == [0, 1, 2]
+
+
+class TestValueIndex:
+    def test_candidates_by_value(self):
+        tree = parse_tree("a(b a(b))")
+        index = TreeIndex(tree)
+        nodes, used = index.candidate_nodes(sym("b"))
+        assert used
+        assert len(nodes) == 2
+
+    def test_fallback_to_scan_for_opaque(self):
+        tree = parse_tree("a(b)")
+        index = TreeIndex(tree)
+        stats = Instrumentation()
+        nodes, used = index.candidate_nodes(pred(lambda v: True), stats)
+        assert not used
+        assert len(nodes) == 2
+        assert stats["full_scans"] == 1
+
+    def test_stats_on_probe(self):
+        tree = parse_tree("a(b)")
+        index = TreeIndex(tree)
+        stats = Instrumentation()
+        index.candidate_nodes(sym("b"), stats)
+        assert stats["index_probes"] == 1
+        assert stats["index_candidates"] == 1
+
+
+class TestAttributeIndex:
+    def test_attribute_candidates(self):
+        family = figure3_family_tree()
+        index = TreeIndex(family, attributes=["citizen"])
+        nodes, used = index.candidate_nodes(BRAZIL)
+        assert used
+        assert {n.value.name for n in nodes} == {"Maria", "Mat", "Tom", "Ana", "Rita"}
+
+    def test_add_attribute_later(self):
+        family = figure3_family_tree()
+        index = TreeIndex(family)
+        assert index.servable_terms(BRAZIL) == []
+        index.add_attribute("citizen")
+        assert index.servable_terms(BRAZIL) == [("citizen", "=", "Brazil")]
+
+    def test_most_selective_term_chosen(self):
+        family = figure3_family_tree()
+        index = TreeIndex(family, attributes=["citizen", "name"])
+        predicate = BRAZIL & (attr("name") == "Mat")
+        nodes, used = index.candidate_nodes(predicate)
+        assert used
+        assert len(nodes) == 1  # probed name, not citizenship
+
+    def test_concat_points_not_indexed(self):
+        tree = parse_tree("a(@1 b)")
+        index = TreeIndex(tree)
+        nodes, _ = index.candidate_nodes(sym("b"))
+        assert len(nodes) == 1
+        assert index.node_count == 3  # labels cover NULLs too
+
+
+class TestListIndex:
+    def test_positions_by_value(self):
+        index = ListIndex(parse_list("[abab]"))
+        positions, used = index.positions_for(sym("a"))
+        assert used
+        assert positions == [0, 2]
+
+    def test_positions_by_attribute(self):
+        from repro.workloads.music import note
+
+        from repro.core.aqua_list import AquaList
+
+        song = AquaList.from_values([note("A"), note("B"), note("A")])
+        index = ListIndex(song, attributes=["pitch"])
+        positions, used = index.positions_for(attr("pitch") == "A")
+        assert used
+        assert positions == [0, 2]
+
+    def test_fallback_scan(self):
+        index = ListIndex(parse_list("[ab]"))
+        positions, used = index.positions_for(pred(lambda v: True))
+        assert not used
+        assert positions == [0, 1]

@@ -1,0 +1,158 @@
+"""Tests for the synthetic workload generators."""
+
+from repro.algebra import split_pieces, sub_select
+from repro.algebra.list_ops import sub_select_list
+from repro.workloads import (
+    by_citizen_or_name,
+    by_element,
+    by_kind,
+    by_op_name,
+    by_pitch,
+    citizens,
+    count_elements,
+    figure3_family_tree,
+    figure5_parse_tree,
+    pitches_of,
+    random_algebra_tree,
+    random_c_program,
+    random_document,
+    random_family_tree,
+    random_labeled_tree,
+    random_list,
+    random_rna_structure,
+    random_song,
+    random_tree,
+    song_with_melody,
+)
+
+
+class TestGenerators:
+    def test_random_tree_size_exact(self):
+        for size in (1, 10, 100):
+            assert random_tree(size, seed=1).size() == size
+
+    def test_random_tree_deterministic(self):
+        assert random_tree(50, seed=7) == random_tree(50, seed=7)
+
+    def test_random_tree_respects_arity(self):
+        tree = random_tree(200, seed=3, max_arity=2)
+        assert all(len(n.children) <= 2 for n in tree.nodes())
+
+    def test_labeled_tree_weights(self):
+        tree = random_labeled_tree(
+            500, ["rare", "common"], seed=5, weights=[1, 99]
+        )
+        values = list(tree.values())
+        assert values.count("rare") < values.count("common")
+
+    def test_random_list(self):
+        values = random_list(100, "abc", seed=2)
+        assert len(values) == 100
+        assert set(values.values()) <= set("abc")
+
+    def test_empty_tree(self):
+        assert random_tree(0).is_empty
+
+
+class TestFamilyWorkload:
+    def test_figure3_shape(self):
+        family = figure3_family_tree()
+        assert family.size() == 8
+        assert family.to_notation(lambda p: p.name) == (
+            "Maria(Mat(Ana Ed(Bill)) Tom(Rita Carl))"
+        )
+
+    def test_figure4_single_match(self):
+        pieces = split_pieces(
+            "Brazil(!?* USA !?*)", figure3_family_tree(), resolver=by_citizen_or_name
+        )
+        assert len(pieces) == 1
+
+    def test_citizens_helper(self):
+        family = figure3_family_tree()
+        assert len(citizens(family, "Brazil")) == 5
+        assert len(citizens(family, "USA")) == 2
+
+    def test_random_family_exact_plants(self):
+        for plants in (0, 1, 5):
+            tree = random_family_tree(300, seed=11, planted_matches=plants)
+            pieces = split_pieces(
+                "Brazil(!?* USA !?*)", tree, resolver=by_citizen_or_name
+            )
+            assert len(pieces) == plants
+
+    def test_random_family_size(self):
+        assert random_family_tree(200, seed=1, planted_matches=2).size() == 200
+
+    def test_too_small_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            random_family_tree(3, planted_matches=2)
+
+
+class TestMusicWorkload:
+    def test_random_song_length(self):
+        assert len(random_song(64, seed=9)) == 64
+
+    def test_melody_plant_count_exact(self):
+        song = song_with_melody(200, ["A", "B", "C", "F"], occurrences=3, seed=4)
+        matches = sub_select_list("[A??F]", song, resolver=by_pitch)
+        assert len(matches) == 3
+
+    def test_no_accidental_matches(self):
+        song = song_with_melody(500, ["A", "B", "C", "F"], occurrences=0, seed=8)
+        assert len(sub_select_list("[A??F]", song, resolver=by_pitch)) == 0
+
+    def test_pitches_of(self):
+        song = song_with_melody(10, ["A", "F"], occurrences=1, seed=2)
+        assert "AF" in pitches_of(song)
+
+
+class TestParseTreeWorkload:
+    def test_figure5_contains_redex(self):
+        tree = figure5_parse_tree()
+        matches = sub_select("select(!? and)", tree, resolver=by_op_name)
+        assert len(matches) == 1
+
+    def test_random_algebra_tree_plants(self):
+        tree = random_algebra_tree(150, seed=5, planted_redexes=4)
+        matches = sub_select("select(!? and)", tree, resolver=by_op_name)
+        assert len(matches) == 4
+
+    def test_c_program_double_refs(self):
+        program = random_c_program(
+            400, seed=6, printf_count=15, double_ref_count=5
+        )
+        hits = sub_select(
+            "printf(?* LargeData ?* LargeData ?*)", program, resolver=by_op_name
+        )
+        assert len(hits) == 5
+
+
+class TestDocumentAndRna:
+    def test_document_schema(self):
+        doc = random_document(sections=6, seed=3)
+        kinds = {v.kind for v in doc.values()}
+        assert "document" in kinds and "section" in kinds and "paragraph" in kinds
+
+    def test_document_deterministic(self):
+        assert random_document(4, seed=9).size() == random_document(4, seed=9).size()
+
+    def test_rna_reasonable_size(self):
+        structure = random_rna_structure(150, seed=2)
+        assert structure.size() >= 75
+
+    def test_rna_is_grammatical(self):
+        structure = random_rna_structure(100, seed=1)
+        # Stems have exactly one inner element; hairpins are leaves.
+        for node in structure.element_nodes():
+            if node.value.kind == "S":
+                assert len(node.children) == 1
+            if node.value.kind == "H":
+                assert node.children == []
+
+    def test_rna_motif_queries_run(self):
+        structure = random_rna_structure(120, seed=4)
+        assert count_elements(structure, "S") > 0
+        sub_select("S(H)", structure, resolver=by_element)
