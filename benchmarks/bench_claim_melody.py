@@ -46,13 +46,14 @@ def test_claim_melody_counters():
     db.bind_root("song", song)
     query = Q.root("song").lsub_select("[A??F]", resolver=by_pitch).build()
 
-    evaluate(query, db)
-    naive_positions = db.stats["positions_scanned"]
-    db.stats.reset()
+    with db.stats.scope():
+        evaluate(query, db)
+        naive_positions = db.stats["positions_scanned"]
 
     plan, _ = Optimizer(db).optimize(query)
-    evaluate(plan, db)
-    indexed_positions = db.stats["positions_scanned"]
+    with db.stats.scope():
+        evaluate(plan, db)
+        indexed_positions = db.stats["positions_scanned"]
 
     assert naive_positions == 5000 + 4 * len(MELODY) + 1
     assert indexed_positions < naive_positions / 100

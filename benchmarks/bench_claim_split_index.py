@@ -79,13 +79,48 @@ def test_claim_split_counters_narrow_search_space():
     db = make_db(4000, anchor_weight=1.0, seed=99)
     query = Q.root("T").sub_select(DEEP_PATTERN).build()
 
-    evaluate(query, db)
-    naive_scanned = db.stats["nodes_scanned"]
-    db.stats.reset()
+    with db.stats.scope():
+        evaluate(query, db)
+        naive_scanned = db.stats["nodes_scanned"]
 
     plan, _ = Optimizer(db).optimize(query)
-    evaluate(plan, db)
-    indexed_candidates = db.stats["index_candidates"]
+    with db.stats.scope():
+        evaluate(plan, db)
+        indexed_candidates = db.stats["index_candidates"]
 
     assert naive_scanned >= 4000
     assert indexed_candidates < naive_scanned / 10
+
+
+def main(argv: list[str] | None = None) -> None:
+    """Smoke entry point (CI): run the claims once, no pytest-benchmark."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="small tree, single run"
+    )
+    arguments = parser.parse_args(argv)
+    size = 500 if arguments.quick else 4000
+    db = make_db(size, anchor_weight=1.0, seed=99)
+    query = Q.root("T").sub_select(DEEP_PATTERN).build()
+    plan, _ = Optimizer(db).optimize(query)
+    assert isinstance(plan, E.IndexedSubSelect)
+    from repro.query import evaluate_with_metrics
+
+    with db.stats.scope():
+        naive, naive_metrics = evaluate_with_metrics(query, db)
+    with db.stats.scope():
+        indexed, indexed_metrics = evaluate_with_metrics(plan, db)
+    assert naive == indexed
+    naive_evals = naive_metrics.total("predicate_evals")
+    indexed_evals = indexed_metrics.total("predicate_evals")
+    assert indexed_evals < naive_evals, (indexed_evals, naive_evals)
+    print(
+        f"claim-split smoke ok (n={size}): "
+        f"predicate_evals naive={naive_evals} indexed={indexed_evals}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -5,12 +5,19 @@ DESIGN.md §4 it reproduces the figure/claim, measures the competing
 plans, and prints the rows EXPERIMENTS.md records: who wins, by what
 factor, and where the crossover sits.  (pytest-benchmark gives the
 rigorous timings; this harness gives the one-screen story.)
+
+``--json PATH`` additionally writes the rows as machine-readable
+records; the index-vs-scan claims (CLAIM-SPLIT, CLAIM-MELODY) attach
+per-operator runtime metrics from the instrumented executor — the same
+rows/counters/time data ``EXPLAIN ANALYZE`` renders.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import time
-from typing import Callable
+from typing import Any, Callable
 
 from repro.algebra import (
     select,
@@ -33,7 +40,7 @@ from repro.patterns import (
     tree_in_language,
 )
 from repro.predicates import attr
-from repro.query import Q, evaluate
+from repro.query import Q, evaluate, evaluate_with_metrics
 from repro.query import expr as E
 from repro.storage import Database
 from repro.core.identity import Record
@@ -66,8 +73,20 @@ def timed(function: Callable[[], object], repeat: int = 3) -> tuple[float, objec
     return best, result
 
 
-def row(experiment: str, line: str) -> None:
+#: Machine-readable records mirroring the printed rows (``--json``).
+RECORDS: list[dict[str, Any]] = []
+
+
+def row(experiment: str, line: str, **extra: Any) -> None:
     print(f"{experiment:<14} {line}")
+    RECORDS.append({"experiment": experiment, "line": line, **extra})
+
+
+def operator_metrics(query, db) -> list[dict[str, Any]]:
+    """Per-operator runtime metrics for one instrumented run of ``query``."""
+    with db.stats.scope():
+        _, metrics = evaluate_with_metrics(query, db)
+    return metrics.to_records()
 
 
 def fig1() -> None:
@@ -157,6 +176,10 @@ def claim_split() -> None:
         "CLAIM-SPLIT",
         f"naive {naive_time * 1e3:.1f} ms vs indexed {indexed_time * 1e3:.1f} ms "
         f"(x{naive_time / max(indexed_time, 1e-9):.1f}) at ~1% anchor selectivity, n=6000",
+        naive_ms=naive_time * 1e3,
+        indexed_ms=indexed_time * 1e3,
+        naive_operators=operator_metrics(query, db),
+        indexed_operators=operator_metrics(plan, db),
     )
 
 
@@ -239,6 +262,10 @@ def claim_melody() -> None:
         f"naive {naive_time * 1e3:.1f} ms vs indexed {indexed_time * 1e3:.1f} ms "
         f"(x{naive_time / max(indexed_time, 1e-9):.1f}); "
         f"reassembly holds for all {len(pieces)} matches",
+        naive_ms=naive_time * 1e3,
+        indexed_ms=indexed_time * 1e3,
+        naive_operators=operator_metrics(query, db),
+        indexed_operators=operator_metrics(plan, db),
     )
 
 
@@ -300,12 +327,21 @@ EXPERIMENTS = [
 ]
 
 
-def main() -> None:
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--json", metavar="PATH", help="also write rows as JSON records"
+    )
+    arguments = parser.parse_args(argv)
     print("AQUA reproduction — experiment summary (see EXPERIMENTS.md)")
     print("-" * 78)
     for experiment in EXPERIMENTS:
         experiment()
     print("-" * 78)
+    if arguments.json:
+        with open(arguments.json, "w") as handle:
+            json.dump(RECORDS, handle, indent=2)
+        print(f"records written to {arguments.json}")
 
 
 if __name__ == "__main__":

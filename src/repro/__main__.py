@@ -9,10 +9,16 @@ AQL query (see :mod:`repro.query.aql`)::
     \\roots              list named roots
     \\extents            list extents and sizes
     \\explain QUERY      show the optimization story for an AQL query
+    \\analyze QUERY      run the query instrumented: estimated vs. actual
     \\noopt QUERY        run a query without the optimizer
     \\stats              show instrumentation counters
     \\help               this text
     \\quit               exit
+
+The SQL-style verbs ``EXPLAIN QUERY`` and ``EXPLAIN ANALYZE QUERY`` work
+too: the former is ``\\explain``, the latter runs the optimized plan
+through the instrumented executor and prints each operator's estimated
+vs. actual rows, cost units, per-operator time and counters.
 
 Non-interactive usage: ``python -m repro -c 'root T | sub_select "d"'``
 runs one query against the demo database (or ``--db FILE``) and prints
@@ -28,7 +34,7 @@ from typing import Any
 
 from .core import AquaList, AquaSet, AquaTree
 from .errors import AquaError
-from .query import evaluate, explain_optimization, parse_aql
+from .query import evaluate, explain_analyze, explain_optimization, parse_aql
 from .query.aql import run_aql
 from .storage import Database
 from .storage.serialize import dump_database, load_database
@@ -77,6 +83,11 @@ class Shell:
         try:
             if line.startswith("\\"):
                 return self._command(line[1:])
+            upper = line.upper()
+            if upper.startswith("EXPLAIN ANALYZE "):
+                return self._analyze(line[len("EXPLAIN ANALYZE "):])
+            if upper.startswith("EXPLAIN "):
+                return self._command("explain " + line[len("EXPLAIN "):])
             return render(run_aql(line, self.db))
         except AquaError as exc:
             return f"error: {exc}"
@@ -109,6 +120,8 @@ class Shell:
             )
         if name == "explain":
             return explain_optimization(parse_aql(argument), self.db)
+        if name == "analyze":
+            return self._analyze(argument)
         if name == "noopt":
             return render(evaluate(parse_aql(argument), self.db))
         if name == "save":
@@ -122,6 +135,13 @@ class Shell:
         if name in ("quit", "exit"):
             raise SystemExit(0)
         return f"unknown command \\{name} (try \\help)"
+
+    def _analyze(self, query: str) -> str:
+        """EXPLAIN ANALYZE: optimize, run instrumented, render the plan."""
+        from .optimizer.engine import optimize as run_optimizer
+
+        plan = run_optimizer(parse_aql(query), self.db)
+        return explain_analyze(plan, self.db)
 
     def repl(self) -> None:  # pragma: no cover - interactive loop
         print("AQUA shell — \\help for commands, \\quit to exit")
@@ -141,6 +161,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("-c", "--command", help="run one AQL query and exit")
     parser.add_argument("--db", help="load this serialized database first")
     parser.add_argument("--explain", action="store_true", help="explain instead of run")
+    parser.add_argument(
+        "--analyze",
+        action="store_true",
+        help="run instrumented and print estimated vs. actual per operator",
+    )
     arguments = parser.parse_args(argv)
 
     db: Database | None = None
@@ -150,7 +175,9 @@ def main(argv: list[str] | None = None) -> int:
     shell = Shell(db)
 
     if arguments.command:
-        if arguments.explain:
+        if arguments.analyze:
+            print(shell.execute(f"\\analyze {arguments.command}"))
+        elif arguments.explain:
             print(shell.execute(f"\\explain {arguments.command}"))
         else:
             print(shell.execute(arguments.command))

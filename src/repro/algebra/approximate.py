@@ -25,7 +25,7 @@ with ``==``); pass ``relabel``/``indel`` for weighted metrics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Sequence
+from typing import Any, Callable
 
 from ..core.aqua_set import AquaSet
 from ..core.aqua_tree import AquaTree, TreeNode

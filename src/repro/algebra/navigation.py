@@ -17,12 +17,11 @@ excluded from element-counting measures, consistent with §3.5.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator, Sequence
+from typing import Any, Callable, Iterator
 
 from ..core.aqua_list import AquaList
 from ..core.aqua_set import AquaSet
 from ..core.aqua_tree import AquaTree, TreeNode
-from ..core.identity import deref
 from ..errors import QueryError
 
 Path = tuple[int, ...]

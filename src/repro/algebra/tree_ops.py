@@ -32,7 +32,7 @@ from ..core.aqua_list import AquaList
 from ..core.aqua_set import AquaSet
 from ..core.aqua_tree import AquaTree, TreeNode
 from ..core.concat import ALPHA, ConcatPoint
-from ..core.identity import Cell, as_cell
+from ..core.identity import as_cell
 from ..errors import TypeMismatchError
 from ..patterns.tree_ast import TreePattern
 from ..patterns.tree_match import TreeMatch, find_tree_matches

@@ -19,7 +19,7 @@ lists and trees.  Trees embed via :func:`from_tree`.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Hashable, Iterable, Iterator
+from typing import Any, Callable, Iterable, Iterator
 
 from ..errors import TypeMismatchError
 from .aqua_set import AquaSet

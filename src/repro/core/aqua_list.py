@@ -25,16 +25,22 @@ from .identity import Cell, as_cell, deref
 class AquaList:
     """An ordered sequence of cells, possibly containing labeled NULLs."""
 
-    __slots__ = ("_entries",)
+    __slots__ = ("_entries", "_element_count")
 
     def __init__(self, entries: Iterable[Cell | ConcatPoint] = ()) -> None:
         self._entries: list[Cell | ConcatPoint] = list(entries)
+        # Lists are immutable once built (mutators return new lists), so
+        # the element count can be fixed here and ``len()`` stays O(1).
+        count = 0
         for entry in self._entries:
-            if not isinstance(entry, (Cell, ConcatPoint)):
+            if isinstance(entry, Cell):
+                count += 1
+            elif not isinstance(entry, ConcatPoint):
                 raise TypeMismatchError(
                     f"list entries must be cells or concatenation points, got {entry!r};"
                     " use AquaList.of(...) to wrap raw payloads"
                 )
+        self._element_count = count
 
     # -- constructors -----------------------------------------------------
 
@@ -80,7 +86,7 @@ class AquaList:
 
     def __len__(self) -> int:
         """Number of *elements* (labeled NULLs are not elements)."""
-        return sum(1 for e in self._entries if isinstance(e, Cell))
+        return self._element_count
 
     def __iter__(self) -> Iterator[Any]:
         """Iterate over dereferenced element values."""

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
-from ..errors import ConcatenationError, TypeMismatchError
+from ..errors import ConcatenationError
 from .concat import NIL, ConcatPoint, Nil, is_concat_point
 from .identity import Cell, as_cell, deref
 

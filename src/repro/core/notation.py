@@ -22,7 +22,7 @@ contain structural characters.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Iterator
+from typing import Any, Callable
 
 from ..errors import NotationError
 from .aqua_list import AquaList

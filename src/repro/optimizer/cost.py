@@ -19,7 +19,8 @@ suite confirms the model's *ordering* matches measured time.
 
 from __future__ import annotations
 
-from typing import Any
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Mapping
 
 from ..core.aqua_list import AquaList
 from ..core.aqua_tree import AquaTree
@@ -28,6 +29,9 @@ from ..patterns.tree_ast import TreePattern, TreeStar, TreePlus, ChildStar, Chil
 from ..predicates.alphabet import AlphabetPredicate
 from ..query import expr as E
 from ..storage.database import Database
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..query.metrics import PlanMetrics
 
 #: Fallback size when a source cannot be resolved at planning time.
 DEFAULT_SIZE = 1000.0
@@ -130,6 +134,87 @@ class CostModel:
         children_cost = sum(self.cost(c) for c in node.children())
         return children_cost + self._local_cost(node)
 
+    def local_cost(self, node: E.Expr) -> float:
+        """Estimated work for ``node`` itself, children excluded."""
+        return self._local_cost(node)
+
+    # -- cardinality estimation (EXPLAIN ANALYZE's "est rows" column) -------
+
+    def estimated_rows(self, node: E.Expr) -> float:
+        """Estimated output cardinality, in the same units the metrics
+        layer reports (tree → node count, list/set → member count)."""
+        if isinstance(node, (E.Root, E.Literal)):
+            value = self.source_value(node)
+            if value is not None:
+                from ..query.metrics import cardinality
+
+                return float(cardinality(value))
+            return DEFAULT_SIZE
+        if isinstance(node, E.Extent):
+            return float(self.db.extent_size(node.name)) or DEFAULT_SIZE
+        size = self.input_size(node)
+        if isinstance(node, (E.TreeSelect, E.ListSelect, E.SetSelect)):
+            return size * DEFAULT_SELECTIVITY
+        if isinstance(node, E.IndexedSetSelect):
+            if isinstance(node.input, E.Extent):
+                return size * self.extent_term_selectivity(
+                    node.input.name, node.indexed
+                )
+            return size * DEFAULT_SELECTIVITY
+        if isinstance(node, (E.IndexedSubSelect, E.IndexedSplit)):
+            selectivity = sum(
+                self.anchor_selectivity(node.input, anchor) for anchor in node.anchors
+            )
+            return min(size, size * selectivity)
+        if isinstance(node, E.IndexedListSubSelect):
+            selectivity = self.anchor_selectivity(node.input, node.anchor)
+            return min(size, size * selectivity * max(1, len(node.offsets)))
+        if isinstance(node, (E.SubSelect, E.Split, E.AllAnc, E.AllDesc)):
+            return size * DEFAULT_SELECTIVITY
+        if isinstance(node, (E.ListSubSelect, E.ListSplit)):
+            return size * DEFAULT_SELECTIVITY
+        if isinstance(node, (E.SetUnion,)):
+            return self.estimated_rows(node.left) + self.estimated_rows(node.right)
+        if isinstance(node, E.SetIntersection):
+            return min(self.estimated_rows(node.left), self.estimated_rows(node.right))
+        if isinstance(node, E.SetDifference):
+            return self.estimated_rows(node.left)
+        # apply/flatten and anything cardinality-preserving by default.
+        return size
+
+    # -- calibration against runtime metrics --------------------------------
+
+    def calibrate(self, expr: E.Expr, metrics: "PlanMetrics") -> list["CalibrationRecord"]:
+        """Compare this model's estimates against a plan's actual metrics.
+
+        Walks ``expr`` and, for every operator the instrumented executor
+        collected, reports estimated vs. actual rows and cost units.
+        This is what makes rewrites like the §4 split-index auditable:
+        after an ``EXPLAIN ANALYZE`` run the per-rule error shows
+        whether the model's pricing matched the work that happened.
+        """
+        records: list[CalibrationRecord] = []
+
+        def walk(node: E.Expr, path: tuple[int, ...]) -> None:
+            op = metrics.get(path)
+            if op is not None:
+                records.append(
+                    CalibrationRecord(
+                        path=path,
+                        operator=node.head(),
+                        rule=_PRODUCING_RULE.get(type(node)),
+                        estimated_rows=self.estimated_rows(node),
+                        actual_rows=op.rows_out,
+                        estimated_cost=self.local_cost(node),
+                        actual_units=actual_cost_units(op.counters),
+                    )
+                )
+            for index, child in enumerate(node.children()):
+                walk(child, (*path, index))
+
+        walk(expr, ())
+        return records
+
     def _local_cost(self, node: E.Expr) -> float:
         if isinstance(node, (E.Root, E.Extent, E.Literal)):
             return 1.0
@@ -178,3 +263,72 @@ class CostModel:
         if isinstance(node, (E.SetUnion, E.SetIntersection, E.SetDifference)):
             return self.input_size(node.left) + self.input_size(node.right)
         return size
+
+
+#: Physical node type → the rewrite rule that introduces it (for
+#: calibration reports; logical nodes have no producing rule).
+_PRODUCING_RULE: dict[type, str] = {
+    E.IndexedSubSelect: "sub_select→indexed",
+    E.IndexedSplit: "split→indexed",
+    E.IndexedListSubSelect: "list_sub_select→indexed",
+    E.IndexedSetSelect: "conjunct-decomposition",
+}
+
+
+def actual_cost_units(counters: Mapping[str, int]) -> float:
+    """Collapse runtime counters into the model's abstract work units.
+
+    The model prices plans in ≈ predicate evaluations with a fixed
+    surcharge per index probe; the same weighting applied to the actual
+    counters makes the two columns of ``EXPLAIN ANALYZE`` comparable.
+    """
+    return (
+        counters.get("predicate_evals", 0)
+        + counters.get("nodes_scanned", 0)
+        + counters.get("positions_scanned", 0)
+        + counters.get("objects_scanned", 0)
+        + PROBE_COST * counters.get("index_probes", 0)
+    )
+
+
+@dataclass(frozen=True)
+class CalibrationRecord:
+    """Estimated vs. actual for one operator of an analyzed plan."""
+
+    path: tuple[int, ...]
+    operator: str
+    rule: str | None
+    estimated_rows: float
+    actual_rows: int | None
+    estimated_cost: float
+    actual_units: float
+
+    def row_error(self) -> float | None:
+        """Estimate/actual ratio, symmetric (≥ 1; None when unknowable)."""
+        if self.actual_rows is None:
+            return None
+        return _symmetric_ratio(self.estimated_rows, float(self.actual_rows))
+
+    def cost_error(self) -> float:
+        return _symmetric_ratio(self.estimated_cost, self.actual_units)
+
+
+def _symmetric_ratio(estimated: float, actual: float) -> float:
+    low, high = sorted((max(estimated, 1.0), max(actual, 1.0)))
+    return high / low
+
+
+def calibration_report(records: list[CalibrationRecord]) -> str:
+    """Human-readable per-rule estimate-error summary."""
+    lines = ["calibration (estimate vs. actual):"]
+    for record in records:
+        rule = f" [{record.rule}]" if record.rule else ""
+        row_error = record.row_error()
+        rows = "?" if row_error is None else f"{row_error:.1f}×"
+        lines.append(
+            f"  {record.operator}{rule}: rows est≈{record.estimated_rows:.0f}"
+            f" act={record.actual_rows} (err {rows});"
+            f" cost est≈{record.estimated_cost:.0f}"
+            f" act≈{record.actual_units:.0f} (err {record.cost_error():.1f}×)"
+        )
+    return "\n".join(lines)

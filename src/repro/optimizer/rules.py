@@ -16,7 +16,6 @@ gating and tracing.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Sequence
 
 from ..patterns.list_ast import Atom as ListAtom

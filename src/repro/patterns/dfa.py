@@ -6,38 +6,61 @@ trick (also used by predicate-automata engines) is to observe that a DFA
 transition only depends on the **vector of predicate outcomes** for the
 input element: two elements satisfying exactly the same atom predicates
 are interchangeable.  We therefore key the transition cache on
-``(state-set, outcome-vector)`` and build states lazily as inputs arrive.
+``(state_set, outcome_vector)`` and build states lazily as inputs arrive.
 
 Compared to NFA simulation this trades memory for time: once the cache is
 warm, each element costs one predicate-vector evaluation plus one dict
 lookup — the classic DFA-vs-backtracking gap measured by the
 ``CLAIM-DFA`` benchmark.
+
+The cache is **bounded** (``cache_limit``, FIFO eviction of the oldest
+quarter) so long-running shells matching over high-cardinality alphabets
+cannot grow it without limit, and the matcher keeps warmth counters —
+hits, misses, evictions, predicate evaluations — that it flushes to any
+activated :mod:`~repro.storage.stats` sink, which is how
+``EXPLAIN ANALYZE`` charts DFA cache warmth per operator.
 """
 
 from __future__ import annotations
 
+from itertools import islice
 from typing import Any, Sequence
 
 from ..predicates.alphabet import AlphabetPredicate
+from ..storage import stats as stats_mod
 from .list_ast import ListPattern, ListPatternNode
 from .nfa import NFA, compile_nfa
+
+#: Default transition-cache bound; generous for real alphabets (a cache
+#: entry per *distinct* (state-set, outcome-vector) pair), small enough
+#: that a pathological alphabet cannot leak memory in a resident shell.
+DEFAULT_CACHE_LIMIT = 4096
 
 
 class LazyDFA:
     """A deterministic matcher built lazily over an ε-NFA."""
 
-    def __init__(self, nfa: NFA) -> None:
+    def __init__(self, nfa: NFA, cache_limit: int = DEFAULT_CACHE_LIMIT) -> None:
+        if cache_limit < 1:
+            raise ValueError("cache_limit must be at least 1")
         self._nfa = nfa
         self._atoms: list[AlphabetPredicate] = nfa.atom_predicates()
         self._start = nfa.eps_closure([nfa.start])
         # (state_set, outcome_vector) -> state_set
         self._cache: dict[tuple[frozenset[int], tuple[bool, ...]], frozenset[int]] = {}
+        self._cache_limit = cache_limit
         atom_index = {predicate: i for i, predicate in enumerate(self._atoms)}
         # Per state: arcs with the predicate resolved to its vector slot.
         self._arcs: list[list[tuple[int, int]]] = [
             [(atom_index[predicate], target) for predicate, target in arcs]
             for arcs in nfa.transitions
         ]
+        # Warmth counters: plain ints in the hot loop, flushed in bulk.
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_evictions = 0
+        self.predicate_evals = 0
+        self._emitted: dict[str, int] = {}
 
     @property
     def start_state(self) -> frozenset[int]:
@@ -51,7 +74,37 @@ class LazyDFA:
     def cached_transitions(self) -> int:
         return len(self._cache)
 
+    @property
+    def cache_limit(self) -> int:
+        return self._cache_limit
+
+    def stats_snapshot(self) -> dict[str, int]:
+        """Warmth counters plus the current cache size (a gauge)."""
+        return {
+            "dfa_cache_hits": self.cache_hits,
+            "dfa_cache_misses": self.cache_misses,
+            "dfa_cache_evictions": self.cache_evictions,
+            "dfa_cache_size": len(self._cache),
+            "predicate_evals": self.predicate_evals,
+        }
+
+    def emit_stats(self) -> None:
+        """Flush counter *deltas* since the last flush to activated sinks.
+
+        Deltas keep a long-lived matcher (a resident shell reusing one
+        compiled DFA) from re-reporting old work on every query.
+        """
+        snapshot = self.stats_snapshot()
+        del snapshot["dfa_cache_size"]  # a gauge, not a counter
+        deltas = {
+            name: value - self._emitted.get(name, 0)
+            for name, value in snapshot.items()
+        }
+        self._emitted = snapshot
+        stats_mod.emit_many(deltas)
+
     def outcome_vector(self, value: Any) -> tuple[bool, ...]:
+        self.predicate_evals += len(self._atoms)
         return tuple(predicate(value) for predicate in self._atoms)
 
     def is_accepting(self, states: frozenset[int]) -> bool:
@@ -62,23 +115,36 @@ class LazyDFA:
         key = (states, vector)
         cached = self._cache.get(key)
         if cached is not None:
+            self.cache_hits += 1
             return cached
+        self.cache_misses += 1
         moved: set[int] = set()
         for state in states:
             for atom_slot, target in self._arcs[state]:
                 if vector[atom_slot]:
                     moved.add(target)
         result = self._nfa.eps_closure(moved) if moved else frozenset()
+        if len(self._cache) >= self._cache_limit:
+            # FIFO eviction of the oldest quarter (dicts preserve
+            # insertion order); crude but O(1) amortized and enough to
+            # bound a resident shell's footprint.
+            evict = max(1, self._cache_limit // 4)
+            for stale in list(islice(iter(self._cache), evict)):
+                del self._cache[stale]
+            self.cache_evictions += evict
         self._cache[key] = result
         return result
 
     def accepts(self, values: Sequence[Any]) -> bool:
         states = self._start
-        for value in values:
-            states = self.step(states, value)
-            if not states:
-                return False
-        return self.is_accepting(states)
+        try:
+            for value in values:
+                states = self.step(states, value)
+                if not states:
+                    return False
+            return self.is_accepting(states)
+        finally:
+            self.emit_stats()
 
     def ends_from(self, values: Sequence[Any], start: int) -> list[int]:
         ends: list[int] = []
@@ -94,8 +160,11 @@ class LazyDFA:
         return ends
 
 
-def compile_dfa(pattern: ListPattern | ListPatternNode) -> LazyDFA:
-    return LazyDFA(compile_nfa(pattern))
+def compile_dfa(
+    pattern: ListPattern | ListPatternNode,
+    cache_limit: int = DEFAULT_CACHE_LIMIT,
+) -> LazyDFA:
+    return LazyDFA(compile_nfa(pattern), cache_limit=cache_limit)
 
 
 def dfa_find_spans(
@@ -113,11 +182,14 @@ def dfa_find_spans(
         if pattern.anchor_start:
             candidate_starts = [s for s in candidate_starts if s == 0]
     spans: list[tuple[int, int]] = []
-    for start in candidate_starts:
-        if start > n:
-            continue
-        for end in dfa.ends_from(values, start):
-            if pattern.anchor_end and end != n:
+    try:
+        for start in candidate_starts:
+            if start > n:
                 continue
-            spans.append((start, end))
+            for end in dfa.ends_from(values, start):
+                if pattern.anchor_end and end != n:
+                    continue
+                spans.append((start, end))
+    finally:
+        dfa.emit_stats()
     return sorted(set(spans))

@@ -26,7 +26,7 @@ practice — this procedure is sound for rewrites, conservatively strict.
 from __future__ import annotations
 
 from itertools import product as cartesian_product
-from typing import Iterator, Sequence
+from typing import Sequence
 
 from ..errors import PatternError
 from ..predicates.alphabet import AlphabetPredicate

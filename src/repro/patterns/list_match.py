@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Any, Iterator, Sequence
 
 from ..errors import PatternError
+from ..storage import stats as stats_mod
 from .list_ast import (
     Atom,
     Concat,
@@ -84,6 +85,19 @@ class _Matcher:
         self.values = values
         self._spans = _SpanMatcher(values)
         self._prune_free: dict[int, bool] = {}
+        #: Derivation steps explored (the backtracking work §3.4's
+        #: engines avoid); plain int in the hot loop, flushed in bulk.
+        self.backtrack_steps = 0
+        self.predicate_evals = 0
+
+    def emit_stats(self) -> None:
+        stats_mod.emit_many(
+            {
+                "backtrack_steps": self.backtrack_steps,
+                "predicate_evals": self.predicate_evals
+                + self._spans.predicate_evals,
+            }
+        )
 
     def _is_prune_free(self, node: ListPatternNode) -> bool:
         cached = self._prune_free.get(id(node))
@@ -94,6 +108,7 @@ class _Matcher:
 
     def match(self, node: ListPatternNode, pos: int) -> Iterator[tuple[int, _Events]]:
         """Yield ``(end, events)`` for every way ``node`` matches at ``pos``."""
+        self.backtrack_steps += 1
         if self._is_prune_free(node):
             for end in sorted(self._spans.ends(node, pos)):
                 yield end, tuple((i, None) for i in range(pos, end))
@@ -108,8 +123,10 @@ class _Matcher:
         if isinstance(node, Epsilon):
             yield pos, ()
         elif isinstance(node, Atom):
-            if pos < len(self.values) and node.predicate(self.values[pos]):
-                yield pos + 1, ((pos, None),)
+            if pos < len(self.values):
+                self.predicate_evals += 1
+                if node.predicate(self.values[pos]):
+                    yield pos + 1, ((pos, None),)
         elif isinstance(node, Concat):
             yield from self._match_concat(node.parts, 0, pos)
         elif isinstance(node, Union):
@@ -189,23 +206,26 @@ def find_list_matches(
 
     seen: set[tuple[Any, ...]] = set()
     results: list[ListMatch] = []
-    for start in candidate_starts:
-        if start > n:
-            continue
-        for end, events in matcher.match(pattern.body, start):
-            if pattern.anchor_end and end != n:
+    try:
+        for start in candidate_starts:
+            if start > n:
                 continue
-            match = _normalize(start, end, events)
-            key = (match.start, match.end, match.kept, match.pruned_runs)
-            if key in seen:
-                continue
-            seen.add(key)
-            results.append(match)
-            if limit is not None and len(results) >= limit:
-                results.sort(key=lambda m: (m.start, m.end))
-                return results
-    results.sort(key=lambda m: (m.start, m.end))
-    return results
+            for end, events in matcher.match(pattern.body, start):
+                if pattern.anchor_end and end != n:
+                    continue
+                match = _normalize(start, end, events)
+                key = (match.start, match.end, match.kept, match.pruned_runs)
+                if key in seen:
+                    continue
+                seen.add(key)
+                results.append(match)
+                if limit is not None and len(results) >= limit:
+                    results.sort(key=lambda m: (m.start, m.end))
+                    return results
+        results.sort(key=lambda m: (m.start, m.end))
+        return results
+    finally:
+        matcher.emit_stats()
 
 
 class _SpanMatcher:
@@ -222,6 +242,7 @@ class _SpanMatcher:
     def __init__(self, values: Sequence[Any]) -> None:
         self.values = values
         self._memo: dict[tuple[int, int], frozenset[int]] = {}
+        self.predicate_evals = 0
 
     def ends(self, node: ListPatternNode, pos: int) -> frozenset[int]:
         key = (id(node), pos)
@@ -236,8 +257,10 @@ class _SpanMatcher:
         if isinstance(node, Epsilon):
             return frozenset((pos,))
         if isinstance(node, Atom):
-            if pos < len(self.values) and node.predicate(self.values[pos]):
-                return frozenset((pos + 1,))
+            if pos < len(self.values):
+                self.predicate_evals += 1
+                if node.predicate(self.values[pos]):
+                    return frozenset((pos + 1,))
             return frozenset()
         if isinstance(node, Concat):
             current = frozenset((pos,))
@@ -292,13 +315,16 @@ def find_spans(
         if pattern.anchor_start:
             candidate_starts = [s for s in candidate_starts if s == 0]
     spans: list[tuple[int, int]] = []
-    for start in candidate_starts:
-        if start > n:
-            continue
-        for end in matcher.ends(pattern.body, start):
-            if pattern.anchor_end and end != n:
+    try:
+        for start in candidate_starts:
+            if start > n:
                 continue
-            spans.append((start, end))
+            for end in matcher.ends(pattern.body, start):
+                if pattern.anchor_end and end != n:
+                    continue
+                spans.append((start, end))
+    finally:
+        stats_mod.emit_many({"predicate_evals": matcher.predicate_evals})
     return sorted(set(spans))
 
 
@@ -308,4 +334,8 @@ def matches_whole(pattern: ListPattern, values: Sequence[Any]) -> bool:
     Anchoring is forced on both ends regardless of the pattern's own
     anchors — this is language membership, the ``I ∈ L(P')`` of §3.4.
     """
-    return len(values) in _SpanMatcher(values).ends(pattern.body, 0)
+    matcher = _SpanMatcher(values)
+    try:
+        return len(values) in matcher.ends(pattern.body, 0)
+    finally:
+        stats_mod.emit_many({"predicate_evals": matcher.predicate_evals})

@@ -46,7 +46,7 @@ from typing import Iterator
 
 from ..core.concat import ConcatPoint
 from ..errors import PatternError
-from ..predicates.alphabet import ANY, AlphabetPredicate, SymbolEquals
+from ..predicates.alphabet import AlphabetPredicate
 
 
 from .list_ast import atom_text as _pred_text

@@ -33,6 +33,7 @@ from typing import Any, Iterator, Sequence
 from ..core.aqua_tree import AquaTree, TreeNode
 from ..core.concat import ConcatPoint
 from ..errors import PatternError
+from ..storage import stats as stats_mod
 from .tree_ast import (
     ChildAlt,
     ChildEpsilon,
@@ -184,6 +185,19 @@ class _TreeMatcher:
 
     def __init__(self, leaf_anchor: bool) -> None:
         self.leaf_anchor = leaf_anchor
+        #: Enumeration work (match_node entries — the exponential §4
+        #: wants narrowed) and alphabet-predicate evaluations; plain
+        #: ints in the hot loop, flushed in bulk by the entry points.
+        self.backtrack_steps = 0
+        self.predicate_evals = 0
+
+    def emit_stats(self) -> None:
+        stats_mod.emit_many(
+            {
+                "backtrack_steps": self.backtrack_steps,
+                "predicate_evals": self.predicate_evals,
+            }
+        )
 
     # -- nullability (can the pattern denote NULL?) --------------------------
 
@@ -247,8 +261,12 @@ class _TreeMatcher:
         env: _Env,
         guard: frozenset = frozenset(),
     ) -> "Iterator[Shape | Pruned]":
+        self.backtrack_steps += 1
         if isinstance(tp, TreeAtom):
-            if node.is_concat_point or not tp.predicate(node.value):
+            if node.is_concat_point:
+                return
+            self.predicate_evals += 1
+            if not tp.predicate(node.value):
                 return
             if tp.children is None:
                 if self.leaf_anchor:
@@ -321,6 +339,9 @@ class _TreeMatcher:
             matched = any(
                 True for _ in inner_matcher.match_node(tp.inner, node, env, guard)
             )
+            if inner_matcher is not self:
+                self.backtrack_steps += inner_matcher.backtrack_steps
+                self.predicate_evals += inner_matcher.predicate_evals
             if matched:
                 yield Pruned(node)
             return
@@ -427,19 +448,22 @@ def find_tree_matches(
 
     seen: set[tuple] = set()
     results: list[TreeMatch] = []
-    for node in candidates:
-        for shape in matcher.match_node(pattern.body, node, {}):
-            if isinstance(shape, Pruned):
-                continue
-            match = TreeMatch(shape)
-            key = match.key()
-            if key in seen:
-                continue
-            seen.add(key)
-            results.append(match)
-            if limit is not None and len(results) >= limit:
-                return results
-    return results
+    try:
+        for node in candidates:
+            for shape in matcher.match_node(pattern.body, node, {}):
+                if isinstance(shape, Pruned):
+                    continue
+                match = TreeMatch(shape)
+                key = match.key()
+                if key in seen:
+                    continue
+                seen.add(key)
+                results.append(match)
+                if limit is not None and len(results) >= limit:
+                    return results
+        return results
+    finally:
+        matcher.emit_stats()
 
 
 def tree_in_language(pattern: TreePattern, data: AquaTree) -> bool:
@@ -453,10 +477,13 @@ def tree_in_language(pattern: TreePattern, data: AquaTree) -> bool:
         matcher = _TreeMatcher(leaf_anchor=False)
         return matcher.nullable(pattern.body, {})
     matcher = _TreeMatcher(leaf_anchor=pattern.leaf_anchor)
-    for shape in matcher.match_node(pattern.body, data.root, {}):
-        if isinstance(shape, Pruned):
-            continue
-        match = TreeMatch(shape)
-        if not match.pruned_nodes():
-            return True
-    return False
+    try:
+        for shape in matcher.match_node(pattern.body, data.root, {}):
+            if isinstance(shape, Pruned):
+                continue
+            match = TreeMatch(shape)
+            if not match.pruned_nodes():
+                return True
+        return False
+    finally:
+        matcher.emit_stats()

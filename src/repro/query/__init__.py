@@ -1,18 +1,24 @@
-"""Logical query expressions, their evaluator, EXPLAIN, and the AQL
-user-level text language."""
+"""Logical query expressions, their evaluator, EXPLAIN / EXPLAIN
+ANALYZE, and the AQL user-level text language."""
 
 from . import expr
 from .aql import parse_aql, run_aql
 from .builder import Q
-from .explain import explain, explain_optimization
-from .interpreter import evaluate
+from .explain import explain, explain_analyze, explain_optimization, render_analysis
+from .interpreter import evaluate, evaluate_with_metrics
+from .metrics import OperatorMetrics, PlanMetrics
 
 __all__ = [
+    "OperatorMetrics",
+    "PlanMetrics",
     "Q",
     "evaluate",
+    "evaluate_with_metrics",
     "explain",
+    "explain_analyze",
     "explain_optimization",
     "expr",
     "parse_aql",
+    "render_analysis",
     "run_aql",
 ]

@@ -1,4 +1,4 @@
-"""EXPLAIN for query plans: the expression tree with cost estimates.
+"""EXPLAIN for query plans: estimates, and EXPLAIN ANALYZE: actuals.
 
 ``explain(expr, db)`` renders a plan the way database shells do::
 
@@ -12,33 +12,40 @@ Costs come from the optimizer's :class:`~repro.optimizer.cost.CostModel`
 estimates, exact when the source is a bound root or literal.
 ``explain_diff`` renders the before/after story of an optimization run,
 including the rewrite trace.
+
+``explain_analyze(expr, db)`` *runs* the plan through the instrumented
+executor and prints estimated vs. actual columns per operator — rows,
+cost units and wall time — plus the counters each operator caused
+(index probes, predicate evaluations, pattern-engine work).  Operators
+whose row estimate is off by more than ``MISESTIMATE_FACTOR`` are
+flagged, which is how a mispriced rewrite shows itself at runtime.
+
+Plan lines render each node's :meth:`~repro.query.expr.Expr.head` —
+built structurally from the node's own fields, never by excising child
+text from ``describe()`` strings (the old string surgery silently
+corrupted lines whenever a child's rendering occurred inside a pattern
+or predicate).
 """
 
 from __future__ import annotations
 
+from typing import Iterator
+
 from ..storage.database import Database
 from . import expr as E
+from .metrics import PlanMetrics
+
+#: Estimate/actual row ratio beyond which an operator is flagged.
+MISESTIMATE_FACTOR = 10.0
 
 
 def _node_line(node: E.Expr, model) -> str:
-    local = model._local_cost(node)
+    local = model.local_cost(node)
     total = model.cost(node)
     if isinstance(node, (E.Root, E.Extent, E.Literal)):
         size = model.input_size(node)
-        return f"{node.describe()}  (cost≈{local:.0f}, size≈{size:.0f})"
-    return f"{_head(node)}  (cost≈{local:.0f}, total≈{total:.0f})"
-
-
-def _head(node: E.Expr) -> str:
-    """The node's describe() with the input elided (children are shown
-    as indented lines instead)."""
-    text = node.describe()
-    for child in node.children():
-        child_text = f"({child.describe()})"
-        if text.endswith(child_text):
-            return text[: -len(child_text)]
-        text = text.replace(child.describe(), "…", 1)
-    return text
+        return f"{node.head()}  (cost≈{local:.0f}, size≈{size:.0f})"
+    return f"{node.head()}  (cost≈{local:.0f}, total≈{total:.0f})"
 
 
 def explain(expr: E.Expr, db: Database, indent: int = 0) -> str:
@@ -80,3 +87,82 @@ def explain_optimization(expr: E.Expr, db: Database) -> str:
         ]
     )
     return "\n".join(parts)
+
+
+# -- EXPLAIN ANALYZE ----------------------------------------------------------
+
+
+def _walk_paths(node: E.Expr, path: tuple[int, ...] = ()) -> Iterator[
+    tuple[tuple[int, ...], E.Expr]
+]:
+    yield path, node
+    for index, child in enumerate(node.children()):
+        yield from _walk_paths(child, (*path, index))
+
+
+def _flag(estimated: float, actual: int | None) -> str:
+    if actual is None:
+        return ""
+    low, high = sorted((max(estimated, 1.0), float(max(actual, 1))))
+    if high / low > MISESTIMATE_FACTOR:
+        return f"  ⚠ rows {high / low:.0f}× off"
+    return ""
+
+
+def render_analysis(
+    expr: E.Expr,
+    db: Database,
+    metrics: PlanMetrics,
+    *,
+    timings: bool = True,
+) -> str:
+    """Render the estimated-vs-actual plan tree for collected metrics.
+
+    Split from :func:`explain_analyze` so tests can render
+    deterministically (``timings=False`` drops the wall-time column) and
+    so callers that already ran :func:`~repro.query.interpreter
+    .evaluate_with_metrics` need not evaluate twice.
+    """
+    from ..optimizer.cost import CostModel, actual_cost_units
+
+    model = CostModel(db)
+    lines: list[str] = []
+    for path, node in _walk_paths(expr):
+        op = metrics.get(path)
+        estimated_rows = model.estimated_rows(node)
+        estimated_cost = model.local_cost(node)
+        indent = "  " * len(path)
+        if op is None:
+            lines.append(
+                f"{indent}{node.head()}  (est rows≈{estimated_rows:.0f},"
+                f" cost≈{estimated_cost:.0f} | never executed)"
+            )
+            continue
+        actual = f"act rows={op.rows_out}" if op.rows_out is not None else "act rows=?"
+        units = actual_cost_units(op.counters)
+        time_part = (
+            f", time={metrics.self_seconds(path) * 1e3:.1f}ms" if timings else ""
+        )
+        lines.append(
+            f"{indent}{node.head()}  (est rows≈{estimated_rows:.0f},"
+            f" cost≈{estimated_cost:.0f} | {actual},"
+            f" units={units:.0f}{time_part})"
+            f"{_flag(estimated_rows, op.rows_out)}"
+        )
+        counters = ", ".join(
+            f"{name}={value}" for name, value in sorted(op.counters.items()) if value
+        )
+        if counters:
+            lines.append(f"{indent}  · {counters}")
+    return "\n".join(lines)
+
+
+def explain_analyze(
+    expr: E.Expr, db: Database, *, timings: bool = True
+) -> str:
+    """Run ``expr`` through the instrumented executor and render the plan
+    with estimated vs. actual rows, cost units and per-operator time."""
+    from .interpreter import evaluate_with_metrics
+
+    _, metrics = evaluate_with_metrics(expr, db)
+    return render_analysis(expr, db, metrics, timings=timings)

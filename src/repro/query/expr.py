@@ -40,8 +40,22 @@ class Expr:
             raise ValueError(f"{type(self).__name__} takes no children")
         return self
 
-    def describe(self) -> str:
+    def head(self) -> str:
+        """The operator's own rendering with children elided.
+
+        EXPLAIN prints one head per plan line (children are indented
+        lines of their own); ``describe()`` composes the full one-line
+        form structurally from heads, so a head can never be corrupted
+        by a child's text appearing inside a pattern or predicate.
+        """
         raise NotImplementedError
+
+    def describe(self) -> str:
+        children = self.children()
+        if not children:
+            return self.head()
+        inner = ", ".join(child.describe() for child in children)
+        return f"{self.head()}({inner})"
 
     def walk(self) -> Iterator["Expr"]:
         yield self
@@ -63,7 +77,7 @@ class Root(Expr):
 
     name: str
 
-    def describe(self) -> str:
+    def head(self) -> str:
         return f"root({self.name})"
 
 
@@ -73,7 +87,7 @@ class Extent(Expr):
 
     name: str
 
-    def describe(self) -> str:
+    def head(self) -> str:
         return f"extent({self.name})"
 
 
@@ -83,7 +97,7 @@ class Literal(Expr):
 
     value: Any
 
-    def describe(self) -> str:
+    def head(self) -> str:
         return f"lit({self.value!r})"
 
 
@@ -113,25 +127,25 @@ class _Unary(Expr):
 class TreeSelect(_Unary):
     predicate: AlphabetPredicate = field(kw_only=True)
 
-    def describe(self) -> str:
-        return f"select[{self.predicate.describe()}]({self.input.describe()})"
+    def head(self) -> str:
+        return f"select[{self.predicate.describe()}]"
 
 
 @dataclass(frozen=True, repr=False)
 class TreeApply(_Unary):
     function: Callable[[Any], Any] = field(kw_only=True)
 
-    def describe(self) -> str:
+    def head(self) -> str:
         name = getattr(self.function, "__name__", "f")
-        return f"apply[{name}]({self.input.describe()})"
+        return f"apply[{name}]"
 
 
 @dataclass(frozen=True, repr=False)
 class SubSelect(_Unary):
     pattern: TreePattern = field(kw_only=True)
 
-    def describe(self) -> str:
-        return f"sub_select[{self.pattern.describe()}]({self.input.describe()})"
+    def head(self) -> str:
+        return f"sub_select[{self.pattern.describe()}]"
 
 
 @dataclass(frozen=True, repr=False)
@@ -148,12 +162,9 @@ class IndexedSubSelect(_Unary):
     pattern: TreePattern = field(kw_only=True)
     anchors: tuple[AlphabetPredicate, ...] = field(kw_only=True)
 
-    def describe(self) -> str:
+    def head(self) -> str:
         anchors = " | ".join(a.describe() for a in self.anchors)
-        return (
-            f"ix_sub_select[{self.pattern.describe()};"
-            f" anchors={anchors}]({self.input.describe()})"
-        )
+        return f"ix_sub_select[{self.pattern.describe()}; anchors={anchors}]"
 
 
 @dataclass(frozen=True, repr=False)
@@ -161,8 +172,8 @@ class Split(_Unary):
     pattern: TreePattern = field(kw_only=True)
     function: Callable[..., Any] = field(kw_only=True)
 
-    def describe(self) -> str:
-        return f"split[{self.pattern.describe()}]({self.input.describe()})"
+    def head(self) -> str:
+        return f"split[{self.pattern.describe()}]"
 
 
 @dataclass(frozen=True, repr=False)
@@ -175,12 +186,9 @@ class IndexedSplit(_Unary):
     function: Callable[..., Any] = field(kw_only=True)
     anchors: tuple[AlphabetPredicate, ...] = field(kw_only=True)
 
-    def describe(self) -> str:
+    def head(self) -> str:
         anchors = " | ".join(a.describe() for a in self.anchors)
-        return (
-            f"ix_split[{self.pattern.describe()};"
-            f" anchors={anchors}]({self.input.describe()})"
-        )
+        return f"ix_split[{self.pattern.describe()}; anchors={anchors}]"
 
 
 @dataclass(frozen=True, repr=False)
@@ -188,8 +196,8 @@ class AllAnc(_Unary):
     pattern: TreePattern = field(kw_only=True)
     function: Callable[..., Any] = field(kw_only=True)
 
-    def describe(self) -> str:
-        return f"all_anc[{self.pattern.describe()}]({self.input.describe()})"
+    def head(self) -> str:
+        return f"all_anc[{self.pattern.describe()}]"
 
 
 @dataclass(frozen=True, repr=False)
@@ -197,8 +205,8 @@ class AllDesc(_Unary):
     pattern: TreePattern = field(kw_only=True)
     function: Callable[..., Any] = field(kw_only=True)
 
-    def describe(self) -> str:
-        return f"all_desc[{self.pattern.describe()}]({self.input.describe()})"
+    def head(self) -> str:
+        return f"all_desc[{self.pattern.describe()}]"
 
 
 # ---------------------------------------------------------------------------
@@ -210,25 +218,25 @@ class AllDesc(_Unary):
 class ListSelect(_Unary):
     predicate: AlphabetPredicate = field(kw_only=True)
 
-    def describe(self) -> str:
-        return f"lselect[{self.predicate.describe()}]({self.input.describe()})"
+    def head(self) -> str:
+        return f"lselect[{self.predicate.describe()}]"
 
 
 @dataclass(frozen=True, repr=False)
 class ListApply(_Unary):
     function: Callable[[Any], Any] = field(kw_only=True)
 
-    def describe(self) -> str:
+    def head(self) -> str:
         name = getattr(self.function, "__name__", "f")
-        return f"lapply[{name}]({self.input.describe()})"
+        return f"lapply[{name}]"
 
 
 @dataclass(frozen=True, repr=False)
 class ListSubSelect(_Unary):
     pattern: ListPattern = field(kw_only=True)
 
-    def describe(self) -> str:
-        return f"lsub_select[{self.pattern.describe()}]({self.input.describe()})"
+    def head(self) -> str:
+        return f"lsub_select[{self.pattern.describe()}]"
 
 
 @dataclass(frozen=True, repr=False)
@@ -241,11 +249,10 @@ class IndexedListSubSelect(_Unary):
     anchor: AlphabetPredicate = field(kw_only=True)
     offsets: tuple[int, ...] = field(kw_only=True)
 
-    def describe(self) -> str:
+    def head(self) -> str:
         return (
             f"ix_lsub_select[{self.pattern.describe()};"
             f" anchor={self.anchor.describe()} @-{list(self.offsets)}]"
-            f"({self.input.describe()})"
         )
 
 
@@ -254,8 +261,8 @@ class ListSplit(_Unary):
     pattern: ListPattern = field(kw_only=True)
     function: Callable[..., Any] = field(kw_only=True)
 
-    def describe(self) -> str:
-        return f"lsplit[{self.pattern.describe()}]({self.input.describe()})"
+    def head(self) -> str:
+        return f"lsplit[{self.pattern.describe()}]"
 
 
 # ---------------------------------------------------------------------------
@@ -267,8 +274,8 @@ class ListSplit(_Unary):
 class SetSelect(_Unary):
     predicate: AlphabetPredicate = field(kw_only=True)
 
-    def describe(self) -> str:
-        return f"sselect[{self.predicate.describe()}]({self.input.describe()})"
+    def head(self) -> str:
+        return f"sselect[{self.predicate.describe()}]"
 
 
 @dataclass(frozen=True, repr=False)
@@ -280,21 +287,18 @@ class IndexedSetSelect(_Unary):
     indexed: AlphabetPredicate = field(kw_only=True)
     residual: AlphabetPredicate | None = field(kw_only=True, default=None)
 
-    def describe(self) -> str:
+    def head(self) -> str:
         residual = self.residual.describe() if self.residual else "true"
-        return (
-            f"ix_sselect[{self.indexed.describe()};"
-            f" residual={residual}]({self.input.describe()})"
-        )
+        return f"ix_sselect[{self.indexed.describe()}; residual={residual}]"
 
 
 @dataclass(frozen=True, repr=False)
 class SetApply(_Unary):
     function: Callable[[Any], Any] = field(kw_only=True)
 
-    def describe(self) -> str:
+    def head(self) -> str:
         name = getattr(self.function, "__name__", "f")
-        return f"sapply[{name}]({self.input.describe()})"
+        return f"sapply[{name}]"
 
 
 @dataclass(frozen=True, repr=False)
@@ -303,8 +307,8 @@ class SetFlatten(_Unary):
     ``apply(sub_select(⊤tp))(split(d, reassemble)(T))`` whose apply step
     produces a set of per-subtree result sets."""
 
-    def describe(self) -> str:
-        return f"flatten({self.input.describe()})"
+    def head(self) -> str:
+        return "flatten"
 
 
 @dataclass(frozen=True, repr=False)
@@ -322,17 +326,17 @@ class _Binary(Expr):
 
 @dataclass(frozen=True, repr=False)
 class SetUnion(_Binary):
-    def describe(self) -> str:
-        return f"union({self.left.describe()}, {self.right.describe()})"
+    def head(self) -> str:
+        return "union"
 
 
 @dataclass(frozen=True, repr=False)
 class SetIntersection(_Binary):
-    def describe(self) -> str:
-        return f"intersect({self.left.describe()}, {self.right.describe()})"
+    def head(self) -> str:
+        return "intersect"
 
 
 @dataclass(frozen=True, repr=False)
 class SetDifference(_Binary):
-    def describe(self) -> str:
-        return f"difference({self.left.describe()}, {self.right.describe()})"
+    def head(self) -> str:
+        return "difference"

@@ -30,14 +30,49 @@ from ..core.aqua_tree import AquaTree, TreeNode
 from ..errors import QueryError
 from ..storage.database import Database
 from . import expr as E
+from .metrics import PlanMetrics
 
 
 def evaluate(node: E.Expr, db: Database) -> Any:
-    """Evaluate a query expression against ``db``."""
+    """Evaluate a query expression against ``db``.
+
+    The database's instrumentation sink is activated for the duration,
+    so engine-level counters (DFA cache hits, backtrack steps) land in
+    ``db.stats`` alongside the interpreter's own counts.  When a
+    :class:`~repro.query.metrics.PlanMetrics` collector is installed
+    (see :func:`evaluate_with_metrics`), every node additionally runs
+    inside its own attribution scope — that is the instrumented
+    executor behind ``EXPLAIN ANALYZE``.
+    """
     method = _DISPATCH.get(type(node))
     if method is None:
         raise QueryError(f"no evaluation rule for {type(node).__name__}")
-    return method(node, db)
+    stats = db.stats
+    collector = stats.collector
+    with stats.activated():
+        if collector is None:
+            return method(node, db)
+        with collector.operator(node, stats) as op:
+            result = method(node, db)
+        collector.record_output(op, result)
+        return result
+
+
+def evaluate_with_metrics(
+    expr: E.Expr, db: Database, metrics: PlanMetrics | None = None
+) -> tuple[Any, PlanMetrics]:
+    """Evaluate ``expr`` collecting per-operator runtime metrics.
+
+    Returns ``(result, metrics)`` where ``metrics`` holds one
+    :class:`~repro.query.metrics.OperatorMetrics` scope per plan node:
+    output cardinality, wall time, and the counters (index probes,
+    predicate evaluations, pattern-engine work) attributable to that
+    operator alone.
+    """
+    metrics = metrics if metrics is not None else PlanMetrics()
+    with db.stats.collecting(metrics):
+        result = evaluate(expr, db)
+    return result, metrics
 
 
 def _as_tree(value: Any, node: E.Expr) -> AquaTree:

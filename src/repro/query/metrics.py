@@ -1,0 +1,183 @@
+"""Per-operator runtime metrics for plan execution (EXPLAIN ANALYZE).
+
+A :class:`PlanMetrics` registry holds one :class:`OperatorMetrics` per
+plan node, keyed by the node's *path* — the tuple of child indexes from
+the plan root (``()`` is the root, ``(0,)`` its first child, …).  Paths
+identify operators positionally, so two structurally equal nodes at
+different places in the plan get separate metrics.
+
+The interpreter opens one :meth:`PlanMetrics.operator` scope around each
+node it evaluates.  While the scope is active:
+
+* counter bumps on the database's
+  :class:`~repro.storage.stats.Instrumentation` (index probes, predicate
+  evaluations, engine counters flushed via
+  :func:`~repro.storage.stats.emit_many`) are credited to that
+  operator — exclusively, i.e. a parent does not re-count its
+  children's work;
+* wall time is measured (inclusive of children; :meth:`self_seconds`
+  subtracts them back out);
+* the operator's output cardinality is recorded when the scope closes.
+
+The registry is thread-safe: the registration table is lock-guarded and
+the evaluation stack is thread-local, so concurrent evaluations against
+one database do not corrupt each other's attribution.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..storage.stats import Instrumentation
+    from . import expr as E
+
+#: Path of a plan node: child indexes from the root (root = ``()``).
+Path = tuple[int, ...]
+
+
+def cardinality(value: Any) -> int:
+    """How many "rows" a value contributes as an operator's output.
+
+    Sets and lists count members, trees count nodes (the unit the §4
+    narrowing argument is about), everything else is one row.
+    """
+    from ..core.aqua_list import AquaList
+    from ..core.aqua_set import AquaMultiset, AquaSet
+    from ..core.aqua_tree import AquaTree
+
+    if isinstance(value, AquaTree):
+        return value.size()
+    if isinstance(value, (AquaSet, AquaMultiset, AquaList)):
+        return len(value)
+    return 1
+
+
+@dataclass
+class OperatorMetrics:
+    """What one plan operator actually did during evaluation."""
+
+    path: Path
+    head: str
+    counters: Counter = field(default_factory=Counter)
+    rows_out: int | None = None
+    wall_seconds: float = 0.0  # inclusive of children
+    calls: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready record (benchmark harness output)."""
+        return {
+            "path": list(self.path),
+            "operator": self.head,
+            "rows_out": self.rows_out,
+            "wall_seconds": self.wall_seconds,
+            "calls": self.calls,
+            "counters": dict(self.counters),
+        }
+
+
+class PlanMetrics:
+    """Registry of per-operator metrics for one plan evaluation."""
+
+    def __init__(self) -> None:
+        self.operators: dict[Path, OperatorMetrics] = {}
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- collection (interpreter side) -------------------------------------
+
+    def _stack(self) -> list[list[Any]]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @contextmanager
+    def operator(
+        self, node: "E.Expr", stats: "Instrumentation"
+    ) -> Iterator[OperatorMetrics]:
+        """Scope one plan node's evaluation.
+
+        The node's path is derived from the evaluation order, which the
+        interpreter guarantees matches ``children()`` order; re-entering
+        the same path (a re-evaluated plan) accumulates into the same
+        record.
+        """
+        stack = self._stack()
+        if stack:
+            parent_frame = stack[-1]
+            path: Path = (*parent_frame[0].path, parent_frame[1])
+            parent_frame[1] += 1
+        else:
+            path = ()
+        with self._lock:
+            op = self.operators.get(path)
+            if op is None:
+                op = self.operators[path] = OperatorMetrics(path, node.head())
+        op.calls += 1
+        frame = [op, 0]
+        stack.append(frame)
+        started = time.perf_counter()
+        try:
+            with stats.attribute_to(op):
+                yield op
+        finally:
+            op.wall_seconds += time.perf_counter() - started
+            stack.pop()
+
+    def record_output(self, op: OperatorMetrics, value: Any) -> None:
+        op.rows_out = cardinality(value)
+
+    # -- reporting ----------------------------------------------------------
+
+    def __getitem__(self, path: Path) -> OperatorMetrics:
+        return self.operators[path]
+
+    def get(self, path: Path) -> OperatorMetrics | None:
+        return self.operators.get(path)
+
+    def children_of(self, path: Path) -> list[OperatorMetrics]:
+        return [
+            op
+            for p, op in sorted(self.operators.items())
+            if len(p) == len(path) + 1 and p[: len(path)] == path
+        ]
+
+    def self_seconds(self, path: Path) -> float:
+        """Wall time spent in the operator itself, children excluded."""
+        op = self.operators[path]
+        return max(
+            0.0,
+            op.wall_seconds - sum(c.wall_seconds for c in self.children_of(path)),
+        )
+
+    def rows_in(self, path: Path) -> int | None:
+        """Input cardinality: the children's combined output (None for sources)."""
+        children = self.children_of(path)
+        if not children:
+            return None
+        if any(c.rows_out is None for c in children):
+            return None
+        return sum(c.rows_out or 0 for c in children)
+
+    def total(self, name: str) -> int:
+        """A counter summed over all operators."""
+        return sum(op.counters[name] for op in self.operators.values())
+
+    def totals(self) -> dict[str, int]:
+        merged: Counter = Counter()
+        for op in self.operators.values():
+            merged.update(op.counters)
+        return dict(merged)
+
+    def to_records(self) -> list[dict[str, Any]]:
+        """JSON-ready per-operator records, root first."""
+        return [op.to_dict() for _, op in sorted(self.operators.items())]
+
+    def __repr__(self) -> str:
+        return f"PlanMetrics({len(self.operators)} operators, {self.totals()})"

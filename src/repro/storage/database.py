@@ -26,10 +26,9 @@ from typing import Any, Iterable
 from ..core.aqua_list import AquaList
 from ..core.aqua_set import AquaSet
 from ..core.aqua_tree import AquaTree
-from ..core.identity import DatabaseObject
 from ..errors import StorageError
 from ..predicates.alphabet import AlphabetPredicate
-from .index import VALUE_ATTRIBUTE, HashIndex, OrderedIndex, read_key
+from .index import HashIndex, OrderedIndex
 from .stats import Instrumentation
 from .tree_index import ListIndex, TreeIndex
 
@@ -119,29 +118,31 @@ class Database:
         (``used_index=True``); otherwise returns the whole extent for a
         scan.  Callers must re-apply the full predicate either way.
         """
-        if not predicate.opaque:
-            best: tuple[int, list[Any]] | None = None
-            for attribute, op, constant in predicate.indexable_terms():
-                index = self._indexes.get((extent, attribute))
-                if index is None:
-                    continue
-                if isinstance(index, HashIndex):
-                    if op != "=":
+        # Activate our sink so the access methods' own ``index_probes``
+        # emissions (see :mod:`repro.storage.index`) are credited here —
+        # and, during an instrumented run, to the operator that probed.
+        with self.stats.activated():
+            if not predicate.opaque:
+                best: tuple[int, list[Any]] | None = None
+                for attribute, op, constant in predicate.indexable_terms():
+                    index = self._indexes.get((extent, attribute))
+                    if index is None:
                         continue
-                    self.stats.bump("index_probes")
-                    rows = index.lookup(constant)
-                else:
-                    self.stats.bump("index_probes")
-                    rows = index.probe_term(op, constant)
-                if best is None or len(rows) < best[0]:
-                    best = (len(rows), rows)
-            if best is not None:
-                self.stats.bump("index_candidates", best[0])
-                return best[1], True
-        rows = list(self._extents.get(extent, ()))
-        self.stats.bump("full_scans")
-        self.stats.bump("objects_scanned", len(rows))
-        return rows, False
+                    if isinstance(index, HashIndex):
+                        if op != "=":
+                            continue
+                        rows = index.lookup(constant)
+                    else:
+                        rows = index.probe_term(op, constant)
+                    if best is None or len(rows) < best[0]:
+                        best = (len(rows), rows)
+                if best is not None:
+                    self.stats.bump("index_candidates", best[0])
+                    return best[1], True
+            rows = list(self._extents.get(extent, ()))
+            self.stats.bump("full_scans")
+            self.stats.bump("objects_scanned", len(rows))
+            return rows, False
 
     def select(self, extent: str, predicate: AlphabetPredicate) -> AquaSet:
         """Index-assisted extent select (re-checks the full predicate)."""

@@ -17,9 +17,10 @@ single-letter figure trees need).
 from __future__ import annotations
 
 import bisect
-from typing import Any, Callable, Hashable, Iterable, Iterator
+from typing import Any, Hashable, Iterable, Iterator
 
 from ..errors import IndexError_
+from . import stats as stats_mod
 
 #: Pseudo-attribute meaning "the object itself" (see SymbolEquals).
 VALUE_ATTRIBUTE = "__value__"
@@ -62,6 +63,7 @@ class HashIndex:
 
     def lookup(self, key: Any) -> list[Any]:
         self.probes += 1
+        stats_mod.emit("index_probes")
         return list(self._buckets.get(key, ()))
 
     def keys(self) -> Iterator[Any]:
@@ -117,6 +119,7 @@ class OrderedIndex:
 
     def lookup(self, key: Any) -> list[Any]:
         self.probes += 1
+        stats_mod.emit("index_probes")
         left = bisect.bisect_left(self._keys, key)
         right = bisect.bisect_right(self._keys, key)
         return self._entries[left:right]
@@ -130,6 +133,7 @@ class OrderedIndex:
     ) -> list[Any]:
         """Entries with ``low (≤|<) key (≤|<) high`` (None = unbounded)."""
         self.probes += 1
+        stats_mod.emit("index_probes")
         if low is None:
             left = 0
         elif include_low:

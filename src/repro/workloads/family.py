@@ -25,7 +25,6 @@ sites, the knob the FIG4/CLAIM-SPLIT benchmarks sweep.
 from __future__ import annotations
 
 import random
-from typing import Callable
 
 from ..core.aqua_tree import AquaTree, TreeNode
 from ..core.identity import Cell, Record

@@ -17,7 +17,6 @@ Two kinds of parse trees back the §5 examples:
 from __future__ import annotations
 
 import random
-from typing import Sequence
 
 from ..core.aqua_list import AquaList
 from ..core.aqua_tree import AquaTree, TreeNode

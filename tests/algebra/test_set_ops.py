@@ -14,7 +14,7 @@ from repro.algebra.set_ops import (
     union,
 )
 from repro.algebra.tree_ops import select as tree_select
-from repro.core import AquaSet, AquaTree
+from repro.core import AquaTree
 from repro.core.equality import SHALLOW
 from repro.core.identity import Record
 from repro.errors import TypeMismatchError

@@ -3,8 +3,8 @@
 import pytest
 
 from repro.core.aqua_list import AquaList
-from repro.core.concat import ALPHA, NIL, alpha
-from repro.core.identity import Cell, Record
+from repro.core.concat import NIL, alpha
+from repro.core.identity import Record
 from repro.core.notation import parse_list
 from repro.errors import ConcatenationError, TypeMismatchError
 

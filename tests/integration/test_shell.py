@@ -56,6 +56,22 @@ class TestShellQueries:
         out = shell.execute('\\explain root family | sub_select "Brazil(?*)" by citizen')
         assert "Physical plan" in out
 
+    def test_analyze_command(self, shell):
+        out = shell.execute('\\analyze root family | sub_select "Brazil(?*)" by citizen')
+        assert "est rows≈" in out
+        assert "act rows=" in out
+        assert "time=" in out
+
+    def test_explain_analyze_verb(self, shell):
+        out = shell.execute(
+            'EXPLAIN ANALYZE root family | sub_select "Brazil(?*)" by citizen'
+        )
+        assert "act rows=" in out
+
+    def test_explain_verb(self, shell):
+        out = shell.execute('EXPLAIN root family | sub_select "Brazil(?*)" by citizen')
+        assert "Physical plan" in out
+
     def test_noopt_command(self, shell):
         out = shell.execute('\\noopt root song | lsub_select "[A??F]" by pitch')
         assert "2 result(s)" in out

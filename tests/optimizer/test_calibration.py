@@ -1,0 +1,57 @@
+"""The cost model's calibrate() hook: estimates vs. measured metrics."""
+
+from repro.core import parse_tree
+from repro.optimizer import Optimizer
+from repro.optimizer.cost import CostModel, actual_cost_units, calibration_report
+from repro.query import Q, evaluate_with_metrics
+from repro.query import expr as E
+from repro.storage import Database
+
+
+def make_db() -> Database:
+    db = Database()
+    db.bind_root("T", parse_tree("r(d(e(h i) j) s(d(e(h i) j) k) d(x))"))
+    return db
+
+
+def test_calibrate_reports_each_executed_operator():
+    db = make_db()
+    query = Q.root("T").sub_select("d(e(h i) j)").build()
+    _, metrics = evaluate_with_metrics(query, db)
+    records = CostModel(db).calibrate(query, metrics)
+    assert [record.path for record in records] == [(), (0,)]
+    assert records[0].actual_rows == metrics[()].rows_out
+    assert records[0].actual_units == actual_cost_units(metrics[()].counters)
+    assert records[0].rule is None  # logical node: no producing rule
+
+
+def test_calibrate_tags_physical_nodes_with_their_rule():
+    db = make_db()
+    query = Q.root("T").sub_select("d(e(h i) j)").build()
+    plan, _ = Optimizer(db).optimize(query)
+    assert isinstance(plan, E.IndexedSubSelect)
+    _, metrics = evaluate_with_metrics(plan, db)
+    records = CostModel(db).calibrate(plan, metrics)
+    assert records[0].rule == "sub_select→indexed"
+
+
+def test_calibration_report_renders_errors():
+    db = make_db()
+    query = Q.root("T").sub_select("d(e(h i) j)").build()
+    _, metrics = evaluate_with_metrics(query, db)
+    records = CostModel(db).calibrate(query, metrics)
+    report = calibration_report(records)
+    assert report.startswith("calibration")
+    assert "sub_select" in report
+    assert "err" in report
+
+
+def test_errors_are_symmetric_and_at_least_one():
+    db = make_db()
+    query = Q.root("T").sub_select("d(e(h i) j)").build()
+    _, metrics = evaluate_with_metrics(query, db)
+    for record in CostModel(db).calibrate(query, metrics):
+        row_error = record.row_error()
+        if row_error is not None:
+            assert row_error >= 1.0
+        assert record.cost_error() >= 1.0

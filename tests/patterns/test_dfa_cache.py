@@ -1,0 +1,62 @@
+"""The lazy DFA's bounded transition cache and warmth counters."""
+
+import pytest
+
+from repro.patterns import compile_dfa, parse_list_pattern
+from repro.storage.stats import Instrumentation
+
+PATTERN = parse_list_pattern("[a??f]")
+
+
+def test_cache_limit_must_be_positive():
+    with pytest.raises(ValueError):
+        compile_dfa(PATTERN, cache_limit=0)
+
+
+def test_cache_never_exceeds_limit():
+    dfa = compile_dfa(PATTERN, cache_limit=2)
+    values = list("abcfabdfeafbcafdbacf") * 5
+    dfa.accepts(values)
+    assert dfa.cached_transitions <= 2
+    assert dfa.cache_evictions > 0
+
+
+def test_eviction_does_not_change_answers():
+    reference = compile_dfa(PATTERN)  # default (effectively unbounded here)
+    tiny = compile_dfa(PATTERN, cache_limit=1)
+    for word in ("abcf", "afff", "xyz", "acef", "aaf", ""):
+        assert tiny.accepts(list(word)) == reference.accepts(list(word))
+
+
+def test_hits_and_misses_counted():
+    dfa = compile_dfa(PATTERN)
+    dfa.accepts(list("abcf"))
+    first_misses = dfa.cache_misses
+    assert first_misses > 0
+    assert dfa.cache_hits == 0
+    dfa.accepts(list("abcf"))  # identical walk: all transitions cached
+    assert dfa.cache_misses == first_misses
+    assert dfa.cache_hits > 0
+
+
+def test_counters_flush_to_activated_sink_as_deltas():
+    stats = Instrumentation()
+    dfa = compile_dfa(PATTERN)
+    with stats.activated():
+        dfa.accepts(list("abcf"))
+    assert stats["dfa_cache_misses"] == dfa.cache_misses
+    assert stats["predicate_evals"] == dfa.predicate_evals
+    first_total = dfa.cache_misses
+    with stats.activated():
+        dfa.accepts(list("abcf"))
+    # Second run re-reports only the delta, not the lifetime total.
+    assert stats["dfa_cache_misses"] == dfa.cache_misses == first_total
+    assert stats["dfa_cache_hits"] == dfa.cache_hits
+
+
+def test_snapshot_reports_cache_size_gauge():
+    dfa = compile_dfa(PATTERN, cache_limit=8)
+    dfa.accepts(list("abcf"))
+    snapshot = dfa.stats_snapshot()
+    assert snapshot["dfa_cache_size"] == dfa.cached_transitions
+    assert snapshot["dfa_cache_hits"] == dfa.cache_hits

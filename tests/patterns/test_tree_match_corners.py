@@ -15,7 +15,7 @@ from repro.patterns.tree_ast import (
 )
 from repro.patterns.tree_match import find_tree_matches, tree_in_language
 from repro.patterns.tree_parser import parse_tree_pattern
-from repro.predicates.alphabet import ANY, SymbolEquals
+from repro.predicates.alphabet import SymbolEquals
 
 
 def matches(pattern_text, tree_text, **kwargs):

@@ -21,7 +21,7 @@ from repro.patterns.tree_ast import (
     TreeUnion,
 )
 from repro.patterns.tree_parser import parse_tree_pattern, tree_pattern
-from repro.predicates.alphabet import ANY, Comparison, SymbolEquals, attr
+from repro.predicates.alphabet import ANY, Comparison, attr
 
 
 class TestAtoms:

@@ -24,7 +24,7 @@ from repro.patterns.tree_ast import (
     TreeUnion,
 )
 from repro.predicates.alphabet import ANY, SymbolEquals
-from repro.workloads.generators import random_labeled_tree, random_list
+from repro.workloads.generators import random_labeled_tree
 
 SYMBOLS = ("a", "b", "c", "d")
 

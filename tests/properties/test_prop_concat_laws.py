@@ -3,7 +3,7 @@
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
-from repro.core.aqua_tree import AquaTree, TreeNode
+from repro.core.aqua_tree import TreeNode
 from repro.core.concat import NIL, ConcatPoint, alpha
 
 from .strategies import labeled_trees

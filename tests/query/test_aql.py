@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import Record, parse_list, parse_tree
+from repro.core import Record, parse_tree
 from repro.errors import QueryError
 from repro.query import expr as E
 from repro.query.aql import attribute_resolver, parse_aql, run_aql

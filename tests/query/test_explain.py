@@ -60,3 +60,56 @@ class TestExplain:
         q = Q.root("T").apply(str.upper).build()
         text = explain_optimization(q, db)
         assert "(none applied)" in text
+
+
+class TestStructuralHeads:
+    """Plan heads come from node fields, not describe()-string surgery.
+
+    The old ``_head()`` rebuilt each plan line by excising the children's
+    rendered text from ``describe()`` — so any head whose own text
+    contains a child's rendering was silently corrupted.  ``head()`` is
+    structural and immune.
+    """
+
+    def test_head_survives_child_text_inside_predicate(self):
+        from repro.predicates import sym
+
+        db = make_db()
+        # The predicate's rendering contains the child's ("root(T)").
+        q = Q.root("T").select(sym("root(T)")).build()
+        lines = explain(q, db).splitlines()
+        assert lines[0].startswith("select[x = 'root(T)']")
+        assert lines[1].strip().startswith("root(T)")
+
+    def test_union_of_identical_literals(self):
+        db = make_db()
+        q = Q.value(1).union(Q.value(1)).build()
+        lines = explain(q, db).splitlines()
+        assert lines[0].startswith("union  ")
+        assert lines[1].strip().startswith("lit(1)")
+        assert lines[2].strip().startswith("lit(1)")
+
+    def test_describe_composes_head_and_children(self):
+        q = Q.root("T").sub_select("d(e(h i) j)").build()
+        assert q.head() == "sub_select[d(e(h i) j)]"
+        assert q.describe() == "sub_select[d(e(h i) j)](root(T))"
+
+    def test_head_never_contains_child_renderings(self):
+        db = make_db()
+        q = (
+            Q.root("T")
+            .sub_select("d(e(h i) j)")
+            .union(Q.root("song").lsub_select("[a??f]"))
+            .build()
+        )
+
+        def walk(node):
+            yield node
+            for child in node.children():
+                yield from walk(child)
+
+        for node in walk(q):
+            head = node.head()
+            assert head
+            for child in node.children():
+                assert child.describe() not in head

@@ -1,0 +1,201 @@
+"""Tests for the instrumented executor behind EXPLAIN ANALYZE."""
+
+import threading
+
+from repro.core import make_tuple, parse_tree
+from repro.optimizer import Optimizer
+from repro.query import (
+    PlanMetrics,
+    Q,
+    evaluate,
+    evaluate_with_metrics,
+    explain_analyze,
+    render_analysis,
+)
+from repro.query import expr as E
+from repro.storage import Database
+from repro.storage.stats import Instrumentation
+from repro.workloads import BRAZIL, by_citizen_or_name, figure3_family_tree
+
+
+def make_db() -> Database:
+    db = Database()
+    db.bind_root("T", parse_tree("r(d(e(h i) j) s(d(e(h i) j) k) d(x))"))
+    return db
+
+
+class TestPlanMetricsCollection:
+    def test_one_scope_per_plan_node(self):
+        db = make_db()
+        query = (
+            Q.root("T")
+            .sub_select("d(e(h i) j)")
+            .union(Q.root("T").sub_select("d(x)"))
+            .build()
+        )
+        _, metrics = evaluate_with_metrics(query, db)
+
+        def paths(node, path=()):
+            yield path
+            for i, child in enumerate(node.children()):
+                yield from paths(child, (*path, i))
+
+        assert set(metrics.operators) == set(paths(query))
+        assert all(op.calls == 1 for op in metrics.operators.values())
+
+    def test_paths_distinguish_equal_subplans(self):
+        db = make_db()
+        query = Q.root("T").sub_select("d(x)").union(
+            Q.root("T").sub_select("d(x)")
+        ).build()
+        _, metrics = evaluate_with_metrics(query, db)
+        # Both branches are structurally identical but get their own scopes.
+        assert metrics[(0,)] is not metrics[(1,)]
+        assert metrics[(0,)].head == metrics[(1,)].head
+
+    def test_rows_out_matches_interpreter_fig3(self):
+        db = Database()
+        query = Q.value(figure3_family_tree()).select(BRAZIL).build()
+        result, metrics = evaluate_with_metrics(query, db)
+        assert metrics[()].rows_out == len(result)
+        assert metrics[(0,)].rows_out == figure3_family_tree().size()
+
+    def test_rows_out_matches_interpreter_fig4(self):
+        db = Database()
+        query = Q.value(figure3_family_tree()).split(
+            "Brazil(!?* USA !?*)",
+            lambda x, y, z: make_tuple(x, y, z),
+            resolver=by_citizen_or_name,
+        ).build()
+        result, metrics = evaluate_with_metrics(query, db)
+        assert metrics[()].rows_out == len(result) == 1
+
+    def test_counters_attributed_exclusively(self):
+        db = make_db()
+        query = Q.root("T").sub_select("d(e(h i) j)").build()
+        _, metrics = evaluate_with_metrics(query, db)
+        # The scan work belongs to sub_select, none of it to the source.
+        assert metrics[()].counters["nodes_scanned"] == 15
+        assert metrics[(0,)].counters == {}
+
+    def test_engine_counters_reach_the_operator(self):
+        db = make_db()
+        query = Q.root("T").sub_select("d(e(h i) j)").build()
+        _, metrics = evaluate_with_metrics(query, db)
+        assert metrics[()].counters["backtrack_steps"] > 0
+        assert metrics.total("backtrack_steps") == db.stats["backtrack_steps"]
+
+    def test_evaluate_without_collector_is_unchanged(self):
+        db = make_db()
+        query = Q.root("T").sub_select("d(e(h i) j)").build()
+        plain = evaluate(query, db)
+        instrumented, _ = evaluate_with_metrics(query, db)
+        assert plain == instrumented
+
+    def test_claim_split_indexed_plan_does_strictly_less_predicate_work(self):
+        db = make_db()
+        query = Q.root("T").sub_select("d(e(h i) j)").build()
+        plan, _ = Optimizer(db).optimize(query)
+        assert isinstance(plan, E.IndexedSubSelect)
+        naive, naive_metrics = evaluate_with_metrics(query, db)
+        indexed, indexed_metrics = evaluate_with_metrics(plan, db)
+        assert naive == indexed
+        assert (
+            indexed_metrics.total("predicate_evals")
+            < naive_metrics.total("predicate_evals")
+        )
+
+
+class TestRendering:
+    def test_render_analysis_golden(self):
+        db = make_db()
+        query = Q.root("T").sub_select("d(e(h i) j)").build()
+        _, metrics = evaluate_with_metrics(query, db)
+        text = render_analysis(query, db, metrics, timings=False)
+        assert text == (
+            "sub_select[d(e(h i) j)]  (est rows≈2, cost≈75 | act rows=1, units=39)\n"
+            "  · backtrack_steps=24, nodes_scanned=15, predicate_evals=24\n"
+            "  root(T)  (est rows≈15, cost≈1 | act rows=15, units=0)"
+        )
+
+    def test_explain_analyze_runs_and_flags_nothing_when_estimates_hold(self):
+        db = make_db()
+        query = Q.root("T").sub_select("d(e(h i) j)").build()
+        text = explain_analyze(query, db)
+        assert "act rows=1" in text
+        assert "time=" in text
+        assert "⚠" not in text
+
+    def test_misestimate_flagged(self):
+        from repro.predicates import sym
+
+        db = Database()
+        db.bind_root("big", parse_tree("r(" + "a" * 150 + ")"))
+        # Estimate: 10% of 151 nodes survive; actually nothing matches.
+        query = Q.root("big").select(sym("zzz")).build()
+        text = explain_analyze(query, db, timings=False)
+        assert "⚠ rows" in text
+
+    def test_unexecuted_operator_is_marked(self):
+        db = make_db()
+        query = Q.root("T").sub_select("d(x)").build()
+        metrics = PlanMetrics()  # nothing collected
+        text = render_analysis(query, db, metrics, timings=False)
+        assert "never executed" in text
+
+
+class TestInstrumentationThreadSafety:
+    def test_concurrent_bumps_do_not_drop_counts(self):
+        stats = Instrumentation()
+        threads = [
+            threading.Thread(
+                target=lambda: [stats.bump("predicate_evals") for _ in range(10_000)]
+            )
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert stats["predicate_evals"] == 80_000
+
+    def test_scope_isolates_and_restores(self):
+        stats = Instrumentation()
+        stats.bump("nodes_scanned", 7)
+        with stats.scope():
+            assert stats["nodes_scanned"] == 0
+            stats.bump("nodes_scanned", 3)
+            assert stats["nodes_scanned"] == 3
+        assert stats["nodes_scanned"] == 7
+
+    def test_scope_restores_on_error(self):
+        stats = Instrumentation()
+        stats.bump("index_probes", 2)
+        try:
+            with stats.scope():
+                stats.bump("index_probes", 99)
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert stats["index_probes"] == 2
+
+    def test_concurrent_instrumented_evaluations_stay_separate(self):
+        db = make_db()
+        query = Q.root("T").sub_select("d(e(h i) j)").build()
+        results: list[PlanMetrics] = []
+        lock = threading.Lock()
+
+        def run() -> None:
+            _, metrics = evaluate_with_metrics(query, db)
+            with lock:
+                results.append(metrics)
+
+        threads = [threading.Thread(target=run) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(results) == 6
+        for metrics in results:
+            assert metrics[()].counters["nodes_scanned"] == 15
+            assert metrics[()].calls == 1

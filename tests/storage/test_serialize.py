@@ -102,6 +102,49 @@ class TestValueRoundTrips:
 
         assert x.concat(ALPHA, rebuilt) == tree
 
+    def test_split_piece_concat_points_round_trip(self):
+        """The α1..αn themselves serialize (``$point``) and stay aligned
+        with the descendants, so reassembly needs no index conventions."""
+        from repro.algebra import split_pieces
+        from repro.core import ALPHA
+
+        tree = parse_tree("r(B(x U(w) y) q)")
+        (piece,) = split_pieces("B(!?* U !?*)", tree)
+        assert piece.points  # the match prunes at least one subtree
+        stored = dumps_value(
+            make_tuple(
+                piece.context,
+                piece.match,
+                piece.descendants,
+                list(piece.points),
+            )
+        )
+        x, y, z, points = loads_value(stored)
+        rebuilt = y
+        for point, subtree in zip(points, z.values()):
+            rebuilt = rebuilt.concat(point, subtree)
+        assert x.concat(ALPHA, rebuilt) == tree
+
+    def test_list_split_piece_concat_points_round_trip(self):
+        from repro.algebra import split_list_pieces
+        from repro.core import ALPHA
+
+        values = parse_list("[gaxyfbc]")
+        (piece,) = split_list_pieces("[a??f]", values)
+        stored = dumps_value(
+            make_tuple(
+                piece.context,
+                piece.match,
+                piece.descendants,
+                list(piece.points),
+            )
+        )
+        x, y, z, points = loads_value(stored)
+        rebuilt = y
+        for point, run in zip(points, z.values()):
+            rebuilt = rebuilt.concat_at(point, run)
+        assert x.concat_at(ALPHA, rebuilt) == values
+
 
 class TestDatabaseRoundTrip:
     def test_extents_roots_indexes(self):
