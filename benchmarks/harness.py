@@ -10,6 +10,12 @@ rigorous timings; this harness gives the one-screen story.)
 records; the index-vs-scan claims (CLAIM-SPLIT, CLAIM-MELODY) attach
 per-operator runtime metrics from the instrumented executor — the same
 rows/counters/time data ``EXPLAIN ANALYZE`` renders.
+
+Each experiment runs under the ``AQUA_*`` execution budget (see README
+"Execution limits & fault injection"): a tripped limit aborts that
+experiment with a diagnostic row instead of hanging the harness, and
+the JSON output leads with a ``BUDGET`` record carrying the configured
+limits and which experiments (if any) tripped.
 """
 
 from __future__ import annotations
@@ -18,6 +24,10 @@ import argparse
 import json
 import time
 from typing import Any, Callable
+
+from repro import guardrails
+from repro.errors import AquaError
+from repro.guardrails import Budget
 
 from repro.algebra import (
     select,
@@ -333,14 +343,33 @@ def main(argv: list[str] | None = None) -> None:
         "--json", metavar="PATH", help="also write rows as JSON records"
     )
     arguments = parser.parse_args(argv)
+    budget = Budget.from_env()
     print("AQUA reproduction — experiment summary (see EXPERIMENTS.md)")
+    if not budget.is_unlimited:
+        print(f"execution budget: {budget.describe()}")
     print("-" * 78)
+    tripped: list[str] = []
     for experiment in EXPERIMENTS:
-        experiment()
+        label = experiment.__name__.upper().replace("_", "-")
+        try:
+            with guardrails.guarded(budget):
+                experiment()
+        except AquaError as exc:
+            tripped.append(label)
+            row(label, f"ABORTED: {exc}", budget_tripped=True)
     print("-" * 78)
     if arguments.json:
+        records = [
+            {
+                "experiment": "BUDGET",
+                "limits": budget.to_dict(),
+                "tripped_experiments": tripped,
+                "any_tripped": bool(tripped),
+            },
+            *RECORDS,
+        ]
         with open(arguments.json, "w") as handle:
-            json.dump(RECORDS, handle, indent=2)
+            json.dump(records, handle, indent=2)
         print(f"records written to {arguments.json}")
 
 

@@ -12,6 +12,8 @@ AQL query (see :mod:`repro.query.aql`)::
     \\analyze QUERY      run the query instrumented: estimated vs. actual
     \\noopt QUERY        run a query without the optimizer
     \\stats              show instrumentation counters
+    \\budget [K=V ...]   show or set execution limits (\\budget off clears)
+    \\faults             show the active fault-injection plan
     \\help               this text
     \\quit               exit
 
@@ -22,23 +24,44 @@ vs. actual rows, cost units, per-operator time and counters.
 
 Non-interactive usage: ``python -m repro -c 'root T | sub_select "d"'``
 runs one query against the demo database (or ``--db FILE``) and prints
-the result — handy for scripting and for the test suite.
+the result — handy for scripting and for the test suite.  A failed
+one-shot command prints a one-line ``error:`` diagnostic and exits
+nonzero.
+
+Execution limits: the shell arms a :class:`~repro.guardrails.Budget`
+(from the ``AQUA_*`` environment knobs, adjustable with ``\\budget``)
+around every query, so a runaway pattern trips a structured
+``ResourceExhaustedError`` instead of hanging the session.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from typing import Any
 
+from . import faults, guardrails
 from .core import AquaList, AquaSet, AquaTree
-from .errors import AquaError
-from .query import evaluate, explain_analyze, explain_optimization, parse_aql
+from .errors import AquaError, ResourceExhaustedError
+from .guardrails import Budget
+from .query import evaluate, explain_optimization, parse_aql, render_analysis
 from .query.aql import run_aql
+from .query.interpreter import evaluate_with_metrics
+from .query.metrics import PlanMetrics
 from .storage import Database
 from .storage.serialize import dump_database, load_database
 from .workloads import figure3_family_tree, figure5_parse_tree, song_with_melody
+
+#: ``\budget`` accepts both the Budget field names and these short forms.
+_BUDGET_ALIASES = {
+    "deadline": "deadline_seconds",
+    "steps": "max_steps",
+    "depth": "max_backtrack_depth",
+    "results": "max_results",
+    "nodes": "max_nodes_scanned",
+}
 
 
 def demo_database() -> Database:
@@ -72,26 +95,37 @@ def _label(payload: Any) -> str:
 
 
 class Shell:
-    def __init__(self, db: Database | None = None) -> None:
+    def __init__(self, db: Database | None = None, budget: Budget | None = None) -> None:
         self.db = db or demo_database()
+        self.budget = budget if budget is not None else Budget.from_env()
+        self.last_error: Exception | None = None
 
     def execute(self, line: str) -> str:
-        """Run one shell line and return the printable response."""
+        """Run one shell line and return the printable response.
+
+        Every :class:`~repro.errors.AquaError` — including a tripped
+        budget or an injected fault — comes back as a one-line
+        ``error:`` diagnostic; the session itself never dies.
+        """
         line = line.strip()
         if not line:
             return ""
+        self.last_error = None
         try:
-            if line.startswith("\\"):
-                return self._command(line[1:])
-            upper = line.upper()
-            if upper.startswith("EXPLAIN ANALYZE "):
-                return self._analyze(line[len("EXPLAIN ANALYZE "):])
-            if upper.startswith("EXPLAIN "):
-                return self._command("explain " + line[len("EXPLAIN "):])
-            return render(run_aql(line, self.db))
+            with guardrails.guarded(self.budget):
+                if line.startswith("\\"):
+                    return self._command(line[1:])
+                upper = line.upper()
+                if upper.startswith("EXPLAIN ANALYZE "):
+                    return self._analyze(line[len("EXPLAIN ANALYZE "):])
+                if upper.startswith("EXPLAIN "):
+                    return self._command("explain " + line[len("EXPLAIN "):])
+                return render(run_aql(line, self.db))
         except AquaError as exc:
-            return f"error: {exc}"
+            self.last_error = exc
+            return diagnose(exc)
         except FileNotFoundError as exc:
+            self.last_error = exc
             return f"error: {exc}"
 
     def _command(self, text: str) -> str:
@@ -122,6 +156,11 @@ class Shell:
             return explain_optimization(parse_aql(argument), self.db)
         if name == "analyze":
             return self._analyze(argument)
+        if name == "budget":
+            return self._budget(argument)
+        if name == "faults":
+            plan = faults.active_plan()
+            return repr(plan) if plan is not None else "(no fault injection active)"
         if name == "noopt":
             return render(evaluate(parse_aql(argument), self.db))
         if name == "save":
@@ -136,12 +175,52 @@ class Shell:
             raise SystemExit(0)
         return f"unknown command \\{name} (try \\help)"
 
+    def _budget(self, argument: str) -> str:
+        """``\\budget``: show, set (``knob=value``), or clear limits."""
+        if not argument:
+            return f"budget: {self.budget.describe()}"
+        if argument in ("off", "none"):
+            self.budget = Budget()
+            return "budget cleared (unlimited)"
+        values: dict[str, Any] = {}
+        valid = {f.name for f in dataclasses.fields(Budget)} - {"token"}
+        for token in argument.split():
+            knob, eq, raw = token.partition("=")
+            knob = _BUDGET_ALIASES.get(knob, knob)
+            if not eq or knob not in valid:
+                options = ", ".join(sorted(valid | set(_BUDGET_ALIASES)))
+                return f"error: \\budget expects knob=value pairs ({options}) or 'off'"
+            if raw.lower() in ("none", "off"):
+                values[knob] = None
+                continue
+            try:
+                values[knob] = float(raw) if knob == "deadline_seconds" else int(raw)
+            except ValueError:
+                return f"error: {knob} needs a number, got {raw!r}"
+        self.budget = dataclasses.replace(self.budget, **values)
+        return f"budget: {self.budget.describe()}"
+
     def _analyze(self, query: str) -> str:
-        """EXPLAIN ANALYZE: optimize, run instrumented, render the plan."""
+        """EXPLAIN ANALYZE: optimize, run instrumented, render the plan.
+
+        On a budget trip the partial metrics collected so far are still
+        rendered, so the user sees *where* in the plan the limit hit.
+        """
         from .optimizer.engine import optimize as run_optimizer
 
         plan = run_optimizer(parse_aql(query), self.db)
-        return explain_analyze(plan, self.db)
+        metrics = PlanMetrics()
+        try:
+            _, metrics = evaluate_with_metrics(plan, self.db, metrics=metrics)
+        except ResourceExhaustedError as exc:
+            self.last_error = exc
+            partial = exc.metrics if exc.metrics is not None else metrics
+            return (
+                f"{diagnose(exc)}\n"
+                "-- partial plan metrics (execution stopped here) --\n"
+                f"{render_analysis(plan, self.db, partial)}"
+            )
+        return render_analysis(plan, self.db, metrics)
 
     def repl(self) -> None:  # pragma: no cover - interactive loop
         print("AQUA shell — \\help for commands, \\quit to exit")
@@ -151,9 +230,21 @@ class Shell:
             except (EOFError, KeyboardInterrupt):
                 print()
                 return
-            response = self.execute(line)
+            try:
+                response = self.execute(line)
+            except KeyboardInterrupt:
+                print("(interrupted)")
+                continue
             if response:
                 print(response)
+
+
+def diagnose(exc: Exception) -> str:
+    """One-line ``error:`` diagnostic for any engine failure."""
+    message = " ".join(str(exc).split())
+    if isinstance(exc, ResourceExhaustedError) and exc.operator is not None:
+        message += f" [operator {exc.operator} at plan path {list(exc.plan_path or ())}]"
+    return f"error: {message}"
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -170,8 +261,12 @@ def main(argv: list[str] | None = None) -> int:
 
     db: Database | None = None
     if arguments.db:
-        with open(arguments.db) as handle:
-            db = load_database(json.load(handle))
+        try:
+            with open(arguments.db) as handle:
+                db = load_database(json.load(handle))
+        except (AquaError, OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot load {arguments.db}: {exc}", file=sys.stderr)
+            return 1
     shell = Shell(db)
 
     if arguments.command:
@@ -181,7 +276,7 @@ def main(argv: list[str] | None = None) -> int:
             print(shell.execute(f"\\explain {arguments.command}"))
         else:
             print(shell.execute(arguments.command))
-        return 0
+        return 1 if shell.last_error is not None else 0
 
     shell.repl()
     return 0

@@ -57,3 +57,60 @@ class OptimizerError(AquaError):
 
 class QueryError(AquaError):
     """A logical query expression is malformed or cannot be evaluated."""
+
+
+class ResourceExhaustedError(AquaError):
+    """A query exceeded a configured execution budget.
+
+    Raised cooperatively by the hot loops (matcher steps, storage scans,
+    interpreter dispatch) when a :class:`~repro.guardrails.Budget` limit
+    trips.  The error is structured so callers can recover and report:
+
+    * ``limit_name``/``limit``/``spent`` — which knob tripped and how;
+    * ``seam`` — where in the engine the check fired (e.g. ``"matcher
+      step"``, ``"storage scan"``);
+    * ``usage`` — the guard's resource snapshot at trip time;
+    * ``metrics`` — the partial
+      :class:`~repro.query.metrics.PlanMetrics` collected so far when the
+      trip happened inside an instrumented run (attached by the
+      interpreter, ``None`` otherwise);
+    * ``plan_path``/``operator`` — the plan node being evaluated when the
+      budget tripped (attached by the interpreter).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        limit_name: str = "",
+        limit: float | int | None = None,
+        spent: float | int | None = None,
+        seam: str = "",
+        usage: dict | None = None,
+        metrics: object | None = None,
+    ) -> None:
+        self.limit_name = limit_name
+        self.limit = limit
+        self.spent = spent
+        self.seam = seam
+        self.usage = dict(usage or {})
+        self.metrics = metrics
+        self.plan_path: tuple[int, ...] | None = None
+        self.operator: str | None = None
+        super().__init__(message)
+
+
+class QueryCancelledError(AquaError):
+    """A cooperative :class:`~repro.guardrails.CancellationToken` fired."""
+
+
+class InjectedFaultError(AquaError):
+    """A deterministic fault injected at a named seam (testing only).
+
+    Never raised in production configurations; see :mod:`repro.faults`.
+    """
+
+    def __init__(self, seam: str, hit: int) -> None:
+        self.seam = seam
+        self.hit = hit
+        super().__init__(f"injected fault at seam {seam!r} (hit #{hit})")

@@ -1,0 +1,192 @@
+"""Deterministic fault injection at named engine seams (testing/CI only).
+
+Proving that the engine *degrades gracefully* — the shell keeps its
+session, the CLI exits nonzero with a diagnostic, the optimizer falls
+back to a safe plan — requires making the failure happen on demand.
+This module plants cheap :func:`fault_point` probes at named seams; a
+:class:`FaultPlan` (seeded, so runs are reproducible) decides per hit
+whether to raise, sleep, or trip the active budget.
+
+Documented seams (see README "Execution limits & fault injection"):
+
+* ``storage_lookup`` — :meth:`Database.root`, :meth:`Database.extent`,
+  :meth:`Database.candidates`;
+* ``index_probe`` — hash/ordered index lookups and range probes, list
+  index position probes;
+* ``matcher_step`` — once per candidate root/start position in the
+  backtracking matchers and language-membership checks;
+* ``optimizer_rewrite`` — before each rewrite-rule probe in the
+  optimizer's pass loop.
+
+Configuration is code (``injected(plan)``) or environment::
+
+    AQUA_FAULTS="storage_lookup:error:1.0,index_probe:latency:0.5:0.002"
+    AQUA_FAULT_SEED=42
+
+Each rule is ``seam:kind:probability[:value]`` where ``kind`` is
+``error`` (raise :class:`~repro.errors.InjectedFaultError`), ``latency``
+(sleep ``value`` seconds), or ``budget`` (raise
+:class:`~repro.errors.ResourceExhaustedError` as if a limit tripped —
+budget *pressure* without waiting for real exhaustion).  Determinism:
+every seam draws from its own ``random.Random`` seeded with
+``seed ^ crc32(seam)``, so a given plan fires at the same hit numbers in
+every run regardless of seam interleaving.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+import zlib
+from collections import Counter
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from .errors import InjectedFaultError, ResourceExhaustedError
+
+#: The seams :func:`fault_point` is planted at.
+SEAMS = ("storage_lookup", "index_probe", "matcher_step", "optimizer_rewrite")
+
+FAULT_KINDS = ("error", "latency", "budget")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection rule: at ``seam``, with ``probability``, do ``kind``."""
+
+    seam: str
+    kind: str
+    probability: float = 1.0
+    value: float = 0.0  # latency seconds (ignored by other kinds)
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r} (use {FAULT_KINDS})")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"fault probability must be in [0, 1], got {self.probability}")
+
+
+class FaultPlan:
+    """A seeded set of fault rules plus per-seam hit/fire accounting."""
+
+    def __init__(self, rules: list[FaultRule] | None = None, seed: int = 0) -> None:
+        self.seed = seed
+        self.rules: dict[str, list[FaultRule]] = {}
+        self.hits: Counter = Counter()
+        self.fired: Counter = Counter()
+        self._rngs: dict[str, random.Random] = {}
+        for rule in rules or ():
+            self.add(rule)
+
+    def add(self, rule: FaultRule) -> "FaultPlan":
+        self.rules.setdefault(rule.seam, []).append(rule)
+        return self
+
+    def _rng(self, seam: str) -> random.Random:
+        rng = self._rngs.get(seam)
+        if rng is None:
+            rng = self._rngs[seam] = random.Random(self.seed ^ zlib.crc32(seam.encode()))
+        return rng
+
+    def check(self, seam: str) -> None:
+        """One seam hit: fire whichever rules the seeded dice select."""
+        rules = self.rules.get(seam)
+        if not rules:
+            return
+        self.hits[seam] += 1
+        rng = self._rng(seam)
+        for rule in rules:
+            # Always draw, even when the rule won't fire, so the random
+            # sequence (and therefore which hits fire) is a function of
+            # the hit number alone — deterministic across runs.
+            draw = rng.random()
+            if rule.probability < 1.0 and draw >= rule.probability:
+                continue
+            self.fired[seam] += 1
+            if rule.kind == "latency":
+                time.sleep(rule.value)
+            elif rule.kind == "error":
+                raise InjectedFaultError(seam, self.hits[seam])
+            else:  # budget pressure
+                raise ResourceExhaustedError(
+                    f"injected budget pressure at seam {seam!r} "
+                    f"(hit #{self.hits[seam]})",
+                    limit_name="injected",
+                    seam=seam,
+                )
+
+    def __repr__(self) -> str:
+        rules = sum(len(r) for r in self.rules.values())
+        return f"FaultPlan(seed={self.seed}, rules={rules}, fired={dict(self.fired)})"
+
+
+def parse_rules(text: str) -> list[FaultRule]:
+    """Parse the ``AQUA_FAULTS`` grammar: ``seam:kind:probability[:value]``."""
+    rules: list[FaultRule] = []
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        parts = chunk.split(":")
+        if len(parts) < 2:
+            raise ValueError(f"malformed fault rule {chunk!r} (seam:kind[:prob[:value]])")
+        seam, kind = parts[0], parts[1]
+        probability = float(parts[2]) if len(parts) > 2 else 1.0
+        value = float(parts[3]) if len(parts) > 3 else 0.0
+        rules.append(FaultRule(seam, kind, probability, value))
+    return rules
+
+
+def plan_from_env(environ=None) -> FaultPlan | None:
+    """Build the plan ``AQUA_FAULTS``/``AQUA_FAULT_SEED`` describe, if any."""
+    environ = os.environ if environ is None else environ
+    spec = environ.get("AQUA_FAULTS", "").strip()
+    if not spec:
+        return None
+    try:
+        seed = int(environ.get("AQUA_FAULT_SEED", "0"))
+    except ValueError:
+        seed = 0
+    return FaultPlan(parse_rules(spec), seed=seed)
+
+
+#: The active plan.  ``None`` keeps every fault point a single global
+#: read.  Initialized from the environment once at import; tests install
+#: plans with :func:`injected` and CI sets the env before Python starts.
+_active: FaultPlan | None = plan_from_env()
+
+
+def active_plan() -> FaultPlan | None:
+    return _active
+
+
+def install(plan: FaultPlan | None) -> FaultPlan | None:
+    """Install ``plan`` process-wide; returns the previous plan."""
+    global _active
+    previous = _active
+    _active = plan
+    return previous
+
+
+def refresh_from_env() -> FaultPlan | None:
+    """Re-read the environment (for tests that monkeypatch it)."""
+    return install(plan_from_env())
+
+
+@contextmanager
+def injected(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Run a block with ``plan`` active, restoring the previous plan."""
+    previous = install(plan)
+    try:
+        yield plan
+    finally:
+        install(previous)
+
+
+def fault_point(seam: str) -> None:
+    """A seam probe: free when no plan is active."""
+    plan = _active
+    if plan is not None:
+        plan.check(seam)

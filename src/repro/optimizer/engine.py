@@ -16,7 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..errors import OptimizerError
+from ..errors import AquaError, OptimizerError
+from ..faults import fault_point
 from ..query import expr as E
 from ..storage.database import Database
 from .cost import CostModel
@@ -80,18 +81,38 @@ class Optimizer:
         self.cost_gate = cost_gate
 
     def optimize(self, expr: E.Expr) -> tuple[E.Expr, Trace]:
-        trace = Trace(initial_cost=self.cost_model.cost(expr))
-        current = expr
-        for region in self.regions:
-            passes = 0
-            while True:
-                rewritten, changed = self._pass(current, region, trace)
-                current = rewritten
-                passes += 1
-                if not changed or region.strategy == "once" or passes >= region.max_passes:
-                    break
-        trace.final_cost = self.cost_model.cost(current)
-        return current, trace
+        """Optimize ``expr``; never raises for engine-internal failures.
+
+        A rewrite probe that fails (an injected fault, a tripped budget
+        during cost estimation, a buggy rule) must not take the query
+        down: the failing *rule* is skipped, and if the pipeline itself
+        fails, the original un-decomposed plan is returned — it is
+        always a safe (if slower) execution strategy.
+        """
+        trace = Trace()
+        try:
+            trace.initial_cost = self.cost_model.cost(expr)
+            current = expr
+            for region in self.regions:
+                passes = 0
+                while True:
+                    rewritten, changed = self._pass(current, region, trace)
+                    current = rewritten
+                    passes += 1
+                    if (
+                        not changed
+                        or region.strategy == "once"
+                        or passes >= region.max_passes
+                    ):
+                        break
+            trace.final_cost = self.cost_model.cost(current)
+            return current, trace
+        except AquaError as exc:
+            trace.steps.append(
+                f"[fallback] optimizer aborted ({exc}); keeping the logical plan"
+            )
+            trace.final_cost = trace.initial_cost
+            return expr, trace
 
     def _pass(self, node: E.Expr, region: Region, trace: Trace) -> tuple[E.Expr, bool]:
         """One bottom-up rewrite pass over the expression tree."""
@@ -104,14 +125,21 @@ class Optimizer:
         if changed:
             node = node.with_children(tuple(new_children))
         for rule in region.rules:
-            candidate = rule.apply(node, self.db)
-            if candidate is None:
-                continue
-            if self.cost_gate:
-                before_cost = self.cost_model.cost(node)
-                after_cost = self.cost_model.cost(candidate)
-                if after_cost > before_cost:
+            try:
+                fault_point("optimizer_rewrite")
+                candidate = rule.apply(node, self.db)
+                if candidate is None:
                     continue
+                if self.cost_gate:
+                    before_cost = self.cost_model.cost(node)
+                    after_cost = self.cost_model.cost(candidate)
+                    if after_cost > before_cost:
+                        continue
+            except AquaError as exc:
+                # A failed rewrite probe is not a failed query: skip the
+                # rule and keep the (safe) un-rewritten node.
+                trace.steps.append(f"[{region.name}] {rule.name}: skipped ({exc})")
+                continue
             trace.record(region, rule, node, candidate)
             return candidate, True
         return node, changed

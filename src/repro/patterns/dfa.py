@@ -26,6 +26,7 @@ from __future__ import annotations
 from itertools import islice
 from typing import Any, Sequence
 
+from .. import guardrails
 from ..predicates.alphabet import AlphabetPredicate
 from ..storage import stats as stats_mod
 from .list_ast import ListPattern, ListPatternNode
@@ -61,6 +62,12 @@ class LazyDFA:
         self.cache_evictions = 0
         self.predicate_evals = 0
         self._emitted: dict[str, int] = {}
+        # Construction itself is budgeted work: subset construction over
+        # a pathological pattern can be large before a single element is
+        # matched, so charge one step per NFA state now.
+        guard = guardrails.current_guard()
+        if guard is not None:
+            guard.tick(len(self._arcs), "dfa construction")
 
     @property
     def start_state(self) -> frozenset[int]:
@@ -136,28 +143,34 @@ class LazyDFA:
         return result
 
     def accepts(self, values: Sequence[Any]) -> bool:
-        states = self._start
-        try:
-            for value in values:
-                states = self.step(states, value)
-                if not states:
-                    return False
-            return self.is_accepting(states)
-        finally:
-            self.emit_stats()
+        with guardrails.guarded() as guard:
+            states = self._start
+            try:
+                for value in values:
+                    if guard is not None:
+                        guard.tick(1, "dfa step")
+                    states = self.step(states, value)
+                    if not states:
+                        return False
+                return self.is_accepting(states)
+            finally:
+                self.emit_stats()
 
     def ends_from(self, values: Sequence[Any], start: int) -> list[int]:
-        ends: list[int] = []
-        states = self._start
-        position = start
-        if self.is_accepting(states):
-            ends.append(position)
-        while position < len(values) and states:
-            states = self.step(states, values[position])
-            position += 1
+        with guardrails.guarded() as guard:
+            ends: list[int] = []
+            states = self._start
+            position = start
             if self.is_accepting(states):
                 ends.append(position)
-        return ends
+            while position < len(values) and states:
+                if guard is not None:
+                    guard.tick(1, "dfa step")
+                states = self.step(states, values[position])
+                position += 1
+                if self.is_accepting(states):
+                    ends.append(position)
+            return ends
 
 
 def compile_dfa(
@@ -173,6 +186,15 @@ def dfa_find_spans(
     starts: Sequence[int] | None = None,
 ) -> list[tuple[int, int]]:
     """All ``(start, end)`` spans via the lazy DFA (anchor-aware)."""
+    with guardrails.guarded():
+        return _dfa_find_spans(pattern, values, starts)
+
+
+def _dfa_find_spans(
+    pattern: ListPattern,
+    values: Sequence[Any],
+    starts: Sequence[int] | None = None,
+) -> list[tuple[int, int]]:
     dfa = compile_dfa(pattern)
     n = len(values)
     if starts is None:

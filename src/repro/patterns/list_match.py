@@ -23,7 +23,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Iterator, Sequence
 
+from .. import guardrails
 from ..errors import PatternError
+from ..faults import fault_point
 from ..storage import stats as stats_mod
 from .list_ast import (
     Atom,
@@ -89,6 +91,9 @@ class _Matcher:
         #: engines avoid); plain int in the hot loop, flushed in bulk.
         self.backtrack_steps = 0
         self.predicate_evals = 0
+        #: The budget armed on this thread, if any (one ``is None`` test
+        #: per derivation step when unbudgeted).
+        self.guard = guardrails.current_guard()
 
     def emit_stats(self) -> None:
         stats_mod.emit_many(
@@ -106,9 +111,14 @@ class _Matcher:
             self._prune_free[id(node)] = cached
         return cached
 
-    def match(self, node: ListPatternNode, pos: int) -> Iterator[tuple[int, _Events]]:
+    def match(
+        self, node: ListPatternNode, pos: int, depth: int = 0
+    ) -> Iterator[tuple[int, _Events]]:
         """Yield ``(end, events)`` for every way ``node`` matches at ``pos``."""
         self.backtrack_steps += 1
+        if self.guard is not None:
+            self.guard.tick(1, "list matcher")
+            self.guard.check_depth(depth, "list matcher")
         if self._is_prune_free(node):
             for end in sorted(self._spans.ends(node, pos)):
                 yield end, tuple((i, None) for i in range(pos, end))
@@ -128,35 +138,37 @@ class _Matcher:
                 if node.predicate(self.values[pos]):
                     yield pos + 1, ((pos, None),)
         elif isinstance(node, Concat):
-            yield from self._match_concat(node.parts, 0, pos)
+            yield from self._match_concat(node.parts, 0, pos, depth + 1)
         elif isinstance(node, Union):
             for alternative in node.alternatives:
-                yield from self.match(alternative, pos)
+                yield from self.match(alternative, pos, depth + 1)
         elif isinstance(node, Plus):
-            yield from self.match(node.desugar(), pos)
+            yield from self.match(node.desugar(), pos, depth + 1)
         elif isinstance(node, Star):
-            yield from self._match_star(node.inner, pos)
+            yield from self._match_star(node.inner, pos, depth + 1)
         else:  # pragma: no cover - exhaustiveness guard
             raise PatternError(f"unknown pattern node {node!r}")
 
     def _match_concat(
-        self, parts: Sequence[ListPatternNode], index: int, pos: int
+        self, parts: Sequence[ListPatternNode], index: int, pos: int, depth: int = 0
     ) -> Iterator[tuple[int, _Events]]:
         if index == len(parts):
             yield pos, ()
             return
-        for mid, head_events in self.match(parts[index], pos):
-            for end, tail_events in self._match_concat(parts, index + 1, mid):
+        for mid, head_events in self.match(parts[index], pos, depth):
+            for end, tail_events in self._match_concat(parts, index + 1, mid, depth + 1):
                 yield end, head_events + tail_events
 
-    def _match_star(self, inner: ListPatternNode, pos: int) -> Iterator[tuple[int, _Events]]:
+    def _match_star(
+        self, inner: ListPatternNode, pos: int, depth: int = 0
+    ) -> Iterator[tuple[int, _Events]]:
         # Depth-first over iteration counts; only zero-progress-free paths
         # recurse, so nullable inner patterns cannot loop forever.
         yield pos, ()
-        for mid, head_events in self.match(inner, pos):
+        for mid, head_events in self.match(inner, pos, depth):
             if mid == pos:
                 continue
-            for end, tail_events in self._match_star(inner, mid):
+            for end, tail_events in self._match_star(inner, mid, depth + 1):
                 yield end, head_events + tail_events
 
 
@@ -195,6 +207,16 @@ def find_list_matches(
     Results are deduplicated (two derivations with the same span and the
     same kept/pruned structure count once) and ordered by (start, end).
     """
+    with guardrails.guarded():
+        return _find_list_matches(pattern, values, limit, starts)
+
+
+def _find_list_matches(
+    pattern: ListPattern,
+    values: Sequence[Any],
+    limit: int | None = None,
+    starts: Sequence[int] | None = None,
+) -> list[ListMatch]:
     matcher = _Matcher(values)
     n = len(values)
     if starts is None:
@@ -210,6 +232,7 @@ def find_list_matches(
         for start in candidate_starts:
             if start > n:
                 continue
+            fault_point("matcher_step")
             for end, events in matcher.match(pattern.body, start):
                 if pattern.anchor_end and end != n:
                     continue
@@ -243,12 +266,15 @@ class _SpanMatcher:
         self.values = values
         self._memo: dict[tuple[int, int], frozenset[int]] = {}
         self.predicate_evals = 0
+        self.guard = guardrails.current_guard()
 
     def ends(self, node: ListPatternNode, pos: int) -> frozenset[int]:
         key = (id(node), pos)
         cached = self._memo.get(key)
         if cached is not None:
             return cached
+        if self.guard is not None:
+            self.guard.tick(1, "span matcher")
         result = self._compute(node, pos)
         self._memo[key] = result
         return result
@@ -306,26 +332,30 @@ def find_spans(
     Polynomial (memoized), unlike :func:`find_list_matches` which must
     enumerate derivations to carry prune structure.
     """
-    matcher = _SpanMatcher(values)
-    n = len(values)
-    if starts is None:
-        candidate_starts: Sequence[int] = (0,) if pattern.anchor_start else range(n + 1)
-    else:
-        candidate_starts = sorted(set(starts))
-        if pattern.anchor_start:
-            candidate_starts = [s for s in candidate_starts if s == 0]
-    spans: list[tuple[int, int]] = []
-    try:
-        for start in candidate_starts:
-            if start > n:
-                continue
-            for end in matcher.ends(pattern.body, start):
-                if pattern.anchor_end and end != n:
+    with guardrails.guarded():
+        fault_point("matcher_step")
+        matcher = _SpanMatcher(values)
+        n = len(values)
+        if starts is None:
+            candidate_starts: Sequence[int] = (
+                (0,) if pattern.anchor_start else range(n + 1)
+            )
+        else:
+            candidate_starts = sorted(set(starts))
+            if pattern.anchor_start:
+                candidate_starts = [s for s in candidate_starts if s == 0]
+        spans: list[tuple[int, int]] = []
+        try:
+            for start in candidate_starts:
+                if start > n:
                     continue
-                spans.append((start, end))
-    finally:
-        stats_mod.emit_many({"predicate_evals": matcher.predicate_evals})
-    return sorted(set(spans))
+                for end in matcher.ends(pattern.body, start):
+                    if pattern.anchor_end and end != n:
+                        continue
+                    spans.append((start, end))
+        finally:
+            stats_mod.emit_many({"predicate_evals": matcher.predicate_evals})
+        return sorted(set(spans))
 
 
 def matches_whole(pattern: ListPattern, values: Sequence[Any]) -> bool:
@@ -334,8 +364,10 @@ def matches_whole(pattern: ListPattern, values: Sequence[Any]) -> bool:
     Anchoring is forced on both ends regardless of the pattern's own
     anchors — this is language membership, the ``I ∈ L(P')`` of §3.4.
     """
-    matcher = _SpanMatcher(values)
-    try:
-        return len(values) in matcher.ends(pattern.body, 0)
-    finally:
-        stats_mod.emit_many({"predicate_evals": matcher.predicate_evals})
+    with guardrails.guarded():
+        fault_point("matcher_step")
+        matcher = _SpanMatcher(values)
+        try:
+            return len(values) in matcher.ends(pattern.body, 0)
+        finally:
+            stats_mod.emit_many({"predicate_evals": matcher.predicate_evals})

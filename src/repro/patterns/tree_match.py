@@ -27,12 +27,14 @@ exponential machinery runs on small fragments.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Iterator, Sequence
+from dataclasses import dataclass
+from typing import Iterator, Sequence
 
+from .. import guardrails
 from ..core.aqua_tree import AquaTree, TreeNode
 from ..core.concat import ConcatPoint
-from ..errors import PatternError
+from ..errors import PatternError, ResourceExhaustedError
+from ..faults import fault_point
 from ..storage import stats as stats_mod
 from .tree_ast import (
     ChildAlt,
@@ -181,8 +183,6 @@ class TreeMatch:
 class _TreeMatcher:
     """One matcher instance per (pattern, input tree) pair."""
 
-    _MAX_POINT_EXPANSIONS = 512
-
     def __init__(self, leaf_anchor: bool) -> None:
         self.leaf_anchor = leaf_anchor
         #: Enumeration work (match_node entries — the exponential §4
@@ -190,6 +190,10 @@ class _TreeMatcher:
         #: ints in the hot loop, flushed in bulk by the entry points.
         self.backtrack_steps = 0
         self.predicate_evals = 0
+        #: The budget armed on this thread, if any; fetched once so the
+        #: per-step cost with no budget is a single ``is None`` test.
+        self.guard = guardrails.current_guard()
+        self.nullable_limit = guardrails.nullable_depth_limit()
 
     def emit_stats(self) -> None:
         stats_mod.emit_many(
@@ -207,8 +211,19 @@ class _TreeMatcher:
         env: _Env,
         depth: int = 0,
     ) -> bool:
-        if depth > 64:
-            raise PatternError("concatenation-point bindings form a cycle")
+        if depth > self.nullable_limit:
+            rendered = tp.star.describe() if isinstance(tp, _StarCont) else tp.describe()
+            raise ResourceExhaustedError(
+                "nullability analysis exceeded the backtrack-depth budget "
+                f"(max_backtrack_depth={self.nullable_limit}) — the "
+                f"concatenation-point bindings of {rendered!r} recurse too "
+                "deeply (usually a binding cycle)",
+                limit_name="max_backtrack_depth",
+                limit=self.nullable_limit,
+                spent=depth,
+                seam="nullability analysis",
+                usage=self.guard.usage() if self.guard is not None else None,
+            )
         if isinstance(tp, _StarCont):
             return self.nullable(tp.star, tp.env, depth + 1)
         if isinstance(tp, (TreeAtom,)):
@@ -260,8 +275,12 @@ class _TreeMatcher:
         node: TreeNode,
         env: _Env,
         guard: frozenset = frozenset(),
+        depth: int = 0,
     ) -> "Iterator[Shape | Pruned]":
         self.backtrack_steps += 1
+        if self.guard is not None:
+            self.guard.tick(1, "tree matcher")
+            self.guard.check_depth(depth, "tree matcher")
         if isinstance(tp, TreeAtom):
             if node.is_concat_point:
                 return
@@ -275,7 +294,9 @@ class _TreeMatcher:
                 else:
                     yield Shape(node, tuple(Pruned(c) for c in node.children))
                 return
-            for end, fragments in self.match_children(tp.children, node.children, 0, env):
+            for end, fragments in self.match_children(
+                tp.children, node.children, 0, env, depth + 1
+            ):
                 if end == len(node.children):
                     yield Shape(node, fragments)
             return
@@ -289,13 +310,15 @@ class _TreeMatcher:
             if key in guard:
                 return
             if isinstance(binding, _StarCont):
-                yield from self.match_node(binding.star, node, binding.env, guard | {key})
+                yield from self.match_node(
+                    binding.star, node, binding.env, guard | {key}, depth + 1
+                )
             else:
-                yield from self.match_node(binding, node, env, guard | {key})
+                yield from self.match_node(binding, node, env, guard | {key}, depth + 1)
             return
         if isinstance(tp, TreeUnion):
             for alternative in tp.alternatives:
-                yield from self.match_node(alternative, node, env, guard)
+                yield from self.match_node(alternative, node, env, guard, depth + 1)
             return
         if isinstance(tp, TreeStar):
             # Zero iterations: the star degenerates to its point, which
@@ -310,25 +333,27 @@ class _TreeMatcher:
                 if key not in guard:
                     if isinstance(binding, _StarCont):
                         yield from self.match_node(
-                            binding.star, node, binding.env, guard | {key}
+                            binding.star, node, binding.env, guard | {key}, depth + 1
                         )
                     else:
-                        yield from self.match_node(binding, node, env, guard | {key})
+                        yield from self.match_node(
+                            binding, node, env, guard | {key}, depth + 1
+                        )
             # One or more iterations: unfold, rebinding the point to this
             # closure *with the current outer environment captured*.
             inner_env = dict(env)
             inner_env[tp.point.label] = _StarCont(tp, dict(env))
-            yield from self.match_node(tp.inner, node, inner_env, guard)
+            yield from self.match_node(tp.inner, node, inner_env, guard, depth + 1)
             return
         if isinstance(tp, TreePlus):
             inner_env = dict(env)
             inner_env[tp.point.label] = _StarCont(TreeStar(tp.inner, tp.point), dict(env))
-            yield from self.match_node(tp.inner, node, inner_env, guard)
+            yield from self.match_node(tp.inner, node, inner_env, guard, depth + 1)
             return
         if isinstance(tp, TreeConcat):
             inner_env = dict(env)
             inner_env[tp.point.label] = tp.right
-            yield from self.match_node(tp.left, node, inner_env, guard)
+            yield from self.match_node(tp.left, node, inner_env, guard, depth + 1)
             return
         if isinstance(tp, TreePrune):
             # A prune consumes the node and hides its whole subtree; the
@@ -337,7 +362,8 @@ class _TreeMatcher:
             # are excluded from the match, so their leaves need not align.
             inner_matcher = self if not self.leaf_anchor else _TreeMatcher(False)
             matched = any(
-                True for _ in inner_matcher.match_node(tp.inner, node, env, guard)
+                True
+                for _ in inner_matcher.match_node(tp.inner, node, env, guard, depth + 1)
             )
             if inner_matcher is not self:
                 self.backtrack_steps += inner_matcher.backtrack_steps
@@ -355,24 +381,30 @@ class _TreeMatcher:
         children: Sequence[TreeNode],
         index: int,
         env: _Env,
+        depth: int = 0,
     ) -> Iterator[tuple[int, tuple[Shape | Pruned, ...]]]:
         """Yield ``(next_index, fragments)`` for matches starting at ``index``."""
+        if self.guard is not None:
+            self.guard.tick(1, "tree matcher")
+            self.guard.check_depth(depth, "tree matcher")
         if isinstance(cp, ChildEpsilon):
             yield index, ()
             return
         if isinstance(cp, ChildSeq):
-            yield from self._match_seq(cp.parts, 0, children, index, env)
+            yield from self._match_seq(cp.parts, 0, children, index, env, depth + 1)
             return
         if isinstance(cp, ChildAlt):
             for alternative in cp.alternatives:
-                yield from self.match_children(alternative, children, index, env)
+                yield from self.match_children(alternative, children, index, env, depth + 1)
             return
         if isinstance(cp, ChildStar):
-            yield from self._match_child_star(cp.inner, children, index, env)
+            yield from self._match_child_star(cp.inner, children, index, env, depth + 1)
             return
         if isinstance(cp, ChildPlus):
-            for mid, head in self.match_children(cp.inner, children, index, env):
-                for end, tail in self._match_child_star(cp.inner, children, mid, env):
+            for mid, head in self.match_children(cp.inner, children, index, env, depth + 1):
+                for end, tail in self._match_child_star(
+                    cp.inner, children, mid, env, depth + 1
+                ):
                     yield end, head + tail
             return
         # A tree pattern as a child-list atom: consumes zero children when
@@ -382,7 +414,7 @@ class _TreeMatcher:
             if self.nullable(cp, env):
                 yield index, ()
             if index < len(children):
-                for shape in self.match_node(cp, children[index], env):
+                for shape in self.match_node(cp, children[index], env, depth=depth + 1):
                     yield index + 1, (shape,)
             return
         raise PatternError(f"unknown child pattern node {cp!r}")
@@ -394,12 +426,15 @@ class _TreeMatcher:
         children: Sequence[TreeNode],
         index: int,
         env: _Env,
+        depth: int = 0,
     ) -> Iterator[tuple[int, tuple[Shape | Pruned, ...]]]:
         if part_index == len(parts):
             yield index, ()
             return
-        for mid, head in self.match_children(parts[part_index], children, index, env):
-            for end, tail in self._match_seq(parts, part_index + 1, children, mid, env):
+        for mid, head in self.match_children(parts[part_index], children, index, env, depth):
+            for end, tail in self._match_seq(
+                parts, part_index + 1, children, mid, env, depth + 1
+            ):
                 yield end, head + tail
 
     def _match_child_star(
@@ -408,12 +443,13 @@ class _TreeMatcher:
         children: Sequence[TreeNode],
         index: int,
         env: _Env,
+        depth: int = 0,
     ) -> Iterator[tuple[int, tuple[Shape | Pruned, ...]]]:
         yield index, ()
-        for mid, head in self.match_children(inner, children, index, env):
+        for mid, head in self.match_children(inner, children, index, env, depth):
             if mid == index:
                 continue  # progress guard: nullable inner cannot loop
-            for end, tail in self._match_child_star(inner, children, mid, env):
+            for end, tail in self._match_child_star(inner, children, mid, env, depth + 1):
                 yield end, head + tail
 
 
@@ -434,36 +470,38 @@ def find_tree_matches(
         raise PatternError("a prune marker cannot be the whole pattern")
     if data.root is None:
         return []
-    matcher = _TreeMatcher(leaf_anchor=pattern.leaf_anchor)
+    with guardrails.guarded():
+        matcher = _TreeMatcher(leaf_anchor=pattern.leaf_anchor)
 
-    if pattern.root_anchor:
-        candidates: list[TreeNode] = [data.root]
-    elif roots is not None:
-        candidates = list(roots)
-    else:
-        candidates = list(data.nodes())
+        if pattern.root_anchor:
+            candidates: list[TreeNode] = [data.root]
+        elif roots is not None:
+            candidates = list(roots)
+        else:
+            candidates = list(data.nodes())
 
-    order = {id(node): position for position, node in enumerate(data.nodes())}
-    candidates.sort(key=lambda n: order.get(id(n), len(order)))
+        order = {id(node): position for position, node in enumerate(data.nodes())}
+        candidates.sort(key=lambda n: order.get(id(n), len(order)))
 
-    seen: set[tuple] = set()
-    results: list[TreeMatch] = []
-    try:
-        for node in candidates:
-            for shape in matcher.match_node(pattern.body, node, {}):
-                if isinstance(shape, Pruned):
-                    continue
-                match = TreeMatch(shape)
-                key = match.key()
-                if key in seen:
-                    continue
-                seen.add(key)
-                results.append(match)
-                if limit is not None and len(results) >= limit:
-                    return results
-        return results
-    finally:
-        matcher.emit_stats()
+        seen: set[tuple] = set()
+        results: list[TreeMatch] = []
+        try:
+            for node in candidates:
+                fault_point("matcher_step")
+                for shape in matcher.match_node(pattern.body, node, {}):
+                    if isinstance(shape, Pruned):
+                        continue
+                    match = TreeMatch(shape)
+                    key = match.key()
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    results.append(match)
+                    if limit is not None and len(results) >= limit:
+                        return results
+            return results
+        finally:
+            matcher.emit_stats()
 
 
 def tree_in_language(pattern: TreePattern, data: AquaTree) -> bool:
@@ -473,17 +511,19 @@ def tree_in_language(pattern: TreePattern, data: AquaTree) -> bool:
     must start at the root and leave nothing pruned (no implicit
     descendants, no ``!`` leftovers), i.e. the paper's ``I ∈ L(P')``.
     """
-    if data.root is None:
-        matcher = _TreeMatcher(leaf_anchor=False)
-        return matcher.nullable(pattern.body, {})
-    matcher = _TreeMatcher(leaf_anchor=pattern.leaf_anchor)
-    try:
-        for shape in matcher.match_node(pattern.body, data.root, {}):
-            if isinstance(shape, Pruned):
-                continue
-            match = TreeMatch(shape)
-            if not match.pruned_nodes():
-                return True
-        return False
-    finally:
-        matcher.emit_stats()
+    with guardrails.guarded():
+        fault_point("matcher_step")
+        if data.root is None:
+            matcher = _TreeMatcher(leaf_anchor=False)
+            return matcher.nullable(pattern.body, {})
+        matcher = _TreeMatcher(leaf_anchor=pattern.leaf_anchor)
+        try:
+            for shape in matcher.match_node(pattern.body, data.root, {}):
+                if isinstance(shape, Pruned):
+                    continue
+                match = TreeMatch(shape)
+                if not match.pruned_nodes():
+                    return True
+            return False
+        finally:
+            matcher.emit_stats()

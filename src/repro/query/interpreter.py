@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from .. import guardrails
 from ..algebra import (
     all_anc,
     all_desc,
@@ -27,13 +28,14 @@ from ..algebra import (
 from ..core.aqua_list import AquaList
 from ..core.aqua_set import AquaSet
 from ..core.aqua_tree import AquaTree, TreeNode
-from ..errors import QueryError
+from ..errors import QueryError, ResourceExhaustedError
+from ..guardrails import Budget
 from ..storage.database import Database
 from . import expr as E
-from .metrics import PlanMetrics
+from .metrics import PlanMetrics, cardinality
 
 
-def evaluate(node: E.Expr, db: Database) -> Any:
+def evaluate(node: E.Expr, db: Database, budget: Budget | None = None) -> Any:
     """Evaluate a query expression against ``db``.
 
     The database's instrumentation sink is activated for the duration,
@@ -43,23 +45,57 @@ def evaluate(node: E.Expr, db: Database) -> Any:
     (see :func:`evaluate_with_metrics`), every node additionally runs
     inside its own attribution scope — that is the instrumented
     executor behind ``EXPLAIN ANALYZE``.
+
+    The outermost call arms an execution guard from ``budget`` (or the
+    ``AQUA_*`` environment knobs when no budget is given); nested calls
+    reuse it, so one guard covers the whole plan.  A tripped limit
+    raises :class:`~repro.errors.ResourceExhaustedError` annotated with
+    the operator being evaluated and, during an instrumented run, the
+    partial :class:`~repro.query.metrics.PlanMetrics`.
     """
     method = _DISPATCH.get(type(node))
     if method is None:
         raise QueryError(f"no evaluation rule for {type(node).__name__}")
     stats = db.stats
     collector = stats.collector
-    with stats.activated():
+    with guardrails.guarded(budget) as guard, stats.activated():
+        if guard is not None:
+            guard.tick(1, "interpreter dispatch")
         if collector is None:
-            return method(node, db)
-        with collector.operator(node, stats) as op:
             result = method(node, db)
-        collector.record_output(op, result)
+        else:
+            op = None
+            try:
+                with collector.operator(node, stats) as op:
+                    result = method(node, db)
+            except ResourceExhaustedError as exc:
+                _annotate_trip(exc, collector, op)
+                raise
+            collector.record_output(op, result)
+        if guard is not None and guard.budget.max_results is not None:
+            guard.check_results(cardinality(result), node.head())
         return result
 
 
+def _annotate_trip(exc: ResourceExhaustedError, collector: PlanMetrics, op) -> None:
+    """Attach the partial metrics and the tripping operator to ``exc``.
+
+    Only the innermost operator annotates (the one actually running when
+    the budget tripped); outer frames see the fields already set and
+    leave them alone.
+    """
+    if exc.metrics is None:
+        exc.metrics = collector
+    if exc.plan_path is None and op is not None:
+        exc.plan_path = op.path
+        exc.operator = op.head
+
+
 def evaluate_with_metrics(
-    expr: E.Expr, db: Database, metrics: PlanMetrics | None = None
+    expr: E.Expr,
+    db: Database,
+    metrics: PlanMetrics | None = None,
+    budget: Budget | None = None,
 ) -> tuple[Any, PlanMetrics]:
     """Evaluate ``expr`` collecting per-operator runtime metrics.
 
@@ -67,11 +103,13 @@ def evaluate_with_metrics(
     :class:`~repro.query.metrics.OperatorMetrics` scope per plan node:
     output cardinality, wall time, and the counters (index probes,
     predicate evaluations, pattern-engine work) attributable to that
-    operator alone.
+    operator alone.  On a budget trip the raised
+    :class:`~repro.errors.ResourceExhaustedError` carries the same
+    (partial) ``metrics`` object, so callers can render what ran.
     """
     metrics = metrics if metrics is not None else PlanMetrics()
     with db.stats.collecting(metrics):
-        result = evaluate(expr, db)
+        result = evaluate(expr, db, budget=budget)
     return result, metrics
 
 
@@ -124,7 +162,11 @@ def _eval_tree_apply(node: E.TreeApply, db: Database) -> AquaTree:
 
 def _eval_sub_select(node: E.SubSelect, db: Database) -> AquaSet:
     tree = _as_tree(evaluate(node.input, db), node)
-    db.stats.bump("nodes_scanned", tree.size())
+    size = tree.size()
+    db.stats.bump("nodes_scanned", size)
+    guard = guardrails.current_guard()
+    if guard is not None:
+        guard.charge_nodes(size, "tree scan")
     return sub_select(node.pattern, tree)
 
 
@@ -195,6 +237,9 @@ def _eval_list_apply(node: E.ListApply, db: Database) -> AquaList:
 def _eval_list_sub_select(node: E.ListSubSelect, db: Database) -> AquaSet:
     values = _as_list(evaluate(node.input, db), node)
     db.stats.bump("positions_scanned", len(values) + 1)
+    guard = guardrails.current_guard()
+    if guard is not None:
+        guard.charge_nodes(len(values) + 1, "list scan")
     return sub_select_list(node.pattern, values)
 
 

@@ -23,10 +23,12 @@ from __future__ import annotations
 
 from typing import Any, Iterable
 
+from .. import guardrails
 from ..core.aqua_list import AquaList
 from ..core.aqua_set import AquaSet
 from ..core.aqua_tree import AquaTree
 from ..errors import StorageError
+from ..faults import fault_point
 from ..predicates.alphabet import AlphabetPredicate
 from .index import HashIndex, OrderedIndex
 from .stats import Instrumentation
@@ -61,7 +63,12 @@ class Database:
 
     def extent(self, name: str) -> AquaSet:
         """The extent as an AQUA set (empty if never populated)."""
-        return AquaSet(self._extents.get(name, ()))
+        fault_point("storage_lookup")
+        rows = self._extents.get(name, ())
+        guard = guardrails.current_guard()
+        if guard is not None:
+            guard.charge_nodes(len(rows), "extent scan")
+        return AquaSet(rows)
 
     def extent_size(self, name: str) -> int:
         return len(self._extents.get(name, ()))
@@ -80,6 +87,7 @@ class Database:
         self._roots[name] = value
 
     def root(self, name: str) -> Any:
+        fault_point("storage_lookup")
         try:
             return self._roots[name]
         except KeyError:
@@ -121,6 +129,8 @@ class Database:
         # Activate our sink so the access methods' own ``index_probes``
         # emissions (see :mod:`repro.storage.index`) are credited here —
         # and, during an instrumented run, to the operator that probed.
+        fault_point("storage_lookup")
+        guard = guardrails.current_guard()
         with self.stats.activated():
             if not predicate.opaque:
                 best: tuple[int, list[Any]] | None = None
@@ -138,10 +148,14 @@ class Database:
                         best = (len(rows), rows)
                 if best is not None:
                     self.stats.bump("index_candidates", best[0])
+                    if guard is not None:
+                        guard.charge_nodes(best[0], "index candidates")
                     return best[1], True
             rows = list(self._extents.get(extent, ()))
             self.stats.bump("full_scans")
             self.stats.bump("objects_scanned", len(rows))
+            if guard is not None:
+                guard.charge_nodes(len(rows), "extent scan")
             return rows, False
 
     def select(self, extent: str, predicate: AlphabetPredicate) -> AquaSet:

@@ -20,6 +20,7 @@ import bisect
 from typing import Any, Hashable, Iterable, Iterator
 
 from ..errors import IndexError_
+from ..faults import fault_point
 from . import stats as stats_mod
 
 #: Pseudo-attribute meaning "the object itself" (see SymbolEquals).
@@ -62,6 +63,7 @@ class HashIndex:
             self.insert(entry)
 
     def lookup(self, key: Any) -> list[Any]:
+        fault_point("index_probe")
         self.probes += 1
         stats_mod.emit("index_probes")
         return list(self._buckets.get(key, ()))
@@ -118,6 +120,7 @@ class OrderedIndex:
         self._entries = [e for _, e in pairs]
 
     def lookup(self, key: Any) -> list[Any]:
+        fault_point("index_probe")
         self.probes += 1
         stats_mod.emit("index_probes")
         left = bisect.bisect_left(self._keys, key)
@@ -132,6 +135,7 @@ class OrderedIndex:
         include_high: bool = True,
     ) -> list[Any]:
         """Entries with ``low (≤|<) key (≤|<) high`` (None = unbounded)."""
+        fault_point("index_probe")
         self.probes += 1
         stats_mod.emit("index_probes")
         if low is None:

@@ -21,8 +21,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Iterable
 
+from .. import guardrails
 from ..core.aqua_list import AquaList
 from ..core.aqua_tree import AquaTree, TreeNode
+from ..faults import fault_point
 from ..predicates.alphabet import AlphabetPredicate
 from .index import VALUE_ATTRIBUTE, HashIndex, read_key
 from .stats import Instrumentation
@@ -132,6 +134,7 @@ class TreeIndex:
         probe (then get re-checked by the caller's full predicate); with
         none, every element node is returned and the caller scans.
         """
+        guard = guardrails.current_guard()
         terms = self.servable_terms(predicate)
         if terms:
             # Pick the most selective servable term.
@@ -143,11 +146,15 @@ class TreeIndex:
             nodes = self.probe(attribute, constant)
             if stats is not None:
                 stats.bump("index_candidates", len(nodes))
+            if guard is not None:
+                guard.charge_nodes(len(nodes), "tree-index candidates")
             return nodes, True
         nodes = list(self.tree.element_nodes())
         if stats is not None:
             stats.bump("full_scans")
             stats.bump("nodes_scanned", len(nodes))
+        if guard is not None:
+            guard.charge_nodes(len(nodes), "tree scan")
         return nodes, False
 
 
@@ -173,21 +180,34 @@ class ListIndex:
         stats: Instrumentation | None = None,
     ) -> tuple[list[int], bool]:
         """Positions that might satisfy ``predicate``; ``(positions, used_index)``."""
+        guard = guardrails.current_guard()
         if not predicate.opaque:
             for attribute, op, constant in predicate.indexable_terms():
                 if op != "=":
                     continue
                 if attribute == VALUE_ATTRIBUTE:
+                    fault_point("index_probe")
                     if stats is not None:
                         stats.bump("index_probes")
-                    return list(self._value_positions.get(_hashable_key(constant), ())), True
+                    positions = list(
+                        self._value_positions.get(_hashable_key(constant), ())
+                    )
+                    if guard is not None:
+                        guard.charge_nodes(len(positions), "list-index candidates")
+                    return positions, True
                 if attribute in self._attribute_positions:
+                    fault_point("index_probe")
                     if stats is not None:
                         stats.bump("index_probes")
                     mapping = self._attribute_positions[attribute]
-                    return list(mapping.get(_hashable_key(constant), ())), True
+                    positions = list(mapping.get(_hashable_key(constant), ()))
+                    if guard is not None:
+                        guard.charge_nodes(len(positions), "list-index candidates")
+                    return positions, True
         if stats is not None:
             stats.bump("full_scans")
+        if guard is not None:
+            guard.charge_nodes(len(self.values), "list scan")
         return list(range(len(self.values))), False
 
 

@@ -4,8 +4,10 @@ import json
 
 import pytest
 
+from repro import faults
 from repro.__main__ import Shell, demo_database, main, render
 from repro.core import AquaSet, parse_list, parse_tree
+from repro.errors import InjectedFaultError, ResourceExhaustedError
 
 
 @pytest.fixture()
@@ -104,6 +106,74 @@ class TestRender:
         assert render(42) == "42"
 
 
+class TestGuardrails:
+    """The shell survives budget trips and injected faults (ISSUE 2)."""
+
+    def test_budget_shows_unlimited_by_default(self, monkeypatch):
+        for knob in ("AQUA_DEADLINE", "AQUA_MAX_STEPS", "AQUA_MAX_BACKTRACK_DEPTH",
+                     "AQUA_MAX_RESULTS", "AQUA_MAX_NODES_SCANNED"):
+            monkeypatch.delenv(knob, raising=False)
+        assert Shell().execute("\\budget") == "budget: (unlimited)"
+
+    def test_budget_set_and_clear(self, shell):
+        assert "max_steps=100" in shell.execute("\\budget steps=100")
+        assert "deadline_seconds=0.5" in shell.execute("\\budget deadline=0.5")
+        assert "unlimited" in shell.execute("\\budget off")
+
+    def test_budget_rejects_bad_knob(self, shell):
+        assert shell.execute("\\budget bogus=1").startswith("error:")
+        assert shell.execute("\\budget steps=abc").startswith("error:")
+
+    def test_budget_trip_is_one_line_diagnostic(self, shell):
+        shell.execute("\\budget steps=5")
+        out = shell.execute('\\noopt root song | lsub_select "[A??F]" by pitch')
+        assert out.startswith("error: budget exhausted")
+        assert "\n" not in out
+        assert isinstance(shell.last_error, ResourceExhaustedError)
+        # The session survives: clearing the budget makes the query work.
+        shell.execute("\\budget off")
+        out = shell.execute('root song | lsub_select "[A??F]" by pitch')
+        assert "2 result(s)" in out
+        assert shell.last_error is None
+
+    def test_analyze_renders_partial_metrics_on_trip(self, shell):
+        shell.execute("\\budget steps=4")
+        out = shell.execute(
+            'EXPLAIN ANALYZE root song | lsub_select "[A??F]" by pitch'
+        )
+        assert out.startswith("error: budget exhausted")
+        assert "partial plan metrics" in out
+        assert "root(song)" in out  # the operator that did finish
+
+    def test_injected_fault_keeps_session(self, shell):
+        plan = faults.FaultPlan([faults.FaultRule("storage_lookup", "error")])
+        with faults.injected(plan):
+            out = shell.execute("root family")
+            assert out.startswith("error: injected fault at seam 'storage_lookup'")
+            assert isinstance(shell.last_error, InjectedFaultError)
+        out = shell.execute('root family | sub_select "Brazil(!?* USA !?*)" by citizen')
+        assert "1 result(s)" in out
+
+    def test_faults_command(self, shell):
+        previous = faults.install(None)
+        try:
+            assert "no fault injection" in shell.execute("\\faults")
+            plan = faults.FaultPlan(
+                [faults.FaultRule("index_probe", "latency", 1.0, 0.0)]
+            )
+            with faults.injected(plan):
+                assert "FaultPlan" in shell.execute("\\faults")
+        finally:
+            faults.install(previous)
+
+    def test_budget_from_env(self, monkeypatch):
+        monkeypatch.setenv("AQUA_MAX_STEPS", "5")
+        fresh = Shell()
+        assert fresh.budget.max_steps == 5
+        out = fresh.execute('\\noopt root song | lsub_select "[A??F]" by pitch')
+        assert out.startswith("error: budget exhausted")
+
+
 class TestMainEntry:
     def test_one_shot_command(self, capsys):
         code = main(["-c", 'root family | select {citizen = "USA"}'])
@@ -126,3 +196,23 @@ class TestMainEntry:
         code = main(["--db", str(path), "-c", 'root T | sub_select "b"'])
         assert code == 0
         assert "1 result(s)" in capsys.readouterr().out
+
+    def test_failed_one_shot_exits_nonzero(self, capsys):
+        code = main(["-c", "root nosuchroot"])
+        assert code == 1
+        assert capsys.readouterr().out.startswith("error:")
+
+    def test_injected_fault_one_shot_exits_nonzero(self, monkeypatch, capsys):
+        monkeypatch.setenv("AQUA_FAULTS", "storage_lookup:error:1.0")
+        previous = faults.refresh_from_env()
+        try:
+            code = main(["-c", "root family"])
+        finally:
+            faults.install(previous)
+        assert code == 1
+        assert "injected fault" in capsys.readouterr().out
+
+    def test_missing_db_file_exits_nonzero(self, capsys):
+        code = main(["--db", "/nope/missing.json", "-c", "root family"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
