@@ -46,7 +46,13 @@ from . import faults, guardrails
 from .core import AquaList, AquaSet, AquaTree
 from .errors import AquaError, ResourceExhaustedError
 from .guardrails import Budget
-from .query import evaluate, explain_optimization, parse_aql, render_analysis
+from .query import (
+    evaluate,
+    explain_optimization,
+    explain_physical,
+    parse_aql,
+    render_analysis,
+)
 from .query.aql import run_aql
 from .query.interpreter import evaluate_with_metrics
 from .query.metrics import PlanMetrics
@@ -209,6 +215,9 @@ class Shell:
         from .optimizer.engine import optimize as run_optimizer
 
         plan = run_optimizer(parse_aql(query), self.db)
+        pipeline = (
+            "Lowered pipeline:\n" + explain_physical(plan, self.db, indent=1)
+        )
         metrics = PlanMetrics()
         try:
             _, metrics = evaluate_with_metrics(plan, self.db, metrics=metrics)
@@ -218,9 +227,9 @@ class Shell:
             return (
                 f"{diagnose(exc)}\n"
                 "-- partial plan metrics (execution stopped here) --\n"
-                f"{render_analysis(plan, self.db, partial)}"
+                f"{render_analysis(plan, self.db, partial)}\n\n{pipeline}"
             )
-        return render_analysis(plan, self.db, metrics)
+        return f"{render_analysis(plan, self.db, metrics)}\n\n{pipeline}"
 
     def repl(self) -> None:  # pragma: no cover - interactive loop
         print("AQUA shell — \\help for commands, \\quit to exit")

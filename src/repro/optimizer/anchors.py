@@ -1,0 +1,136 @@
+"""Access-path anchor analysis (paper §4 "Why Split?").
+
+The split/index rewrites all hinge on the same question: *which cheap
+predicate must every match satisfy, and can an index serve it?*  This
+module holds that analysis in one place so the rewrite rules
+(:mod:`repro.optimizer.rules`) and the logical→physical lowering pass
+(:mod:`repro.physical.lower`) answer it identically — the ``Indexed*``
+expression nodes are now just deprecated serializations of these
+decisions, not where the decisions live.
+
+* :func:`tree_split_anchors` — the root predicates of a tree pattern,
+  when each is index-servable (the §4 "index on d" precondition);
+* :func:`list_anchor_choice` — a required atom of a list pattern at a
+  bounded offset from the match start, plus the possible offsets;
+* :func:`extent_conjunct_split` — the indexed/residual decomposition of
+  a conjunctive extent-select predicate.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from ..patterns.list_ast import Atom as ListAtom
+from ..patterns.list_ast import Concat as ListConcat
+from ..patterns.list_ast import ListPattern, ListPatternNode
+from ..patterns.tree_ast import TreePattern
+from ..predicates.alphabet import AlphabetPredicate, And
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..storage.database import Database
+
+
+def _index_servable(predicate: AlphabetPredicate) -> bool:
+    """Can a node index serve ``predicate`` via an equality term?"""
+    if predicate.opaque:
+        return False
+    return any(op == "=" for _, op, _ in predicate.indexable_terms())
+
+
+def tree_split_anchors(pattern: TreePattern) -> tuple[AlphabetPredicate, ...] | None:
+    """The pattern's usable root-predicate anchors, or ``None``.
+
+    Every match of an unanchored pattern is rooted at a node satisfying
+    one of the pattern's root predicates, so probing those predicates'
+    indexes yields a complete candidate-root set.  Usable means: the
+    pattern is not already pinned to the tree root, it exposes at least
+    one root predicate, and each is non-opaque with an equality term an
+    index can serve.
+    """
+    if pattern.root_anchor:
+        return None  # already pinned to the tree root; nothing to gain
+    anchors = pattern.root_predicates()
+    if not anchors:
+        return None
+    for anchor in anchors:
+        if not _index_servable(anchor):
+            return None
+    return tuple(anchors)
+
+
+def anchor_offsets(
+    parts: Sequence[ListPatternNode], index: int
+) -> tuple[int, ...] | None:
+    """Possible distances from a match start to the ``index``-th part."""
+    minimum = 0
+    maximum = 0
+    for part in parts[:index]:
+        minimum += part.min_length()
+        part_max = part.max_length()
+        if part_max is None:
+            return None
+        maximum += part_max
+    return tuple(range(minimum, maximum + 1))
+
+
+def list_anchor_choice(
+    pattern: ListPattern,
+) -> tuple[AlphabetPredicate, tuple[int, ...]] | None:
+    """A position-index anchor for a list pattern: ``(anchor, offsets)``.
+
+    Picks the required atom with the fewest possible offsets from the
+    match start (e.g. the leading ``A`` of ``[A??F]``), so probing the
+    list's position index for it and subtracting the offsets yields the
+    candidate start positions.  ``None`` when no atom qualifies.
+    """
+    body = pattern.body
+    parts: Sequence[ListPatternNode]
+    if isinstance(body, ListConcat):
+        parts = body.parts
+    else:
+        parts = (body,)
+    best: tuple[AlphabetPredicate, tuple[int, ...]] | None = None
+    for index, part in enumerate(parts):
+        if not isinstance(part, ListAtom):
+            continue
+        predicate = part.predicate
+        if not _index_servable(predicate):
+            continue
+        offsets = anchor_offsets(parts, index)
+        if offsets is None:
+            continue
+        if best is None or len(offsets) < len(best[1]):
+            best = (predicate, offsets)
+    return best
+
+
+def extent_conjunct_split(
+    predicate: AlphabetPredicate, extent: str, db: "Database"
+) -> tuple[AlphabetPredicate, AlphabetPredicate | None] | None:
+    """Split a conjunction into ``(indexed, residual)`` for ``extent``.
+
+    The first conjunct with an attribute index on ``extent`` becomes the
+    indexed predicate; the rest (conjoined) re-check the survivors.
+    ``None`` when no conjunct is servable.
+    """
+    conjuncts = predicate.conjuncts()
+    indexed: AlphabetPredicate | None = None
+    residual: list[AlphabetPredicate] = []
+    for conjunct in conjuncts:
+        if indexed is None and not conjunct.opaque:
+            servable = any(
+                db.has_index(extent, attribute)
+                for attribute, _, _ in conjunct.indexable_terms()
+            )
+            if servable:
+                indexed = conjunct
+                continue
+        residual.append(conjunct)
+    if indexed is None:
+        return None
+    residual_pred = (
+        None
+        if not residual
+        else (residual[0] if len(residual) == 1 else And(*residual))
+    )
+    return indexed, residual_pred

@@ -16,14 +16,14 @@ gating and tracing.
 
 from __future__ import annotations
 
-from typing import Sequence
-
-from ..patterns.list_ast import Atom as ListAtom
-from ..patterns.list_ast import Concat as ListConcat
-from ..patterns.list_ast import ListPatternNode
-from ..predicates.alphabet import AlphabetPredicate, And
+from ..predicates.alphabet import And
 from ..query import expr as E
 from ..storage.database import Database
+from .anchors import (
+    extent_conjunct_split,
+    list_anchor_choice,
+    tree_split_anchors,
+)
 
 
 class Rule:
@@ -57,24 +57,13 @@ class SubSelectIndexRule(Rule):
         del db
         if not isinstance(node, E.SubSelect):
             return None
-        if node.pattern.root_anchor:
-            return None  # already pinned to the tree root; nothing to gain
-        anchors = node.pattern.root_predicates()
-        if not anchors:
+        anchors = tree_split_anchors(node.pattern)
+        if anchors is None:
             return None
-        usable: list[AlphabetPredicate] = []
-        for anchor in anchors:
-            if anchor.opaque:
-                return None
-            if not any(op == "=" for _, op, _ in anchor.indexable_terms()):
-                return None
-            usable.append(anchor)
         # The candidate-roots restriction plays the role of the paper's
         # ⊤-anchoring of the inner sub_select: the pattern itself stays
         # unanchored, but it is only tried at the probed roots.
-        return E.IndexedSubSelect(
-            node.input, pattern=node.pattern, anchors=tuple(usable)
-        )
+        return E.IndexedSubSelect(node.input, pattern=node.pattern, anchors=anchors)
 
 
 class SplitIndexRule(Rule):
@@ -91,37 +80,15 @@ class SplitIndexRule(Rule):
         del db
         if not isinstance(node, E.Split):
             return None
-        if node.pattern.root_anchor:
+        anchors = tree_split_anchors(node.pattern)
+        if anchors is None:
             return None
-        anchors = node.pattern.root_predicates()
-        if not anchors:
-            return None
-        usable: list[AlphabetPredicate] = []
-        for anchor in anchors:
-            if anchor.opaque:
-                return None
-            if not any(op == "=" for _, op, _ in anchor.indexable_terms()):
-                return None
-            usable.append(anchor)
         return E.IndexedSplit(
             node.input,
             pattern=node.pattern,
             function=node.function,
-            anchors=tuple(usable),
+            anchors=anchors,
         )
-
-
-def _anchor_offsets(parts: Sequence[ListPatternNode], index: int) -> tuple[int, ...] | None:
-    """Possible distances from a match start to the ``index``-th part."""
-    minimum = 0
-    maximum = 0
-    for part in parts[:index]:
-        minimum += part.min_length()
-        part_max = part.max_length()
-        if part_max is None:
-            return None
-        maximum += part_max
-    return tuple(range(minimum, maximum + 1))
 
 
 class ListAnchorIndexRule(Rule):
@@ -140,29 +107,10 @@ class ListAnchorIndexRule(Rule):
         del db
         if not isinstance(node, E.ListSubSelect):
             return None
-        body = node.pattern.body
-        parts: Sequence[ListPatternNode]
-        if isinstance(body, ListConcat):
-            parts = body.parts
-        else:
-            parts = (body,)
-        best: tuple[int, AlphabetPredicate, tuple[int, ...]] | None = None
-        for index, part in enumerate(parts):
-            if not isinstance(part, ListAtom):
-                continue
-            predicate = part.predicate
-            if predicate.opaque:
-                continue
-            if not any(op == "=" for _, op, _ in predicate.indexable_terms()):
-                continue
-            offsets = _anchor_offsets(parts, index)
-            if offsets is None:
-                continue
-            if best is None or len(offsets) < len(best[2]):
-                best = (index, predicate, offsets)
-        if best is None:
+        choice = list_anchor_choice(node.pattern)
+        if choice is None:
             return None
-        _, anchor, offsets = best
+        anchor, offsets = choice
         return E.IndexedListSubSelect(
             node.input, pattern=node.pattern, anchor=anchor, offsets=offsets
         )
@@ -184,28 +132,11 @@ class ConjunctDecompositionRule(Rule):
             return None
         if not isinstance(node.input, E.Extent):
             return None
-        conjuncts = node.predicate.conjuncts()
-        extent = node.input.name
-        indexed: AlphabetPredicate | None = None
-        residual: list[AlphabetPredicate] = []
-        for conjunct in conjuncts:
-            if indexed is None and not conjunct.opaque:
-                servable = any(
-                    db.has_index(extent, attribute)
-                    for attribute, _, _ in conjunct.indexable_terms()
-                )
-                if servable:
-                    indexed = conjunct
-                    continue
-            residual.append(conjunct)
-        if indexed is None:
+        split = extent_conjunct_split(node.predicate, node.input.name, db)
+        if split is None:
             return None
-        residual_pred = (
-            None
-            if not residual
-            else (residual[0] if len(residual) == 1 else And(*residual))
-        )
-        return E.IndexedSetSelect(node.input, indexed=indexed, residual=residual_pred)
+        indexed, residual = split
+        return E.IndexedSetSelect(node.input, indexed=indexed, residual=residual)
 
 
 class SetSelectFusionRule(Rule):

@@ -21,7 +21,7 @@ A match is reported as a :class:`ListMatch`:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterator, Sequence
+from typing import Any, Callable, Iterator, Sequence
 
 from .. import guardrails
 from ..errors import PatternError
@@ -103,6 +103,13 @@ class _Matcher:
                 + self._spans.predicate_evals,
             }
         )
+
+    def flush_stats(self) -> None:
+        """Emit accumulated counters and reset them (streaming executor)."""
+        self.emit_stats()
+        self.backtrack_steps = 0
+        self.predicate_evals = 0
+        self._spans.predicate_evals = 0
 
     def _is_prune_free(self, node: ListPatternNode) -> bool:
         cached = self._prune_free.get(id(node))
@@ -217,38 +224,69 @@ def _find_list_matches(
     limit: int | None = None,
     starts: Sequence[int] | None = None,
 ) -> list[ListMatch]:
-    matcher = _Matcher(values)
-    n = len(values)
-    if starts is None:
-        candidate_starts: Sequence[int] = (0,) if pattern.anchor_start else range(n + 1)
-    else:
-        candidate_starts = sorted(set(starts))
-        if pattern.anchor_start:
-            candidate_starts = [s for s in candidate_starts if s == 0]
-
-    seen: set[tuple[Any, ...]] = set()
     results: list[ListMatch] = []
-    try:
-        for start in candidate_starts:
-            if start > n:
-                continue
-            fault_point("matcher_step")
-            for end, events in matcher.match(pattern.body, start):
-                if pattern.anchor_end and end != n:
+    for match in iter_list_matches(pattern, values, starts=starts):
+        results.append(match)
+        if limit is not None and len(results) >= limit:
+            break
+    return results
+
+
+def iter_list_matches(
+    pattern: ListPattern,
+    values: Sequence[Any],
+    starts: Sequence[int] | None = None,
+    on_start: "Callable[[int], None] | None" = None,
+    flush_per_start: bool = False,
+) -> Iterator[ListMatch]:
+    """Lazily enumerate distinct matches in ``(start, end)`` order.
+
+    Candidate start positions ascend, so sorting each start's batch of
+    matches by end position reproduces the eager function's global
+    ``(start, end)`` ordering without materializing the full result —
+    only one start's matches are ever buffered at a time.
+
+    ``on_start`` is invoked once per candidate start before matching
+    there (the streaming executor's position-charging hook);
+    ``flush_per_start`` flushes matcher counters after every start so
+    they land in the operator scope attributed at pull time.
+    """
+    with guardrails.guarded():
+        matcher = _Matcher(values)
+        n = len(values)
+        if starts is None:
+            candidate_starts: Sequence[int] = (
+                (0,) if pattern.anchor_start else range(n + 1)
+            )
+        else:
+            candidate_starts = sorted(set(starts))
+            if pattern.anchor_start:
+                candidate_starts = [s for s in candidate_starts if s == 0]
+
+        seen: set[tuple[Any, ...]] = set()
+        try:
+            for start in candidate_starts:
+                if start > n:
                     continue
-                match = _normalize(start, end, events)
-                key = (match.start, match.end, match.kept, match.pruned_runs)
-                if key in seen:
-                    continue
-                seen.add(key)
-                results.append(match)
-                if limit is not None and len(results) >= limit:
-                    results.sort(key=lambda m: (m.start, m.end))
-                    return results
-        results.sort(key=lambda m: (m.start, m.end))
-        return results
-    finally:
-        matcher.emit_stats()
+                fault_point("matcher_step")
+                if on_start is not None:
+                    on_start(start)
+                batch: list[ListMatch] = []
+                for end, events in matcher.match(pattern.body, start):
+                    if pattern.anchor_end and end != n:
+                        continue
+                    match = _normalize(start, end, events)
+                    key = (match.start, match.end, match.kept, match.pruned_runs)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    batch.append(match)
+                batch.sort(key=lambda m: (m.start, m.end))
+                if flush_per_start:
+                    matcher.flush_stats()
+                yield from batch
+        finally:
+            matcher.emit_stats()
 
 
 class _SpanMatcher:

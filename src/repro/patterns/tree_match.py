@@ -28,7 +28,7 @@ exponential machinery runs on small fragments.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 from .. import guardrails
 from ..core.aqua_tree import AquaTree, TreeNode
@@ -202,6 +202,17 @@ class _TreeMatcher:
                 "predicate_evals": self.predicate_evals,
             }
         )
+
+    def flush_stats(self) -> None:
+        """Emit the accumulated counters and reset them to zero.
+
+        The streaming executor flushes after every candidate so the
+        counts land inside the *currently attributed* operator scope;
+        the eager entry points flush once at the end instead.
+        """
+        self.emit_stats()
+        self.backtrack_steps = 0
+        self.predicate_evals = 0
 
     # -- nullability (can the pattern denote NULL?) --------------------------
 
@@ -466,28 +477,60 @@ def find_tree_matches(
     Matches are deduplicated structurally and returned in preorder of
     their roots.
     """
+    results: list[TreeMatch] = []
+    for match in iter_tree_matches(pattern, data, roots=roots):
+        results.append(match)
+        if limit is not None and len(results) >= limit:
+            break
+    return results
+
+
+def iter_tree_matches(
+    pattern: TreePattern,
+    data: AquaTree,
+    roots: Sequence[TreeNode] | None = None,
+    on_candidate: "Callable[[TreeNode], None] | None" = None,
+    flush_per_candidate: bool = False,
+) -> Iterator[TreeMatch]:
+    """Lazily enumerate distinct matches, in preorder of their roots.
+
+    The streaming analogue of :func:`find_tree_matches`: matches are
+    produced one at a time, so a consumer that stops early (a tripped
+    budget, a ``limit``) never pays for the remaining candidates.  With
+    no ``roots`` restriction the candidates are walked in preorder
+    directly — the eager path's O(n) position map is only built when an
+    index handed us roots out of order.
+
+    ``on_candidate`` is invoked once per candidate node before it is
+    matched (the executor's per-node scan-charging hook), and
+    ``flush_per_candidate`` flushes matcher counters after every
+    candidate so they are credited to whichever operator scope is
+    attributed at pull time.
+    """
     if isinstance(pattern.body, TreePrune):
         raise PatternError("a prune marker cannot be the whole pattern")
     if data.root is None:
-        return []
+        return
     with guardrails.guarded():
         matcher = _TreeMatcher(leaf_anchor=pattern.leaf_anchor)
 
+        candidates: Iterable[TreeNode]
         if pattern.root_anchor:
-            candidates: list[TreeNode] = [data.root]
+            candidates = [data.root]
         elif roots is not None:
-            candidates = list(roots)
+            ordered = list(roots)
+            order = {id(node): position for position, node in enumerate(data.nodes())}
+            ordered.sort(key=lambda n: order.get(id(n), len(order)))
+            candidates = ordered
         else:
-            candidates = list(data.nodes())
-
-        order = {id(node): position for position, node in enumerate(data.nodes())}
-        candidates.sort(key=lambda n: order.get(id(n), len(order)))
+            candidates = data.nodes()
 
         seen: set[tuple] = set()
-        results: list[TreeMatch] = []
         try:
             for node in candidates:
                 fault_point("matcher_step")
+                if on_candidate is not None:
+                    on_candidate(node)
                 for shape in matcher.match_node(pattern.body, node, {}):
                     if isinstance(shape, Pruned):
                         continue
@@ -496,10 +539,9 @@ def find_tree_matches(
                     if key in seen:
                         continue
                     seen.add(key)
-                    results.append(match)
-                    if limit is not None and len(results) >= limit:
-                        return results
-            return results
+                    yield match
+                if flush_per_candidate:
+                    matcher.flush_stats()
         finally:
             matcher.emit_stats()
 

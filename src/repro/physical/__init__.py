@@ -1,0 +1,19 @@
+"""Volcano-style streaming physical layer (logical → physical split).
+
+``lower()`` turns a logical expression into a :class:`PhysicalPlan` of
+``open()/next()/close()`` operators; the interpreter's streaming mode
+drives that plan instead of recursing eagerly.  See
+:mod:`repro.physical.base` for the execution model and parity rules.
+"""
+
+from .base import ExecutionContext, PhysicalOp, PhysicalPlan
+from .lower import lower
+from . import operators
+
+__all__ = [
+    "ExecutionContext",
+    "PhysicalOp",
+    "PhysicalPlan",
+    "lower",
+    "operators",
+]

@@ -1,0 +1,241 @@
+"""Logical → physical lowering: pick one streaming operator per node.
+
+:func:`lower` walks a logical expression (:mod:`repro.query.expr`) and
+produces a :class:`~repro.physical.base.PhysicalPlan` of
+:mod:`~repro.physical.operators`.  The default mapping is structure
+preserving — one physical operator per logical node, at the same plan
+path, so EXPLAIN ANALYZE metrics line up position-for-position with the
+logical tree and with the eager interpreter's scopes.
+
+Access-path choice lives here, not in the expression tree.  The
+deprecated ``Indexed*`` shim nodes (what the rewrite engine still emits)
+lower to their probing operators, and ``choose_access_paths=True``
+additionally runs the same anchor analysis the rewrite rules use
+(:mod:`repro.optimizer.anchors`) directly on plain logical nodes — the
+lowering-native replacement for routing every decision through shim
+node types.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from ..algebra.list_ops import split_list
+from ..algebra.tree_ops import all_anc, all_desc
+from ..errors import QueryError
+from ..optimizer.anchors import (
+    extent_conjunct_split,
+    list_anchor_choice,
+    tree_split_anchors,
+)
+from ..query import expr as E
+from .base import PhysicalOp, PhysicalPlan
+from . import operators as P
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..storage.database import Database
+
+
+def lower(
+    expr: E.Expr, db: "Database", *, choose_access_paths: bool = False
+) -> PhysicalPlan:
+    """Lower ``expr`` to a physical plan against ``db``.
+
+    With ``choose_access_paths`` the lowering consults the optimizer's
+    anchor analysis and upgrades plain ``sub_select`` / ``split`` /
+    extent-``select`` nodes to their index-probing operators on its own;
+    without it (the default) the plan mirrors the logical tree exactly,
+    which keeps plan-path metrics and work counters bit-compatible with
+    the eager interpreter for the same expression.
+    """
+    root = _lower_node(expr, db, choose_access_paths)
+    return PhysicalPlan(root, expr)
+
+
+def _lower_node(node: E.Expr, db: "Database", choose: bool) -> PhysicalOp:
+    build = _LOWERING.get(type(node))
+    if build is None:
+        raise QueryError(f"no lowering rule for {type(node).__name__}")
+    return build(node, db, choose)
+
+
+def _child(node: E.Expr, db: "Database", choose: bool) -> PhysicalOp:
+    return _lower_node(node.input, db, choose)
+
+
+# -- per-node builders ---------------------------------------------------------
+
+
+def _lower_root(node: E.Root, db, choose) -> PhysicalOp:
+    del db, choose
+    return P.ScanRoot(node)
+
+
+def _lower_extent(node: E.Extent, db, choose) -> PhysicalOp:
+    del db, choose
+    return P.ScanExtent(node)
+
+
+def _lower_literal(node: E.Literal, db, choose) -> PhysicalOp:
+    del db, choose
+    return P.LiteralSource(node)
+
+
+def _lower_tree_select(node: E.TreeSelect, db, choose) -> PhysicalOp:
+    return P.TreeSelectOp(node, (_child(node, db, choose),))
+
+
+def _lower_tree_apply(node: E.TreeApply, db, choose) -> PhysicalOp:
+    return P.TreeApplyOp(node, (_child(node, db, choose),))
+
+
+def _lower_sub_select(node: E.SubSelect, db, choose) -> PhysicalOp:
+    child = _child(node, db, choose)
+    if choose:
+        anchors = tree_split_anchors(node.pattern)
+        if anchors is not None:
+            return P.IndexAnchorScan(node, child, node.pattern, anchors)
+    return P.SubSelectPipe(node, child, node.pattern)
+
+
+def _lower_indexed_sub_select(node: E.IndexedSubSelect, db, choose) -> PhysicalOp:
+    return P.IndexAnchorScan(node, _child(node, db, choose), node.pattern, node.anchors)
+
+
+def _lower_split(node: E.Split, db, choose) -> PhysicalOp:
+    child = _child(node, db, choose)
+    if choose:
+        anchors = tree_split_anchors(node.pattern)
+        if anchors is not None:
+            return P.IndexAnchorSplit(
+                node, child, node.pattern, node.function, anchors
+            )
+    return P.SplitPipe(node, child, node.pattern, node.function)
+
+
+def _lower_indexed_split(node: E.IndexedSplit, db, choose) -> PhysicalOp:
+    return P.IndexAnchorSplit(
+        node, _child(node, db, choose), node.pattern, node.function, node.anchors
+    )
+
+
+def _materializer(
+    node: E.Expr, db, choose, producer: Callable, input_shape: str, kind: str
+) -> PhysicalOp:
+    return P.MaterializeOp(node, _child(node, db, choose), producer, input_shape, kind)
+
+
+def _lower_all_anc(node: E.AllAnc, db, choose) -> PhysicalOp:
+    def producer(tree, node=node):
+        return all_anc(node.pattern, node.function, tree)
+
+    return _materializer(node, db, choose, producer, "tree", "all_anc")
+
+
+def _lower_all_desc(node: E.AllDesc, db, choose) -> PhysicalOp:
+    def producer(tree, node=node):
+        return all_desc(node.pattern, node.function, tree)
+
+    return _materializer(node, db, choose, producer, "tree", "all_desc")
+
+
+def _lower_list_select(node: E.ListSelect, db, choose) -> PhysicalOp:
+    return P.ListSelectPipe(node, (_child(node, db, choose),))
+
+
+def _lower_list_apply(node: E.ListApply, db, choose) -> PhysicalOp:
+    return P.ListApplyPipe(node, (_child(node, db, choose),))
+
+
+def _lower_list_sub_select(node: E.ListSubSelect, db, choose) -> PhysicalOp:
+    child = _child(node, db, choose)
+    if choose:
+        chosen = list_anchor_choice(node.pattern)
+        if chosen is not None:
+            anchor, offsets = chosen
+            return P.ListAnchorScan(node, child, node.pattern, anchor, offsets)
+    return P.ListSubSelectPipe(node, child, node.pattern)
+
+
+def _lower_indexed_list_sub_select(
+    node: E.IndexedListSubSelect, db, choose
+) -> PhysicalOp:
+    return P.ListAnchorScan(
+        node, _child(node, db, choose), node.pattern, node.anchor, node.offsets
+    )
+
+
+def _lower_list_split(node: E.ListSplit, db, choose) -> PhysicalOp:
+    def producer(aqua_list, node=node):
+        return split_list(node.pattern, node.function, aqua_list)
+
+    return _materializer(node, db, choose, producer, "list", "list split")
+
+
+def _lower_set_select(node: E.SetSelect, db, choose) -> PhysicalOp:
+    if choose and isinstance(node.input, E.Extent):
+        split = extent_conjunct_split(node.predicate, node.input.name, db)
+        if split is not None:
+            indexed, residual = split
+            return P.IndexedSelectFilter(
+                node, None, node.input.name, indexed, residual
+            )
+    return P.SelectFilter(node, (_child(node, db, choose),))
+
+
+def _lower_indexed_set_select(node: E.IndexedSetSelect, db, choose) -> PhysicalOp:
+    if isinstance(node.input, E.Extent):
+        # The candidates come straight from the attribute index; the
+        # extent is never scanned as a child operator (eager parity:
+        # the interpreter leaves the input unevaluated too).
+        return P.IndexedSelectFilter(
+            node, None, node.input.name, node.indexed, node.residual
+        )
+    return P.IndexedSelectFilter(
+        node, _child(node, db, choose), None, node.indexed, node.residual
+    )
+
+
+def _lower_set_apply(node: E.SetApply, db, choose) -> PhysicalOp:
+    return P.ApplyMap(node, (_child(node, db, choose),))
+
+
+def _lower_set_flatten(node: E.SetFlatten, db, choose) -> PhysicalOp:
+    return P.FlattenPipe(node, (_child(node, db, choose),))
+
+
+def _lower_binary(cls):
+    def build(node, db, choose):
+        return cls(
+            node,
+            (_lower_node(node.left, db, choose), _lower_node(node.right, db, choose)),
+        )
+
+    return build
+
+
+_LOWERING: dict[type, Callable[[E.Expr, "Database", bool], PhysicalOp]] = {
+    E.Root: _lower_root,
+    E.Extent: _lower_extent,
+    E.Literal: _lower_literal,
+    E.TreeSelect: _lower_tree_select,
+    E.TreeApply: _lower_tree_apply,
+    E.SubSelect: _lower_sub_select,
+    E.IndexedSubSelect: _lower_indexed_sub_select,
+    E.Split: _lower_split,
+    E.IndexedSplit: _lower_indexed_split,
+    E.AllAnc: _lower_all_anc,
+    E.AllDesc: _lower_all_desc,
+    E.ListSelect: _lower_list_select,
+    E.ListApply: _lower_list_apply,
+    E.ListSubSelect: _lower_list_sub_select,
+    E.IndexedListSubSelect: _lower_indexed_list_sub_select,
+    E.ListSplit: _lower_list_split,
+    E.SetSelect: _lower_set_select,
+    E.IndexedSetSelect: _lower_indexed_set_select,
+    E.SetApply: _lower_set_apply,
+    E.SetFlatten: _lower_set_flatten,
+    E.SetUnion: _lower_binary(P.UnionPipe),
+    E.SetIntersection: _lower_binary(P.IntersectPipe),
+    E.SetDifference: _lower_binary(P.DiffPipe),
+}

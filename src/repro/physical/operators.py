@@ -1,0 +1,665 @@
+"""The physical operators: one streaming implementation per logical node.
+
+Each class realizes one logical operator from :mod:`repro.query.expr`
+as a generator over rows (see :class:`~repro.physical.base.PhysicalOp`
+for the pull protocol).  The mapping is chosen by
+:func:`repro.physical.lower.lower`; operators that need more than the
+logical node carries (anchors, conjunct splits) take it as constructor
+configuration, so the same classes serve both the deprecated ``Indexed*``
+shim nodes and lowering-time access-path selection.
+
+Parity notes, because they are the whole game:
+
+* scan charging mirrors the eager interpreter *exactly* — ``sub_select``
+  charges one node per match candidate and tops up to ``tree.size()`` at
+  exhaustion (the eager path charges the full size up front), list
+  ``sub_select`` does the same against ``len + 1`` start positions, and
+  the indexed variants charge nothing beyond their probes;
+* matcher counters are flushed per candidate
+  (``flush_per_candidate`` / ``flush_per_start``) so they are credited
+  to this operator's attribution frame at pull time, landing in the same
+  per-operator totals the eager scopes produce;
+* set-shaped streams are deduplicated at the producer under the same
+  equality their eager ``AquaSet`` would use, in first-seen order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from ..algebra.list_ops import split_list
+from ..algebra.tree_ops import (
+    _context_tree,
+    all_anc,
+    all_desc,
+    apply_tree,
+    select,
+)
+from ..core.aqua_list import AquaList
+from ..core.aqua_set import AquaSet
+from ..core.aqua_tree import TreeNode
+from ..core.equality import DEFAULT
+from ..core.identity import as_cell
+from ..errors import QueryError
+from ..patterns.list_match import iter_list_matches
+from ..patterns.list_parser import list_pattern
+from ..patterns.tree_match import iter_tree_matches
+from ..patterns.tree_parser import tree_pattern
+from .base import PhysicalOp, dedup
+
+# -- sources -------------------------------------------------------------------
+
+
+class ScanRoot(PhysicalOp):
+    """Fetch a named persistent root (a stored reference, not a buffer)."""
+
+    name = "scan_root"
+    shape = "value"
+
+    def rows(self) -> Iterator[Any]:
+        yield self.ctx.db.root(self.logical.name)
+
+    def access_path(self) -> str:
+        return f"named root {self.logical.name!r}"
+
+
+class ScanExtent(PhysicalOp):
+    """Lazily scan a class extent, charging the guard row by row."""
+
+    name = "scan_extent"
+    shape = "set"
+
+    def rows(self) -> Iterator[Any]:
+        self.result_equality = DEFAULT
+        yield from dedup(self.ctx.db.iter_extent(self.logical.name), DEFAULT)
+
+    def access_path(self) -> str:
+        return f"lazy scan of extent {self.logical.name!r}"
+
+
+class LiteralSource(PhysicalOp):
+    """A constant handed to the plan (a reference, not a buffer)."""
+
+    name = "literal"
+    shape = "value"
+
+    def rows(self) -> Iterator[Any]:
+        yield self.logical.value
+
+
+# -- tree operators ------------------------------------------------------------
+
+
+class TreeSelectOp(PhysicalOp):
+    """Order-preserving tree select.
+
+    The algorithm is inherently bottom-up (surviving forests propagate
+    from the leaves), so the forest is built eagerly and recorded as a
+    resident buffer; the members still stream to the parent.
+    """
+
+    name = "tree_select"
+    shape = "set"
+
+    def rows(self) -> Iterator[Any]:
+        tree = self.input_tree()
+        result = select(self.ctx.stats.counting(self.logical.predicate), tree)
+        self.result_equality = result.equality
+        self.note_buffered(len(result))
+        yield from result
+
+    def access_path(self) -> str:
+        return "bottom-up forest build (buffers survivors)"
+
+
+class TreeApplyOp(PhysicalOp):
+    """``apply(f)(T)``: constructs the isomorphic image tree."""
+
+    name = "tree_apply"
+    shape = "value"
+
+    def rows(self) -> Iterator[Any]:
+        tree = self.input_tree()
+        result = apply_tree(self.logical.function, tree)
+        self.note_buffered(result.size())
+        yield result
+
+
+class SubSelectPipe(PhysicalOp):
+    """``sub_select(tp)(T)`` streamed match by match (full tree scan).
+
+    Charges one node per match candidate as candidates are tried — so a
+    ``max_nodes_scanned`` budget trips mid-scan — and tops up to the
+    tree's full size at exhaustion, matching the eager interpreter's
+    up-front charge to the node.
+    """
+
+    name = "sub_select_pipe"
+    shape = "set"
+
+    def __init__(self, logical, child: PhysicalOp, pattern) -> None:
+        super().__init__(logical, (child,))
+        self.pattern = pattern
+
+    def rows(self) -> Iterator[Any]:
+        ctx = self.ctx
+        tree = self.input_tree()
+        tp = tree_pattern(self.pattern)
+        self.result_equality = DEFAULT
+        size = tree.size()
+        stats = ctx.stats
+        guard = ctx.guard
+        charged = 0
+
+        def on_candidate(node: TreeNode) -> None:
+            nonlocal charged
+            if node.is_concat_point:
+                return
+            charged += 1
+            stats.bump("nodes_scanned", 1)
+            if guard is not None:
+                guard.charge_nodes(1, "tree scan")
+
+        seen: set[Any] = set()
+        for match in iter_tree_matches(
+            tp, tree, on_candidate=on_candidate, flush_per_candidate=True
+        ):
+            y, points = match.match_tree()
+            row = y.close_points(points)
+            key = DEFAULT.key(row)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield row
+        remainder = size - charged
+        if remainder > 0:
+            # Anchored patterns visit fewer candidates than the eager
+            # executor charges for; keep the totals bit-identical.
+            stats.bump("nodes_scanned", remainder)
+            if guard is not None:
+                guard.charge_nodes(remainder, "tree scan")
+
+    def access_path(self) -> str:
+        return "full tree scan"
+
+
+def _probe_roots(db, tree, anchors) -> list[TreeNode] | None:
+    """Candidate match roots from the tree's node index, or ``None``.
+
+    ``None`` means some anchor had no servable term: fall back to the
+    full scan rather than probing twice (the eager interpreter's rule).
+    """
+    attributes: set[str] = set()
+    for anchor in anchors:
+        attributes |= anchor.attributes()
+    index = db.tree_index(tree, attributes)
+    roots: dict[int, TreeNode] = {}
+    for anchor in anchors:
+        candidates, used = index.candidate_nodes(anchor, db.stats)
+        if not used:
+            return None
+        for candidate in candidates:
+            if anchor(candidate.value):
+                roots[id(candidate)] = candidate
+    return list(roots.values())
+
+
+class IndexAnchorScan(PhysicalOp):
+    """``sub_select`` served by node-index probes on the root predicates.
+
+    The paper's §4 rewrite: every match roots at a node satisfying one
+    of the pattern's root predicates, so probe those predicates' indexes
+    and only try the matcher there.  Falls back to the full scan when a
+    probe cannot be served (charging nothing extra, like the eager
+    interpreter's ``Indexed*`` path).
+    """
+
+    name = "index_anchor_scan"
+    shape = "set"
+
+    def __init__(self, logical, child: PhysicalOp, pattern, anchors) -> None:
+        super().__init__(logical, (child,))
+        self.pattern = pattern
+        self.anchors = tuple(anchors)
+
+    def rows(self) -> Iterator[Any]:
+        tree = self.input_tree()
+        tp = tree_pattern(self.pattern)
+        self.result_equality = DEFAULT
+        roots = _probe_roots(self.ctx.db, tree, self.anchors)
+        seen: set[Any] = set()
+        for match in iter_tree_matches(
+            tp, tree, roots=roots, flush_per_candidate=True
+        ):
+            y, points = match.match_tree()
+            row = y.close_points(points)
+            key = DEFAULT.key(row)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield row
+
+    def access_path(self) -> str:
+        probes = ", ".join(anchor.describe() for anchor in self.anchors)
+        return f"node-index probe on {probes}"
+
+
+class SplitPipe(PhysicalOp):
+    """``split(tp, f)(T)`` streamed piece by piece (full tree scan).
+
+    Each match yields ``f(x, y, z)`` as soon as the matcher produces it —
+    the context/match/descendants trio never piles up in an intermediate
+    set, which is exactly the §4 pipelining win the acceptance benchmark
+    measures.
+    """
+
+    name = "split_pipe"
+    shape = "set"
+
+    def __init__(self, logical, child: PhysicalOp, pattern, function) -> None:
+        super().__init__(logical, (child,))
+        self.pattern = pattern
+        self.function = function
+
+    def _piece_rows(self, tree, matches) -> Iterator[Any]:
+        seen: set[Any] = set()
+        for match in matches:
+            y, points = match.match_tree()
+            z = match.pruned_subtrees()
+            x = _context_tree(tree, match.root)
+            row = self.function(x, y, AquaList.from_values(z))
+            key = DEFAULT.key(row)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield row
+
+    def rows(self) -> Iterator[Any]:
+        tree = self.input_tree()
+        tp = tree_pattern(self.pattern)
+        self.result_equality = DEFAULT
+        yield from self._piece_rows(
+            tree, iter_tree_matches(tp, tree, flush_per_candidate=True)
+        )
+
+    def access_path(self) -> str:
+        return "full tree scan"
+
+
+class IndexAnchorSplit(SplitPipe):
+    """``split`` with index-probed candidate roots (§4's literal example:
+    "the split operator uses the index on d to pick all the subtrees of
+    T that are rooted at d")."""
+
+    name = "index_anchor_split"
+
+    def __init__(self, logical, child: PhysicalOp, pattern, function, anchors) -> None:
+        super().__init__(logical, child, pattern, function)
+        self.anchors = tuple(anchors)
+
+    def rows(self) -> Iterator[Any]:
+        tree = self.input_tree()
+        tp = tree_pattern(self.pattern)
+        self.result_equality = DEFAULT
+        roots = _probe_roots(self.ctx.db, tree, self.anchors)
+        yield from self._piece_rows(
+            tree, iter_tree_matches(tp, tree, roots=roots, flush_per_candidate=True)
+        )
+
+    def access_path(self) -> str:
+        probes = ", ".join(anchor.describe() for anchor in self.anchors)
+        return f"node-index probe on {probes}"
+
+
+class MaterializeOp(PhysicalOp):
+    """Explicit eager fallback: run a whole-value algebra function.
+
+    Used for the operators whose semantics need the complete match set
+    at once (``all_anc`` / ``all_desc`` context construction, list
+    ``split``).  The result is recorded as a resident buffer — this is
+    the executor saying, out loud, that it could not pipeline here.
+    """
+
+    name = "materialize"
+    shape = "set"
+
+    def __init__(
+        self,
+        logical,
+        child: PhysicalOp,
+        producer: Callable[[Any], AquaSet],
+        input_shape: str,
+        kind: str,
+    ) -> None:
+        super().__init__(logical, (child,))
+        self.producer = producer
+        self.input_shape = input_shape
+        self.kind = kind
+
+    def rows(self) -> Iterator[Any]:
+        value = self.input_tree() if self.input_shape == "tree" else self.input_list()
+        result = self.producer(value)
+        self.result_equality = result.equality
+        self.note_buffered(len(result))
+        yield from result
+
+    def access_path(self) -> str:
+        return f"eager {self.kind} (buffers full result)"
+
+
+# -- list operators ------------------------------------------------------------
+
+
+class ListSelectPipe(PhysicalOp):
+    """Order-preserving list select: streams the surviving cells."""
+
+    name = "list_select_pipe"
+    shape = "list"
+
+    def rows(self) -> Iterator[Any]:
+        aqua_list = self.input_list()
+        counted = self.ctx.stats.counting(self.logical.predicate)
+        for cell in aqua_list.cells():
+            if counted(cell.contents):
+                yield cell
+
+
+class ListApplyPipe(PhysicalOp):
+    """``apply(f)(L)``: streams fresh cells holding the images."""
+
+    name = "list_apply_pipe"
+    shape = "list"
+
+    def rows(self) -> Iterator[Any]:
+        aqua_list = self.input_list()
+        function = self.logical.function
+        for cell in aqua_list.cells():
+            yield as_cell(function(cell.contents))
+
+
+class ListSubSelectPipe(PhysicalOp):
+    """List ``sub_select`` streamed match by match (all start positions).
+
+    Charges one position per candidate start and tops up to ``len + 1``
+    at exhaustion — the eager interpreter's up-front charge.
+    """
+
+    name = "list_sub_select_pipe"
+    shape = "set"
+
+    def __init__(self, logical, child: PhysicalOp, pattern) -> None:
+        super().__init__(logical, (child,))
+        self.pattern = pattern
+
+    def rows(self) -> Iterator[Any]:
+        ctx = self.ctx
+        aqua_list = self.input_list()
+        lp = list_pattern(self.pattern)
+        self.result_equality = DEFAULT
+        cells = list(aqua_list.cells())
+        values = aqua_list.values()
+        total = len(values) + 1
+        stats = ctx.stats
+        guard = ctx.guard
+        charged = 0
+
+        def on_start(start: int) -> None:
+            nonlocal charged
+            del start
+            charged += 1
+            stats.bump("positions_scanned", 1)
+            if guard is not None:
+                guard.charge_nodes(1, "list scan")
+
+        seen: set[Any] = set()
+        for match in iter_list_matches(
+            lp, values, on_start=on_start, flush_per_start=True
+        ):
+            row = AquaList([cells[i] for i in match.kept])
+            key = DEFAULT.key(row)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield row
+        remainder = total - charged
+        if remainder > 0:
+            stats.bump("positions_scanned", remainder)
+            if guard is not None:
+                guard.charge_nodes(remainder, "list scan")
+
+    def access_path(self) -> str:
+        return "scan of all start positions"
+
+
+class ListAnchorScan(PhysicalOp):
+    """List ``sub_select`` served by a position-index probe.
+
+    Probes the list's position index for a required atom and tries only
+    ``position - offset`` candidate starts.  Falls back to the full
+    position scan when the probe cannot be served (no extra charges,
+    like the eager ``IndexedListSubSelect`` path).
+    """
+
+    name = "list_anchor_scan"
+    shape = "set"
+
+    def __init__(self, logical, child: PhysicalOp, pattern, anchor, offsets) -> None:
+        super().__init__(logical, (child,))
+        self.pattern = pattern
+        self.anchor = anchor
+        self.offsets = tuple(offsets)
+
+    def rows(self) -> Iterator[Any]:
+        ctx = self.ctx
+        aqua_list = self.input_list()
+        lp = list_pattern(self.pattern)
+        self.result_equality = DEFAULT
+        db = ctx.db
+        index = db.list_index(aqua_list, self.anchor.attributes())
+        positions, used = index.positions_for(self.anchor, db.stats)
+        cells = list(aqua_list.cells())
+        values = aqua_list.values()
+        if used:
+            starts = sorted(
+                {
+                    position - offset
+                    for position in positions
+                    for offset in self.offsets
+                    if position - offset >= 0
+                }
+            )
+            ctx.stats.bump("positions_scanned", len(starts))
+            matches = iter_list_matches(lp, values, starts=starts, flush_per_start=True)
+        else:
+            matches = iter_list_matches(lp, values, flush_per_start=True)
+        seen: set[Any] = set()
+        for match in matches:
+            row = AquaList([cells[i] for i in match.kept])
+            key = DEFAULT.key(row)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield row
+
+    def access_path(self) -> str:
+        offsets = ",".join(str(offset) for offset in self.offsets)
+        return f"position-index probe on {self.anchor.describe()} @ -{{{offsets}}}"
+
+
+# -- set operators -------------------------------------------------------------
+
+
+class SelectFilter(PhysicalOp):
+    """``select(p)(S)``: stream the members that satisfy ``p``."""
+
+    name = "select_filter"
+    shape = "set"
+
+    def rows(self) -> Iterator[Any]:
+        rows, equality = self.set_source(self.children[0])
+        self.result_equality = equality
+        counted = self.ctx.stats.counting(self.logical.predicate)
+        for row in rows:
+            if counted(row):
+                yield row
+
+
+class IndexedSelectFilter(PhysicalOp):
+    """Extent select decomposed into an index probe plus residual check.
+
+    When the logical input is the extent itself, the extent is never
+    scanned as a child operator — the candidates come straight from the
+    attribute index (or one full scan when no index serves), and both
+    conjuncts re-check each candidate, exactly like the eager
+    ``IndexedSetSelect`` path.
+    """
+
+    name = "indexed_select_filter"
+    shape = "set"
+
+    def __init__(
+        self, logical, child: PhysicalOp | None, extent: str | None, indexed, residual
+    ) -> None:
+        super().__init__(logical, () if child is None else (child,))
+        self.extent = extent
+        self.indexed = indexed
+        self.residual = residual
+
+    def rows(self) -> Iterator[Any]:
+        ctx = self.ctx
+        if not self.children:
+            candidates, _ = ctx.db.candidates(self.extent, self.indexed)
+            self.note_buffered(len(candidates))
+            equality = DEFAULT
+            rows: Iterator[Any] = dedup(iter(candidates), DEFAULT)
+        else:
+            rows, equality = self.set_source(self.children[0])
+        self.result_equality = equality
+        stats = ctx.stats
+        counted_indexed = stats.counting(self.indexed)
+        counted_residual = (
+            stats.counting(self.residual) if self.residual is not None else None
+        )
+        for row in rows:
+            if not counted_indexed(row):
+                continue
+            if counted_residual is not None and not counted_residual(row):
+                continue
+            yield row
+
+    def access_path(self) -> str:
+        described = f"extent index on {self.indexed.describe()}"
+        if self.residual is not None:
+            described += f", residual {self.residual.describe()}"
+        return described
+
+
+class ApplyMap(PhysicalOp):
+    """``apply(f)(S)``: stream the images, deduplicated like the set."""
+
+    name = "apply_map"
+    shape = "set"
+
+    def rows(self) -> Iterator[Any]:
+        rows, equality = self.set_source(self.children[0])
+        self.result_equality = equality
+        function = self.logical.function
+        seen: set[Any] = set()
+        for row in rows:
+            image = function(row)
+            key = equality.key(image)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield image
+
+
+class FlattenPipe(PhysicalOp):
+    """``flatten(S)``: stream the members of the member sets."""
+
+    name = "flatten_pipe"
+    shape = "set"
+
+    def rows(self) -> Iterator[Any]:
+        rows, _equality = self.set_source(self.children[0])
+        self.result_equality = DEFAULT
+        seen: set[Any] = set()
+        for member in rows:
+            if not isinstance(member, AquaSet):
+                raise QueryError(
+                    "flatten expects a set of sets"
+                    f" (plan path: {self._trail_text()})"
+                )
+            for item in member:
+                key = DEFAULT.key(item)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield item
+
+
+class UnionPipe(PhysicalOp):
+    """Set union: left stream first, then the unseen right members.
+
+    Dedup keys use the left side's equality — the rule ``AquaSet.union``
+    applies — so no buffering is needed beyond the key set.
+    """
+
+    name = "union_pipe"
+    shape = "set"
+
+    def rows(self) -> Iterator[Any]:
+        left_rows, left_equality = self.set_source(self.children[0])
+        self.result_equality = left_equality
+        seen: set[Any] = set()
+        for row in left_rows:
+            key = left_equality.key(row)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield row
+        right_rows, _ = self.set_source(self.children[1])
+        for row in right_rows:
+            key = left_equality.key(row)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield row
+
+
+class IntersectPipe(PhysicalOp):
+    """Set intersection, preserving the left side's member order.
+
+    Order preservation forces real buffers (the left members and the
+    right key set); both are reported honestly via ``note_buffered``.
+    """
+
+    name = "intersect_pipe"
+    shape = "set"
+    _keep_matches = True
+
+    def rows(self) -> Iterator[Any]:
+        left_rows, left_equality = self.set_source(self.children[0])
+        buffered: list[Any] = []
+        for row in left_rows:
+            buffered.append(row)
+            self.note_buffered(len(buffered))
+        self.result_equality = left_equality
+        right_rows, _ = self.set_source(self.children[1])
+        right_keys: set[Any] = set()
+        for row in right_rows:
+            right_keys.add(left_equality.key(row))
+            self.note_buffered(len(buffered) + len(right_keys))
+        for row in buffered:
+            if (left_equality.key(row) in right_keys) == self._keep_matches:
+                yield row
+
+    def access_path(self) -> str:
+        return "buffers left members + right keys"
+
+
+class DiffPipe(IntersectPipe):
+    """Set difference: the left members whose key the right side lacks."""
+
+    name = "diff_pipe"
+    _keep_matches = False

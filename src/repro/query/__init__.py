@@ -4,7 +4,13 @@ ANALYZE, and the AQL user-level text language."""
 from . import expr
 from .aql import parse_aql, run_aql
 from .builder import Q
-from .explain import explain, explain_analyze, explain_optimization, render_analysis
+from .explain import (
+    explain,
+    explain_analyze,
+    explain_optimization,
+    explain_physical,
+    render_analysis,
+)
 from .interpreter import evaluate, evaluate_with_metrics
 from .metrics import OperatorMetrics, PlanMetrics
 
@@ -17,6 +23,7 @@ __all__ = [
     "explain",
     "explain_analyze",
     "explain_optimization",
+    "explain_physical",
     "expr",
     "parse_aql",
     "render_analysis",

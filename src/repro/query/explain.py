@@ -64,6 +64,20 @@ def explain(expr: E.Expr, db: Database, indent: int = 0) -> str:
     return "\n".join(lines)
 
 
+def explain_physical(expr: E.Expr, db: Database, indent: int = 0) -> str:
+    """Render the lowered physical pipeline for ``expr``.
+
+    One line per streaming operator — its physical name plus the access
+    path the lowering chose (full scan, index probe, eager fallback) —
+    indented to mirror the logical tree it was lowered from.
+    """
+    from ..physical import lower
+
+    plan = lower(expr, db)
+    pad = "  " * indent
+    return "\n".join(pad + line for line in plan.render().splitlines())
+
+
 def explain_optimization(expr: E.Expr, db: Database) -> str:
     """The full before/after story: logical plan, rewrites, physical plan."""
     from ..optimizer.engine import Optimizer
@@ -84,6 +98,9 @@ def explain_optimization(expr: E.Expr, db: Database) -> str:
             "",
             f"Physical plan (cost {trace.initial_cost:.0f} → {trace.final_cost:.0f}):",
             explain(plan, db, indent=1),
+            "",
+            "Lowered pipeline:",
+            explain_physical(plan, db, indent=1),
         ]
     )
     return "\n".join(parts)

@@ -157,6 +157,13 @@ class IndexedSubSelect(_Unary):
     fused away: the index probes play the role of ``split(d, ...)``.
     ``anchors`` is the set of root predicates — every match root must
     satisfy one of them, so their probes jointly cover all matches.
+
+    .. deprecated:: Access-path choice now lives in the lowering pass
+       (:func:`repro.physical.lower.lower` with ``choose_access_paths``,
+       backed by :func:`repro.optimizer.anchors.tree_split_anchors`).
+       This node remains as a shim so rewrite-engine plans stay
+       serializable; it lowers to the same ``index_anchor_scan``
+       operator the lowering pass would pick itself.
     """
 
     pattern: TreePattern = field(kw_only=True)
@@ -180,7 +187,11 @@ class Split(_Unary):
 class IndexedSplit(_Unary):
     """Physical: "the split operator uses the index on d" (§4) — probe
     the anchors' node indexes to find candidate match roots, then build
-    the (x, y, z) pieces only there."""
+    the (x, y, z) pieces only there.
+
+    .. deprecated:: Shim for the lowering pass's access-path choice
+       (see :class:`IndexedSubSelect`); lowers to ``index_anchor_split``.
+    """
 
     pattern: TreePattern = field(kw_only=True)
     function: Callable[..., Any] = field(kw_only=True)
@@ -243,7 +254,12 @@ class ListSubSelect(_Unary):
 class IndexedListSubSelect(_Unary):
     """Physical: use a position index on ``anchor`` to limit start
     positions; ``offsets`` are the possible distances from a match start
-    to the anchor's position (computed by the optimizer)."""
+    to the anchor's position (computed by the optimizer).
+
+    .. deprecated:: Shim for the lowering pass's access-path choice
+       (backed by :func:`repro.optimizer.anchors.list_anchor_choice`);
+       lowers to ``list_anchor_scan``.
+    """
 
     pattern: ListPattern = field(kw_only=True)
     anchor: AlphabetPredicate = field(kw_only=True)
@@ -282,7 +298,12 @@ class SetSelect(_Unary):
 class IndexedSetSelect(_Unary):
     """Physical: serve ``indexed`` from an extent index, re-check
     ``residual`` on the survivors (the relational-style decomposition of
-    §4's "Why Split?" discussion)."""
+    §4's "Why Split?" discussion).
+
+    .. deprecated:: Shim for the lowering pass's access-path choice
+       (backed by :func:`repro.optimizer.anchors.extent_conjunct_split`);
+       lowers to ``indexed_select_filter``.
+    """
 
     indexed: AlphabetPredicate = field(kw_only=True)
     residual: AlphabetPredicate | None = field(kw_only=True, default=None)

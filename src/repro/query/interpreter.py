@@ -1,15 +1,30 @@
-"""Evaluator for logical/physical query expressions.
+"""Query evaluation: a thin driver over two executors.
 
 Gives semantics to :mod:`repro.query.expr` nodes against a
-:class:`~repro.storage.Database`.  The physical (``Indexed*``) nodes
-exercise the access paths; everything else routes to the algebra in
-:mod:`repro.algebra`.  All predicate evaluations run through the
-database's :class:`~repro.storage.Instrumentation` counters so plans can
-be compared by work as well as by wall-clock.
+:class:`~repro.storage.Database` through two interchangeable executors:
+
+* **streaming** (the default) — the expression is lowered to a
+  Volcano-style physical plan (:mod:`repro.physical`) and rows are
+  pulled through ``open()/next()/close()`` pipelines.  Budgets are
+  ticked on every pull, so a ``max_nodes_scanned`` or ``max_results``
+  limit trips mid-stream instead of after an operator materialized its
+  whole output;
+* **eager** — the original recursive interpreter, kept as the reference
+  semantics the streaming executor is property-tested against.
+
+Both run all predicate evaluations through the database's
+:class:`~repro.storage.Instrumentation` counters, produce identical
+values (order, deduplication, equality notions included) and identical
+per-operator counter totals, so plans can be compared by work as well as
+by wall-clock under either executor.
+
+The executor is chosen per call (``executor=``) or process-wide via the
+``AQUA_EXECUTOR`` environment knob (``streaming`` | ``eager``).
 """
 
 from __future__ import annotations
 
+import os
 from typing import Any
 
 from .. import guardrails
@@ -29,52 +44,56 @@ from ..core.aqua_list import AquaList
 from ..core.aqua_set import AquaSet
 from ..core.aqua_tree import AquaTree, TreeNode
 from ..errors import QueryError, ResourceExhaustedError
-from ..guardrails import Budget
+from ..guardrails import Budget, Guard
 from ..storage.database import Database
 from . import expr as E
 from .metrics import PlanMetrics, cardinality
 
+#: Environment knob selecting the default executor.
+EXECUTOR_ENV = "AQUA_EXECUTOR"
+_EXECUTORS = ("streaming", "eager")
 
-def evaluate(node: E.Expr, db: Database, budget: Budget | None = None) -> Any:
+
+def evaluate(
+    node: E.Expr,
+    db: Database,
+    budget: Budget | None = None,
+    executor: str | None = None,
+) -> Any:
     """Evaluate a query expression against ``db``.
 
-    The database's instrumentation sink is activated for the duration,
-    so engine-level counters (DFA cache hits, backtrack steps) land in
-    ``db.stats`` alongside the interpreter's own counts.  When a
-    :class:`~repro.query.metrics.PlanMetrics` collector is installed
-    (see :func:`evaluate_with_metrics`), every node additionally runs
-    inside its own attribution scope — that is the instrumented
-    executor behind ``EXPLAIN ANALYZE``.
+    The database's instrumentation sink and the execution guard are
+    armed **once** here — not per node — and threaded through the chosen
+    executor, so one guard and one attribution context cover the whole
+    plan.  When a :class:`~repro.query.metrics.PlanMetrics` collector is
+    installed (see :func:`evaluate_with_metrics`), per-operator metrics
+    are collected: by attribution scopes in the eager executor, by
+    per-pull accounting in the streaming one — same paths, same totals.
 
-    The outermost call arms an execution guard from ``budget`` (or the
-    ``AQUA_*`` environment knobs when no budget is given); nested calls
-    reuse it, so one guard covers the whole plan.  A tripped limit
-    raises :class:`~repro.errors.ResourceExhaustedError` annotated with
-    the operator being evaluated and, during an instrumented run, the
+    A tripped limit raises
+    :class:`~repro.errors.ResourceExhaustedError` annotated with the
+    operator being evaluated and, during an instrumented run, the
     partial :class:`~repro.query.metrics.PlanMetrics`.
     """
-    method = _DISPATCH.get(type(node))
-    if method is None:
-        raise QueryError(f"no evaluation rule for {type(node).__name__}")
+    if executor is None:
+        executor = os.environ.get(EXECUTOR_ENV, "streaming")
+    if executor not in _EXECUTORS:
+        raise QueryError(
+            f"unknown executor {executor!r} (expected one of {', '.join(_EXECUTORS)})"
+        )
     stats = db.stats
-    collector = stats.collector
     with guardrails.guarded(budget) as guard, stats.activated():
-        if guard is not None:
-            guard.tick(1, "interpreter dispatch")
-        if collector is None:
-            result = method(node, db)
-        else:
-            op = None
-            try:
-                with collector.operator(node, stats) as op:
-                    result = method(node, db)
-            except ResourceExhaustedError as exc:
-                _annotate_trip(exc, collector, op)
-                raise
-            collector.record_output(op, result)
-        if guard is not None and guard.budget.max_results is not None:
-            guard.check_results(cardinality(result), node.head())
-        return result
+        if executor == "eager":
+            return _eval(node, db, guard, ())
+        # Imported lazily: ``repro.query`` loads this module at package
+        # import time, and the physical layer imports ``repro.query``.
+        from ..physical import ExecutionContext, lower
+
+        plan = lower(node, db)
+        ctx = ExecutionContext(
+            db=db, guard=guard, metrics=stats.collector, stats=stats
+        )
+        return plan.execute(ctx)
 
 
 def _annotate_trip(exc: ResourceExhaustedError, collector: PlanMetrics, op) -> None:
@@ -96,6 +115,7 @@ def evaluate_with_metrics(
     db: Database,
     metrics: PlanMetrics | None = None,
     budget: Budget | None = None,
+    executor: str | None = None,
 ) -> tuple[Any, PlanMetrics]:
     """Evaluate ``expr`` collecting per-operator runtime metrics.
 
@@ -109,142 +129,192 @@ def evaluate_with_metrics(
     """
     metrics = metrics if metrics is not None else PlanMetrics()
     with db.stats.collecting(metrics):
-        result = evaluate(expr, db, budget=budget)
+        result = evaluate(expr, db, budget=budget, executor=executor)
     return result, metrics
 
 
-def _as_tree(value: Any, node: E.Expr) -> AquaTree:
+# -- the eager (reference) executor --------------------------------------------
+
+
+def _eval(
+    node: E.Expr, db: Database, guard: Guard | None, trail: tuple[str, ...]
+) -> Any:
+    """Recursively evaluate ``node`` with the already-armed ``guard``.
+
+    ``trail`` is the chain of ancestor operator heads (root first); it
+    rides along so input-coercion errors can say *where* in the plan the
+    ill-shaped value showed up.
+    """
+    method = _DISPATCH.get(type(node))
+    if method is None:
+        raise QueryError(f"no evaluation rule for {type(node).__name__}")
+    trail = (*trail, node.head())
+    stats = db.stats
+    collector = stats.collector
+    if guard is not None:
+        guard.tick(1, "interpreter dispatch")
+    if collector is None:
+        result = method(node, db, guard, trail)
+    else:
+        op = None
+        try:
+            with collector.operator(node, stats) as op:
+                result = method(node, db, guard, trail)
+        except ResourceExhaustedError as exc:
+            _annotate_trip(exc, collector, op)
+            raise
+        collector.record_output(op, result)
+    if guard is not None and guard.budget.max_results is not None:
+        guard.check_results(cardinality(result), node.head())
+    return result
+
+
+def _coerce_message(
+    node: E.Expr, expected: str, value: Any, trail: tuple[str, ...]
+) -> str:
+    message = (
+        f"{node.describe()} expects a {expected} input, got {type(value).__name__}"
+    )
+    if trail:
+        message += f" (plan path: {' → '.join(trail)})"
+    return message
+
+
+def _as_tree(value: Any, node: E.Expr, trail: tuple[str, ...] = ()) -> AquaTree:
     if not isinstance(value, AquaTree):
-        raise QueryError(f"{node.describe()} expects a tree input, got {type(value).__name__}")
+        raise QueryError(_coerce_message(node, "tree", value, trail))
     return value
 
 
-def _as_list(value: Any, node: E.Expr) -> AquaList:
+def _as_list(value: Any, node: E.Expr, trail: tuple[str, ...] = ()) -> AquaList:
     if not isinstance(value, AquaList):
-        raise QueryError(f"{node.describe()} expects a list input, got {type(value).__name__}")
+        raise QueryError(_coerce_message(node, "list", value, trail))
     return value
 
 
-def _as_set(value: Any, node: E.Expr) -> AquaSet:
+def _as_set(value: Any, node: E.Expr, trail: tuple[str, ...] = ()) -> AquaSet:
     if not isinstance(value, AquaSet):
-        raise QueryError(f"{node.describe()} expects a set input, got {type(value).__name__}")
+        raise QueryError(_coerce_message(node, "set", value, trail))
     return value
 
 
 # -- sources -------------------------------------------------------------------
 
 
-def _eval_root(node: E.Root, db: Database) -> Any:
+def _eval_root(node: E.Root, db: Database, guard, trail) -> Any:
+    del guard, trail
     return db.root(node.name)
 
 
-def _eval_extent(node: E.Extent, db: Database) -> AquaSet:
+def _eval_extent(node: E.Extent, db: Database, guard, trail) -> AquaSet:
+    del guard, trail
     return db.extent(node.name)
 
 
-def _eval_literal(node: E.Literal, db: Database) -> Any:
-    del db
+def _eval_literal(node: E.Literal, db: Database, guard, trail) -> Any:
+    del db, guard, trail
     return node.value
 
 
 # -- tree operators ---------------------------------------------------------------
 
 
-def _eval_tree_select(node: E.TreeSelect, db: Database) -> AquaSet:
-    tree = _as_tree(evaluate(node.input, db), node)
+def _eval_tree_select(node: E.TreeSelect, db: Database, guard, trail) -> AquaSet:
+    tree = _as_tree(_eval(node.input, db, guard, trail), node, trail)
     return select(db.stats.counting(node.predicate), tree)
 
 
-def _eval_tree_apply(node: E.TreeApply, db: Database) -> AquaTree:
-    tree = _as_tree(evaluate(node.input, db), node)
+def _eval_tree_apply(node: E.TreeApply, db: Database, guard, trail) -> AquaTree:
+    tree = _as_tree(_eval(node.input, db, guard, trail), node, trail)
     return apply_tree(node.function, tree)
 
 
-def _eval_sub_select(node: E.SubSelect, db: Database) -> AquaSet:
-    tree = _as_tree(evaluate(node.input, db), node)
+def _eval_sub_select(node: E.SubSelect, db: Database, guard, trail) -> AquaSet:
+    tree = _as_tree(_eval(node.input, db, guard, trail), node, trail)
     size = tree.size()
     db.stats.bump("nodes_scanned", size)
-    guard = guardrails.current_guard()
     if guard is not None:
         guard.charge_nodes(size, "tree scan")
     return sub_select(node.pattern, tree)
 
 
-def _eval_indexed_sub_select(node: E.IndexedSubSelect, db: Database) -> AquaSet:
-    tree = _as_tree(evaluate(node.input, db), node)
+def _probe_anchor_roots(db: Database, tree: AquaTree, anchors) -> list[TreeNode] | None:
+    """Index-probed candidate roots, or ``None`` when a probe fell through."""
     attributes: set[str] = set()
-    for anchor in node.anchors:
+    for anchor in anchors:
         attributes |= anchor.attributes()
     index = db.tree_index(tree, attributes)
     roots: dict[int, TreeNode] = {}
-    for anchor in node.anchors:
+    for anchor in anchors:
         candidates, used = index.candidate_nodes(anchor, db.stats)
         if not used:
             # The access path fell through (no servable term): behave
             # like the logical operator rather than re-scanning twice.
-            return sub_select(node.pattern, tree)
+            return None
         for candidate in candidates:
             if anchor(candidate.value):
                 roots[id(candidate)] = candidate
-    return sub_select(node.pattern, tree, roots=list(roots.values()))
+    return list(roots.values())
 
 
-def _eval_split(node: E.Split, db: Database) -> AquaSet:
-    tree = _as_tree(evaluate(node.input, db), node)
+def _eval_indexed_sub_select(
+    node: E.IndexedSubSelect, db: Database, guard, trail
+) -> AquaSet:
+    tree = _as_tree(_eval(node.input, db, guard, trail), node, trail)
+    roots = _probe_anchor_roots(db, tree, node.anchors)
+    if roots is None:
+        return sub_select(node.pattern, tree)
+    return sub_select(node.pattern, tree, roots=roots)
+
+
+def _eval_split(node: E.Split, db: Database, guard, trail) -> AquaSet:
+    tree = _as_tree(_eval(node.input, db, guard, trail), node, trail)
     return split(node.pattern, node.function, tree)
 
 
-def _eval_indexed_split(node: E.IndexedSplit, db: Database) -> AquaSet:
-    tree = _as_tree(evaluate(node.input, db), node)
-    attributes: set[str] = set()
-    for anchor in node.anchors:
-        attributes |= anchor.attributes()
-    index = db.tree_index(tree, attributes)
-    roots: dict[int, TreeNode] = {}
-    for anchor in node.anchors:
-        candidates, used = index.candidate_nodes(anchor, db.stats)
-        if not used:
-            return split(node.pattern, node.function, tree)
-        for candidate in candidates:
-            if anchor(candidate.value):
-                roots[id(candidate)] = candidate
-    return split(node.pattern, node.function, tree, roots=list(roots.values()))
+def _eval_indexed_split(node: E.IndexedSplit, db: Database, guard, trail) -> AquaSet:
+    tree = _as_tree(_eval(node.input, db, guard, trail), node, trail)
+    roots = _probe_anchor_roots(db, tree, node.anchors)
+    if roots is None:
+        return split(node.pattern, node.function, tree)
+    return split(node.pattern, node.function, tree, roots=roots)
 
 
-def _eval_all_anc(node: E.AllAnc, db: Database) -> AquaSet:
-    tree = _as_tree(evaluate(node.input, db), node)
+def _eval_all_anc(node: E.AllAnc, db: Database, guard, trail) -> AquaSet:
+    tree = _as_tree(_eval(node.input, db, guard, trail), node, trail)
     return all_anc(node.pattern, node.function, tree)
 
 
-def _eval_all_desc(node: E.AllDesc, db: Database) -> AquaSet:
-    tree = _as_tree(evaluate(node.input, db), node)
+def _eval_all_desc(node: E.AllDesc, db: Database, guard, trail) -> AquaSet:
+    tree = _as_tree(_eval(node.input, db, guard, trail), node, trail)
     return all_desc(node.pattern, node.function, tree)
 
 
 # -- list operators ------------------------------------------------------------------
 
 
-def _eval_list_select(node: E.ListSelect, db: Database) -> AquaList:
-    values = _as_list(evaluate(node.input, db), node)
+def _eval_list_select(node: E.ListSelect, db: Database, guard, trail) -> AquaList:
+    values = _as_list(_eval(node.input, db, guard, trail), node, trail)
     return select_list(db.stats.counting(node.predicate), values)
 
 
-def _eval_list_apply(node: E.ListApply, db: Database) -> AquaList:
-    values = _as_list(evaluate(node.input, db), node)
+def _eval_list_apply(node: E.ListApply, db: Database, guard, trail) -> AquaList:
+    values = _as_list(_eval(node.input, db, guard, trail), node, trail)
     return apply_list(node.function, values)
 
 
-def _eval_list_sub_select(node: E.ListSubSelect, db: Database) -> AquaSet:
-    values = _as_list(evaluate(node.input, db), node)
+def _eval_list_sub_select(node: E.ListSubSelect, db: Database, guard, trail) -> AquaSet:
+    values = _as_list(_eval(node.input, db, guard, trail), node, trail)
     db.stats.bump("positions_scanned", len(values) + 1)
-    guard = guardrails.current_guard()
     if guard is not None:
         guard.charge_nodes(len(values) + 1, "list scan")
     return sub_select_list(node.pattern, values)
 
 
-def _eval_indexed_list_sub_select(node: E.IndexedListSubSelect, db: Database) -> AquaSet:
-    values = _as_list(evaluate(node.input, db), node)
+def _eval_indexed_list_sub_select(
+    node: E.IndexedListSubSelect, db: Database, guard, trail
+) -> AquaSet:
+    values = _as_list(_eval(node.input, db, guard, trail), node, trail)
     index = db.list_index(values, node.anchor.attributes())
     positions, used = index.positions_for(node.anchor, db.stats)
     if not used:
@@ -256,38 +326,40 @@ def _eval_indexed_list_sub_select(node: E.IndexedListSubSelect, db: Database) ->
     return sub_select_list(node.pattern, values, starts=starts)
 
 
-def _eval_list_split(node: E.ListSplit, db: Database) -> AquaSet:
-    values = _as_list(evaluate(node.input, db), node)
+def _eval_list_split(node: E.ListSplit, db: Database, guard, trail) -> AquaSet:
+    values = _as_list(_eval(node.input, db, guard, trail), node, trail)
     return split_list(node.pattern, node.function, values)
 
 
 # -- set operators --------------------------------------------------------------------
 
 
-def _eval_set_select(node: E.SetSelect, db: Database) -> AquaSet:
-    collection = _as_set(evaluate(node.input, db), node)
+def _eval_set_select(node: E.SetSelect, db: Database, guard, trail) -> AquaSet:
+    collection = _as_set(_eval(node.input, db, guard, trail), node, trail)
     return collection.select(db.stats.counting(node.predicate))
 
 
-def _eval_indexed_set_select(node: E.IndexedSetSelect, db: Database) -> AquaSet:
+def _eval_indexed_set_select(
+    node: E.IndexedSetSelect, db: Database, guard, trail
+) -> AquaSet:
     if isinstance(node.input, E.Extent):
         rows, _ = db.candidates(node.input.name, node.indexed)
         base = AquaSet(rows)
     else:
-        base = _as_set(evaluate(node.input, db), node)
+        base = _as_set(_eval(node.input, db, guard, trail), node, trail)
     checked = base.select(db.stats.counting(node.indexed))
     if node.residual is None:
         return checked
     return checked.select(db.stats.counting(node.residual))
 
 
-def _eval_set_apply(node: E.SetApply, db: Database) -> AquaSet:
-    collection = _as_set(evaluate(node.input, db), node)
+def _eval_set_apply(node: E.SetApply, db: Database, guard, trail) -> AquaSet:
+    collection = _as_set(_eval(node.input, db, guard, trail), node, trail)
     return collection.apply(node.function)
 
 
-def _eval_set_flatten(node: E.SetFlatten, db: Database) -> AquaSet:
-    collection = _as_set(evaluate(node.input, db), node)
+def _eval_set_flatten(node: E.SetFlatten, db: Database, guard, trail) -> AquaSet:
+    collection = _as_set(_eval(node.input, db, guard, trail), node, trail)
     result: AquaSet = AquaSet()
     for member in collection:
         if not isinstance(member, AquaSet):
@@ -297,21 +369,21 @@ def _eval_set_flatten(node: E.SetFlatten, db: Database) -> AquaSet:
     return result
 
 
-def _eval_union(node: E.SetUnion, db: Database) -> AquaSet:
-    return _as_set(evaluate(node.left, db), node).union(
-        _as_set(evaluate(node.right, db), node)
+def _eval_union(node: E.SetUnion, db: Database, guard, trail) -> AquaSet:
+    return _as_set(_eval(node.left, db, guard, trail), node, trail).union(
+        _as_set(_eval(node.right, db, guard, trail), node, trail)
     )
 
 
-def _eval_intersection(node: E.SetIntersection, db: Database) -> AquaSet:
-    return _as_set(evaluate(node.left, db), node).intersection(
-        _as_set(evaluate(node.right, db), node)
+def _eval_intersection(node: E.SetIntersection, db: Database, guard, trail) -> AquaSet:
+    return _as_set(_eval(node.left, db, guard, trail), node, trail).intersection(
+        _as_set(_eval(node.right, db, guard, trail), node, trail)
     )
 
 
-def _eval_difference(node: E.SetDifference, db: Database) -> AquaSet:
-    return _as_set(evaluate(node.left, db), node).difference(
-        _as_set(evaluate(node.right, db), node)
+def _eval_difference(node: E.SetDifference, db: Database, guard, trail) -> AquaSet:
+    return _as_set(_eval(node.left, db, guard, trail), node, trail).difference(
+        _as_set(_eval(node.right, db, guard, trail), node, trail)
     )
 
 

@@ -68,6 +68,12 @@ class OperatorMetrics:
     rows_out: int | None = None
     wall_seconds: float = 0.0  # inclusive of children
     calls: int = 0
+    #: Largest number of rows this operator held materialized at once.
+    #: The eager executor materializes every operator's full output
+    #: before its parent runs, so there this equals ``rows_out``; the
+    #: streaming executor only records buffers it actually accumulates
+    #: (materialize/intersect/difference buffers and the result sink).
+    peak_buffered: int = 0
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready record (benchmark harness output)."""
@@ -77,6 +83,7 @@ class OperatorMetrics:
             "rows_out": self.rows_out,
             "wall_seconds": self.wall_seconds,
             "calls": self.calls,
+            "peak_buffered": self.peak_buffered,
             "counters": dict(self.counters),
         }
 
@@ -132,6 +139,44 @@ class PlanMetrics:
 
     def record_output(self, op: OperatorMetrics, value: Any) -> None:
         op.rows_out = cardinality(value)
+        # The eager executor hands its parent a fully materialized
+        # value, so the output cardinality *is* a resident buffer.
+        op.peak_buffered = max(op.peak_buffered, op.rows_out)
+
+    # -- collection (streaming executor side) -------------------------------
+
+    def register(self, path: Path, head: str) -> OperatorMetrics:
+        """Get-or-create the record for a physical operator at ``path``.
+
+        The streaming executor calls this once per ``open()`` (each call
+        counts as one ``calls``); counters and wall time are then fed
+        through :meth:`~repro.storage.stats.Instrumentation.attribute_to`
+        frames and explicit accumulation in ``PhysicalOp.next()``.
+        """
+        with self._lock:
+            op = self.operators.get(path)
+            if op is None:
+                op = self.operators[path] = OperatorMetrics(path, head)
+        op.calls += 1
+        return op
+
+    @staticmethod
+    def note_buffered(op: OperatorMetrics, buffered: int) -> None:
+        """Record that ``op`` currently holds ``buffered`` rows in memory."""
+        if buffered > op.peak_buffered:
+            op.peak_buffered = buffered
+
+    def peak_intermediate(self) -> int:
+        """The largest per-operator resident buffer seen during the run.
+
+        This is the quantity the §4 pipelining argument is about: the
+        eager executor's peak is the largest operator output anywhere in
+        the plan, while the streaming executor's is only what it truly
+        accumulated (typically just the final result sink).
+        """
+        return max(
+            (op.peak_buffered for op in self.operators.values()), default=0
+        )
 
     # -- reporting ----------------------------------------------------------
 

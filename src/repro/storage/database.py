@@ -21,7 +21,7 @@ benchmarks can report scans vs probes.
 
 from __future__ import annotations
 
-from typing import Any, Iterable
+from typing import Any, Iterable, Iterator
 
 from .. import guardrails
 from ..core.aqua_list import AquaList
@@ -69,6 +69,21 @@ class Database:
         if guard is not None:
             guard.charge_nodes(len(rows), "extent scan")
         return AquaSet(rows)
+
+    def iter_extent(self, name: str) -> Iterator[Any]:
+        """Lazily iterate the extent's rows (the streaming scan path).
+
+        Unlike :meth:`extent`, the active guard is charged one node per
+        row *as rows are pulled*, so a ``max_nodes_scanned`` budget trips
+        mid-scan instead of after the whole extent was materialized.
+        """
+        fault_point("storage_lookup")
+        rows = self._extents.get(name, ())
+        guard = guardrails.current_guard()
+        for row in rows:
+            if guard is not None:
+                guard.charge_nodes(1, "extent scan")
+            yield row
 
     def extent_size(self, name: str) -> int:
         return len(self._extents.get(name, ()))

@@ -1,0 +1,1 @@
+"""Tests for the streaming physical-operator layer (ISSUE 3)."""

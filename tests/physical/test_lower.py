@@ -1,0 +1,262 @@
+"""Logical → physical lowering: coverage, structure, access-path choice.
+
+The lowering pass must know every logical node (a new ``Expr`` subclass
+without a rule is a bug caught here, not at query time), must mirror the
+logical tree position-for-position so metrics paths line up, and owns
+the access-path decisions the deprecated ``Indexed*`` shim nodes used to
+encode in the expression tree.
+"""
+
+import inspect
+
+import pytest
+
+from repro.core.identity import Record
+from repro.errors import QueryError
+from repro.patterns import parse_tree_pattern
+from repro.physical import ExecutionContext, lower, operators as P
+from repro.physical.lower import _LOWERING
+from repro.predicates import attr
+from repro.query import Q, expr as E
+from repro.storage import Database
+from repro.workloads import (
+    by_citizen_or_name,
+    by_pitch,
+    figure3_family_tree,
+    random_labeled_tree,
+    song_with_melody,
+)
+
+
+def concrete_node_types() -> list[type]:
+    return [
+        obj
+        for name, obj in vars(E).items()
+        if inspect.isclass(obj)
+        and issubclass(obj, E.Expr)
+        and obj is not E.Expr
+        and not name.startswith("_")
+    ]
+
+
+def labeled_tree_db() -> Database:
+    labels = ["d", "e", "h", "i", "j", "u", "v", "w", "x", "y"]
+    weights = [1.0] + [11.0] * 9
+    tree = random_labeled_tree(400, labels, seed=42, weights=weights)
+    db = Database()
+    db.bind_root("T", tree)
+    db.tree_index(tree)
+    return db
+
+
+def person_db() -> Database:
+    db = Database()
+    db.insert_many(
+        [
+            Record(name=f"p{i}", age=i % 60, city=f"C{i % 20}", salary=i % 900)
+            for i in range(200)
+        ],
+        "Person",
+    )
+    db.create_index("Person", "city")
+    return db
+
+
+def run(plan, db):
+    return plan.execute(ExecutionContext(db=db))
+
+
+class TestCoverage:
+    def test_every_logical_node_type_has_a_lowering_rule(self):
+        missing = [t.__name__ for t in concrete_node_types() if t not in _LOWERING]
+        assert missing == []
+
+    def test_unknown_node_type_raises_query_error(self):
+        class Mystery(E.Expr):
+            def head(self) -> str:
+                return "mystery"
+
+        with pytest.raises(QueryError, match="no lowering rule for Mystery"):
+            lower(Mystery(), Database())
+
+
+class TestStructure:
+    def test_plan_mirrors_logical_tree_position_for_position(self):
+        db = labeled_tree_db()
+        query = (
+            Q.root("T")
+            .sub_select("d(e ?*)")
+            .sapply(lambda t: t.size())
+            .union(Q.extent("Person").sselect(attr("age") > 30))
+            .build()
+        )
+        plan = lower(query, db)
+
+        def logical_paths(node, path=()):
+            yield path, node
+            for index, child in enumerate(node.children()):
+                yield from logical_paths(child, (*path, index))
+
+        expected = dict(logical_paths(query))
+        ops = list(plan.operators())
+        assert len(ops) == len(expected)
+        for op in ops:
+            assert op.logical is expected[op.path]
+
+    def test_trails_are_head_chains_from_the_root(self):
+        db = labeled_tree_db()
+        query = Q.root("T").sub_select("d(e ?*)").build()
+        plan = lower(query, db)
+        by_path = {op.path: op for op in plan.operators()}
+        assert by_path[()].trail == (query.head(),)
+        assert by_path[(0,)].trail == (query.head(), query.input.head())
+
+    def test_default_lowering_is_full_scan(self):
+        db = labeled_tree_db()
+        plan = lower(Q.root("T").sub_select("d(e(h i) j ?*)").build(), db)
+        assert type(plan.root) is P.SubSelectPipe
+        assert type(plan.root.children[0]) is P.ScanRoot
+
+    def test_render_names_operators_and_access_paths(self):
+        db = labeled_tree_db()
+        plan = lower(
+            Q.root("T").sub_select("d(e(h i) j ?*)").build(),
+            db,
+            choose_access_paths=True,
+        )
+        rendered = plan.render()
+        assert "index_anchor_scan" in rendered
+        assert "node-index probe" in rendered
+        assert "scan_root  [named root 'T']" in rendered
+
+
+class TestAccessPathChoice:
+    def test_sub_select_upgrades_to_index_anchor_scan(self):
+        db = labeled_tree_db()
+        query = Q.root("T").sub_select("d(e(h i) j ?*)").build()
+        chosen = lower(query, db, choose_access_paths=True)
+        assert type(chosen.root) is P.IndexAnchorScan
+        assert run(chosen, db) == run(lower(query, db), db)
+
+    def test_split_upgrades_to_index_anchor_split(self):
+        db = Database()
+        db.bind_root("family", figure3_family_tree())
+        query = Q.root("family").split(
+            "Brazil(!?* USA !?*)",
+            lambda x, y, z: y.close_points(y.concat_points()),
+            resolver=by_citizen_or_name,
+        ).build()
+        chosen = lower(query, db, choose_access_paths=True)
+        assert type(chosen.root) is P.IndexAnchorSplit
+        assert run(chosen, db) == run(lower(query, db), db)
+
+    def test_list_sub_select_upgrades_to_list_anchor_scan(self):
+        db = Database()
+        song = song_with_melody(300, ["A", "C", "D", "F"], occurrences=3, seed=11)
+        db.bind_root("song", song)
+        db.list_index(song, ["pitch"])
+        query = Q.root("song").lsub_select("[A??F]", resolver=by_pitch).build()
+        chosen = lower(query, db, choose_access_paths=True)
+        assert type(chosen.root) is P.ListAnchorScan
+        assert run(chosen, db) == run(lower(query, db), db)
+
+    def test_extent_select_upgrades_to_indexed_select_filter(self):
+        db = person_db()
+        query = (
+            Q.extent("Person")
+            .sselect((attr("age") > 30) & (attr("city") == "C3"))
+            .build()
+        )
+        chosen = lower(query, db, choose_access_paths=True)
+        assert type(chosen.root) is P.IndexedSelectFilter
+        # The extent is served by the index probe, never scanned as a child.
+        assert chosen.root.children == ()
+        assert run(chosen, db) == run(lower(query, db), db)
+
+    def test_without_choice_plain_nodes_stay_scans(self):
+        db = person_db()
+        query = (
+            Q.extent("Person")
+            .sselect((attr("age") > 30) & (attr("city") == "C3"))
+            .build()
+        )
+        plan = lower(query, db)
+        assert type(plan.root) is P.SelectFilter
+        assert type(plan.root.children[0]) is P.ScanExtent
+
+
+class TestDeprecatedShims:
+    """The ``Indexed*`` nodes lower to the same probing operators the
+    lowering pass would choose itself — they are shims, not a second
+    access-path mechanism."""
+
+    def test_indexed_sub_select_lowers_to_index_anchor_scan(self):
+        from repro.optimizer import tree_split_anchors
+
+        db = labeled_tree_db()
+        pattern = parse_tree_pattern("d(e(h i) j ?*)")
+        anchors = tree_split_anchors(pattern)
+        assert anchors is not None
+        shim = E.IndexedSubSelect(E.Root("T"), pattern=pattern, anchors=anchors)
+        plan = lower(shim, db)
+        assert type(plan.root) is P.IndexAnchorScan
+        assert run(plan, db) == run(
+            lower(E.SubSelect(E.Root("T"), pattern=pattern), db), db
+        )
+
+    def test_indexed_split_lowers_to_index_anchor_split(self):
+        from repro.optimizer import tree_split_anchors
+
+        db = Database()
+        db.bind_root("family", figure3_family_tree())
+        query = Q.root("family").split(
+            "Brazil(!?* USA !?*)",
+            lambda x, y, z: y.close_points(y.concat_points()),
+            resolver=by_citizen_or_name,
+        ).build()
+        anchors = tree_split_anchors(query.pattern)
+        assert anchors is not None
+        shim = E.IndexedSplit(
+            query.input,
+            pattern=query.pattern,
+            function=query.function,
+            anchors=anchors,
+        )
+        plan = lower(shim, db)
+        assert type(plan.root) is P.IndexAnchorSplit
+        assert run(plan, db) == run(lower(query, db), db)
+
+    def test_indexed_list_sub_select_lowers_to_list_anchor_scan(self):
+        from repro.optimizer import list_anchor_choice
+
+        db = Database()
+        song = song_with_melody(200, ["A", "C", "D", "F"], occurrences=2, seed=7)
+        db.bind_root("song", song)
+        db.list_index(song, ["pitch"])
+        query = Q.root("song").lsub_select("[A??F]", resolver=by_pitch).build()
+        chosen = list_anchor_choice(query.pattern)
+        assert chosen is not None
+        anchor, offsets = chosen
+        shim = E.IndexedListSubSelect(
+            query.input, pattern=query.pattern, anchor=anchor, offsets=offsets
+        )
+        plan = lower(shim, db)
+        assert type(plan.root) is P.ListAnchorScan
+        assert run(plan, db) == run(lower(query, db), db)
+
+    def test_indexed_set_select_over_extent_has_no_child_scan(self):
+        db = person_db()
+        shim = E.IndexedSetSelect(
+            E.Extent("Person"),
+            indexed=attr("city") == "C3",
+            residual=attr("age") > 30,
+        )
+        plan = lower(shim, db)
+        assert type(plan.root) is P.IndexedSelectFilter
+        assert plan.root.children == ()
+        reference = (
+            Q.extent("Person")
+            .sselect((attr("age") > 30) & (attr("city") == "C3"))
+            .build()
+        )
+        assert run(plan, db) == run(lower(reference, db), db)

@@ -1,0 +1,119 @@
+"""The payoff tests: pipelining shrinks buffers and trips budgets early.
+
+Acceptance criteria for the physical layer (ISSUE 3): on the fig4-style
+indexed-split benchmark the streaming executor's peak intermediate
+cardinality is *strictly below* the eager executor's with identical
+results, and a ``max_nodes_scanned`` budget trips mid-stream — after
+charging only the candidates actually tried, not the whole input the
+eager interpreter bills up front.
+"""
+
+import pytest
+
+from repro.core import make_tuple, parse_tree
+from repro.errors import ResourceExhaustedError
+from repro.guardrails import Budget
+from repro.optimizer import Optimizer
+from repro.query import Q, evaluate, expr as E
+from repro.query.interpreter import evaluate_with_metrics
+from repro.storage import Database
+from repro.workloads import random_labeled_tree
+
+
+def indexed_tree_db() -> tuple[Database, int]:
+    """The CLAIM-SPLIT setup at test scale: rare anchor, node index."""
+    labels = ["d", "e", "h", "i", "j", "u", "v", "w", "x", "y"]
+    weights = [1.0] + [11.0] * 9
+    tree = random_labeled_tree(1200, labels, seed=42, weights=weights)
+    db = Database()
+    db.bind_root("T", tree)
+    db.tree_index(tree)
+    return db, tree.size()
+
+
+class TestPeakIntermediateCardinality:
+    def test_indexed_sub_select_streams_below_eager_peak(self):
+        db, size = indexed_tree_db()
+        query = Q.root("T").sub_select("d(e(h i) j ?*)").build()
+        plan, _ = Optimizer(db).optimize(query)
+        assert isinstance(plan, E.IndexedSubSelect)
+
+        eager_result, eager = evaluate_with_metrics(plan, db, executor="eager")
+        streaming_result, streaming = evaluate_with_metrics(
+            plan, db, executor="streaming"
+        )
+        assert streaming_result == eager_result
+        assert list(streaming_result) == list(eager_result)
+        # Eager hands the whole root tree to sub_select as one buffer;
+        # the pipeline's only resident buffer is the final result sink.
+        assert eager.peak_intermediate() >= size
+        assert streaming.peak_intermediate() == len(streaming_result)
+        assert streaming.peak_intermediate() < eager.peak_intermediate()
+
+    def test_indexed_split_streams_below_eager_peak(self):
+        db, size = indexed_tree_db()
+        query = Q.root("T").split("d(e(h i) j ?*)", make_tuple).build()
+        plan, _ = Optimizer(db).optimize(query)
+        assert isinstance(plan, E.IndexedSplit)
+
+        eager_result, eager = evaluate_with_metrics(plan, db, executor="eager")
+        streaming_result, streaming = evaluate_with_metrics(
+            plan, db, executor="streaming"
+        )
+        assert streaming_result == eager_result
+        assert streaming.peak_intermediate() < eager.peak_intermediate()
+
+    def test_source_scans_are_not_counted_as_buffers(self):
+        db, _ = indexed_tree_db()
+        query = Q.root("T").sub_select("d(e(h i) j ?*)").build()
+        _, streaming = evaluate_with_metrics(query, db, executor="streaming")
+        # scan_root yields a stored reference, not a materialized copy.
+        assert streaming[(0,)].peak_buffered == 0
+
+
+class TestMidStreamBudgetTrips:
+    def test_nodes_budget_trips_before_the_scan_finishes(self):
+        tree = parse_tree("a(b(c d) e)")  # 5 nodes
+        db = Database()
+        db.bind_root("T", tree)
+        query = Q.root("T").sub_select("z").build()
+        budget = Budget(max_nodes_scanned=2)
+
+        with pytest.raises(ResourceExhaustedError) as streaming_info:
+            evaluate(query, db, budget=budget, executor="streaming")
+        with pytest.raises(ResourceExhaustedError) as eager_info:
+            evaluate(query, db, budget=budget, executor="eager")
+
+        streaming_exc, eager_exc = streaming_info.value, eager_info.value
+        assert streaming_exc.limit_name == eager_exc.limit_name == "max_nodes_scanned"
+        # Streaming charges candidate by candidate: the trip fires on the
+        # third node tried.  Eager bills the full 5-node tree up front.
+        assert streaming_exc.spent == 3
+        assert eager_exc.spent == tree.size() == 5
+        assert streaming_exc.spent < eager_exc.spent
+
+    def test_trip_is_annotated_with_the_pulling_operator(self):
+        tree = parse_tree("a(b(c d) e)")
+        db = Database()
+        db.bind_root("T", tree)
+        query = Q.root("T").sub_select("z").build()
+        with pytest.raises(ResourceExhaustedError) as info:
+            evaluate(query, db, budget=Budget(max_nodes_scanned=2))
+        assert info.value.plan_path == ()
+        assert info.value.operator == query.head()
+
+    def test_results_budget_trips_at_the_limit_not_the_cardinality(self):
+        from repro.core.identity import Record
+
+        db = Database()
+        db.insert_many([Record(name=f"p{i}") for i in range(10)], "Person")
+        query = Q.extent("Person").build()
+        budget = Budget(max_results=3)
+
+        with pytest.raises(ResourceExhaustedError) as streaming_info:
+            evaluate(query, db, budget=budget, executor="streaming")
+        with pytest.raises(ResourceExhaustedError) as eager_info:
+            evaluate(query, db, budget=budget, executor="eager")
+        # Row-by-row counting stops at limit+1; eager sees all 10 first.
+        assert streaming_info.value.spent == 4
+        assert eager_info.value.spent == 10

@@ -1,0 +1,229 @@
+"""Streaming executor ≡ eager interpreter, bit for bit.
+
+The refactor's contract: lowering a logical plan to the Volcano-style
+pipeline changes *when* work happens, never *what* comes out — same
+members in the same order under the same equality notion, same
+per-operator metrics paths and totals, same instrumentation counters,
+same coercion diagnostics.
+"""
+
+import pytest
+
+from repro.core import make_tuple
+from repro.core.aqua_list import AquaList
+from repro.core.aqua_set import AquaSet
+from repro.core.identity import Record
+from repro.errors import QueryError
+from repro.predicates import attr
+from repro.query import Q, evaluate
+from repro.query.interpreter import evaluate_with_metrics
+from repro.storage import Database
+from repro.workloads import (
+    BRAZIL,
+    by_citizen_or_name,
+    by_element,
+    by_pitch,
+    figure3_family_tree,
+    random_family_tree,
+    random_rna_structure,
+    song_with_melody,
+)
+
+
+def ordered(value):
+    """Observable member order (sets and lists stream in a fixed order)."""
+    if isinstance(value, AquaSet):
+        return list(value)
+    if isinstance(value, AquaList):
+        return value.values()
+    return value
+
+
+def family_db() -> Database:
+    db = Database()
+    db.bind_root("family", figure3_family_tree())
+    db.bind_root("big", random_family_tree(80, seed=3, planted_matches=2))
+    return db
+
+
+def music_db() -> Database:
+    db = Database()
+    db.bind_root("song", song_with_melody(120, ["A", "C", "D", "F"], 3, seed=11))
+    return db
+
+
+def rna_db() -> Database:
+    db = Database()
+    db.bind_root("rna", random_rna_structure(120, seed=7))
+    return db
+
+
+def person_db() -> Database:
+    db = Database()
+    db.insert_many(
+        [
+            Record(name=f"p{i}", age=i % 60, city=f"C{i % 10}", salary=i % 900)
+            for i in range(150)
+        ],
+        "Person",
+    )
+    db.create_index("Person", "city")
+    return db
+
+
+CASES = {
+    "tree-select": lambda: (family_db(), Q.root("family").select(BRAZIL).build()),
+    "tree-apply": lambda: (
+        family_db(),
+        Q.root("family").apply(lambda person: person.name).build(),
+    ),
+    "sub-select": lambda: (
+        family_db(),
+        Q.root("big")
+        .sub_select("Brazil(!?* USA !?*)", resolver=by_citizen_or_name)
+        .build(),
+    ),
+    "split": lambda: (
+        family_db(),
+        Q.root("big")
+        .split("Brazil(!?* USA !?*)", make_tuple, resolver=by_citizen_or_name)
+        .build(),
+    ),
+    "split-then-apply": lambda: (
+        family_db(),
+        Q.root("big")
+        .split("Brazil(!?* USA !?*)", make_tuple, resolver=by_citizen_or_name)
+        .sapply(lambda t: t[1])
+        .build(),
+    ),
+    "all-desc": lambda: (
+        family_db(),
+        Q.root("big")
+        .all_desc("USA", make_tuple, resolver=by_citizen_or_name)
+        .build(),
+    ),
+    "rna-motif": lambda: (
+        rna_db(),
+        Q.root("rna").sub_select("S(H)", resolver=by_element).build(),
+    ),
+    "list-select": lambda: (
+        music_db(),
+        Q.root("song").lselect(attr("pitch") == "A").build(),
+    ),
+    "list-apply": lambda: (
+        music_db(),
+        Q.root("song").lapply(lambda note: note.pitch).build(),
+    ),
+    "list-sub-select": lambda: (
+        music_db(),
+        Q.root("song").lsub_select("[A??F]", resolver=by_pitch).build(),
+    ),
+    "extent-select": lambda: (
+        person_db(),
+        Q.extent("Person")
+        .sselect((attr("age") > 30) & (attr("city") == "C3"))
+        .build(),
+    ),
+    "extent-apply": lambda: (
+        person_db(),
+        Q.extent("Person")
+        .sselect(attr("age") > 50)
+        .sapply(lambda p: p.city)
+        .build(),
+    ),
+    "union": lambda: (
+        person_db(),
+        Q.extent("Person")
+        .sselect(attr("city") == "C3")
+        .union(Q.extent("Person").sselect(attr("age") > 55))
+        .build(),
+    ),
+    "intersect": lambda: (
+        person_db(),
+        Q.extent("Person")
+        .sselect(attr("city") == "C3")
+        .intersect(Q.extent("Person").sselect(attr("age") > 30))
+        .build(),
+    ),
+    "difference": lambda: (
+        person_db(),
+        Q.extent("Person")
+        .sselect(attr("city") == "C3")
+        .difference(Q.extent("Person").sselect(attr("age") > 30))
+        .build(),
+    ),
+}
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_results_identical_including_member_order(case):
+    db, query = CASES[case]()
+    streaming = evaluate(query, db, executor="streaming")
+    eager = evaluate(query, db, executor="eager")
+    assert streaming == eager
+    assert ordered(streaming) == ordered(eager)
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_metrics_agree_per_operator(case):
+    db, query = CASES[case]()
+    _, streaming = evaluate_with_metrics(query, db, executor="streaming")
+    _, eager = evaluate_with_metrics(query, db, executor="eager")
+    assert set(streaming.operators) == set(eager.operators)
+    for path, op in streaming.operators.items():
+        reference = eager.operators[path]
+        assert op.head == reference.head
+        assert op.calls == reference.calls == 1
+        assert op.rows_out == reference.rows_out, path
+    assert streaming.totals() == eager.totals()
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_global_counters_agree(case):
+    db, query = CASES[case]()
+    with db.stats.scope() as streaming:
+        evaluate(query, db, executor="streaming")
+    with db.stats.scope() as eager:
+        evaluate(query, db, executor="eager")
+    assert streaming.snapshot() == eager.snapshot()
+
+
+class TestEqualityNotions:
+    def test_set_results_preserve_the_producer_equality(self):
+        db, query = CASES["tree-select"]()
+        streaming = evaluate(query, db, executor="streaming")
+        eager = evaluate(query, db, executor="eager")
+        assert streaming.equality is eager.equality
+
+    def test_apply_deduplicates_under_source_equality(self):
+        db, query = CASES["extent-apply"]()
+        streaming = evaluate(query, db, executor="streaming")
+        eager = evaluate(query, db, executor="eager")
+        assert len(streaming) == len(eager)
+        assert ordered(streaming) == ordered(eager)
+
+
+class TestCoercionDiagnostics:
+    """Satellite: type errors name the offending plan path (head chain)."""
+
+    @pytest.mark.parametrize("executor", ["streaming", "eager"])
+    def test_tree_operator_over_a_list_names_the_head_chain(self, executor):
+        db, _ = CASES["list-select"]()
+        query = Q.root("song").sub_select("a").sapply(lambda t: t).build()
+        with pytest.raises(QueryError) as info:
+            evaluate(query, db, executor=executor)
+        message = str(info.value)
+        assert "plan path:" in message
+        # The chain runs from the plan root down to the offending operator.
+        assert "sapply" in message
+        assert "sub_select[a]" in message
+
+    def test_messages_are_identical_across_executors(self):
+        db, _ = CASES["list-select"]()
+        query = Q.root("song").sub_select("a").sapply(lambda t: t).build()
+        messages = []
+        for which in ("streaming", "eager"):
+            with pytest.raises(QueryError) as info:
+                evaluate(query, db, executor=which)
+            messages.append(str(info.value))
+        assert messages[0] == messages[1]
