@@ -22,7 +22,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import time
+from contextlib import contextmanager
 from typing import Any, Callable
 
 from repro import guardrails
@@ -54,12 +56,14 @@ from repro.query import Q, evaluate, evaluate_with_metrics
 from repro.query import expr as E
 from repro.storage import Database
 from repro.core.identity import Record
+from repro.storage.stats import Instrumentation
 from repro.workloads import (
     BRAZIL,
     by_citizen_or_name,
     by_element,
     by_op_name,
     by_pitch,
+    element,
     figure3_family_tree,
     figure5_parse_tree,
     random_algebra_tree,
@@ -71,6 +75,20 @@ from repro.workloads import (
     section5_rebuild,
     song_with_melody,
 )
+
+
+@contextmanager
+def tree_engine_env(engine: str):
+    """Pin ``AQUA_TREE_ENGINE`` for one measurement."""
+    previous = os.environ.get("AQUA_TREE_ENGINE")
+    os.environ["AQUA_TREE_ENGINE"] = engine
+    try:
+        yield
+    finally:
+        if previous is None:
+            del os.environ["AQUA_TREE_ENGINE"]
+        else:
+            os.environ["AQUA_TREE_ENGINE"] = previous
 
 
 def timed(function: Callable[[], object], repeat: int = 3) -> tuple[float, object]:
@@ -245,6 +263,67 @@ def claim_kleene() -> None:
     )
 
 
+def claim_memo() -> None:
+    """Footnote 3 revisited: the packrat memo engine vs the backtracker.
+
+    Measures matcher steps and wall time, memo off vs on, over the two
+    workloads CI gates on: the CLAIM-KLEENE closure ladder and the
+    FIG4 family-tree split.
+    """
+    from repro.core import AquaTree
+
+    ladder = parse_tree_pattern("[[S(B(@))]]+@ .@ S(H)", resolver=by_element)
+    ladder_chain = AquaTree.build(element("S"), [AquaTree.leaf(element("H"))])
+    for _ in range(64):
+        ladder_chain = AquaTree.build(
+            element("S"), [AquaTree.build(element("B"), [ladder_chain])]
+        )
+    structure = random_rna_structure(1500, seed=7)
+    family = random_family_tree(2000, seed=8, planted_matches=8)
+
+    def kleene_run():
+        return (
+            [m.key() for m in find_tree_matches(ladder, ladder_chain)],
+            [m.key() for m in find_tree_matches(ladder, structure)],
+        )
+
+    def fig4_run():
+        pieces = split_pieces(
+            "Brazil(!?* USA !?*)", family, resolver=by_citizen_or_name
+        )
+        return len(pieces)
+
+    for workload, run in (
+        ("bench_claim_kleene", kleene_run),
+        ("bench_fig4_split", fig4_run),
+    ):
+        measured: dict[str, dict[str, float]] = {}
+        answers = {}
+        for engine in ("backtrack", "memo"):
+            with tree_engine_env(engine):
+                stats = Instrumentation()
+                with stats.activated():
+                    answers[engine] = run()
+                elapsed, _ = timed(run)
+            measured[engine] = {
+                "steps": stats["backtrack_steps"],
+                "ms": elapsed * 1e3,
+            }
+        assert answers["memo"] == answers["backtrack"]
+        off, on = measured["backtrack"], measured["memo"]
+        row(
+            "CLAIM-MEMO",
+            f"{workload}: matcher steps {off['steps']:.0f} → {on['steps']:.0f} "
+            f"(x{off['steps'] / max(on['steps'], 1):.1f}), "
+            f"wall {off['ms']:.1f} ms → {on['ms']:.1f} ms",
+            workload=workload,
+            backtrack_steps=off["steps"],
+            memo_steps=on["steps"],
+            backtrack_ms=off["ms"],
+            memo_ms=on["ms"],
+        )
+
+
 def claim_printf() -> None:
     program = random_c_program(5000, seed=3, printf_count=25, double_ref_count=7)
     pattern = "printf(?* LargeData ?* LargeData ?*)"
@@ -330,6 +409,7 @@ EXPERIMENTS = [
     claim_split,
     claim_conjunct,
     claim_kleene,
+    claim_memo,
     claim_printf,
     claim_melody,
     claim_list_tree,

@@ -10,6 +10,9 @@ decisions, not where the decisions live.
 
 * :func:`tree_split_anchors` — the root predicates of a tree pattern,
   when each is index-servable (the §4 "index on d" precondition);
+* :func:`probe_anchor_roots` — the runtime half of the same decision:
+  probe those anchors' node indexes for candidate match roots (shared
+  verbatim by the eager interpreter and the streaming operators);
 * :func:`list_anchor_choice` — a required atom of a list pattern at a
   bounded offset from the match start, plus the possible offsets;
 * :func:`extent_conjunct_split` — the indexed/residual decomposition of
@@ -18,8 +21,9 @@ decisions, not where the decisions live.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
+from ..core.aqua_tree import AquaTree, TreeNode
 from ..patterns.list_ast import Atom as ListAtom
 from ..patterns.list_ast import Concat as ListConcat
 from ..patterns.list_ast import ListPattern, ListPatternNode
@@ -28,6 +32,8 @@ from ..predicates.alphabet import AlphabetPredicate, And
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..storage.database import Database
+    from ..storage.stats import Instrumentation
+    from ..storage.tree_index import TreeIndex
 
 
 def _index_servable(predicate: AlphabetPredicate) -> bool:
@@ -56,6 +62,47 @@ def tree_split_anchors(pattern: TreePattern) -> tuple[AlphabetPredicate, ...] | 
         if not _index_servable(anchor):
             return None
     return tuple(anchors)
+
+
+def probe_anchor_roots(
+    db: "Database",
+    tree: AquaTree,
+    anchors: Iterable[AlphabetPredicate],
+    stats: "Instrumentation | None" = None,
+) -> "tuple[list[TreeNode] | None, TreeIndex]":
+    """Index-probed candidate match roots: ``(roots, index)``.
+
+    The runtime companion of :func:`tree_split_anchors`, shared by the
+    eager interpreter and the streaming probing operators so both sides
+    charge identical work.  ``roots`` is ``None`` when some anchor had
+    no servable term — the caller should fall back to the full scan
+    rather than probe twice.
+
+    Candidate re-checks run through the tree index's predicate-outcome
+    bitmap (:meth:`~repro.storage.tree_index.TreeIndex.predicate_outcome`),
+    so an anchor is evaluated at most once per node across the probe,
+    the matcher that follows, and any other operator of the query — the
+    fix for the duplicated evaluation the fallback scans used to do.
+    The index is returned so callers can hand that same bitmap to the
+    match context they prime for the candidate stream.
+    """
+    attributes: set[str] = set()
+    for anchor in anchors:
+        attributes |= anchor.attributes()
+    index = db.tree_index(tree, attributes)
+    roots: dict[int, TreeNode] = {}
+    fell_through = False
+    for anchor in anchors:
+        candidates, used = index.candidate_nodes(anchor, stats)
+        if not used:
+            fell_through = True
+            break
+        for candidate in candidates:
+            if index.predicate_outcome(anchor, candidate, stats):
+                roots[id(candidate)] = candidate
+    if fell_through:
+        return None, index
+    return list(roots.values()), index
 
 
 def anchor_offsets(

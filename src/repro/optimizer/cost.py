@@ -42,6 +42,30 @@ DEFAULT_SELECTIVITY = 0.1
 #: Cost of one index probe, in predicate-evaluation units.
 PROBE_COST = 5.0
 
+#: Per-closure blowup of the backtracking tree matcher: every star/plus
+#: roughly doubles the candidate expansions it explores.
+CLOSURE_BASE_BACKTRACK = 2.0
+
+#: Per-closure blowup under the packrat memo engine.  Memoization turns
+#: the re-explored expansions into table replays, so closures cost far
+#: less than a doubling — calibrated against the CLAIM-MEMO harness
+#: workloads, where memo-on matcher steps grow mildly with closure
+#: count instead of exponentially.
+CLOSURE_BASE_MEMO = 1.25
+
+
+def closure_penalty_base() -> float:
+    """Per-closure cost multiplier for the active tree-match engine.
+
+    Split-rewrite decisions weigh per-candidate matching cost against
+    probe cost; with memoization on, closure-heavy patterns are much
+    cheaper to re-match, so the optimizer must not overestimate them or
+    it keeps choosing probe-heavy plans the memo engine makes pointless.
+    """
+    from ..patterns.tree_match import tree_engine
+
+    return CLOSURE_BASE_MEMO if tree_engine() == "memo" else CLOSURE_BASE_BACKTRACK
+
 
 def tree_pattern_cost(pattern: TreePattern) -> float:
     """Per-candidate matching cost: atoms, with closures penalized."""
@@ -52,7 +76,7 @@ def tree_pattern_cost(pattern: TreePattern) -> float:
             atoms += 1
         if isinstance(node, (TreeStar, TreePlus, ChildStar, ChildPlus)):
             closures += 1
-    return max(1.0, float(atoms)) * (2.0 ** closures)
+    return max(1.0, float(atoms)) * (closure_penalty_base() ** closures)
 
 
 def list_pattern_cost(pattern: ListPattern) -> float:

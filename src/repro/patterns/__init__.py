@@ -59,11 +59,21 @@ from .tree_ast import (
     TreeUnion,
 )
 from .tree_match import (
+    TREE_ENGINE_ENV,
     Pruned,
     Shape,
     TreeMatch,
     find_tree_matches,
+    iter_tree_matches,
+    tree_engine,
     tree_in_language,
+)
+from .tree_memo import (
+    MatchContextRegistry,
+    MemoTreeMatcher,
+    TreeMatchContext,
+    current_registry,
+    match_scope,
 )
 from .tree_parser import parse_tree_pattern, tree_pattern
 
@@ -80,6 +90,8 @@ __all__ = [
     "Epsilon",
     "LazyDFA",
     "ListMatch",
+    "MatchContextRegistry",
+    "MemoTreeMatcher",
     "ListPattern",
     "ListPatternNode",
     "NFA",
@@ -89,9 +101,11 @@ __all__ = [
     "Pruned",
     "Shape",
     "Star",
+    "TREE_ENGINE_ENV",
     "TreeAtom",
     "TreeConcat",
     "TreeMatch",
+    "TreeMatchContext",
     "TreePattern",
     "TreePatternNode",
     "TreePlus",
@@ -103,6 +117,7 @@ __all__ = [
     "atom",
     "compile_dfa",
     "compile_nfa",
+    "current_registry",
     "deriv_accepts",
     "deriv_find_spans",
     "derivative",
@@ -116,7 +131,9 @@ __all__ = [
     "find_list_matches",
     "find_spans",
     "find_tree_matches",
+    "iter_tree_matches",
     "list_pattern",
+    "match_scope",
     "matches_whole",
     "nfa_find_spans",
     "parse_list_pattern",
@@ -124,6 +141,7 @@ __all__ = [
     "regex_find_spans",
     "seq",
     "to_python_regex",
+    "tree_engine",
     "tree_in_language",
     "tree_pattern",
     "union",

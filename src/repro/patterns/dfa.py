@@ -13,24 +13,30 @@ warm, each element costs one predicate-vector evaluation plus one dict
 lookup — the classic DFA-vs-backtracking gap measured by the
 ``CLAIM-DFA`` benchmark.
 
-The cache is **bounded** (``cache_limit``, FIFO eviction of the oldest
-quarter) so long-running shells matching over high-cardinality alphabets
-cannot grow it without limit, and the matcher keeps warmth counters —
-hits, misses, evictions, predicate evaluations — that it flushes to any
-activated :mod:`~repro.storage.stats` sink, which is how
-``EXPLAIN ANALYZE`` charts DFA cache warmth per operator.
+The cache is **bounded** (``cache_limit``, LRU eviction: a hit marks the
+entry most-recently-used, a miss at capacity drops exactly the least
+recently used one) so long-running shells matching over high-cardinality
+alphabets cannot grow it without limit, and the matcher keeps warmth
+counters — hits, misses, evictions, predicate evaluations — that it
+flushes to any activated :mod:`~repro.storage.stats` sink, which is how
+``EXPLAIN ANALYZE`` charts DFA cache warmth per operator.  The default
+bound honours the ``AQUA_DFA_CACHE_LIMIT`` environment knob.
 """
 
 from __future__ import annotations
 
-from itertools import islice
+import os
 from typing import Any, Sequence
 
 from .. import guardrails
+from ..errors import PatternError
 from ..predicates.alphabet import AlphabetPredicate
 from ..storage import stats as stats_mod
 from .list_ast import ListPattern, ListPatternNode
 from .nfa import NFA, compile_nfa
+
+#: Environment knob overriding the default transition-cache bound.
+DFA_CACHE_LIMIT_ENV = "AQUA_DFA_CACHE_LIMIT"
 
 #: Default transition-cache bound; generous for real alphabets (a cache
 #: entry per *distinct* (state-set, outcome-vector) pair), small enough
@@ -38,10 +44,28 @@ from .nfa import NFA, compile_nfa
 DEFAULT_CACHE_LIMIT = 4096
 
 
+def default_cache_limit() -> int:
+    """The cache bound from ``AQUA_DFA_CACHE_LIMIT``, or the default."""
+    raw = os.environ.get(DFA_CACHE_LIMIT_ENV)
+    if raw is None:
+        return DEFAULT_CACHE_LIMIT
+    try:
+        limit = int(raw)
+    except ValueError:
+        raise PatternError(
+            f"{DFA_CACHE_LIMIT_ENV} must be an integer, got {raw!r}"
+        ) from None
+    if limit < 1:
+        raise PatternError(f"{DFA_CACHE_LIMIT_ENV} must be at least 1, got {limit}")
+    return limit
+
+
 class LazyDFA:
     """A deterministic matcher built lazily over an ε-NFA."""
 
-    def __init__(self, nfa: NFA, cache_limit: int = DEFAULT_CACHE_LIMIT) -> None:
+    def __init__(self, nfa: NFA, cache_limit: int | None = None) -> None:
+        if cache_limit is None:
+            cache_limit = default_cache_limit()
         if cache_limit < 1:
             raise ValueError("cache_limit must be at least 1")
         self._nfa = nfa
@@ -123,6 +147,10 @@ class LazyDFA:
         cached = self._cache.get(key)
         if cached is not None:
             self.cache_hits += 1
+            # LRU: re-insert so the entry moves to the back of the dict's
+            # insertion order — the front is always the coldest entry.
+            del self._cache[key]
+            self._cache[key] = cached
             return cached
         self.cache_misses += 1
         moved: set[int] = set()
@@ -132,13 +160,13 @@ class LazyDFA:
                     moved.add(target)
         result = self._nfa.eps_closure(moved) if moved else frozenset()
         if len(self._cache) >= self._cache_limit:
-            # FIFO eviction of the oldest quarter (dicts preserve
-            # insertion order); crude but O(1) amortized and enough to
-            # bound a resident shell's footprint.
-            evict = max(1, self._cache_limit // 4)
-            for stale in list(islice(iter(self._cache), evict)):
-                del self._cache[stale]
-            self.cache_evictions += evict
+            # Evict exactly the least recently used entry (the front of
+            # the insertion order, thanks to the re-insert on hit) —
+            # unlike dropping a whole FIFO quarter, a hot working set
+            # one entry wider than the limit loses one cold transition,
+            # not a quarter of its warmth.
+            del self._cache[next(iter(self._cache))]
+            self.cache_evictions += 1
         self._cache[key] = result
         return result
 
@@ -175,7 +203,7 @@ class LazyDFA:
 
 def compile_dfa(
     pattern: ListPattern | ListPatternNode,
-    cache_limit: int = DEFAULT_CACHE_LIMIT,
+    cache_limit: int | None = None,
 ) -> LazyDFA:
     return LazyDFA(compile_nfa(pattern), cache_limit=cache_limit)
 

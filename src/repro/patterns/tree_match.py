@@ -23,12 +23,25 @@ Complexity note: enumeration is worst-case exponential, exactly as the
 paper's footnote 3 admits for closure-heavy queries; the optimizer's
 job (§4, "Why Split?") is to narrow the candidate roots so the
 exponential machinery runs on small fragments.
+
+Two engines implement the same enumeration, selected by the
+``AQUA_TREE_ENGINE`` environment knob (or per call via ``engine=``):
+
+* ``memo`` (the default) — the packrat engine of
+  :mod:`repro.patterns.tree_memo`: sub-derivations are cached per
+  ``(node, subpattern, environment)`` and alphabet predicates are
+  evaluated at most once per node through a predicate-outcome bitmap;
+* ``backtrack`` — the plain backtracker below, kept as the reference
+  semantics the memo engine is property-tested against.
+
+Both produce bit-identical ``Shape`` streams in the same order.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Callable, Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 
 from .. import guardrails
 from ..core.aqua_tree import AquaTree, TreeNode
@@ -53,6 +66,25 @@ from .tree_ast import (
     TreeStar,
     TreeUnion,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .tree_memo import TreeMatchContext
+
+#: Environment knob selecting the default tree-matching engine.
+TREE_ENGINE_ENV = "AQUA_TREE_ENGINE"
+_TREE_ENGINES = ("memo", "backtrack")
+
+
+def tree_engine(engine: str | None = None) -> str:
+    """Resolve the engine choice: explicit argument, else the env knob."""
+    chosen = engine if engine is not None else os.environ.get(TREE_ENGINE_ENV, "memo")
+    if chosen not in _TREE_ENGINES:
+        raise PatternError(
+            f"unknown tree engine {chosen!r}"
+            f" (expected one of {', '.join(_TREE_ENGINES)})"
+        )
+    return chosen
+
 
 class _StarCont:
     """Continuation binding for a closure's own point.
@@ -195,13 +227,14 @@ class _TreeMatcher:
         self.guard = guardrails.current_guard()
         self.nullable_limit = guardrails.nullable_depth_limit()
 
+    def counter_snapshot(self) -> dict[str, int]:
+        return {
+            "backtrack_steps": self.backtrack_steps,
+            "predicate_evals": self.predicate_evals,
+        }
+
     def emit_stats(self) -> None:
-        stats_mod.emit_many(
-            {
-                "backtrack_steps": self.backtrack_steps,
-                "predicate_evals": self.predicate_evals,
-            }
-        )
+        stats_mod.emit_many(self.counter_snapshot())
 
     def flush_stats(self) -> None:
         """Emit the accumulated counters and reset them to zero.
@@ -211,8 +244,35 @@ class _TreeMatcher:
         the eager entry points flush once at the end instead.
         """
         self.emit_stats()
-        self.backtrack_steps = 0
-        self.predicate_evals = 0
+        for name in self.counter_snapshot():
+            setattr(self, name, 0)
+
+    def absorb_counters(self, other: "_TreeMatcher", since: dict[str, int]) -> None:
+        """Fold in the work ``other`` did since ``since`` was snapshot."""
+        for name, value in other.counter_snapshot().items():
+            setattr(self, name, getattr(self, name) + value - since.get(name, 0))
+
+    # -- engine seams (the memo engine overrides these) ----------------------
+
+    def eval_predicate(self, predicate, node: TreeNode) -> bool:
+        """One alphabet-predicate test on one data node."""
+        self.predicate_evals += 1
+        return predicate(node.value)
+
+    def plus_star(self, tp: TreePlus) -> TreeStar:
+        """The star a ``tp+α`` unfolds through.
+
+        A fresh node per expansion, exactly like the inline construction
+        it replaces — cycle-guard keys compare star identity, so sharing
+        one star across expansions would merge guard chains the
+        backtracker keeps distinct.  The memo engine also creates fresh
+        stars but registers each under one stable memo number.
+        """
+        return TreeStar(tp.inner, tp.point)
+
+    def prune_matcher(self) -> "_TreeMatcher":
+        """The matcher for a prune's inner pattern (⊥ never reaches it)."""
+        return self if not self.leaf_anchor else _TreeMatcher(False)
 
     # -- nullability (can the pattern denote NULL?) --------------------------
 
@@ -258,7 +318,7 @@ class _TreeMatcher:
             return self.nullable(binding, env, depth + 1)
         if isinstance(tp, TreePlus):
             inner_env = dict(env)
-            inner_env[tp.point.label] = _StarCont(TreeStar(tp.inner, tp.point), dict(env))
+            inner_env[tp.point.label] = _StarCont(self.plus_star(tp), dict(env))
             return self.nullable(tp.inner, inner_env, depth + 1)
         if isinstance(tp, TreeConcat):
             inner_env = dict(env)
@@ -295,8 +355,7 @@ class _TreeMatcher:
         if isinstance(tp, TreeAtom):
             if node.is_concat_point:
                 return
-            self.predicate_evals += 1
-            if not tp.predicate(node.value):
+            if not self.eval_predicate(tp.predicate, node):
                 return
             if tp.children is None:
                 if self.leaf_anchor:
@@ -358,7 +417,7 @@ class _TreeMatcher:
             return
         if isinstance(tp, TreePlus):
             inner_env = dict(env)
-            inner_env[tp.point.label] = _StarCont(TreeStar(tp.inner, tp.point), dict(env))
+            inner_env[tp.point.label] = _StarCont(self.plus_star(tp), dict(env))
             yield from self.match_node(tp.inner, node, inner_env, guard, depth + 1)
             return
         if isinstance(tp, TreeConcat):
@@ -371,14 +430,14 @@ class _TreeMatcher:
             # inner pattern only gates whether the prune applies.  The ⊥
             # leaf anchor does not reach inside prunes — pruned subtrees
             # are excluded from the match, so their leaves need not align.
-            inner_matcher = self if not self.leaf_anchor else _TreeMatcher(False)
+            inner_matcher = self.prune_matcher()
+            since = None if inner_matcher is self else inner_matcher.counter_snapshot()
             matched = any(
                 True
                 for _ in inner_matcher.match_node(tp.inner, node, env, guard, depth + 1)
             )
-            if inner_matcher is not self:
-                self.backtrack_steps += inner_matcher.backtrack_steps
-                self.predicate_evals += inner_matcher.predicate_evals
+            if since is not None:
+                self.absorb_counters(inner_matcher, since)
             if matched:
                 yield Pruned(node)
             return
@@ -464,11 +523,56 @@ class _TreeMatcher:
                 yield end, head + tail
 
 
+def _resolve_context(
+    pattern: TreePattern,
+    data: AquaTree,
+    engine: str | None,
+    context: "TreeMatchContext | None",
+) -> "tuple[TreePattern, TreeMatchContext | None]":
+    """Pick the engine and (for ``memo``) the shared match context.
+
+    An explicit ``context`` wins and implies the memo engine.  Otherwise
+    the resolved engine decides: ``memo`` fetches a context from the
+    active per-query registry (sharing memo tables and bitmap across
+    every operator matching this (pattern, tree) pair) or builds a
+    standalone one; ``backtrack`` returns no context.  Matching always
+    uses the *context's* compiled pattern — an equal pattern compiled
+    elsewhere would defeat the identity-keyed sub-term interning.
+    """
+    from .tree_memo import TreeMatchContext, current_registry
+
+    if context is None:
+        if tree_engine(engine) == "backtrack":
+            return pattern, None
+        registry = current_registry()
+        if registry is not None:
+            context = registry.context_for(pattern, data)
+        else:
+            context = TreeMatchContext(pattern, data)
+    elif context.tree is not data:
+        raise PatternError(
+            "tree match context was built for a different data tree"
+        )
+    return context.pattern, context
+
+
+def _make_matcher(
+    pattern: TreePattern, context: "TreeMatchContext | None"
+) -> _TreeMatcher:
+    if context is None:
+        return _TreeMatcher(leaf_anchor=pattern.leaf_anchor)
+    from .tree_memo import MemoTreeMatcher
+
+    return MemoTreeMatcher(context, leaf_anchor=pattern.leaf_anchor)
+
+
 def find_tree_matches(
     pattern: TreePattern,
     data: AquaTree,
     roots: Sequence[TreeNode] | None = None,
     limit: int | None = None,
+    engine: str | None = None,
+    context: "TreeMatchContext | None" = None,
 ) -> list[TreeMatch]:
     """Enumerate distinct matches of ``pattern`` in ``data``.
 
@@ -478,7 +582,9 @@ def find_tree_matches(
     their roots.
     """
     results: list[TreeMatch] = []
-    for match in iter_tree_matches(pattern, data, roots=roots):
+    for match in iter_tree_matches(
+        pattern, data, roots=roots, engine=engine, context=context
+    ):
         results.append(match)
         if limit is not None and len(results) >= limit:
             break
@@ -491,6 +597,8 @@ def iter_tree_matches(
     roots: Sequence[TreeNode] | None = None,
     on_candidate: "Callable[[TreeNode], None] | None" = None,
     flush_per_candidate: bool = False,
+    engine: str | None = None,
+    context: "TreeMatchContext | None" = None,
 ) -> Iterator[TreeMatch]:
     """Lazily enumerate distinct matches, in preorder of their roots.
 
@@ -506,13 +614,21 @@ def iter_tree_matches(
     ``flush_per_candidate`` flushes matcher counters after every
     candidate so they are credited to whichever operator scope is
     attributed at pull time.
+
+    ``engine`` selects the matching engine (default: the
+    ``AQUA_TREE_ENGINE`` knob); ``context`` supplies a shared
+    :class:`~repro.patterns.tree_memo.TreeMatchContext` so one memo
+    table and predicate bitmap serve a whole candidate stream (and, via
+    the per-query registry, every operator matching the same pattern
+    against the same tree).
     """
     if isinstance(pattern.body, TreePrune):
         raise PatternError("a prune marker cannot be the whole pattern")
     if data.root is None:
         return
+    pattern, context = _resolve_context(pattern, data, engine, context)
     with guardrails.guarded():
-        matcher = _TreeMatcher(leaf_anchor=pattern.leaf_anchor)
+        matcher = _make_matcher(pattern, context)
 
         candidates: Iterable[TreeNode]
         if pattern.root_anchor:
@@ -546,7 +662,12 @@ def iter_tree_matches(
             matcher.emit_stats()
 
 
-def tree_in_language(pattern: TreePattern, data: AquaTree) -> bool:
+def tree_in_language(
+    pattern: TreePattern,
+    data: AquaTree,
+    engine: str | None = None,
+    context: "TreeMatchContext | None" = None,
+) -> bool:
     """Is the whole tree an element of the pattern's language?
 
     Language membership requires the match to cover the entire tree: it
@@ -558,7 +679,8 @@ def tree_in_language(pattern: TreePattern, data: AquaTree) -> bool:
         if data.root is None:
             matcher = _TreeMatcher(leaf_anchor=False)
             return matcher.nullable(pattern.body, {})
-        matcher = _TreeMatcher(leaf_anchor=pattern.leaf_anchor)
+        pattern, context = _resolve_context(pattern, data, engine, context)
+        matcher = _make_matcher(pattern, context)
         try:
             for shape in matcher.match_node(pattern.body, data.root, {}):
                 if isinstance(shape, Pruned):

@@ -28,6 +28,8 @@ from ..optimizer.anchors import (
     list_anchor_choice,
     tree_split_anchors,
 )
+from ..patterns.list_parser import list_pattern
+from ..patterns.tree_parser import tree_pattern
 from ..query import expr as E
 from .base import PhysicalOp, PhysicalPlan
 from . import operators as P
@@ -91,31 +93,40 @@ def _lower_tree_apply(node: E.TreeApply, db, choose) -> PhysicalOp:
 
 def _lower_sub_select(node: E.SubSelect, db, choose) -> PhysicalOp:
     child = _child(node, db, choose)
+    # Patterns are compiled once here, at lowering time, so the probing
+    # operators never coerce per ``rows()`` and every operator matching
+    # the same pattern hands the match-context registry an equal key.
+    tp = tree_pattern(node.pattern)
     if choose:
-        anchors = tree_split_anchors(node.pattern)
+        anchors = tree_split_anchors(tp)
         if anchors is not None:
-            return P.IndexAnchorScan(node, child, node.pattern, anchors)
-    return P.SubSelectPipe(node, child, node.pattern)
+            return P.IndexAnchorScan(node, child, tp, anchors)
+    return P.SubSelectPipe(node, child, tp)
 
 
 def _lower_indexed_sub_select(node: E.IndexedSubSelect, db, choose) -> PhysicalOp:
-    return P.IndexAnchorScan(node, _child(node, db, choose), node.pattern, node.anchors)
+    return P.IndexAnchorScan(
+        node, _child(node, db, choose), tree_pattern(node.pattern), node.anchors
+    )
 
 
 def _lower_split(node: E.Split, db, choose) -> PhysicalOp:
     child = _child(node, db, choose)
+    tp = tree_pattern(node.pattern)
     if choose:
-        anchors = tree_split_anchors(node.pattern)
+        anchors = tree_split_anchors(tp)
         if anchors is not None:
-            return P.IndexAnchorSplit(
-                node, child, node.pattern, node.function, anchors
-            )
-    return P.SplitPipe(node, child, node.pattern, node.function)
+            return P.IndexAnchorSplit(node, child, tp, node.function, anchors)
+    return P.SplitPipe(node, child, tp, node.function)
 
 
 def _lower_indexed_split(node: E.IndexedSplit, db, choose) -> PhysicalOp:
     return P.IndexAnchorSplit(
-        node, _child(node, db, choose), node.pattern, node.function, node.anchors
+        node,
+        _child(node, db, choose),
+        tree_pattern(node.pattern),
+        node.function,
+        node.anchors,
     )
 
 
@@ -149,19 +160,24 @@ def _lower_list_apply(node: E.ListApply, db, choose) -> PhysicalOp:
 
 def _lower_list_sub_select(node: E.ListSubSelect, db, choose) -> PhysicalOp:
     child = _child(node, db, choose)
+    lp = list_pattern(node.pattern)
     if choose:
-        chosen = list_anchor_choice(node.pattern)
+        chosen = list_anchor_choice(lp)
         if chosen is not None:
             anchor, offsets = chosen
-            return P.ListAnchorScan(node, child, node.pattern, anchor, offsets)
-    return P.ListSubSelectPipe(node, child, node.pattern)
+            return P.ListAnchorScan(node, child, lp, anchor, offsets)
+    return P.ListSubSelectPipe(node, child, lp)
 
 
 def _lower_indexed_list_sub_select(
     node: E.IndexedListSubSelect, db, choose
 ) -> PhysicalOp:
     return P.ListAnchorScan(
-        node, _child(node, db, choose), node.pattern, node.anchor, node.offsets
+        node,
+        _child(node, db, choose),
+        list_pattern(node.pattern),
+        node.anchor,
+        node.offsets,
     )
 
 

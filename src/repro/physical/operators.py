@@ -27,7 +27,6 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterator
 
-from ..algebra.list_ops import split_list
 from ..algebra.tree_ops import (
     _context_tree,
     all_anc,
@@ -41,9 +40,11 @@ from ..core.aqua_tree import TreeNode
 from ..core.equality import DEFAULT
 from ..core.identity import as_cell
 from ..errors import QueryError
+from ..optimizer.anchors import probe_anchor_roots
 from ..patterns.list_match import iter_list_matches
 from ..patterns.list_parser import list_pattern
 from ..patterns.tree_match import iter_tree_matches
+from ..patterns.tree_memo import prime_match_context
 from ..patterns.tree_parser import tree_pattern
 from .base import PhysicalOp, dedup
 
@@ -183,27 +184,6 @@ class SubSelectPipe(PhysicalOp):
         return "full tree scan"
 
 
-def _probe_roots(db, tree, anchors) -> list[TreeNode] | None:
-    """Candidate match roots from the tree's node index, or ``None``.
-
-    ``None`` means some anchor had no servable term: fall back to the
-    full scan rather than probing twice (the eager interpreter's rule).
-    """
-    attributes: set[str] = set()
-    for anchor in anchors:
-        attributes |= anchor.attributes()
-    index = db.tree_index(tree, attributes)
-    roots: dict[int, TreeNode] = {}
-    for anchor in anchors:
-        candidates, used = index.candidate_nodes(anchor, db.stats)
-        if not used:
-            return None
-        for candidate in candidates:
-            if anchor(candidate.value):
-                roots[id(candidate)] = candidate
-    return list(roots.values())
-
-
 class IndexAnchorScan(PhysicalOp):
     """``sub_select`` served by node-index probes on the root predicates.
 
@@ -226,7 +206,11 @@ class IndexAnchorScan(PhysicalOp):
         tree = self.input_tree()
         tp = tree_pattern(self.pattern)
         self.result_equality = DEFAULT
-        roots = _probe_roots(self.ctx.db, tree, self.anchors)
+        db = self.ctx.db
+        roots, index = probe_anchor_roots(db, tree, self.anchors, db.stats)
+        # Batched candidate evaluation: one memo context + the index's
+        # own predicate bitmap serve the entire candidate stream.
+        prime_match_context(tp, tree, index.bitmap)
         seen: set[Any] = set()
         for match in iter_tree_matches(
             tp, tree, roots=roots, flush_per_candidate=True
@@ -301,7 +285,9 @@ class IndexAnchorSplit(SplitPipe):
         tree = self.input_tree()
         tp = tree_pattern(self.pattern)
         self.result_equality = DEFAULT
-        roots = _probe_roots(self.ctx.db, tree, self.anchors)
+        db = self.ctx.db
+        roots, index = probe_anchor_roots(db, tree, self.anchors, db.stats)
+        prime_match_context(tp, tree, index.bitmap)
         yield from self._piece_rows(
             tree, iter_tree_matches(tp, tree, roots=roots, flush_per_candidate=True)
         )

@@ -42,9 +42,11 @@ from ..algebra import (
 )
 from ..core.aqua_list import AquaList
 from ..core.aqua_set import AquaSet
-from ..core.aqua_tree import AquaTree, TreeNode
+from ..core.aqua_tree import AquaTree
 from ..errors import QueryError, ResourceExhaustedError
 from ..guardrails import Budget, Guard
+from ..optimizer.anchors import probe_anchor_roots
+from ..patterns.tree_memo import match_scope, prime_match_context
 from ..storage.database import Database
 from . import expr as E
 from .metrics import PlanMetrics, cardinality
@@ -82,7 +84,11 @@ def evaluate(
             f"unknown executor {executor!r} (expected one of {', '.join(_EXECUTORS)})"
         )
     stats = db.stats
-    with guardrails.guarded(budget) as guard, stats.activated():
+    # ``match_scope`` arms the per-query tree-match context registry: one
+    # memo table + predicate bitmap per (pattern, tree) pair serves every
+    # operator of this evaluation, and the database's per-query bitmaps
+    # are reset so identical runs report identical work.
+    with guardrails.guarded(budget) as guard, stats.activated(), match_scope(db):
         if executor == "eager":
             return _eval(node, db, guard, ())
         # Imported lazily: ``repro.query`` loads this module at package
@@ -238,30 +244,12 @@ def _eval_sub_select(node: E.SubSelect, db: Database, guard, trail) -> AquaSet:
     return sub_select(node.pattern, tree)
 
 
-def _probe_anchor_roots(db: Database, tree: AquaTree, anchors) -> list[TreeNode] | None:
-    """Index-probed candidate roots, or ``None`` when a probe fell through."""
-    attributes: set[str] = set()
-    for anchor in anchors:
-        attributes |= anchor.attributes()
-    index = db.tree_index(tree, attributes)
-    roots: dict[int, TreeNode] = {}
-    for anchor in anchors:
-        candidates, used = index.candidate_nodes(anchor, db.stats)
-        if not used:
-            # The access path fell through (no servable term): behave
-            # like the logical operator rather than re-scanning twice.
-            return None
-        for candidate in candidates:
-            if anchor(candidate.value):
-                roots[id(candidate)] = candidate
-    return list(roots.values())
-
-
 def _eval_indexed_sub_select(
     node: E.IndexedSubSelect, db: Database, guard, trail
 ) -> AquaSet:
     tree = _as_tree(_eval(node.input, db, guard, trail), node, trail)
-    roots = _probe_anchor_roots(db, tree, node.anchors)
+    roots, index = probe_anchor_roots(db, tree, node.anchors, db.stats)
+    prime_match_context(node.pattern, tree, index.bitmap)
     if roots is None:
         return sub_select(node.pattern, tree)
     return sub_select(node.pattern, tree, roots=roots)
@@ -274,7 +262,8 @@ def _eval_split(node: E.Split, db: Database, guard, trail) -> AquaSet:
 
 def _eval_indexed_split(node: E.IndexedSplit, db: Database, guard, trail) -> AquaSet:
     tree = _as_tree(_eval(node.input, db, guard, trail), node, trail)
-    roots = _probe_anchor_roots(db, tree, node.anchors)
+    roots, index = probe_anchor_roots(db, tree, node.anchors, db.stats)
+    prime_match_context(node.pattern, tree, index.bitmap)
     if roots is None:
         return split(node.pattern, node.function, tree)
     return split(node.pattern, node.function, tree, roots=roots)

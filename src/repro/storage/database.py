@@ -215,6 +215,17 @@ class Database:
             self._list_indexes[id(aqua_list)] = cached
         return cached
 
+    def reset_predicate_bitmaps(self) -> None:
+        """Clear every cached tree index's predicate-outcome bitmap.
+
+        The bitmaps live on the indexes so one fill serves all of a
+        query's operators, but their contents are per-query state: the
+        evaluation driver resets them when it arms a fresh query so two
+        identical runs report identical work.
+        """
+        for index in self._tree_indexes.values():
+            index.reset_bitmap()
+
     def __repr__(self) -> str:
         extents = ", ".join(f"{k}×{len(v)}" for k, v in sorted(self._extents.items()))
         return f"Database({extents}; roots={self.roots()})"

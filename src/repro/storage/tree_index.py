@@ -19,7 +19,7 @@ saying which happened, so benchmarks can report the narrowing).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterable
+from typing import Any, Callable, Iterable
 
 from .. import guardrails
 from ..core.aqua_list import AquaList
@@ -28,6 +28,77 @@ from ..faults import fault_point
 from ..predicates.alphabet import AlphabetPredicate
 from .index import VALUE_ATTRIBUTE, HashIndex, read_key
 from .stats import Instrumentation
+
+#: Bitmap plane states: 0 = unknown, 1 = known false, 2 = known true.
+_UNKNOWN, _FALSE, _TRUE = 0, 1, 2
+
+
+class PredicateBitmap:
+    """Per-query predicate-outcome planes: each alphabet predicate is
+    evaluated **at most once per data node**.
+
+    One plane (a ``bytearray`` indexed by the node's pre-order label) per
+    distinct predicate object; a cell is unknown, known-false or
+    known-true.  The bitmap is owned by the structure's
+    :class:`TreeIndex` so one fill serves every consumer of the node —
+    anchor-probe re-checks, matcher atom tests, optimizer analysis —
+    across all candidates and operators of a query.  ``reset()`` clears
+    the planes between queries (the bitmap is per-query state stored at
+    the index for sharing, not a persistent statistic).
+    """
+
+    def __init__(self, size: int, pre_of: Callable[[TreeNode], int | None]) -> None:
+        self._size = max(1, size)
+        self._pre_of = pre_of
+        self._planes: dict[int, bytearray] = {}
+        self._slots: dict[int, int] = {}
+        self._keep: list[AlphabetPredicate] = []  # keeps id() keys stable
+        self.fills = 0
+        self.hits = 0
+
+    def outcome(self, predicate: AlphabetPredicate, node: TreeNode) -> tuple[bool, bool]:
+        """``(result, filled)`` — evaluate-once semantics per node.
+
+        ``filled`` is True when this call actually ran the predicate (a
+        bitmap fill); False means the outcome was served from the plane
+        (a saved evaluation).
+        """
+        pre = self._pre_of(node)
+        if pre is None or pre >= self._size:
+            # A node the owner never labeled (e.g. a tree mutated after
+            # indexing): evaluate without caching rather than mislabel.
+            return bool(predicate(node.value)), True
+        slot = self._slots.get(id(predicate))
+        if slot is None:
+            slot = self._slots[id(predicate)] = len(self._keep)
+            self._keep.append(predicate)
+        plane = self._planes.get(slot)
+        if plane is None:
+            plane = self._planes[slot] = bytearray(self._size)
+        state = plane[pre]
+        if state != _UNKNOWN:
+            self.hits += 1
+            return state == _TRUE, False
+        result = bool(predicate(node.value))
+        plane[pre] = _TRUE if result else _FALSE
+        self.fills += 1
+        return result, True
+
+    @property
+    def plane_count(self) -> int:
+        return len(self._planes)
+
+    @property
+    def memory_cells(self) -> int:
+        """Resident plane cells — the quantity budgets charge for."""
+        return len(self._planes) * self._size
+
+    def reset(self) -> None:
+        self._planes.clear()
+        self._slots.clear()
+        self._keep.clear()
+        self.fills = 0
+        self.hits = 0
 
 
 @dataclass(frozen=True)
@@ -51,6 +122,7 @@ class TreeIndex:
             attribute: HashIndex(attribute) for attribute in attributes
         }
         self.node_count = 0
+        self._bitmap: PredicateBitmap | None = None
         self._build()
 
     def _build(self) -> None:
@@ -86,6 +158,53 @@ class TreeIndex:
 
     def depth(self, node: TreeNode) -> int:
         return self.labels[id(node)].depth
+
+    # -- predicate-outcome bitmap ---------------------------------------------
+
+    @property
+    def bitmap(self) -> PredicateBitmap:
+        """The per-query predicate-outcome bitmap, keyed by ``pre`` labels.
+
+        Lazily allocated; plane size spans the label counter's range
+        (pre labels run to ``2 · node_count`` because the counter also
+        advances at each postorder visit).
+        """
+        if self._bitmap is None:
+            labels = self.labels
+            self._bitmap = PredicateBitmap(
+                2 * self.node_count + 2,
+                lambda node: (
+                    label.pre if (label := labels.get(id(node))) is not None else None
+                ),
+            )
+        return self._bitmap
+
+    def reset_bitmap(self) -> None:
+        """Clear per-query outcome state (called at query start)."""
+        if self._bitmap is not None:
+            self._bitmap.reset()
+
+    def predicate_outcome(
+        self,
+        predicate: AlphabetPredicate,
+        node: TreeNode,
+        stats: Instrumentation | None = None,
+    ) -> bool:
+        """Evaluate ``predicate`` on ``node`` through the outcome bitmap.
+
+        This is the fix for the duplicated work in :meth:`candidate_nodes`
+        consumers: every anchor re-check and fallback scan of the same
+        (predicate, node) pair after the first is a plane lookup.  Saved
+        evaluations are flushed to stats as ``bitmap_hits``.
+        """
+        result, filled = self.bitmap.outcome(predicate, node)
+        if stats is not None:
+            if filled:
+                stats.bump("bitmap_fills")
+                stats.bump("predicate_evals")
+            else:
+                stats.bump("bitmap_hits")
+        return result
 
     # -- candidate retrieval ----------------------------------------------------
 

@@ -2,7 +2,9 @@
 
 import pytest
 
+from repro.errors import PatternError
 from repro.patterns import compile_dfa, parse_list_pattern
+from repro.patterns.dfa import DFA_CACHE_LIMIT_ENV, DEFAULT_CACHE_LIMIT
 from repro.storage.stats import Instrumentation
 
 PATTERN = parse_list_pattern("[a??f]")
@@ -11,6 +13,47 @@ PATTERN = parse_list_pattern("[a??f]")
 def test_cache_limit_must_be_positive():
     with pytest.raises(ValueError):
         compile_dfa(PATTERN, cache_limit=0)
+
+
+def test_env_knob_overrides_default_limit(monkeypatch):
+    monkeypatch.delenv(DFA_CACHE_LIMIT_ENV, raising=False)
+    assert compile_dfa(PATTERN).cache_limit == DEFAULT_CACHE_LIMIT
+    monkeypatch.setenv(DFA_CACHE_LIMIT_ENV, "2")
+    assert compile_dfa(PATTERN).cache_limit == 2
+    # An explicit argument still wins over the environment.
+    assert compile_dfa(PATTERN, cache_limit=7).cache_limit == 7
+
+
+@pytest.mark.parametrize("raw", ["lots", "0", "-3"])
+def test_env_knob_rejects_bad_values(monkeypatch, raw):
+    monkeypatch.setenv(DFA_CACHE_LIMIT_ENV, raw)
+    with pytest.raises(PatternError):
+        compile_dfa(PATTERN)
+
+
+def test_lru_hit_protects_entry_from_eviction():
+    # From the start set, 'a', 'b' and 'f' have distinct outcome vectors
+    # for the pattern's atoms (a, f), so each is its own cache key.
+    dfa = compile_dfa(PATTERN, cache_limit=2)
+    start = dfa.start_state
+    dfa.step(start, "a")  # miss: cache [a]
+    dfa.step(start, "b")  # miss: cache [a, b] — at capacity
+    dfa.step(start, "a")  # hit: 'a' becomes most recently used
+    hits = dfa.cache_hits
+    dfa.step(start, "f")  # miss at capacity: evicts 'b', the LRU entry
+    assert dfa.cache_evictions == 1
+    dfa.step(start, "a")  # 'a' survived the eviction
+    assert dfa.cache_hits == hits + 1
+    assert dfa.cached_transitions == 2
+
+
+def test_eviction_drops_exactly_one_entry_per_overflow():
+    dfa = compile_dfa(PATTERN, cache_limit=2)
+    start = dfa.start_state
+    for value in "abf":
+        dfa.step(start, value)
+    assert dfa.cached_transitions == 2
+    assert dfa.cache_evictions == 1
 
 
 def test_cache_never_exceeds_limit():

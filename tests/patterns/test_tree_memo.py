@@ -1,0 +1,241 @@
+"""The packrat memo engine (ISSUE 4): bitmaps, tables, sharing, budgets."""
+
+import pytest
+
+from repro import guardrails
+from repro.core import AquaTree
+from repro.errors import PatternError, ResourceExhaustedError
+from repro.patterns import (
+    TREE_ENGINE_ENV,
+    TreeMatchContext,
+    current_registry,
+    find_tree_matches,
+    match_scope,
+    parse_tree_pattern,
+    tree_engine,
+    tree_in_language,
+)
+from repro.predicates import pred
+from repro.storage import Database
+from repro.storage.stats import Instrumentation
+from repro.storage.tree_index import PredicateBitmap
+from repro.workloads import by_element, element
+
+LADDER = "[[S(B(@))]]+@ .@ S(H)"
+
+
+def chain(depth: int) -> AquaTree:
+    """``S(B(S(B(...S(H)...))))`` — the CLAIM-KLEENE ladder workload."""
+    tree = AquaTree.build(element("S"), [AquaTree.leaf(element("H"))])
+    for _ in range(depth):
+        tree = AquaTree.build(element("S"), [AquaTree.build(element("B"), [tree])])
+    return tree
+
+
+def match_keys(pattern, tree, engine):
+    return [m.key() for m in find_tree_matches(pattern, tree, engine=engine)]
+
+
+class TestEngineKnob:
+    def test_memo_is_the_default(self, monkeypatch):
+        monkeypatch.delenv(TREE_ENGINE_ENV, raising=False)
+        assert tree_engine() == "memo"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(TREE_ENGINE_ENV, "backtrack")
+        assert tree_engine() == "backtrack"
+
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv(TREE_ENGINE_ENV, "backtrack")
+        assert tree_engine("memo") == "memo"
+
+    @pytest.mark.parametrize("bogus", ["packrat", "", "MEMO"])
+    def test_unknown_engine_rejected(self, monkeypatch, bogus):
+        monkeypatch.setenv(TREE_ENGINE_ENV, bogus)
+        with pytest.raises(PatternError):
+            tree_engine()
+        monkeypatch.delenv(TREE_ENGINE_ENV)
+        with pytest.raises(PatternError):
+            tree_engine(bogus)
+
+
+class TestEquivalenceAndSpeedup:
+    def test_identical_match_stream_on_the_ladder(self):
+        pattern = parse_tree_pattern(LADDER, resolver=by_element)
+        tree = chain(24)
+        assert match_keys(pattern, tree, "memo") == match_keys(
+            pattern, tree, "backtrack"
+        )
+
+    def test_memo_cuts_matcher_steps_10x_on_closure_heavy_workload(self):
+        """The acceptance criterion: ≥10x fewer steps, bit-identical
+        results.  The ladder suffix query is quadratic under the
+        backtracker (every suffix re-derives the shared tail) and linear
+        under the packrat tables."""
+        pattern = parse_tree_pattern(LADDER, resolver=by_element)
+        tree = chain(64)
+        steps = {}
+        keys = {}
+        for engine in ("memo", "backtrack"):
+            stats = Instrumentation()
+            with stats.activated():
+                keys[engine] = match_keys(pattern, tree, engine)
+            steps[engine] = stats["backtrack_steps"]
+        assert keys["memo"] == keys["backtrack"]
+        assert steps["backtrack"] >= 10 * steps["memo"]
+
+    def test_prune_fanout_agrees(self):
+        fan = AquaTree.build(
+            element("M"), [AquaTree.leaf(element("S")) for _ in range(8)]
+        )
+        pattern = parse_tree_pattern("M(!?* S !?*)", resolver=by_element)
+        assert match_keys(pattern, fan, "memo") == match_keys(
+            pattern, fan, "backtrack"
+        )
+
+    def test_leaf_anchor_with_prunes_agrees(self):
+        tree = chain(6)
+        for source in ("S(B(@))$", "[[S(!B(@))]]+@ .@ S(H)$", "b(d e)$"):
+            pattern = parse_tree_pattern(source, resolver=by_element)
+            assert match_keys(pattern, tree, "memo") == match_keys(
+                pattern, tree, "backtrack"
+            )
+
+    def test_tree_in_language_agrees(self):
+        pattern = parse_tree_pattern(LADDER, resolver=by_element)
+        for depth in (0, 1, 3):
+            tree = chain(depth)
+            assert tree_in_language(pattern, tree, engine="memo") == tree_in_language(
+                pattern, tree, engine="backtrack"
+            )
+
+
+class TestPredicateBitmap:
+    def test_each_predicate_runs_at_most_once_per_node(self):
+        counts: dict[str, int] = {}
+        cache: dict[str, object] = {}
+
+        def resolver(symbol):
+            if symbol not in cache:
+                base = by_element(symbol)
+
+                def fn(value, base=base, symbol=symbol):
+                    counts[symbol] = counts.get(symbol, 0) + 1
+                    return base(value)
+
+                cache[symbol] = pred(fn, symbol)
+            return cache[symbol]
+
+        pattern = parse_tree_pattern(LADDER, resolver=resolver)
+        tree = chain(16)
+        find_tree_matches(pattern, tree, engine="memo")
+        nodes = tree.size()
+        assert counts  # the predicates did run
+        assert all(count <= nodes for count in counts.values())
+
+        baseline: dict[str, int] = {}
+        counts_backtrack = baseline
+        cache.clear()
+        counts.clear()
+        # Same resolver closure machinery, fresh counters, old engine.
+        pattern = parse_tree_pattern(LADDER, resolver=resolver)
+        find_tree_matches(pattern, tree, engine="backtrack")
+        counts_backtrack.update(counts)
+        assert sum(counts_backtrack.values()) > nodes  # the saved work
+
+    def test_unlabeled_node_evaluates_without_caching(self):
+        tree = chain(2)
+        bitmap = PredicateBitmap(tree.size(), lambda node: None)
+        calls = []
+        probe = pred(lambda v: not calls.append(v), "probe")
+        node = tree.root
+        assert bitmap.outcome(probe, node) == (True, True)
+        assert bitmap.outcome(probe, node) == (True, True)
+        assert len(calls) == 2  # never cached: every call is a fill
+
+    def test_reset_clears_planes_and_counters(self):
+        tree = chain(2)
+        index_positions = {id(n): i for i, n in enumerate(tree.nodes())}
+        bitmap = PredicateBitmap(tree.size(), lambda n: index_positions.get(id(n)))
+        s_pred = by_element("S")
+        bitmap.outcome(s_pred, tree.root)
+        bitmap.outcome(s_pred, tree.root)
+        assert (bitmap.fills, bitmap.hits) == (1, 1)
+        bitmap.reset()
+        assert (bitmap.fills, bitmap.hits, bitmap.plane_count) == (0, 0, 0)
+
+
+class TestContextSharing:
+    def test_explicit_context_replays_across_calls(self):
+        pattern = parse_tree_pattern(LADDER, resolver=by_element)
+        tree = chain(12)
+        context = TreeMatchContext(pattern, tree)
+        first = [m.key() for m in find_tree_matches(pattern, tree, context=context)]
+        stats = Instrumentation()
+        with stats.activated():
+            second = [
+                m.key() for m in find_tree_matches(pattern, tree, context=context)
+            ]
+        assert first == second
+        # The whole second run is table replays and bitmap hits.
+        assert stats["memo_hits"] > 0
+        assert stats["memo_misses"] == 0
+        assert stats["bitmap_fills"] == 0
+        assert stats["predicate_evals"] == 0
+
+    def test_match_scope_shares_one_context_per_pair(self):
+        pattern = parse_tree_pattern(LADDER, resolver=by_element)
+        tree = chain(12)
+        assert current_registry() is None
+        with match_scope() as registry:
+            assert current_registry() is registry
+            find_tree_matches(pattern, tree, engine="memo")
+            cells = registry.memo_cells()
+            assert cells > 0
+            stats = Instrumentation()
+            with stats.activated():
+                find_tree_matches(pattern, tree, engine="memo")
+            assert stats["memo_misses"] == 0  # served by the shared context
+            assert registry.memo_cells() == cells
+        assert current_registry() is None
+
+    def test_nested_scopes_reuse_the_outer_registry(self):
+        with match_scope() as outer:
+            with match_scope() as inner:
+                assert inner is outer
+
+    def test_match_scope_resets_database_bitmaps(self):
+        tree = chain(4)
+        db = Database()
+        db.bind_root("T", tree)
+        index = db.tree_index(tree, ["kind"])
+        index.predicate_outcome(by_element("S"), tree.root)
+        assert index.bitmap.fills == 1
+        with match_scope(db):
+            assert index.bitmap.fills == 0
+
+    def test_early_exit_does_not_poison_the_tables(self):
+        pattern = parse_tree_pattern(LADDER, resolver=by_element)
+        tree = chain(12)
+        context = TreeMatchContext(pattern, tree)
+        partial = find_tree_matches(pattern, tree, limit=1, context=context)
+        assert len(partial) == 1
+        full = [m.key() for m in find_tree_matches(pattern, tree, context=context)]
+        assert full == match_keys(pattern, tree, "backtrack")
+
+
+class TestBudgets:
+    def test_memo_stores_charge_the_step_budget(self):
+        pattern = parse_tree_pattern(LADDER, resolver=by_element)
+        tree = chain(32)
+        budget = guardrails.Budget(max_steps=40)
+        with pytest.raises(ResourceExhaustedError):
+            with guardrails.guarded(budget):
+                find_tree_matches(pattern, tree, engine="memo")
+
+    def test_generous_budget_unaffected(self):
+        pattern = parse_tree_pattern(LADDER, resolver=by_element)
+        tree = chain(8)
+        with guardrails.guarded(guardrails.Budget(max_steps=100_000)):
+            matches = find_tree_matches(pattern, tree, engine="memo")
+        assert len(matches) == 8

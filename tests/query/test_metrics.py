@@ -107,14 +107,16 @@ class TestPlanMetricsCollection:
 
 
 class TestRendering:
-    def test_render_analysis_golden(self):
+    def test_render_analysis_golden(self, monkeypatch):
+        monkeypatch.setenv("AQUA_TREE_ENGINE", "memo")
         db = make_db()
         query = Q.root("T").sub_select("d(e(h i) j)").build()
         _, metrics = evaluate_with_metrics(query, db)
         text = render_analysis(query, db, metrics, timings=False)
         assert text == (
             "sub_select[d(e(h i) j)]  (est rows≈2, cost≈75 | act rows=1, units=39)\n"
-            "  · backtrack_steps=24, nodes_scanned=15, predicate_evals=24\n"
+            "  · backtrack_steps=24, bitmap_fills=24, bitmap_hits=11, memo_hits=5,"
+            " memo_misses=31, nodes_scanned=15, predicate_evals=24\n"
             "  root(T)  (est rows≈15, cost≈1 | act rows=15, units=0)"
         )
 
