@@ -358,6 +358,70 @@ def claim_melody() -> None:
     )
 
 
+def claim_prepared() -> None:
+    """PR 5: prepared queries — cold vs warm plan-cache planning cost.
+
+    Prepares the CLAIM-SPLIT anchor query (AQL text) and the FIG4 split
+    (built expression) twice against one Session: the first prepare pays
+    the optimizer rewrites and pattern compilations, the second is a
+    pure plan-cache hit.  CI gates on the warm path doing *strictly
+    fewer* planning steps (rewrites + compilations) than the cold path.
+    """
+    from repro.api import Session
+    from repro.query import PlanCache
+    from repro.query.explain import PLANNING_COUNTERS
+
+    labels = ["d", "e", "h", "i", "j", "u", "v", "w", "x", "y"]
+    weights = [1.0] + [11.0] * 9
+    tree = random_labeled_tree(6000, labels, seed=42, weights=weights)
+    split_db = Database()
+    split_db.bind_root("T", tree)
+    split_db.tree_index(tree)
+
+    family = random_family_tree(2000, seed=8, planted_matches=8)
+    family_db = Database()
+    family_db.bind_root("family", family)
+    family_db.tree_index(family, ["citizen", "name"])
+    family_query = (
+        Q.root("family")
+        .split("Brazil(!?* USA !?*)", make_tuple, resolver=by_citizen_or_name)
+        .build()
+    )
+
+    for workload, db, source in (
+        ("bench_claim_split_index", split_db, 'root T | sub_select "d(e(h i) j ?*)"'),
+        ("bench_fig4_split", family_db, family_query),
+    ):
+        session = Session(db, plan_cache=PlanCache())
+
+        def plan_once(session=session, source=source):
+            sink = Instrumentation()
+            with sink.activated():
+                start = time.perf_counter()
+                prepared = session.prepare(source, optimize=True)
+                elapsed = time.perf_counter() - start
+            steps = sink["optimizer_rewrites"] + sink["pattern_compilations"]
+            counters = {name: sink[name] for name in PLANNING_COUNTERS}
+            return prepared, elapsed, steps, counters
+
+        cold_prepared, cold_s, cold_steps, cold_counters = plan_once()
+        warm_prepared, warm_s, warm_steps, warm_counters = plan_once()
+        assert warm_prepared is cold_prepared
+        assert warm_counters["plan_cache_hits"] == 1
+        row(
+            "CLAIM-PREPARED",
+            f"{workload}: planning {cold_s * 1e3:.2f} ms cold → {warm_s * 1e3:.3f} ms warm "
+            f"(x{cold_s / max(warm_s, 1e-9):.0f}); planning steps {cold_steps} → {warm_steps}",
+            workload=workload,
+            cold_ms=cold_s * 1e3,
+            warm_ms=warm_s * 1e3,
+            cold_planning_steps=cold_steps,
+            warm_planning_steps=warm_steps,
+            cold_planning=cold_counters,
+            warm_planning=warm_counters,
+        )
+
+
 def claim_list_tree() -> None:
     values = random_list(600, "abcdefg", seed=9)
     pattern = parse_list_pattern("[a??b]")
@@ -412,6 +476,7 @@ EXPERIMENTS = [
     claim_memo,
     claim_printf,
     claim_melody,
+    claim_prepared,
     claim_list_tree,
     claim_engines,
 ]

@@ -11,7 +11,10 @@ The public API re-exports the pieces a downstream user needs most:
   ``all_anc``, ``all_desc``, ``split`` for trees; ``*_list`` for lists),
 * the storage substrate (:class:`Database`), the optimizer entry point
   (:func:`optimize`), the evaluator (:func:`evaluate`), the fluent
-  builder (:class:`Q`) and the AQL text language (:func:`run_aql`).
+  builder (:class:`Q`) and the AQL text language (:func:`run_aql`),
+* the session API (:class:`Session`): resolved execution knobs, prepared
+  queries (:func:`prepare`, :class:`PreparedQuery`), the plan cache
+  (:class:`PlanCache`) and ``$name`` parameters (:class:`Param`).
 
 See README.md for a guided tour and DESIGN.md for the paper-to-module map.
 """
@@ -54,10 +57,22 @@ from .core import (
     parse_tree,
     tree,
 )
+from .api import Session, default_session
 from .optimizer import Optimizer, optimize
+from .params import Param
 from .patterns import list_pattern, tree_pattern
 from .predicates import ANY, attr, parse_predicate, pred, sym
-from .query import Q, evaluate, explain, explain_optimization, parse_aql, run_aql
+from .query import (
+    PlanCache,
+    PreparedQuery,
+    Q,
+    evaluate,
+    explain,
+    explain_optimization,
+    parse_aql,
+    prepare,
+    run_aql,
+)
 from .storage import Database
 
 __version__ = "1.0.0"
@@ -76,8 +91,12 @@ __all__ = [
     "Database",
     "NIL",
     "Optimizer",
+    "Param",
+    "PlanCache",
+    "PreparedQuery",
     "Q",
     "Record",
+    "Session",
     "all_anc",
     "all_anc_list",
     "all_desc",
@@ -86,6 +105,7 @@ __all__ = [
     "apply_list",
     "apply_tree",
     "attr",
+    "default_session",
     "deref",
     "evaluate",
     "explain",
@@ -100,6 +120,7 @@ __all__ = [
     "parse_predicate",
     "parse_tree",
     "pred",
+    "prepare",
     "run_aql",
     "select",
     "select_list",

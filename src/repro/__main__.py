@@ -11,6 +11,8 @@ AQL query (see :mod:`repro.query.aql`)::
     \\explain QUERY      show the optimization story for an AQL query
     \\analyze QUERY      run the query instrumented: estimated vs. actual
     \\noopt QUERY        run a query without the optimizer
+    \\prepare QUERY      plan a query into the session's plan cache
+    \\cache [clear]      show (or clear) plan-cache entries and counters
     \\stats              show instrumentation counters
     \\budget [K=V ...]   show or set execution limits (\\budget off clears)
     \\faults             show the active fault-injection plan
@@ -43,18 +45,19 @@ import sys
 from typing import Any
 
 from . import faults, guardrails
+from .api import Session
 from .core import AquaList, AquaSet, AquaTree
 from .errors import AquaError, ResourceExhaustedError
 from .guardrails import Budget
 from .query import (
+    PlanCache,
     evaluate,
     explain_optimization,
     explain_physical,
     parse_aql,
     render_analysis,
+    render_planning,
 )
-from .query.aql import run_aql
-from .query.interpreter import evaluate_with_metrics
 from .query.metrics import PlanMetrics
 from .storage import Database
 from .storage.serialize import dump_database, load_database
@@ -104,7 +107,12 @@ class Shell:
     def __init__(self, db: Database | None = None, budget: Budget | None = None) -> None:
         self.db = db or demo_database()
         self.budget = budget if budget is not None else Budget.from_env()
+        self.plan_cache = PlanCache()
         self.last_error: Exception | None = None
+
+    def session(self) -> Session:
+        """A Session over the current database and the shell's cache."""
+        return Session(self.db, plan_cache=self.plan_cache)
 
     def execute(self, line: str) -> str:
         """Run one shell line and return the printable response.
@@ -126,7 +134,7 @@ class Shell:
                     return self._analyze(line[len("EXPLAIN ANALYZE "):])
                 if upper.startswith("EXPLAIN "):
                     return self._command("explain " + line[len("EXPLAIN "):])
-                return render(run_aql(line, self.db))
+                return render(self.session().query(line))
         except AquaError as exc:
             self.last_error = exc
             return diagnose(exc)
@@ -162,6 +170,10 @@ class Shell:
             return explain_optimization(parse_aql(argument), self.db)
         if name == "analyze":
             return self._analyze(argument)
+        if name == "prepare":
+            return self._prepare(argument)
+        if name == "cache":
+            return self._cache(argument)
         if name == "budget":
             return self._budget(argument)
         if name == "faults":
@@ -207,29 +219,59 @@ class Shell:
         return f"budget: {self.budget.describe()}"
 
     def _analyze(self, query: str) -> str:
-        """EXPLAIN ANALYZE: optimize, run instrumented, render the plan.
+        """EXPLAIN ANALYZE: prepare (cached), run instrumented, render.
 
-        On a budget trip the partial metrics collected so far are still
-        rendered, so the user sees *where* in the plan the limit hit.
+        The planning footer shows the plan-cache traffic this statement
+        caused — a repeated query renders ``plan_cache_hits=1`` with zero
+        rewrites and zero pattern compilations.  On a budget trip the
+        partial metrics collected so far are still rendered, so the user
+        sees *where* in the plan the limit hit.
         """
-        from .optimizer.engine import optimize as run_optimizer
+        from .storage.stats import Instrumentation
 
-        plan = run_optimizer(parse_aql(query), self.db)
+        planning = Instrumentation()
+        with planning.activated():
+            prepared = self.session().prepare(query)
+        plan = prepared.plan
+        footer = render_planning(planning)
         pipeline = (
             "Lowered pipeline:\n" + explain_physical(plan, self.db, indent=1)
         )
         metrics = PlanMetrics()
         try:
-            _, metrics = evaluate_with_metrics(plan, self.db, metrics=metrics)
+            _, metrics = prepared.run_with_metrics(metrics=metrics)
         except ResourceExhaustedError as exc:
             self.last_error = exc
             partial = exc.metrics if exc.metrics is not None else metrics
             return (
                 f"{diagnose(exc)}\n"
                 "-- partial plan metrics (execution stopped here) --\n"
-                f"{render_analysis(plan, self.db, partial)}\n\n{pipeline}"
+                f"{render_analysis(plan, self.db, partial)}\n{footer}\n\n{pipeline}"
             )
-        return f"{render_analysis(plan, self.db, metrics)}\n\n{pipeline}"
+        return f"{render_analysis(plan, self.db, metrics)}\n{footer}\n\n{pipeline}"
+
+    def _prepare(self, query: str) -> str:
+        """``\\prepare``: plan (or fetch) a query, reporting how it was served."""
+        if not query:
+            return "error: \\prepare needs an AQL query"
+        before = self.plan_cache.hits
+        prepared = self.session().prepare(query)
+        served = (
+            "served from plan cache"
+            if self.plan_cache.hits > before
+            else "planned and cached"
+        )
+        return f"{prepared!r}\n{served}"
+
+    def _cache(self, argument: str) -> str:
+        """``\\cache``: plan-cache counters; ``\\cache clear`` empties it."""
+        if argument in ("clear",):
+            self.plan_cache.clear()
+            return "plan cache cleared"
+        if argument:
+            return "error: \\cache takes no argument (or 'clear')"
+        snapshot = self.plan_cache.snapshot()
+        return "\n".join(f"{k}: {v}" for k, v in snapshot.items())
 
     def repl(self) -> None:  # pragma: no cover - interactive loop
         print("AQUA shell — \\help for commands, \\quit to exit")

@@ -161,3 +161,24 @@ def promote_children(tree: AquaTree, path: Path) -> AquaTree:
         return TreeNode(parent.item, children)
 
     return _edit(tree, parent_path, parent_editor)
+
+
+# ---------------------------------------------------------------------------
+# Database-level updates
+# ---------------------------------------------------------------------------
+
+
+def apply_update(db, root_name: str, updater, *args, **kwargs):
+    """Apply a persistent update to a named root and rebind the result.
+
+    ``updater`` is one of this module's operators (or any function taking
+    the current value first): ``apply_update(db, "T", replace_subtree,
+    (0, 1), new_sub)`` computes ``replace_subtree(db.root("T"), (0, 1),
+    new_sub)`` and rebinds ``"T"`` to it.  Rebinding goes through
+    :meth:`~repro.storage.database.Database.rebind_root`, which bumps the
+    database epoch — cached prepared plans against ``db`` lazily
+    invalidate on their next lookup.  Returns the new value.
+    """
+    new_value = updater(db.root(root_name), *args, **kwargs)
+    db.rebind_root(root_name, new_value)
+    return new_value

@@ -1,0 +1,206 @@
+"""The unified query API: one Session object, one precedence story.
+
+Every way of running a query — ``evaluate()``, ``Q.run()``,
+``run_aql()``, the shell, the benchmarks — now funnels through a
+:class:`Session`, which is the *single* place the execution knobs are
+resolved.  Precedence, highest first:
+
+1. a per-call keyword (``session.query(q, executor="eager")``);
+2. the Session's own keyword (``Session(db, executor="eager")``);
+3. the ``AQUA_*`` environment variable (``AQUA_EXECUTOR``,
+   ``AQUA_TREE_ENGINE``, budget knobs via
+   :meth:`repro.guardrails.Budget.from_env`);
+4. the built-in default (``streaming`` / ``memo`` / unlimited).
+
+Values are validated on first read by :mod:`repro.config`; a typo
+raises a one-line :class:`~repro.errors.QueryError` naming the knob and
+the accepted values instead of failing deep in the stack.
+
+A Session owns a :class:`~repro.query.plan_cache.PlanCache` (shared
+process-wide by default), so ``session.query(...)`` transparently
+prepares-and-caches: repeated shapes skip the optimizer, the pattern
+compilers and the lowering pass.  ``session.prepare(...)`` exposes the
+:class:`~repro.query.prepare.PreparedQuery` explicitly for
+parameterized workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from . import config
+from .guardrails import Budget
+from .query import expr as E
+from .query.metrics import PlanMetrics
+from .query.plan_cache import DEFAULT_CACHE, PlanCache
+from .query.prepare import PreparedQuery, prepare as _prepare
+from .storage.database import Database
+
+
+class Session:
+    """A database handle with resolved execution knobs and a plan cache.
+
+    Parameters mirror the knobs: ``executor`` (``streaming`` |
+    ``eager``), ``engine`` (tree-pattern engine, ``memo`` |
+    ``backtrack``), ``budget`` (a :class:`~repro.guardrails.Budget`),
+    ``plan_cache`` (a :class:`~repro.query.plan_cache.PlanCache`; the
+    process-wide default when omitted; ``plan_cache=None`` is replaced
+    by that default — pass ``cache=None`` per call via :meth:`prepare`
+    to bypass caching).  All are optional; ``None`` defers to the
+    environment, then the default.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        *,
+        executor: str | None = None,
+        engine: str | None = None,
+        budget: Budget | None = None,
+        plan_cache: PlanCache | None = None,
+    ) -> None:
+        if executor is not None:
+            config.validated_executor(executor)
+        if engine is not None:
+            config.validated_tree_engine(engine)
+        self.db = db
+        self.executor = executor
+        self.engine = engine
+        self.budget = budget
+        self.plan_cache = plan_cache if plan_cache is not None else DEFAULT_CACHE
+
+    # -- knob resolution -------------------------------------------------------
+
+    def _executor(self, executor: str | None) -> str | None:
+        return executor if executor is not None else self.executor
+
+    def _engine(self, engine: str | None) -> str | None:
+        return engine if engine is not None else self.engine
+
+    def _budget(self, budget: Budget | None) -> Budget | None:
+        return budget if budget is not None else self.budget
+
+    @staticmethod
+    def _default_optimize(source: Any, optimize: bool | None) -> bool:
+        """AQL text optimizes by default (``run_aql`` parity); built
+        expressions run as written (``evaluate`` / ``Q.run`` parity)."""
+        if optimize is not None:
+            return optimize
+        return isinstance(source, str)
+
+    # -- the API ---------------------------------------------------------------
+
+    def prepare(
+        self, source: Any, *, optimize: bool | None = None
+    ) -> PreparedQuery:
+        """Plan ``source`` (Expr | Q | AQL text), served from the cache."""
+        return _prepare(
+            source,
+            self.db,
+            optimize=self._default_optimize(source, optimize),
+            cache=self.plan_cache,
+        )
+
+    def query(
+        self,
+        source: Any,
+        params: Mapping[str, Any] | None = None,
+        *,
+        optimize: bool | None = None,
+        budget: Budget | None = None,
+        executor: str | None = None,
+        engine: str | None = None,
+    ) -> Any:
+        """Prepare (or fetch from cache) and execute in one call."""
+        prepared = self.prepare(source, optimize=optimize)
+        return prepared.run(
+            params,
+            budget=self._budget(budget),
+            executor=self._executor(executor),
+            engine=self._engine(engine),
+        )
+
+    def query_with_metrics(
+        self,
+        source: Any,
+        params: Mapping[str, Any] | None = None,
+        *,
+        optimize: bool | None = None,
+        budget: Budget | None = None,
+        executor: str | None = None,
+        engine: str | None = None,
+        metrics: PlanMetrics | None = None,
+    ) -> tuple[Any, PlanMetrics]:
+        """Like :meth:`query`, also collecting per-operator metrics."""
+        prepared = self.prepare(source, optimize=optimize)
+        return prepared.run_with_metrics(
+            params,
+            metrics=metrics,
+            budget=self._budget(budget),
+            executor=self._executor(executor),
+            engine=self._engine(engine),
+        )
+
+    def explain(
+        self,
+        source: Any,
+        params: Mapping[str, Any] | None = None,
+        *,
+        optimize: bool | None = None,
+        analyze: bool = True,
+        budget: Budget | None = None,
+        executor: str | None = None,
+        engine: str | None = None,
+    ) -> str:
+        """EXPLAIN (ANALYZE) with the planning footer.
+
+        With ``analyze`` the query is prepared *under a private
+        instrumentation sink* — capturing the plan-cache traffic,
+        optimizer rewrites and pattern compilations this call actually
+        performed — then executed with per-operator metrics, and both
+        are rendered: a warm cache shows ``plan_cache_hits=1`` with zero
+        rewrites and zero compilations.
+        """
+        from .query.explain import explain as render_plan
+        from .query.explain import render_analysis, render_planning
+        from .storage.stats import Instrumentation
+
+        planning = Instrumentation()
+        with planning.activated():
+            prepared = self.prepare(source, optimize=optimize)
+        if not analyze:
+            return "\n".join(
+                [render_plan(prepared.plan, self.db), render_planning(planning)]
+            )
+        _, metrics = prepared.run_with_metrics(
+            params,
+            budget=self._budget(budget),
+            executor=self._executor(executor),
+            engine=self._engine(engine),
+        )
+        report = render_analysis(prepared.plan, self.db, metrics)
+        return "\n".join([report, render_planning(planning)])
+
+    def __repr__(self) -> str:
+        knobs = []
+        if self.executor is not None:
+            knobs.append(f"executor={self.executor}")
+        if self.engine is not None:
+            knobs.append(f"engine={self.engine}")
+        if self.budget is not None:
+            knobs.append("budget=set")
+        suffix = f" ({', '.join(knobs)})" if knobs else ""
+        return f"Session<{self.db!r}>{suffix}"
+
+
+def default_session(db: Database) -> Session:
+    """The Session behind the legacy entry points.
+
+    Constructed per call (Sessions are cheap handles) but sharing the
+    process-wide plan cache, so ``evaluate()`` / ``Q.run()`` /
+    ``run_aql()`` transparently benefit from prepared-plan reuse.
+    """
+    return Session(db)
+
+
+__all__ = ["Session", "default_session"]

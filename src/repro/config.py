@@ -1,0 +1,118 @@
+"""Configuration knobs: one validation point for the ``AQUA_*`` environment.
+
+Three knobs steer execution, and historically each was parsed at its
+point of use — a typo either crashed deep in the stack or silently fell
+back to a default.  This module is now the single place a knob value is
+read and validated; a bad value raises a one-line
+:class:`~repro.errors.QueryError` naming the knob and the accepted
+values, whether it arrived via the environment or an explicit argument.
+
+Precedence (resolved here and documented in the README table):
+
+1. an explicit per-call argument (``executor=``, ``engine=``, ...);
+2. a :class:`~repro.api.Session`-scoped override (thread-local,
+   armed by :func:`tree_engine_scope` / :func:`executor_scope`);
+3. the ``AQUA_*`` environment variable;
+4. the built-in default.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+from .errors import QueryError
+
+#: Environment knob selecting the default executor.
+EXECUTOR_ENV = "AQUA_EXECUTOR"
+EXECUTORS = ("streaming", "eager")
+DEFAULT_EXECUTOR = "streaming"
+
+#: Environment knob selecting the default tree-matching engine.
+TREE_ENGINE_ENV = "AQUA_TREE_ENGINE"
+TREE_ENGINES = ("memo", "backtrack")
+DEFAULT_TREE_ENGINE = "memo"
+
+#: Environment knob overriding the default DFA transition-cache bound.
+DFA_CACHE_LIMIT_ENV = "AQUA_DFA_CACHE_LIMIT"
+DEFAULT_DFA_CACHE_LIMIT = 4096
+
+_local = threading.local()
+
+
+def _bad_knob(knob: str, value: object, accepted: str) -> QueryError:
+    return QueryError(f"{knob}: invalid value {value!r} (accepted: {accepted})")
+
+
+@contextmanager
+def executor_scope(executor: str | None) -> Iterator[None]:
+    """Arm a thread-local executor default (a Session's ``executor=``)."""
+    if executor is not None and executor not in EXECUTORS:
+        raise _bad_knob(EXECUTOR_ENV, executor, " | ".join(EXECUTORS))
+    previous = getattr(_local, "executor", None)
+    _local.executor = executor if executor is not None else previous
+    try:
+        yield
+    finally:
+        _local.executor = previous
+
+
+@contextmanager
+def tree_engine_scope(engine: str | None) -> Iterator[None]:
+    """Arm a thread-local tree-engine default (a Session's ``engine=``)."""
+    if engine is not None and engine not in TREE_ENGINES:
+        raise _bad_knob(TREE_ENGINE_ENV, engine, " | ".join(TREE_ENGINES))
+    previous = getattr(_local, "tree_engine", None)
+    _local.tree_engine = engine if engine is not None else previous
+    try:
+        yield
+    finally:
+        _local.tree_engine = previous
+
+
+def validated_executor(executor: str | None = None) -> str:
+    """Resolve the executor: argument > session scope > env > default."""
+    chosen = executor
+    if chosen is None:
+        chosen = getattr(_local, "executor", None)
+    if chosen is None:
+        chosen = os.environ.get(EXECUTOR_ENV)
+    if chosen is None:
+        return DEFAULT_EXECUTOR
+    if chosen not in EXECUTORS:
+        raise _bad_knob(EXECUTOR_ENV, chosen, " | ".join(EXECUTORS))
+    return chosen
+
+
+def validated_tree_engine(engine: str | None = None) -> str:
+    """Resolve the tree engine: argument > session scope > env > default."""
+    chosen = engine
+    if chosen is None:
+        chosen = getattr(_local, "tree_engine", None)
+    if chosen is None:
+        chosen = os.environ.get(TREE_ENGINE_ENV)
+    if chosen is None:
+        return DEFAULT_TREE_ENGINE
+    if chosen not in TREE_ENGINES:
+        raise _bad_knob(TREE_ENGINE_ENV, chosen, " | ".join(TREE_ENGINES))
+    return chosen
+
+
+def validated_dfa_cache_limit(limit: int | None = None) -> int:
+    """Resolve the DFA cache bound: argument > env > default (≥ 1)."""
+    if limit is not None:
+        if limit < 1:
+            raise _bad_knob(DFA_CACHE_LIMIT_ENV, limit, "an integer >= 1")
+        return limit
+    raw = os.environ.get(DFA_CACHE_LIMIT_ENV)
+    if raw is None:
+        return DEFAULT_DFA_CACHE_LIMIT
+    try:
+        parsed = int(raw)
+    except ValueError:
+        raise _bad_knob(DFA_CACHE_LIMIT_ENV, raw, "an integer >= 1") from None
+    if parsed < 1:
+        raise _bad_knob(DFA_CACHE_LIMIT_ENV, parsed, "an integer >= 1")
+    return parsed

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterable, Sequence
 
+from .. import params
 from ..core.aqua_tree import AquaTree, TreeNode
 from ..patterns.list_ast import Atom as ListAtom
 from ..patterns.list_ast import Concat as ListConcat
@@ -37,10 +38,24 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 
 def _index_servable(predicate: AlphabetPredicate) -> bool:
-    """Can a node index serve ``predicate`` via an equality term?"""
+    """Can a node index serve ``predicate`` via an equality term?
+
+    Binding-aware for ``$param`` constants: an *unbound* param is
+    presumed servable (the prepared plan records the assumption — see
+    :class:`~repro.query.prepare.PreparedQuery` — and re-plans if a
+    later binding breaks it), while a param currently bound to an
+    unhashable value cannot be an index key and disqualifies the term.
+    """
     if predicate.opaque:
         return False
-    return any(op == "=" for _, op, _ in predicate.indexable_terms())
+    for _, op, constant in predicate.indexable_terms():
+        if op != "=":
+            continue
+        constant, bound = params.try_resolve(constant)
+        if bound and not params.is_bindable(constant):
+            continue
+        return True
+    return False
 
 
 def tree_split_anchors(pattern: TreePattern) -> tuple[AlphabetPredicate, ...] | None:

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from ..errors import AquaError, OptimizerError
 from ..faults import fault_point
 from ..query import expr as E
+from ..storage import stats as stats_mod
 from ..storage.database import Database
 from .cost import CostModel
 from .rules import DEFAULT_RULES, Rule
@@ -47,6 +48,7 @@ class Trace:
     final_cost: float = 0.0
 
     def record(self, region: Region, rule: Rule, before: E.Expr, after: E.Expr) -> None:
+        stats_mod.emit("optimizer_rewrites")
         self.steps.append(
             f"[{region.name}] {rule.name}: {before.describe()} => {after.describe()}"
         )
@@ -91,28 +93,36 @@ class Optimizer:
         """
         trace = Trace()
         try:
-            trace.initial_cost = self.cost_model.cost(expr)
-            current = expr
-            for region in self.regions:
-                passes = 0
-                while True:
-                    rewritten, changed = self._pass(current, region, trace)
-                    current = rewritten
-                    passes += 1
-                    if (
-                        not changed
-                        or region.strategy == "once"
-                        or passes >= region.max_passes
-                    ):
-                        break
-            trace.final_cost = self.cost_model.cost(current)
-            return current, trace
+            # The rewrite rules construct Indexed* shim nodes (their
+            # serializable plan shapes) and ``with_children`` rebuilds
+            # them bottom-up; neither is a user calling the deprecated
+            # API, so the whole rewrite runs with the warning suppressed.
+            with E.internal_shims():
+                return self._optimize(expr, trace)
         except AquaError as exc:
             trace.steps.append(
                 f"[fallback] optimizer aborted ({exc}); keeping the logical plan"
             )
             trace.final_cost = trace.initial_cost
             return expr, trace
+
+    def _optimize(self, expr: E.Expr, trace: Trace) -> tuple[E.Expr, Trace]:
+        trace.initial_cost = self.cost_model.cost(expr)
+        current = expr
+        for region in self.regions:
+            passes = 0
+            while True:
+                rewritten, changed = self._pass(current, region, trace)
+                current = rewritten
+                passes += 1
+                if (
+                    not changed
+                    or region.strategy == "once"
+                    or passes >= region.max_passes
+                ):
+                    break
+        trace.final_cost = self.cost_model.cost(current)
+        return current, trace
 
     def _pass(self, node: E.Expr, region: Region, trace: Trace) -> tuple[E.Expr, bool]:
         """One bottom-up rewrite pass over the expression tree."""

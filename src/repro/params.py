@@ -1,0 +1,132 @@
+"""Query parameters: named slots bound at execution time.
+
+A :class:`Param` is a placeholder for a value supplied when the query
+*runs*, not when it is built — the piece that makes a cached plan
+reusable across invocations (see :mod:`repro.query.prepare`).  Params
+appear in three notations that all converge on the same object:
+
+* ``E.Param("name")`` — an expression node evaluating to the binding;
+* ``Q.param("name")`` — the builder's placeholder, usable wherever a
+  predicate constant is (``attr("age") > Q.param("limit")``);
+* ``$name`` inside an AQL ``{...}`` predicate.
+
+Bindings are *dynamically scoped*: :func:`bound_params` arms a mapping
+for the current thread, and :func:`resolve` reads the innermost scope.
+The execution drivers arm the scope, so user code only ever supplies a
+plain ``params={...}`` dict.
+
+The module deliberately imports nothing but :mod:`repro.errors`, so
+every layer (predicates, patterns, storage, query) can depend on it
+without cycles.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator, Mapping
+
+from .errors import QueryError
+
+
+class Param:
+    """A named parameter slot, bound via :func:`bound_params` at run time.
+
+    Two params with the same name are the same slot (equality and hash
+    follow the name), which is what lets a plan fingerprint treat
+    ``$name`` as a stable structural feature while the bound value
+    varies call to call.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        if not name or not all(c.isalnum() or c == "_" for c in name):
+            raise QueryError(
+                f"invalid parameter name {name!r} (use letters, digits, '_')"
+            )
+        self.name = name
+
+    def describe(self) -> str:
+        return f"${self.name}"
+
+    def __repr__(self) -> str:
+        return f"${self.name}"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Param):
+            return self.name == other.name
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("Param", self.name))
+
+
+_local = threading.local()
+
+
+def current_bindings() -> Mapping[str, Any] | None:
+    """The parameter bindings armed on this thread, or ``None``."""
+    return getattr(_local, "bindings", None)
+
+
+@contextmanager
+def bound_params(bindings: Mapping[str, Any] | None) -> Iterator[None]:
+    """Arm ``bindings`` for this thread; nested scopes layer over outer ones."""
+    previous = getattr(_local, "bindings", None)
+    if bindings is None:
+        merged = previous
+    else:
+        merged = dict(previous) if previous else {}
+        merged.update(bindings)
+    _local.bindings = merged
+    try:
+        yield
+    finally:
+        _local.bindings = previous
+
+
+def resolve(value: Any) -> Any:
+    """``value`` itself, or the binding when it is a :class:`Param`.
+
+    Raises a :class:`~repro.errors.QueryError` naming the missing slot
+    when no binding is armed — the error a caller sees when running a
+    parameterized query without ``params={...}``.
+    """
+    if isinstance(value, Param):
+        bindings = current_bindings()
+        if bindings is None or value.name not in bindings:
+            raise QueryError(
+                f"unbound query parameter ${value.name}"
+                f" (pass params={{'{value.name}': ...}})"
+            )
+        return bindings[value.name]
+    return value
+
+
+def try_resolve(value: Any) -> tuple[Any, bool]:
+    """``(resolved, ok)`` — like :func:`resolve` but never raises.
+
+    ``ok`` is ``False`` when ``value`` is an unbound :class:`Param`;
+    plan-time analyses use this to keep working without bindings.
+    """
+    if isinstance(value, Param):
+        bindings = current_bindings()
+        if bindings is None or value.name not in bindings:
+            return None, False
+        return bindings[value.name], True
+    return value, True
+
+
+def is_bindable(value: Any) -> bool:
+    """Can ``value`` serve as an index-probe key? (Hashable check.)
+
+    The re-plan guard of :class:`~repro.query.prepare.PreparedQuery`
+    uses this: an anchor chosen at prepare time assumed an equality
+    probe, which a binding with an unhashable value invalidates.
+    """
+    try:
+        hash(value)
+    except TypeError:
+        return False
+    return True

@@ -25,39 +25,30 @@ bound honours the ``AQUA_DFA_CACHE_LIMIT`` environment knob.
 
 from __future__ import annotations
 
-import os
 from typing import Any, Sequence
 
-from .. import guardrails
-from ..errors import PatternError
+from .. import config, guardrails
 from ..predicates.alphabet import AlphabetPredicate
 from ..storage import stats as stats_mod
 from .list_ast import ListPattern, ListPatternNode
 from .nfa import NFA, compile_nfa
 
 #: Environment knob overriding the default transition-cache bound.
-DFA_CACHE_LIMIT_ENV = "AQUA_DFA_CACHE_LIMIT"
+DFA_CACHE_LIMIT_ENV = config.DFA_CACHE_LIMIT_ENV
 
 #: Default transition-cache bound; generous for real alphabets (a cache
 #: entry per *distinct* (state-set, outcome-vector) pair), small enough
 #: that a pathological alphabet cannot leak memory in a resident shell.
-DEFAULT_CACHE_LIMIT = 4096
+DEFAULT_CACHE_LIMIT = config.DEFAULT_DFA_CACHE_LIMIT
 
 
 def default_cache_limit() -> int:
-    """The cache bound from ``AQUA_DFA_CACHE_LIMIT``, or the default."""
-    raw = os.environ.get(DFA_CACHE_LIMIT_ENV)
-    if raw is None:
-        return DEFAULT_CACHE_LIMIT
-    try:
-        limit = int(raw)
-    except ValueError:
-        raise PatternError(
-            f"{DFA_CACHE_LIMIT_ENV} must be an integer, got {raw!r}"
-        ) from None
-    if limit < 1:
-        raise PatternError(f"{DFA_CACHE_LIMIT_ENV} must be at least 1, got {limit}")
-    return limit
+    """The cache bound from ``AQUA_DFA_CACHE_LIMIT``, or the default.
+
+    Validation lives in :mod:`repro.config`; a malformed value raises a
+    one-line :class:`~repro.errors.QueryError` naming the knob.
+    """
+    return config.validated_dfa_cache_limit()
 
 
 class LazyDFA:

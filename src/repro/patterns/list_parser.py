@@ -29,6 +29,7 @@ from typing import Callable
 
 from ..errors import NotationError, PatternError
 from ..predicates.alphabet import AlphabetPredicate, SymbolEquals
+from ..storage import stats as stats_mod
 from ..predicates.parser import parse_predicate
 from .list_ast import (
     EPSILON,
@@ -53,6 +54,9 @@ def default_resolver(symbol: str) -> AlphabetPredicate:
 
 def parse_list_pattern(text: str, resolver: SymbolResolver | None = None) -> ListPattern:
     """Parse list-pattern text into a :class:`ListPattern`."""
+    # Counts pattern compilations for EXPLAIN ANALYZE and the plan
+    # cache's warm-path check (see tree_parser.parse_tree_pattern).
+    stats_mod.emit("pattern_compilations")
     resolver = resolver or default_resolver
     stream = PatternTokenStream(tokenize_pattern(text), text)
 

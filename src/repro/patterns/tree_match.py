@@ -39,11 +39,10 @@ Both produce bit-identical ``Shape`` streams in the same order.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 
-from .. import guardrails
+from .. import config, guardrails
 from ..core.aqua_tree import AquaTree, TreeNode
 from ..core.concat import ConcatPoint
 from ..errors import PatternError, ResourceExhaustedError
@@ -71,19 +70,17 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .tree_memo import TreeMatchContext
 
 #: Environment knob selecting the default tree-matching engine.
-TREE_ENGINE_ENV = "AQUA_TREE_ENGINE"
-_TREE_ENGINES = ("memo", "backtrack")
+TREE_ENGINE_ENV = config.TREE_ENGINE_ENV
+_TREE_ENGINES = config.TREE_ENGINES
 
 
 def tree_engine(engine: str | None = None) -> str:
-    """Resolve the engine choice: explicit argument, else the env knob."""
-    chosen = engine if engine is not None else os.environ.get(TREE_ENGINE_ENV, "memo")
-    if chosen not in _TREE_ENGINES:
-        raise PatternError(
-            f"unknown tree engine {chosen!r}"
-            f" (expected one of {', '.join(_TREE_ENGINES)})"
-        )
-    return chosen
+    """Resolve the engine choice: argument > session scope > env > default.
+
+    Validation lives in :mod:`repro.config`; a bad value raises a
+    one-line :class:`~repro.errors.QueryError` naming the knob.
+    """
+    return config.validated_tree_engine(engine)
 
 
 class _StarCont:

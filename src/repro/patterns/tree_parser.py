@@ -35,6 +35,7 @@ from typing import Callable
 
 from ..core.concat import ConcatPoint
 from ..errors import NotationError, PatternError
+from ..storage import stats as stats_mod
 from ..predicates.alphabet import ANY, AlphabetPredicate, SymbolEquals
 from ..predicates.parser import parse_predicate
 from .pattern_tokens import PatternToken, PatternTokenStream, tokenize_pattern
@@ -65,6 +66,10 @@ def default_resolver(symbol: str) -> AlphabetPredicate:
 
 def parse_tree_pattern(text: str, resolver: SymbolResolver | None = None) -> TreePattern:
     """Parse tree-pattern text into a :class:`TreePattern`."""
+    # Credited to any activated sink so EXPLAIN ANALYZE (and the plan
+    # cache's acceptance check) can count compilations on the cold path
+    # and prove the warm path skips them.
+    stats_mod.emit("pattern_compilations")
     resolver = resolver or default_resolver
     stream = PatternTokenStream(tokenize_pattern(text), text)
     root_anchor = stream.match("top") is not None

@@ -7,13 +7,15 @@ drives that plan instead of recursing eagerly.  See
 """
 
 from .base import ExecutionContext, PhysicalOp, PhysicalPlan
-from .lower import lower
+from .lower import PipelineFactory, lower, lower_factory
 from . import operators
 
 __all__ = [
     "ExecutionContext",
     "PhysicalOp",
     "PhysicalPlan",
+    "PipelineFactory",
     "lower",
+    "lower_factory",
     "operators",
 ]

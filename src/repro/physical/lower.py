@@ -14,6 +14,19 @@ additionally runs the same anchor analysis the rewrite rules use
 (:mod:`repro.optimizer.anchors`) directly on plain logical nodes — the
 lowering-native replacement for routing every decision through shim
 node types.
+
+Lowering is split into two stages so one analysis serves many runs:
+
+* :func:`lower_factory` does all the *per-plan* work — pattern
+  compilation, anchor analysis, conjunct splits — and returns a
+  :class:`PipelineFactory` of nested zero-argument **thunks**;
+* :meth:`PipelineFactory.instantiate` runs the thunks, constructing a
+  fresh operator tree (physical operators carry per-execution state:
+  generators, counters, the execution context), ready to execute.
+
+:func:`lower` is the one-shot composition of the two, and the prepared
+-query path (:mod:`repro.query.prepare`) caches the factory so repeated
+executions skip straight to ``instantiate()``.
 """
 
 from __future__ import annotations
@@ -37,6 +50,38 @@ from . import operators as P
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..storage.database import Database
 
+#: A zero-argument constructor for one operator subtree.
+Thunk = Callable[[], PhysicalOp]
+
+
+class PipelineFactory:
+    """One lowering, many executions.
+
+    Holds the thunk tree produced by :func:`lower_factory`; every
+    :meth:`instantiate` call builds a fresh
+    :class:`~repro.physical.base.PhysicalPlan` (fresh operators, shared
+    compiled patterns and anchor decisions).
+    """
+
+    def __init__(self, expr: E.Expr, build_root: Thunk) -> None:
+        self.expr = expr
+        self._build_root = build_root
+
+    def instantiate(self) -> PhysicalPlan:
+        return PhysicalPlan(self._build_root(), self.expr)
+
+
+def lower_factory(
+    expr: E.Expr, db: "Database", *, choose_access_paths: bool = False
+) -> PipelineFactory:
+    """Run the per-plan lowering analysis once; defer operator creation.
+
+    Pattern compilation and (under ``choose_access_paths``) the anchor /
+    conjunct analyses all happen here, so a cached factory's
+    ``instantiate()`` does no planning work at all.
+    """
+    return PipelineFactory(expr, _lower_node(expr, db, choose_access_paths))
+
 
 def lower(
     expr: E.Expr, db: "Database", *, choose_access_paths: bool = False
@@ -50,190 +95,200 @@ def lower(
     which keeps plan-path metrics and work counters bit-compatible with
     the eager interpreter for the same expression.
     """
-    root = _lower_node(expr, db, choose_access_paths)
-    return PhysicalPlan(root, expr)
+    return lower_factory(
+        expr, db, choose_access_paths=choose_access_paths
+    ).instantiate()
 
 
-def _lower_node(node: E.Expr, db: "Database", choose: bool) -> PhysicalOp:
+def _lower_node(node: E.Expr, db: "Database", choose: bool) -> Thunk:
     build = _LOWERING.get(type(node))
     if build is None:
         raise QueryError(f"no lowering rule for {type(node).__name__}")
     return build(node, db, choose)
 
 
-def _child(node: E.Expr, db: "Database", choose: bool) -> PhysicalOp:
+def _child(node: E.Expr, db: "Database", choose: bool) -> Thunk:
     return _lower_node(node.input, db, choose)
 
 
 # -- per-node builders ---------------------------------------------------------
+#
+# Each builder runs once per lowering (doing any analysis) and returns
+# the thunk that constructs its operator; child thunks are resolved
+# eagerly so a factory's whole analysis happens up front.
 
 
-def _lower_root(node: E.Root, db, choose) -> PhysicalOp:
+def _lower_root(node: E.Root, db, choose) -> Thunk:
     del db, choose
-    return P.ScanRoot(node)
+    return lambda: P.ScanRoot(node)
 
 
-def _lower_extent(node: E.Extent, db, choose) -> PhysicalOp:
+def _lower_extent(node: E.Extent, db, choose) -> Thunk:
     del db, choose
-    return P.ScanExtent(node)
+    return lambda: P.ScanExtent(node)
 
 
-def _lower_literal(node: E.Literal, db, choose) -> PhysicalOp:
+def _lower_literal(node: E.Literal, db, choose) -> Thunk:
     del db, choose
-    return P.LiteralSource(node)
+    return lambda: P.LiteralSource(node)
 
 
-def _lower_tree_select(node: E.TreeSelect, db, choose) -> PhysicalOp:
-    return P.TreeSelectOp(node, (_child(node, db, choose),))
+def _lower_param(node: E.Param, db, choose) -> Thunk:
+    del db, choose
+    return lambda: P.ParamSource(node)
 
 
-def _lower_tree_apply(node: E.TreeApply, db, choose) -> PhysicalOp:
-    return P.TreeApplyOp(node, (_child(node, db, choose),))
+def _lower_tree_select(node: E.TreeSelect, db, choose) -> Thunk:
+    child = _child(node, db, choose)
+    return lambda: P.TreeSelectOp(node, (child(),))
 
 
-def _lower_sub_select(node: E.SubSelect, db, choose) -> PhysicalOp:
+def _lower_tree_apply(node: E.TreeApply, db, choose) -> Thunk:
+    child = _child(node, db, choose)
+    return lambda: P.TreeApplyOp(node, (child(),))
+
+
+def _lower_sub_select(node: E.SubSelect, db, choose) -> Thunk:
     child = _child(node, db, choose)
     # Patterns are compiled once here, at lowering time, so the probing
-    # operators never coerce per ``rows()`` and every operator matching
-    # the same pattern hands the match-context registry an equal key.
+    # operators never coerce per ``rows()``, every operator matching the
+    # same pattern hands the match-context registry an equal key — and a
+    # cached factory reuses the compiled pattern across executions.
     tp = tree_pattern(node.pattern)
     if choose:
         anchors = tree_split_anchors(tp)
         if anchors is not None:
-            return P.IndexAnchorScan(node, child, tp, anchors)
-    return P.SubSelectPipe(node, child, tp)
+            return lambda: P.IndexAnchorScan(node, child(), tp, anchors)
+    return lambda: P.SubSelectPipe(node, child(), tp)
 
 
-def _lower_indexed_sub_select(node: E.IndexedSubSelect, db, choose) -> PhysicalOp:
-    return P.IndexAnchorScan(
-        node, _child(node, db, choose), tree_pattern(node.pattern), node.anchors
-    )
+def _lower_indexed_sub_select(node: E.IndexedSubSelect, db, choose) -> Thunk:
+    child = _child(node, db, choose)
+    tp = tree_pattern(node.pattern)
+    return lambda: P.IndexAnchorScan(node, child(), tp, node.anchors)
 
 
-def _lower_split(node: E.Split, db, choose) -> PhysicalOp:
+def _lower_split(node: E.Split, db, choose) -> Thunk:
     child = _child(node, db, choose)
     tp = tree_pattern(node.pattern)
     if choose:
         anchors = tree_split_anchors(tp)
         if anchors is not None:
-            return P.IndexAnchorSplit(node, child, tp, node.function, anchors)
-    return P.SplitPipe(node, child, tp, node.function)
+            return lambda: P.IndexAnchorSplit(node, child(), tp, node.function, anchors)
+    return lambda: P.SplitPipe(node, child(), tp, node.function)
 
 
-def _lower_indexed_split(node: E.IndexedSplit, db, choose) -> PhysicalOp:
-    return P.IndexAnchorSplit(
-        node,
-        _child(node, db, choose),
-        tree_pattern(node.pattern),
-        node.function,
-        node.anchors,
-    )
+def _lower_indexed_split(node: E.IndexedSplit, db, choose) -> Thunk:
+    child = _child(node, db, choose)
+    tp = tree_pattern(node.pattern)
+    return lambda: P.IndexAnchorSplit(node, child(), tp, node.function, node.anchors)
 
 
 def _materializer(
     node: E.Expr, db, choose, producer: Callable, input_shape: str, kind: str
-) -> PhysicalOp:
-    return P.MaterializeOp(node, _child(node, db, choose), producer, input_shape, kind)
+) -> Thunk:
+    child = _child(node, db, choose)
+    return lambda: P.MaterializeOp(node, child(), producer, input_shape, kind)
 
 
-def _lower_all_anc(node: E.AllAnc, db, choose) -> PhysicalOp:
+def _lower_all_anc(node: E.AllAnc, db, choose) -> Thunk:
     def producer(tree, node=node):
         return all_anc(node.pattern, node.function, tree)
 
     return _materializer(node, db, choose, producer, "tree", "all_anc")
 
 
-def _lower_all_desc(node: E.AllDesc, db, choose) -> PhysicalOp:
+def _lower_all_desc(node: E.AllDesc, db, choose) -> Thunk:
     def producer(tree, node=node):
         return all_desc(node.pattern, node.function, tree)
 
     return _materializer(node, db, choose, producer, "tree", "all_desc")
 
 
-def _lower_list_select(node: E.ListSelect, db, choose) -> PhysicalOp:
-    return P.ListSelectPipe(node, (_child(node, db, choose),))
+def _lower_list_select(node: E.ListSelect, db, choose) -> Thunk:
+    child = _child(node, db, choose)
+    return lambda: P.ListSelectPipe(node, (child(),))
 
 
-def _lower_list_apply(node: E.ListApply, db, choose) -> PhysicalOp:
-    return P.ListApplyPipe(node, (_child(node, db, choose),))
+def _lower_list_apply(node: E.ListApply, db, choose) -> Thunk:
+    child = _child(node, db, choose)
+    return lambda: P.ListApplyPipe(node, (child(),))
 
 
-def _lower_list_sub_select(node: E.ListSubSelect, db, choose) -> PhysicalOp:
+def _lower_list_sub_select(node: E.ListSubSelect, db, choose) -> Thunk:
     child = _child(node, db, choose)
     lp = list_pattern(node.pattern)
     if choose:
         chosen = list_anchor_choice(lp)
         if chosen is not None:
             anchor, offsets = chosen
-            return P.ListAnchorScan(node, child, lp, anchor, offsets)
-    return P.ListSubSelectPipe(node, child, lp)
+            return lambda: P.ListAnchorScan(node, child(), lp, anchor, offsets)
+    return lambda: P.ListSubSelectPipe(node, child(), lp)
 
 
-def _lower_indexed_list_sub_select(
-    node: E.IndexedListSubSelect, db, choose
-) -> PhysicalOp:
-    return P.ListAnchorScan(
-        node,
-        _child(node, db, choose),
-        list_pattern(node.pattern),
-        node.anchor,
-        node.offsets,
-    )
+def _lower_indexed_list_sub_select(node: E.IndexedListSubSelect, db, choose) -> Thunk:
+    child = _child(node, db, choose)
+    lp = list_pattern(node.pattern)
+    return lambda: P.ListAnchorScan(node, child(), lp, node.anchor, node.offsets)
 
 
-def _lower_list_split(node: E.ListSplit, db, choose) -> PhysicalOp:
+def _lower_list_split(node: E.ListSplit, db, choose) -> Thunk:
     def producer(aqua_list, node=node):
         return split_list(node.pattern, node.function, aqua_list)
 
     return _materializer(node, db, choose, producer, "list", "list split")
 
 
-def _lower_set_select(node: E.SetSelect, db, choose) -> PhysicalOp:
+def _lower_set_select(node: E.SetSelect, db, choose) -> Thunk:
     if choose and isinstance(node.input, E.Extent):
         split = extent_conjunct_split(node.predicate, node.input.name, db)
         if split is not None:
             indexed, residual = split
-            return P.IndexedSelectFilter(
-                node, None, node.input.name, indexed, residual
-            )
-    return P.SelectFilter(node, (_child(node, db, choose),))
+            extent = node.input.name
+            return lambda: P.IndexedSelectFilter(node, None, extent, indexed, residual)
+    child = _child(node, db, choose)
+    return lambda: P.SelectFilter(node, (child(),))
 
 
-def _lower_indexed_set_select(node: E.IndexedSetSelect, db, choose) -> PhysicalOp:
+def _lower_indexed_set_select(node: E.IndexedSetSelect, db, choose) -> Thunk:
     if isinstance(node.input, E.Extent):
         # The candidates come straight from the attribute index; the
         # extent is never scanned as a child operator (eager parity:
         # the interpreter leaves the input unevaluated too).
-        return P.IndexedSelectFilter(
-            node, None, node.input.name, node.indexed, node.residual
+        extent = node.input.name
+        return lambda: P.IndexedSelectFilter(
+            node, None, extent, node.indexed, node.residual
         )
-    return P.IndexedSelectFilter(
-        node, _child(node, db, choose), None, node.indexed, node.residual
+    child = _child(node, db, choose)
+    return lambda: P.IndexedSelectFilter(
+        node, child(), None, node.indexed, node.residual
     )
 
 
-def _lower_set_apply(node: E.SetApply, db, choose) -> PhysicalOp:
-    return P.ApplyMap(node, (_child(node, db, choose),))
+def _lower_set_apply(node: E.SetApply, db, choose) -> Thunk:
+    child = _child(node, db, choose)
+    return lambda: P.ApplyMap(node, (child(),))
 
 
-def _lower_set_flatten(node: E.SetFlatten, db, choose) -> PhysicalOp:
-    return P.FlattenPipe(node, (_child(node, db, choose),))
+def _lower_set_flatten(node: E.SetFlatten, db, choose) -> Thunk:
+    child = _child(node, db, choose)
+    return lambda: P.FlattenPipe(node, (child(),))
 
 
 def _lower_binary(cls):
     def build(node, db, choose):
-        return cls(
-            node,
-            (_lower_node(node.left, db, choose), _lower_node(node.right, db, choose)),
-        )
+        left = _lower_node(node.left, db, choose)
+        right = _lower_node(node.right, db, choose)
+        return lambda: cls(node, (left(), right()))
 
     return build
 
 
-_LOWERING: dict[type, Callable[[E.Expr, "Database", bool], PhysicalOp]] = {
+_LOWERING: dict[type, Callable[[E.Expr, "Database", bool], Thunk]] = {
     E.Root: _lower_root,
     E.Extent: _lower_extent,
     E.Literal: _lower_literal,
+    E.Param: _lower_param,
     E.TreeSelect: _lower_tree_select,
     E.TreeApply: _lower_tree_apply,
     E.SubSelect: _lower_sub_select,

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterator
 
+from .. import params
 from ..algebra.tree_ops import (
     _context_tree,
     all_anc,
@@ -86,6 +87,20 @@ class LiteralSource(PhysicalOp):
 
     def rows(self) -> Iterator[Any]:
         yield self.logical.value
+
+
+class ParamSource(PhysicalOp):
+    """A ``$name`` slot read from the bindings armed for this execution.
+
+    The slot is resolved per pull, not at lowering, so one prepared plan
+    (see :mod:`repro.query.prepare`) serves every binding.
+    """
+
+    name = "param"
+    shape = "value"
+
+    def rows(self) -> Iterator[Any]:
+        yield params.resolve(params.Param(self.logical.name))
 
 
 # -- tree operators ------------------------------------------------------------

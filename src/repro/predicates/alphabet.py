@@ -24,6 +24,7 @@ import operator
 from typing import Any, Callable, Iterable
 
 from ..errors import PredicateError
+from ..params import Param, resolve as _resolve_param
 
 _MISSING = object()
 
@@ -138,8 +139,12 @@ class Comparison(AlphabetPredicate):
         value = _read_attribute(obj, self.attribute)
         if value is _MISSING:
             return False
+        # A ``$param`` constant reads its binding at evaluation time, so
+        # one predicate object (and the plan that holds it) serves every
+        # binding — see :mod:`repro.params`.
+        constant = _resolve_param(self.constant)
         try:
-            return bool(_OPERATORS[self.op](value, self.constant))
+            return bool(_OPERATORS[self.op](value, constant))
         except TypeError:
             return False
 
@@ -153,7 +158,9 @@ class Comparison(AlphabetPredicate):
         return f"x.{self.attribute} {self.op} {self.constant!r}"
 
     def embed_text(self) -> str:
-        if isinstance(self.constant, str):
+        if isinstance(self.constant, Param):
+            literal = self.constant.describe()
+        elif isinstance(self.constant, str):
             literal = '"' + self.constant.replace('"', "") + '"'
         elif self.constant is True:
             literal = "true"
@@ -175,7 +182,7 @@ class SymbolEquals(AlphabetPredicate):
         self.symbol = symbol
 
     def __call__(self, obj: Any) -> bool:
-        return bool(obj == self.symbol)
+        return bool(obj == _resolve_param(self.symbol))
 
     def indexable_terms(self) -> list[tuple[str, str, Any]]:
         # The payload itself acts as the "value" pseudo-attribute.

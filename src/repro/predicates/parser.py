@@ -15,7 +15,7 @@ Grammar (precedence low→high: ``or``, ``and``, ``not``, comparison)::
     not_expr   := 'not' not_expr | '(' or_expr ')' | comparison
     comparison := ref OP literal
     ref        := IDENT [ '.' IDENT ]          -- "p.age" or "age"
-    literal    := NUMBER | STRING | true | false
+    literal    := NUMBER | STRING | true | false | PARAM  -- "$name"
 
 Comparing the lambda variable itself (``p = "a"``) produces a
 :class:`~repro.predicates.alphabet.SymbolEquals`, matching the payload
@@ -28,6 +28,7 @@ import re
 from typing import Any
 
 from ..errors import PredicateError
+from ..params import Param
 from .alphabet import (
     AlphabetPredicate,
     And,
@@ -47,6 +48,7 @@ _TOKEN_RE = re.compile(
   | (?P<dot>\.)
   | (?P<number>-?\d+(?:\.\d+)?)
   | (?P<string>"[^"]*"|'[^']*')
+  | (?P<param>\$[A-Za-z_][A-Za-z0-9_]*)
   | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
     """,
     re.VERBOSE,
@@ -177,6 +179,8 @@ class _Parser:
 
     def _literal(self) -> Any:
         token = self.next()
+        if token[0] == "param":
+            return Param(token[1][1:])
         if token[0] == "number":
             text = token[1]
             return float(text) if "." in text else int(text)

@@ -1,5 +1,6 @@
 """Logical query expressions, their evaluator, EXPLAIN / EXPLAIN
-ANALYZE, and the AQL user-level text language."""
+ANALYZE, prepared queries with a plan cache, and the AQL user-level
+text language."""
 
 from . import expr
 from .aql import parse_aql, run_aql
@@ -10,13 +11,19 @@ from .explain import (
     explain_optimization,
     explain_physical,
     render_analysis,
+    render_planning,
 )
 from .interpreter import evaluate, evaluate_with_metrics
 from .metrics import OperatorMetrics, PlanMetrics
+from .plan_cache import DEFAULT_CACHE, PlanCache, plan_fingerprint
+from .prepare import PreparedQuery, prepare
 
 __all__ = [
+    "DEFAULT_CACHE",
     "OperatorMetrics",
+    "PlanCache",
     "PlanMetrics",
+    "PreparedQuery",
     "Q",
     "evaluate",
     "evaluate_with_metrics",
@@ -26,6 +33,9 @@ __all__ = [
     "explain_physical",
     "expr",
     "parse_aql",
+    "plan_fingerprint",
+    "prepare",
     "render_analysis",
+    "render_planning",
     "run_aql",
 ]

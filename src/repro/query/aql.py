@@ -36,7 +36,7 @@ optimizes and evaluates it in one call.
 from __future__ import annotations
 
 import re
-from typing import Any, Callable
+from typing import Any, Callable, Mapping
 
 from ..errors import QueryError
 from ..patterns.list_parser import parse_list_pattern
@@ -186,12 +186,19 @@ def parse_aql(text: str) -> E.Expr:
     return _Parser(text).parse()
 
 
-def run_aql(text: str, db: Database, optimize: bool = True) -> Any:
-    """Parse, (optionally) optimize, and evaluate an AQL query."""
-    from ..optimizer.engine import optimize as run_optimizer
-    from .interpreter import evaluate
+def run_aql(
+    text: str,
+    db: Database,
+    optimize: bool = True,
+    params: "Mapping[str, Any] | None" = None,
+) -> Any:
+    """Parse, (optionally) optimize, and evaluate an AQL query.
 
-    node = parse_aql(text)
-    if optimize:
-        node = run_optimizer(node, db)
-    return evaluate(node, db)
+    A thin wrapper over the default :class:`repro.api.Session`: repeated
+    text is served from the plan cache's alias table without even being
+    re-parsed.  ``$name`` slots inside ``{...}`` predicates bind through
+    ``params``.
+    """
+    from ..api import default_session
+
+    return default_session(db).query(text, params, optimize=optimize)

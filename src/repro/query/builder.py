@@ -13,8 +13,9 @@ also evaluates directly via ``.run(db)`` and ``.run_optimized(db)``.
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Callable, Mapping
 
+from ..params import Param
 from ..patterns.list_parser import SymbolResolver, list_pattern
 from ..patterns.tree_parser import tree_pattern
 from ..predicates.alphabet import AlphabetPredicate
@@ -41,6 +42,17 @@ class Q:
     @classmethod
     def value(cls, value: Any) -> "Q":
         return cls(E.Literal(value))
+
+    @staticmethod
+    def param(name: str) -> Param:
+        """A ``$name`` slot usable wherever a predicate constant is.
+
+        ``attr("age") > Q.param("limit")`` builds a parameterized
+        comparison; bind the slot at run time with
+        ``session.query(q, params={"limit": 30})`` (see
+        :mod:`repro.params`).
+        """
+        return Param(name)
 
     # -- tree operators -------------------------------------------------------
 
@@ -128,16 +140,17 @@ class Q:
     def build(self) -> E.Expr:
         return self.node
 
-    def run(self, db: Database) -> Any:
-        from .interpreter import evaluate
+    def run(self, db: Database, params: "Mapping[str, Any] | None" = None) -> Any:
+        from ..api import default_session
 
-        return evaluate(self.node, db)
+        return default_session(db).query(self.node, params)
 
-    def run_optimized(self, db: Database) -> Any:
-        from ..optimizer.engine import optimize
-        from .interpreter import evaluate
+    def run_optimized(
+        self, db: Database, params: "Mapping[str, Any] | None" = None
+    ) -> Any:
+        from ..api import default_session
 
-        return evaluate(optimize(self.node, db), db)
+        return default_session(db).query(self.node, params, optimize=True)
 
     def describe(self) -> str:
         return self.node.describe()

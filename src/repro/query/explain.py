@@ -183,3 +183,25 @@ def explain_analyze(
 
     _, metrics = evaluate_with_metrics(expr, db)
     return render_analysis(expr, db, metrics, timings=timings)
+
+
+#: The planning-side counters the footer renders, in display order.
+PLANNING_COUNTERS = (
+    "plan_cache_hits",
+    "plan_cache_misses",
+    "plan_cache_invalidations",
+    "plan_cache_replans",
+    "optimizer_rewrites",
+    "pattern_compilations",
+)
+
+
+def render_planning(planning) -> str:
+    """The one-line planning footer for EXPLAIN ANALYZE.
+
+    ``planning`` is the :class:`~repro.storage.stats.Instrumentation`
+    sink that was activated around ``prepare()`` — a warm plan cache
+    renders ``plan_cache_hits=1`` with every other counter at zero.
+    """
+    parts = " ".join(f"{name}={planning[name]}" for name in PLANNING_COUNTERS)
+    return f"planning: {parts}"

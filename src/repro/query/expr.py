@@ -21,12 +21,46 @@ introduces — they make the §4 rewrites visible as plan shapes::
 from __future__ import annotations
 
 import dataclasses
+import threading
+import warnings
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
 from ..patterns.list_ast import ListPattern
 from ..patterns.tree_ast import TreePattern
 from ..predicates.alphabet import AlphabetPredicate
+
+_shim_depth = threading.local()
+
+
+@contextmanager
+def internal_shims() -> Iterator[None]:
+    """Suppress the ``Indexed*`` deprecation warning for internal rebuilds.
+
+    The optimizer's rewrite rules still *produce* the shims (they are the
+    serializable plan shapes of the §4 rewrites), and ``with_children``
+    reconstructs them during passes; neither is a user choosing the
+    deprecated API, so both wrap themselves in this scope.
+    """
+    depth = getattr(_shim_depth, "value", 0)
+    _shim_depth.value = depth + 1
+    try:
+        yield
+    finally:
+        _shim_depth.value = depth
+
+
+def _warn_shim(node: Expr) -> None:
+    if getattr(_shim_depth, "value", 0):
+        return
+    warnings.warn(
+        f"constructing {type(node).__name__} directly is deprecated; access-path"
+        " choice lives in the lowering pass (physical.lower with"
+        " choose_access_paths) and the optimizer now emits these nodes itself",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 class Expr:
@@ -101,6 +135,20 @@ class Literal(Expr):
         return f"lit({self.value!r})"
 
 
+@dataclass(frozen=True, repr=False)
+class Param(Expr):
+    """A named parameter slot, evaluated to its current binding.
+
+    The slot — not the bound value — is part of the plan's structure, so
+    one prepared plan (:mod:`repro.query.prepare`) serves every binding.
+    """
+
+    name: str
+
+    def head(self) -> str:
+        return f"${self.name}"
+
+
 # ---------------------------------------------------------------------------
 # Unary-input operator base
 # ---------------------------------------------------------------------------
@@ -169,6 +217,9 @@ class IndexedSubSelect(_Unary):
     pattern: TreePattern = field(kw_only=True)
     anchors: tuple[AlphabetPredicate, ...] = field(kw_only=True)
 
+    def __post_init__(self) -> None:
+        _warn_shim(self)
+
     def head(self) -> str:
         anchors = " | ".join(a.describe() for a in self.anchors)
         return f"ix_sub_select[{self.pattern.describe()}; anchors={anchors}]"
@@ -196,6 +247,9 @@ class IndexedSplit(_Unary):
     pattern: TreePattern = field(kw_only=True)
     function: Callable[..., Any] = field(kw_only=True)
     anchors: tuple[AlphabetPredicate, ...] = field(kw_only=True)
+
+    def __post_init__(self) -> None:
+        _warn_shim(self)
 
     def head(self) -> str:
         anchors = " | ".join(a.describe() for a in self.anchors)
@@ -265,6 +319,9 @@ class IndexedListSubSelect(_Unary):
     anchor: AlphabetPredicate = field(kw_only=True)
     offsets: tuple[int, ...] = field(kw_only=True)
 
+    def __post_init__(self) -> None:
+        _warn_shim(self)
+
     def head(self) -> str:
         return (
             f"ix_lsub_select[{self.pattern.describe()};"
@@ -307,6 +364,9 @@ class IndexedSetSelect(_Unary):
 
     indexed: AlphabetPredicate = field(kw_only=True)
     residual: AlphabetPredicate | None = field(kw_only=True, default=None)
+
+    def __post_init__(self) -> None:
+        _warn_shim(self)
 
     def head(self) -> str:
         residual = self.residual.describe() if self.residual else "true"

@@ -24,10 +24,9 @@ The executor is chosen per call (``executor=``) or process-wide via the
 
 from __future__ import annotations
 
-import os
-from typing import Any
+from typing import Any, Mapping
 
-from .. import guardrails
+from .. import config, params as params_mod
 from ..algebra import (
     all_anc,
     all_desc,
@@ -46,14 +45,14 @@ from ..core.aqua_tree import AquaTree
 from ..errors import QueryError, ResourceExhaustedError
 from ..guardrails import Budget, Guard
 from ..optimizer.anchors import probe_anchor_roots
-from ..patterns.tree_memo import match_scope, prime_match_context
+from ..patterns.tree_memo import prime_match_context
 from ..storage.database import Database
 from . import expr as E
 from .metrics import PlanMetrics, cardinality
 
-#: Environment knob selecting the default executor.
-EXECUTOR_ENV = "AQUA_EXECUTOR"
-_EXECUTORS = ("streaming", "eager")
+#: Environment knob selecting the default executor (see repro.config).
+EXECUTOR_ENV = config.EXECUTOR_ENV
+_EXECUTORS = config.EXECUTORS
 
 
 def evaluate(
@@ -61,45 +60,30 @@ def evaluate(
     db: Database,
     budget: Budget | None = None,
     executor: str | None = None,
+    params: "Mapping[str, Any] | None" = None,
 ) -> Any:
     """Evaluate a query expression against ``db``.
 
-    The database's instrumentation sink and the execution guard are
-    armed **once** here — not per node — and threaded through the chosen
-    executor, so one guard and one attribution context cover the whole
-    plan.  When a :class:`~repro.query.metrics.PlanMetrics` collector is
-    installed (see :func:`evaluate_with_metrics`), per-operator metrics
-    are collected: by attribution scopes in the eager executor, by
-    per-pull accounting in the streaming one — same paths, same totals.
+    Now a thin wrapper over the default :class:`repro.api.Session`: the
+    expression is prepared (planned once, served from the process-wide
+    plan cache on repeats — lazily invalidated when the database epoch
+    moves) and executed with semantics identical to the historical
+    direct path.  The guard, the instrumentation sink and the tree-match
+    registry are armed **once** per run and threaded through the chosen
+    executor; when a :class:`~repro.query.metrics.PlanMetrics` collector
+    is installed (see :func:`evaluate_with_metrics`), per-operator
+    metrics are collected by attribution scopes in the eager executor
+    and per-pull accounting in the streaming one — same paths, same
+    totals.
 
     A tripped limit raises
     :class:`~repro.errors.ResourceExhaustedError` annotated with the
     operator being evaluated and, during an instrumented run, the
     partial :class:`~repro.query.metrics.PlanMetrics`.
     """
-    if executor is None:
-        executor = os.environ.get(EXECUTOR_ENV, "streaming")
-    if executor not in _EXECUTORS:
-        raise QueryError(
-            f"unknown executor {executor!r} (expected one of {', '.join(_EXECUTORS)})"
-        )
-    stats = db.stats
-    # ``match_scope`` arms the per-query tree-match context registry: one
-    # memo table + predicate bitmap per (pattern, tree) pair serves every
-    # operator of this evaluation, and the database's per-query bitmaps
-    # are reset so identical runs report identical work.
-    with guardrails.guarded(budget) as guard, stats.activated(), match_scope(db):
-        if executor == "eager":
-            return _eval(node, db, guard, ())
-        # Imported lazily: ``repro.query`` loads this module at package
-        # import time, and the physical layer imports ``repro.query``.
-        from ..physical import ExecutionContext, lower
+    from ..api import default_session
 
-        plan = lower(node, db)
-        ctx = ExecutionContext(
-            db=db, guard=guard, metrics=stats.collector, stats=stats
-        )
-        return plan.execute(ctx)
+    return default_session(db).query(node, params, budget=budget, executor=executor)
 
 
 def _annotate_trip(exc: ResourceExhaustedError, collector: PlanMetrics, op) -> None:
@@ -122,6 +106,7 @@ def evaluate_with_metrics(
     metrics: PlanMetrics | None = None,
     budget: Budget | None = None,
     executor: str | None = None,
+    params: "Mapping[str, Any] | None" = None,
 ) -> tuple[Any, PlanMetrics]:
     """Evaluate ``expr`` collecting per-operator runtime metrics.
 
@@ -135,7 +120,7 @@ def evaluate_with_metrics(
     """
     metrics = metrics if metrics is not None else PlanMetrics()
     with db.stats.collecting(metrics):
-        result = evaluate(expr, db, budget=budget, executor=executor)
+        result = evaluate(expr, db, budget=budget, executor=executor, params=params)
     return result, metrics
 
 
@@ -220,6 +205,11 @@ def _eval_extent(node: E.Extent, db: Database, guard, trail) -> AquaSet:
 def _eval_literal(node: E.Literal, db: Database, guard, trail) -> Any:
     del db, guard, trail
     return node.value
+
+
+def _eval_param(node: E.Param, db: Database, guard, trail) -> Any:
+    del db, guard, trail
+    return params_mod.resolve(params_mod.Param(node.name))
 
 
 # -- tree operators ---------------------------------------------------------------
@@ -380,6 +370,7 @@ _DISPATCH = {
     E.Root: _eval_root,
     E.Extent: _eval_extent,
     E.Literal: _eval_literal,
+    E.Param: _eval_param,
     E.TreeSelect: _eval_tree_select,
     E.TreeApply: _eval_tree_apply,
     E.SubSelect: _eval_sub_select,

@@ -1,0 +1,278 @@
+"""Prepared queries: plan once, execute many times.
+
+``prepare(source, db)`` runs the whole planning pipeline — AQL parse,
+optimizer rewrite, pattern compilation, logical→physical lowering — and
+captures the result in a :class:`PreparedQuery`: the optimized logical
+plan plus the :class:`~repro.physical.lower.PipelineFactory` whose
+``instantiate()`` yields a fresh executable pipeline with **no planning
+work at all**.  Prepared queries are cached in a
+:class:`~repro.query.plan_cache.PlanCache` keyed by the query's
+structural fingerprint, so repeated ``prepare`` calls for the same shape
+(including repeated AQL text, via the cache's alias table) skip
+everything.
+
+Parameterized queries make the cache earn its keep: ``$name`` slots
+(:mod:`repro.params`) are part of the plan's *structure*, and the bound
+values arrive at :meth:`PreparedQuery.run` — one plan, many bindings.
+One guard protects that bargain: the optimizer's anchor analysis may
+have committed to an index probe on a ``$param`` equality term
+(:func:`~repro.optimizer.anchors.tree_split_anchors` presumes an
+unbound param servable).  :class:`PreparedQuery` records which slots
+back such anchors, and a binding that cannot be an index key (an
+unhashable value) triggers a **re-plan for that run only** — counted as
+``plan_cache_replans`` — planned under the armed bindings so the
+binding-aware analysis picks the safe full-scan shape instead.
+
+Execution semantics are identical to
+:func:`repro.query.interpreter.evaluate` — same guard, instrumentation,
+match-scope and executor arming, bit-identical results and counters —
+which the plan-cache property suite asserts across executors × engines.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Hashable, Mapping
+
+from .. import config, guardrails
+from ..errors import QueryError
+from ..guardrails import Budget
+from ..params import Param, bound_params, current_bindings, is_bindable
+from ..patterns.tree_memo import match_scope
+from ..storage.database import Database
+from . import expr as E
+from .metrics import PlanMetrics
+from .plan_cache import DEFAULT_CACHE, PlanCache, plan_fingerprint
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..physical.lower import PipelineFactory
+
+
+def _anchor_param_slots(plan: E.Expr) -> frozenset[str]:
+    """The ``$param`` slots backing index-anchor choices in ``plan``.
+
+    These are the prepare-time assumptions the re-plan guard watches: a
+    ``=``-term whose constant is a param, inside a predicate some
+    ``Indexed*`` node committed to probing.
+    """
+    slots: set[str] = set()
+
+    def collect(predicate) -> None:
+        if predicate is None or predicate.opaque:
+            return
+        for _, op, constant in predicate.indexable_terms():
+            if op == "=" and isinstance(constant, Param):
+                slots.add(constant.name)
+
+    for node in plan.walk():
+        for anchor in getattr(node, "anchors", ()) or ():
+            collect(anchor)
+        collect(getattr(node, "anchor", None))
+        collect(getattr(node, "indexed", None))
+    return frozenset(slots)
+
+
+def _plan(
+    expr: E.Expr, db: Database, optimize: bool
+) -> tuple[E.Expr, "PipelineFactory"]:
+    """The planning pipeline shared by cold prepares and re-plans."""
+    from ..optimizer.engine import Optimizer
+    from ..physical.lower import lower_factory
+
+    plan = expr
+    if optimize:
+        plan, _ = Optimizer(db).optimize(expr)
+    return plan, lower_factory(plan, db)
+
+
+class PreparedQuery:
+    """An execution-ready query: optimized plan + physical factory.
+
+    Produced by :func:`prepare`; do not construct directly.  ``run()``
+    may be called any number of times, with different parameter bindings
+    each time.  Instances are immutable from the caller's perspective
+    and safe to share across threads (each run instantiates its own
+    operator tree).
+    """
+
+    def __init__(
+        self,
+        *,
+        expr: E.Expr,
+        plan: E.Expr,
+        factory: "PipelineFactory",
+        db: Database,
+        epoch: int,
+        optimize: bool,
+        fingerprint: Hashable,
+        cache: PlanCache | None,
+    ) -> None:
+        self.expr = expr
+        self.plan = plan
+        self.factory = factory
+        self.db = db
+        self.epoch = epoch
+        self.optimize = optimize
+        self.fingerprint = fingerprint
+        self.cache = cache
+        self.anchor_params = _anchor_param_slots(plan)
+        self.param_slots = frozenset(
+            node.name for node in expr.walk() if isinstance(node, E.Param)
+        )
+
+    # -- the re-plan guard -----------------------------------------------------
+
+    def _needs_replan(self) -> bool:
+        """Does some armed binding break a recorded anchor assumption?"""
+        if not self.anchor_params:
+            return False
+        bindings = current_bindings() or {}
+        return any(
+            name in bindings and not is_bindable(bindings[name])
+            for name in self.anchor_params
+        )
+
+    def _plan_for_bindings(self) -> tuple[E.Expr, "PipelineFactory"]:
+        if not self._needs_replan():
+            return self.plan, self.factory
+        # Re-plan under the armed bindings: the binding-aware anchor
+        # analysis now sees the unhashable constant and keeps the scan
+        # shape.  The result serves this run only — the cached entry
+        # stays correct for bindings that honour the assumption.
+        if self.cache is not None:
+            self.cache.note_replan()
+        return _plan(self.expr, self.db, self.optimize)
+
+    # -- execution -------------------------------------------------------------
+
+    def run(
+        self,
+        params: Mapping[str, Any] | None = None,
+        *,
+        budget: Budget | None = None,
+        executor: str | None = None,
+        engine: str | None = None,
+    ) -> Any:
+        """Execute with ``params`` bound; semantics match ``evaluate()``.
+
+        ``executor`` / ``engine`` override the session/env/default
+        resolution for this run only (see :mod:`repro.config`).
+        """
+        from ..physical import ExecutionContext
+        from .interpreter import _eval
+
+        executor = config.validated_executor(executor)
+        stats = self.db.stats
+        with bound_params(params):
+            plan, factory = self._plan_for_bindings()
+            with config.tree_engine_scope(engine), guardrails.guarded(
+                budget
+            ) as guard, stats.activated(), match_scope(self.db):
+                if executor == "eager":
+                    return _eval(plan, self.db, guard, ())
+                ctx = ExecutionContext(
+                    db=self.db, guard=guard, metrics=stats.collector, stats=stats
+                )
+                return factory.instantiate().execute(ctx)
+
+    def run_with_metrics(
+        self,
+        params: Mapping[str, Any] | None = None,
+        *,
+        metrics: PlanMetrics | None = None,
+        budget: Budget | None = None,
+        executor: str | None = None,
+        engine: str | None = None,
+    ) -> tuple[Any, PlanMetrics]:
+        """Like :meth:`run`, collecting per-operator runtime metrics."""
+        metrics = metrics if metrics is not None else PlanMetrics()
+        with self.db.stats.collecting(metrics):
+            result = self.run(
+                params, budget=budget, executor=executor, engine=engine
+            )
+        return result, metrics
+
+    def describe(self) -> str:
+        return self.plan.describe()
+
+    def __repr__(self) -> str:
+        slots = ", ".join(sorted(self.param_slots)) or "none"
+        return (
+            f"PreparedQuery<{self.plan.describe()};"
+            f" params: {slots}; epoch {self.epoch}>"
+        )
+
+
+def _as_expr(source: Any) -> E.Expr:
+    """Coerce a prepare/query source (Expr | Q | AQL already handled)."""
+    if isinstance(source, E.Expr):
+        return source
+    node = getattr(source, "node", None)  # a Q builder
+    if isinstance(node, E.Expr):
+        return node
+    raise QueryError(
+        f"cannot prepare {type(source).__name__!r}:"
+        " expected an Expr, a Q builder, or AQL text"
+    )
+
+
+def prepare(
+    source: Any,
+    db: Database,
+    *,
+    optimize: bool = True,
+    cache: PlanCache | None = DEFAULT_CACHE,
+) -> PreparedQuery:
+    """Prepare ``source`` (Expr | Q | AQL text) for repeated execution.
+
+    Served from ``cache`` when a structurally identical query was
+    prepared against the same database at the current epoch; planned
+    from scratch (and stored) otherwise.  Pass ``cache=None`` to bypass
+    caching entirely.  Cache traffic is observable via the cache's own
+    counters and, for callers that activated a stats sink, the
+    ``plan_cache_*`` emissions.
+    """
+    text: str | None = None
+    expr: E.Expr | None = None
+    missed: Hashable | None = None
+    if isinstance(source, str):
+        text = source
+        # The alias table lets warm AQL text skip even the parse (and
+        # therefore every pattern compilation the parse would do).
+        if cache is not None:
+            fingerprint = cache.lookup_alias(db, text, optimize)
+            if fingerprint is not None:
+                prepared = cache.lookup(db, fingerprint)
+                if prepared is not None:
+                    return prepared
+                missed = fingerprint
+        from .aql import parse_aql
+
+        expr = parse_aql(text)
+    else:
+        expr = _as_expr(source)
+
+    fingerprint = plan_fingerprint(expr, optimize=optimize)
+    if cache is not None and fingerprint != missed:
+        prepared = cache.lookup(db, fingerprint)
+        if prepared is not None:
+            if text is not None:
+                cache.store_alias(db, text, optimize, fingerprint)
+            return prepared
+
+    epoch = db.epoch
+    plan, factory = _plan(expr, db, optimize)
+    prepared = PreparedQuery(
+        expr=expr,
+        plan=plan,
+        factory=factory,
+        db=db,
+        epoch=epoch,
+        optimize=optimize,
+        fingerprint=fingerprint,
+        cache=cache,
+    )
+    if cache is not None:
+        cache.store(db, fingerprint, prepared)
+        if text is not None:
+            cache.store_alias(db, text, optimize, fingerprint)
+    return prepared

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Iterator
 
-from .. import guardrails
+from .. import guardrails, params
 from ..core.aqua_list import AquaList
 from ..core.aqua_set import AquaSet
 from ..core.aqua_tree import AquaTree
@@ -45,7 +45,28 @@ class Database:
         self._tree_indexes: dict[int, TreeIndex] = {}
         self._list_indexes: dict[int, ListIndex] = {}
         self._histograms: dict[tuple[str, str], Any] = {}
+        self._epoch = 0
         self.stats = stats or Instrumentation()
+
+    # -- epochs ----------------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """A counter bumped by anything that can invalidate a cached plan.
+
+        Inserts, root (re)binds, extent-index create/drop and statistics
+        recalibration all bump it; the plan cache
+        (:mod:`repro.query.plan_cache`) compares it lazily on lookup and
+        drops entries prepared under an older epoch.  The lazily built
+        per-structure node indexes (:meth:`tree_index`,
+        :meth:`list_index`) do *not* bump — they are caches over
+        unchanged data, and queries create them mid-execution.
+        """
+        return self._epoch
+
+    def bump_epoch(self) -> int:
+        self._epoch += 1
+        return self._epoch
 
     # -- extents ---------------------------------------------------------------
 
@@ -56,6 +77,7 @@ class Database:
         for (extent_name, attribute), index in self._indexes.items():
             if extent_name == name:
                 index.insert(obj)
+        self.bump_epoch()
         return obj
 
     def insert_many(self, objects: Iterable[Any], extent: str | None = None) -> list[Any]:
@@ -97,9 +119,11 @@ class Database:
         if name in self._roots:
             raise StorageError(f"root {name!r} is already bound")
         self._roots[name] = value
+        self.bump_epoch()
 
     def rebind_root(self, name: str, value: Any) -> None:
         self._roots[name] = value
+        self.bump_epoch()
 
     def root(self, name: str) -> Any:
         fault_point("storage_lookup")
@@ -124,7 +148,15 @@ class Database:
         index = OrderedIndex(attribute) if ordered else HashIndex(attribute)
         index.bulk_load(self._extents.get(extent, ()))
         self._indexes[key] = index
+        self.bump_epoch()
         return index
+
+    def drop_index(self, extent: str, attribute: str) -> bool:
+        """Drop the index on ``extent.attribute``; True if one existed."""
+        removed = self._indexes.pop((extent, attribute), None) is not None
+        if removed:
+            self.bump_epoch()
+        return removed
 
     def index_for(self, extent: str, attribute: str) -> HashIndex | OrderedIndex | None:
         return self._indexes.get((extent, attribute))
@@ -152,6 +184,11 @@ class Database:
                 for attribute, op, constant in predicate.indexable_terms():
                     index = self._indexes.get((extent, attribute))
                     if index is None:
+                        continue
+                    # A $param constant probes with its current binding;
+                    # an unbound (or unhashable) one cannot be served.
+                    constant, bound = params.try_resolve(constant)
+                    if not bound or not params.is_bindable(constant):
                         continue
                     if isinstance(index, HashIndex):
                         if op != "=":
@@ -189,6 +226,7 @@ class Database:
             attribute, self._extents.get(extent, ()), buckets
         )
         self._histograms[(extent, attribute)] = histogram
+        self.bump_epoch()
         return histogram
 
     def histogram(self, extent: str, attribute: str):

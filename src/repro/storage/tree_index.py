@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable
 
-from .. import guardrails
+from .. import guardrails, params
 from ..core.aqua_list import AquaList
 from ..core.aqua_tree import AquaTree, TreeNode
 from ..faults import fault_point
@@ -232,15 +232,25 @@ class TreeIndex:
     def servable_terms(
         self, predicate: AlphabetPredicate
     ) -> list[tuple[str, str, Any]]:
-        """The predicate's equality terms this index can serve."""
+        """The predicate's equality terms this index can serve.
+
+        ``$param`` constants are resolved to their current binding (the
+        probe needs a concrete key); a term whose param is unbound is
+        not servable.
+        """
         if predicate.opaque:
             return []
-        return [
-            (attribute, op, constant)
-            for attribute, op, constant in predicate.indexable_terms()
-            if op == "="
-            and (attribute == VALUE_ATTRIBUTE or attribute in self._attribute_indexes)
-        ]
+        terms: list[tuple[str, str, Any]] = []
+        for attribute, op, constant in predicate.indexable_terms():
+            if op != "=":
+                continue
+            if attribute != VALUE_ATTRIBUTE and attribute not in self._attribute_indexes:
+                continue
+            constant, bound = params.try_resolve(constant)
+            if not bound:
+                continue
+            terms.append((attribute, op, constant))
+        return terms
 
     def candidate_nodes(
         self,
@@ -303,6 +313,9 @@ class ListIndex:
         if not predicate.opaque:
             for attribute, op, constant in predicate.indexable_terms():
                 if op != "=":
+                    continue
+                constant, bound = params.try_resolve(constant)
+                if not bound:
                     continue
                 if attribute == VALUE_ATTRIBUTE:
                     fault_point("index_probe")

@@ -9,6 +9,10 @@ from repro.query import expr as E
 from repro.storage import Database
 from repro.workloads import by_citizen_or_name, random_family_tree
 
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:constructing Indexed:DeprecationWarning"
+)
+
 
 @pytest.fixture()
 def db():

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import PatternError
+from repro.errors import QueryError
 from repro.patterns import compile_dfa, parse_list_pattern
 from repro.patterns.dfa import DFA_CACHE_LIMIT_ENV, DEFAULT_CACHE_LIMIT
 from repro.storage.stats import Instrumentation
@@ -27,7 +27,7 @@ def test_env_knob_overrides_default_limit(monkeypatch):
 @pytest.mark.parametrize("raw", ["lots", "0", "-3"])
 def test_env_knob_rejects_bad_values(monkeypatch, raw):
     monkeypatch.setenv(DFA_CACHE_LIMIT_ENV, raw)
-    with pytest.raises(PatternError):
+    with pytest.raises(QueryError, match="AQUA_DFA_CACHE_LIMIT"):
         compile_dfa(PATTERN)
 
 

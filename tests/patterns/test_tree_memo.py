@@ -4,7 +4,7 @@ import pytest
 
 from repro import guardrails
 from repro.core import AquaTree
-from repro.errors import PatternError, ResourceExhaustedError
+from repro.errors import QueryError, ResourceExhaustedError
 from repro.patterns import (
     TREE_ENGINE_ENV,
     TreeMatchContext,
@@ -52,10 +52,10 @@ class TestEngineKnob:
     @pytest.mark.parametrize("bogus", ["packrat", "", "MEMO"])
     def test_unknown_engine_rejected(self, monkeypatch, bogus):
         monkeypatch.setenv(TREE_ENGINE_ENV, bogus)
-        with pytest.raises(PatternError):
+        with pytest.raises(QueryError, match="AQUA_TREE_ENGINE"):
             tree_engine()
         monkeypatch.delenv(TREE_ENGINE_ENV)
-        with pytest.raises(PatternError):
+        with pytest.raises(QueryError, match="AQUA_TREE_ENGINE"):
             tree_engine(bogus)
 
 

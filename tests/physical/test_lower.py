@@ -27,6 +27,10 @@ from repro.workloads import (
     song_with_melody,
 )
 
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:constructing Indexed:DeprecationWarning"
+)
+
 
 def concrete_node_types() -> list[type]:
     return [

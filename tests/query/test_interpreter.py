@@ -12,6 +12,10 @@ from repro.query import Q, evaluate
 from repro.query import expr as E
 from repro.storage import Database
 
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:constructing Indexed:DeprecationWarning"
+)
+
 
 @pytest.fixture()
 def db():

@@ -1,0 +1,167 @@
+"""The plan cache: fingerprints, LRU + epoch mechanics, prepared queries."""
+
+import pytest
+
+from repro.core import parse_tree
+from repro.core.identity import Record
+from repro.errors import QueryError
+from repro.predicates import attr
+from repro.query import Q, PlanCache, plan_fingerprint, prepare
+from repro.query import expr as E
+from repro.storage import Database
+from repro.storage.stats import Instrumentation
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.bind_root("T", parse_tree("r(d(e(h i) j) s(d(e(h i) j) k) d(x))"))
+    for i in range(12):
+        database.insert(Record(name=f"p{i}", age=20 + i), "Person")
+    database.create_index("Person", "age")
+    return database
+
+
+def anchor_query():
+    return Q.extent("Person").sselect(attr("age") == Q.param("limit")).node
+
+
+class TestFingerprint:
+    def test_same_shape_same_fingerprint(self):
+        a = plan_fingerprint(anchor_query(), optimize=True)
+        b = plan_fingerprint(anchor_query(), optimize=True)
+        assert a == b
+
+    def test_optimize_flag_is_part_of_the_key(self):
+        a = plan_fingerprint(anchor_query(), optimize=True)
+        b = plan_fingerprint(anchor_query(), optimize=False)
+        assert a != b
+
+    def test_different_constants_differ(self):
+        a = plan_fingerprint(
+            Q.extent("Person").sselect(attr("age") == 25).node, optimize=True
+        )
+        b = plan_fingerprint(
+            Q.extent("Person").sselect(attr("age") == 26).node, optimize=True
+        )
+        assert a != b
+
+    def test_param_slot_not_binding_is_keyed(self):
+        # Two structurally identical parameterized queries share one
+        # fingerprint regardless of what will be bound later.
+        a = plan_fingerprint(anchor_query(), optimize=True)
+        b = plan_fingerprint(anchor_query(), optimize=True)
+        assert a == b
+        c = plan_fingerprint(
+            Q.extent("Person").sselect(attr("age") == Q.param("cap")).node,
+            optimize=True,
+        )
+        assert a != c
+
+    def test_different_shapes_differ(self):
+        a = plan_fingerprint(Q.root("T").sub_select("d(e j)").node, optimize=True)
+        b = plan_fingerprint(Q.root("T").sub_select("d(x)").node, optimize=True)
+        assert a != b
+
+
+class TestCacheMechanics:
+    def test_hit_and_miss_counters(self, db):
+        cache = PlanCache(capacity=4)
+        first = prepare(anchor_query(), db, cache=cache)
+        second = prepare(anchor_query(), db, cache=cache)
+        assert second is first
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_epoch_invalidation_on_mutation(self, db):
+        cache = PlanCache(capacity=4)
+        first = prepare(anchor_query(), db, cache=cache)
+        db.insert(Record(name="new", age=25), "Person")
+        second = prepare(anchor_query(), db, cache=cache)
+        assert second is not first
+        assert cache.invalidations == 1
+        assert second.epoch == db.epoch
+
+    def test_lru_eviction(self, db):
+        cache = PlanCache(capacity=2)
+        queries = [
+            Q.extent("Person").sselect(attr("age") == bound).node
+            for bound in (21, 22, 23)
+        ]
+        for query in queries:
+            prepare(query, db, cache=cache)
+        assert len(cache) == 2 and cache.evictions == 1
+        # the oldest entry (age == 21) was evicted: preparing it misses
+        prepare(queries[0], db, cache=cache)
+        assert cache.hits == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+    def test_cache_none_bypasses(self, db):
+        first = prepare(anchor_query(), db, cache=None)
+        second = prepare(anchor_query(), db, cache=None)
+        assert second is not first
+
+    def test_aql_alias_skips_reparse(self, db):
+        cache = PlanCache(capacity=4)
+        text = 'root T | sub_select "d(e j)"'
+        prepare(text, db, cache=cache)
+        sink = Instrumentation()
+        with sink.activated():
+            prepare(text, db, cache=cache)
+        assert cache.hits == 1
+        # the warm textual path does not even parse the pattern
+        assert sink["pattern_compilations"] == 0
+        assert sink["plan_cache_hits"] == 1
+
+    def test_counters_never_leak_into_db_stats(self, db):
+        cache = PlanCache(capacity=4)
+        before = db.stats.snapshot()
+        prepare(anchor_query(), db, cache=cache)
+        prepare(anchor_query(), db, cache=cache)
+        after = db.stats.snapshot()
+        assert not any(k.startswith("plan_cache") for k in after)
+        assert before == after
+
+
+class TestPreparedQuery:
+    def test_run_matches_cold_evaluation(self, db):
+        prepared = prepare(anchor_query(), db)
+        warm = prepared.run({"limit": 25})
+        from repro.query import evaluate
+
+        cold = evaluate(anchor_query(), db, params={"limit": 25})
+        assert set(warm) == set(cold) == {p for p in warm}
+
+    def test_executor_parity(self, db):
+        prepared = prepare(anchor_query(), db)
+        streaming = prepared.run({"limit": 27}, executor="streaming")
+        eager = prepared.run({"limit": 27}, executor="eager")
+        assert streaming == eager
+
+    def test_records_param_slots(self, db):
+        prepared = prepare(anchor_query(), db)
+        assert prepared.param_slots == frozenset()  # E.Param nodes only
+        assert "limit" in prepared.anchor_params
+
+    def test_replan_guard_on_unhashable_binding(self, db):
+        cache = PlanCache(capacity=4)
+        prepared = prepare(anchor_query(), db, cache=cache)
+        assert prepared.anchor_params == {"limit"}
+        # an unhashable binding cannot be an index key: the guard
+        # re-plans for this run instead of probing with it
+        result = prepared.run({"limit": [25]})
+        assert cache.replans == 1
+        assert set(result) == set()
+        # a well-behaved binding afterwards still uses the cached plan
+        assert {p.name for p in prepared.run({"limit": 25})} == {"p5"}
+        assert cache.replans == 1
+
+    def test_prepare_rejects_unknown_sources(self, db):
+        with pytest.raises(QueryError):
+            prepare(42, db)
+
+    def test_expr_param_slots_recorded(self, db):
+        prepared = prepare(E.Param("answer"), db, optimize=False)
+        assert prepared.param_slots == frozenset({"answer"})

@@ -1,0 +1,78 @@
+"""The ``Indexed*`` shim nodes are deprecated: warn on direct construction.
+
+The access-path choice they used to encode lives in the lowering pass
+(``physical.lower`` with ``choose_access_paths``); the optimizer still
+*emits* the shims internally — silently, under ``E.internal_shims()`` —
+but user code constructing them directly gets a ``DeprecationWarning``.
+Their lowering equivalence is covered by
+``tests/physical/test_lower.py::TestDeprecatedShims``.
+"""
+
+import warnings
+
+import pytest
+
+import repro
+from repro.core import parse_tree
+from repro.optimizer import Optimizer, tree_split_anchors
+from repro.patterns import parse_tree_pattern
+from repro.predicates import attr
+from repro.query import Q
+from repro.query import expr as E
+from repro.storage import Database
+
+
+def _shim_kwargs():
+    pattern = parse_tree_pattern("d(e(h i) j ?*)")
+    anchors = tree_split_anchors(pattern)
+    return {"pattern": pattern, "anchors": anchors}
+
+
+class TestDeprecationWarning:
+    def test_direct_construction_warns(self):
+        with pytest.warns(DeprecationWarning, match="IndexedSubSelect"):
+            E.IndexedSubSelect(E.Root("T"), **_shim_kwargs())
+
+    def test_every_shim_warns(self):
+        pattern = parse_tree_pattern("d(?*)")
+        with pytest.warns(DeprecationWarning, match="IndexedSetSelect"):
+            E.IndexedSetSelect(
+                E.Extent("P"), indexed=attr("a") == 1, residual=None
+            )
+        with pytest.warns(DeprecationWarning, match="IndexedSplit"):
+            E.IndexedSplit(
+                E.Root("T"),
+                pattern=pattern,
+                function=lambda *a: a,
+                anchors=(attr("name") == "d",),
+            )
+
+    def test_internal_shims_scope_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with E.internal_shims():
+                E.IndexedSubSelect(E.Root("T"), **_shim_kwargs())
+
+    def test_optimizer_emits_shims_without_warning(self):
+        db = Database()
+        db.bind_root("T", parse_tree("r(d(e(h i) j) s(d(e(h i) j) k) d(x))"))
+        query = Q.root("T").sub_select("d(e(h i) j)").build()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            plan, _ = Optimizer(db).optimize(query)
+        assert isinstance(plan, E.IndexedSubSelect)
+
+
+class TestNotReExported:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "IndexedSubSelect",
+            "IndexedSplit",
+            "IndexedListSubSelect",
+            "IndexedSetSelect",
+        ],
+    )
+    def test_shims_absent_from_the_package_surface(self, name):
+        assert name not in repro.__all__
+        assert not hasattr(repro, name)

@@ -1,0 +1,101 @@
+"""The Session API: knob precedence, validation, and the planning footer."""
+
+import pytest
+
+from repro import Session, default_session
+from repro.config import EXECUTOR_ENV, TREE_ENGINE_ENV
+from repro.core import parse_tree
+from repro.core.identity import Record
+from repro.errors import QueryError
+from repro.predicates import attr
+from repro.query import Q, PlanCache
+from repro.storage import Database
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.bind_root("T", parse_tree("r(d(e(h i) j) s(d(e(h i) j) k) d(x))"))
+    for i in range(12):
+        database.insert(Record(name=f"p{i}", age=20 + i), "Person")
+    return database
+
+
+class TestKnobValidation:
+    def test_bad_executor_rejected_at_construction(self, db):
+        with pytest.raises(QueryError, match=EXECUTOR_ENV):
+            Session(db, executor="vectorized")
+
+    def test_bad_engine_rejected_at_construction(self, db):
+        with pytest.raises(QueryError, match=TREE_ENGINE_ENV):
+            Session(db, engine="packrat")
+
+    def test_bad_env_value_rejected_on_first_read(self, db, monkeypatch):
+        monkeypatch.setenv(EXECUTOR_ENV, "turbo")
+        session = Session(db)  # env not read yet
+        with pytest.raises(QueryError, match=EXECUTOR_ENV):
+            session.query(Q.extent("Person").node)
+
+    def test_bad_per_call_value_rejected(self, db):
+        session = Session(db)
+        with pytest.raises(QueryError, match=EXECUTOR_ENV):
+            session.query(Q.extent("Person").node, executor="nope")
+
+
+class TestPrecedence:
+    def test_call_kwarg_beats_session_kwarg(self, db, monkeypatch):
+        # the session says eager; the call says streaming; both beat env
+        monkeypatch.setenv(EXECUTOR_ENV, "bogus-but-never-read")
+        session = Session(db, executor="eager")
+        result = session.query(
+            Q.extent("Person").sselect(attr("age") == 25).node,
+            executor="streaming",
+        )
+        assert {p.name for p in result} == {"p5"}
+
+    def test_session_kwarg_beats_env(self, db, monkeypatch):
+        monkeypatch.setenv(TREE_ENGINE_ENV, "bogus-but-never-read")
+        session = Session(db, engine="backtrack")
+        result = session.query(Q.root("T").sub_select("d(e j)").node)
+        assert len(result) == 1
+
+    def test_env_beats_default(self, db, monkeypatch):
+        monkeypatch.setenv(EXECUTOR_ENV, "eager")
+        session = Session(db)
+        result = session.query(Q.extent("Person").sselect(attr("age") == 25).node)
+        assert {p.name for p in result} == {"p5"}
+
+
+class TestSessionBehavior:
+    def test_aql_text_optimizes_by_default(self, db):
+        session = Session(db, plan_cache=PlanCache())
+        prepared = session.prepare("extent Person | sselect {age = 25}")
+        assert prepared.optimize is True
+
+    def test_expr_runs_as_written_by_default(self, db):
+        session = Session(db, plan_cache=PlanCache())
+        prepared = session.prepare(Q.extent("Person").node)
+        assert prepared.optimize is False
+
+    def test_legacy_wrappers_share_the_default_cache(self, db):
+        a = default_session(db)
+        b = default_session(db)
+        assert a.plan_cache is b.plan_cache
+
+    def test_explain_footer_reports_cache_traffic(self, db):
+        session = Session(db, plan_cache=PlanCache())
+        query = "extent Person | sselect {age = $limit} | project name"
+        cold = session.explain(query, {"limit": 25})
+        assert "plan_cache_misses=1" in cold
+        warm = session.explain(query, {"limit": 26})
+        assert "plan_cache_hits=1" in warm
+        assert "optimizer_rewrites=0" in warm
+        assert "pattern_compilations=0" in warm
+
+    def test_query_with_metrics_collects(self, db):
+        session = Session(db, plan_cache=PlanCache())
+        result, metrics = session.query_with_metrics(
+            Q.extent("Person").sselect(attr("age") == 25).node
+        )
+        assert {p.name for p in result} == {"p5"}
+        assert metrics.get(()) is not None

@@ -1,0 +1,62 @@
+"""Knob validation: every ``AQUA_*`` value is checked on first read."""
+
+import pytest
+
+from repro import config
+from repro.errors import QueryError
+
+
+class TestExecutorKnob:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv(config.EXECUTOR_ENV, raising=False)
+        assert config.validated_executor() == "streaming"
+
+    def test_env(self, monkeypatch):
+        monkeypatch.setenv(config.EXECUTOR_ENV, "eager")
+        assert config.validated_executor() == "eager"
+
+    def test_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv(config.EXECUTOR_ENV, "eager")
+        assert config.validated_executor("streaming") == "streaming"
+
+    @pytest.mark.parametrize("bogus", ["turbo", "", "EAGER"])
+    def test_rejects_bad_values_naming_the_knob(self, monkeypatch, bogus):
+        monkeypatch.setenv(config.EXECUTOR_ENV, bogus)
+        with pytest.raises(QueryError) as excinfo:
+            config.validated_executor()
+        message = str(excinfo.value)
+        assert config.EXECUTOR_ENV in message
+        assert "streaming" in message and "eager" in message
+
+
+class TestTreeEngineKnob:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv(config.TREE_ENGINE_ENV, raising=False)
+        assert config.validated_tree_engine() == "memo"
+
+    def test_scope_beats_env(self, monkeypatch):
+        monkeypatch.setenv(config.TREE_ENGINE_ENV, "memo")
+        with config.tree_engine_scope("backtrack"):
+            assert config.validated_tree_engine() == "backtrack"
+        assert config.validated_tree_engine() == "memo"
+
+    def test_rejects_bad_values_naming_the_knob(self, monkeypatch):
+        monkeypatch.setenv(config.TREE_ENGINE_ENV, "packrat")
+        with pytest.raises(QueryError, match=config.TREE_ENGINE_ENV):
+            config.validated_tree_engine()
+
+
+class TestDfaCacheLimitKnob:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv(config.DFA_CACHE_LIMIT_ENV, raising=False)
+        assert config.validated_dfa_cache_limit() == config.DEFAULT_DFA_CACHE_LIMIT
+
+    def test_env(self, monkeypatch):
+        monkeypatch.setenv(config.DFA_CACHE_LIMIT_ENV, "16")
+        assert config.validated_dfa_cache_limit() == 16
+
+    @pytest.mark.parametrize("bogus", ["lots", "0", "-3", "1.5"])
+    def test_rejects_bad_values_naming_the_knob(self, monkeypatch, bogus):
+        monkeypatch.setenv(config.DFA_CACHE_LIMIT_ENV, bogus)
+        with pytest.raises(QueryError, match=config.DFA_CACHE_LIMIT_ENV):
+            config.validated_dfa_cache_limit()
