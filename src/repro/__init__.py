@@ -57,7 +57,7 @@ from .core import (
     parse_tree,
     tree,
 )
-from .api import Session, default_session
+from .api import Session, SessionPool, default_session
 from .optimizer import Optimizer, optimize
 from .params import Param
 from .patterns import list_pattern, tree_pattern
@@ -97,6 +97,7 @@ __all__ = [
     "Q",
     "Record",
     "Session",
+    "SessionPool",
     "all_anc",
     "all_anc_list",
     "all_desc",

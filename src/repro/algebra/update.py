@@ -12,6 +12,7 @@ Tree positions are the paths of :mod:`repro.algebra.navigation`.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Any, Sequence
 
 from ..core.aqua_list import AquaList
@@ -168,17 +169,109 @@ def promote_children(tree: AquaTree, path: Path) -> AquaTree:
 # ---------------------------------------------------------------------------
 
 
+class Transaction:
+    """A staged write against a database: commit applies all-or-nothing.
+
+    Created by :func:`transaction`; do not construct directly.  The
+    transaction holds the database write lock for its entire lifetime
+    (pessimistic concurrency: writers serialize, a read-modify-write
+    sequence can never lose an update to a concurrent writer), while
+    readers — who never take the write lock — proceed against pinned
+    snapshots throughout.
+
+    Mutations are *staged*, not applied: :meth:`rebind_root`,
+    :meth:`bind_root` and :meth:`insert` record intent, and the whole
+    batch lands in one :meth:`~repro.storage.database.Database.
+    commit_staged` call under a single version bump covering exactly the
+    touched resources.  Until commit, no reader — not even one on the
+    base database — can observe any staged change; a raising body rolls
+    back by simply discarding the stage, so a pinned snapshot can never
+    see a torn batch.
+    """
+
+    def __init__(self, db) -> None:
+        self.db = db
+        self._root_rebinds: dict[str, Any] = {}
+        self._root_binds: dict[str, Any] = {}
+        self._inserts: list[tuple[Any, str | None]] = []
+        self._committed = False
+
+    # -- reads (through the stage) ------------------------------------------
+
+    def root(self, name: str) -> Any:
+        """The root as this transaction sees it (staged value wins)."""
+        if name in self._root_rebinds:
+            return self._root_rebinds[name]
+        if name in self._root_binds:
+            return self._root_binds[name]
+        return self.db.root(name)
+
+    # -- staged mutations ----------------------------------------------------
+
+    def rebind_root(self, name: str, value: Any) -> None:
+        self.db.root(name)  # validate existence now, not at commit
+        self._root_rebinds[name] = value
+
+    def bind_root(self, name: str, value: Any) -> None:
+        self._root_binds[name] = value
+
+    def insert(self, obj: Any, extent: str | None = None) -> None:
+        """Stage ``obj`` for ``extent`` (default: its class name), matching
+        :meth:`Database.insert`'s signature."""
+        self._inserts.append((obj, extent))
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _commit(self) -> None:
+        self.db.commit_staged(
+            root_rebinds=self._root_rebinds,
+            root_binds=self._root_binds,
+            inserts=self._inserts,
+        )
+        self._committed = True
+
+    def __repr__(self) -> str:
+        staged = (
+            len(self._root_rebinds) + len(self._root_binds) + len(self._inserts)
+        )
+        state = "committed" if self._committed else f"staged={staged}"
+        return f"Transaction<{self.db!r}, {state}>"
+
+
+@contextmanager
+def transaction(db):
+    """Run a write transaction: ``with transaction(db) as txn: ...``.
+
+    The body stages mutations on ``txn``; a normal exit commits them
+    atomically (one lock hold, one version bump over the touched
+    resources), an exception discards them and re-raises — rollback is
+    free because nothing touched the database.  The write lock is held
+    from entry to commit, so concurrent transactions serialize and the
+    value read by :meth:`Transaction.root` cannot be stale by commit
+    time.
+    """
+    with db.write_locked():
+        txn = Transaction(db)
+        yield txn
+        txn._commit()
+
+
 def apply_update(db, root_name: str, updater, *args, **kwargs):
     """Apply a persistent update to a named root and rebind the result.
 
     ``updater`` is one of this module's operators (or any function taking
     the current value first): ``apply_update(db, "T", replace_subtree,
     (0, 1), new_sub)`` computes ``replace_subtree(db.root("T"), (0, 1),
-    new_sub)`` and rebinds ``"T"`` to it.  Rebinding goes through
-    :meth:`~repro.storage.database.Database.rebind_root`, which bumps the
-    database epoch — cached prepared plans against ``db`` lazily
-    invalidate on their next lookup.  Returns the new value.
+    new_sub)`` and rebinds ``"T"`` to it.  The whole read-modify-rebind
+    runs inside a :func:`transaction` — the write lock is held across
+    the updater, so two concurrent ``apply_update`` calls on the same
+    root serialize and neither loses the other's write; a raising
+    updater rolls back, leaving the root bound to its previous value.
+    Committing bumps the root's version counter — cached prepared plans
+    over that root lazily invalidate on their next lookup, while plans
+    over untouched resources stay warm.  Returns the new value.
     """
-    new_value = updater(db.root(root_name), *args, **kwargs)
-    db.rebind_root(root_name, new_value)
+    with transaction(db) as txn:
+        new_value = updater(txn.root(root_name), *args, **kwargs)
+        txn.rebind_root(root_name, new_value)
     return new_value

@@ -113,11 +113,16 @@ class Session:
     ) -> Any:
         """Prepare (or fetch from cache) and execute in one call."""
         prepared = self.prepare(source, optimize=optimize)
+        # db=self.db: the cache is shared across views of one base
+        # database (snapshots share its cache identity), so the entry
+        # may have been planned against a different view — execute
+        # against *this* session's view regardless.
         return prepared.run(
             params,
             budget=self._budget(budget),
             executor=self._executor(executor),
             engine=self._engine(engine),
+            db=self.db,
         )
 
     def query_with_metrics(
@@ -139,6 +144,7 @@ class Session:
             budget=self._budget(budget),
             executor=self._executor(executor),
             engine=self._engine(engine),
+            db=self.db,
         )
 
     def explain(
@@ -177,9 +183,26 @@ class Session:
             budget=self._budget(budget),
             executor=self._executor(executor),
             engine=self._engine(engine),
+            db=self.db,
         )
         report = render_analysis(prepared.plan, self.db, metrics)
         return "\n".join([report, render_planning(planning)])
+
+    def snapshot(self) -> "Session":
+        """A Session over a pinned copy-on-write snapshot of the view.
+
+        The returned Session sees the database exactly as of this call —
+        no later insert, root rebind or index change is visible — and
+        inherits this Session's knobs and plan cache.  Snapshotting a
+        snapshot re-pins nothing (the view is already immutable).
+        """
+        return Session(
+            self.db.snapshot(),
+            executor=self.executor,
+            engine=self.engine,
+            budget=self.budget,
+            plan_cache=self.plan_cache,
+        )
 
     def __repr__(self) -> str:
         knobs = []
@@ -193,6 +216,131 @@ class Session:
         return f"Session<{self.db!r}>{suffix}"
 
 
+class SessionPool:
+    """A thread-pooled serving front end with snapshot-isolated readers.
+
+    The concurrent counterpart of :class:`Session`: ``submit()`` runs a
+    query on a worker thread against a :meth:`Database.snapshot` pinned
+    at submission time, so every read observes one consistent version
+    cut no matter how many writers commit while it executes.
+    ``submit_update()`` routes writes through
+    :func:`repro.algebra.update.apply_update`, whose transaction holds
+    the database write lock — writers serialize, readers never block.
+
+    All workers share the pool's plan cache (snapshots share the base
+    database's cache identity), so a shape warmed by one client is warm
+    for every client.  Per-query state — parameter bindings, guards,
+    match scopes, predicate bitmaps — is thread-local *and* reset on
+    scope exit, so nothing bleeds between queries that happen to reuse
+    a worker thread (see the PR-6 regression tests).
+
+    Use as a context manager, or call :meth:`close` when done.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        *,
+        workers: int = 4,
+        executor: str | None = None,
+        engine: str | None = None,
+        budget: Budget | None = None,
+        plan_cache: PlanCache | None = None,
+    ) -> None:
+        from concurrent.futures import ThreadPoolExecutor
+
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.db = db
+        self.workers = workers
+        self._session_knobs = dict(
+            executor=executor, engine=engine, budget=budget
+        )
+        self.plan_cache = plan_cache if plan_cache is not None else DEFAULT_CACHE
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="aqua-session"
+        )
+
+    # -- internals -------------------------------------------------------------
+
+    def _session(self, view: Database) -> Session:
+        return Session(view, plan_cache=self.plan_cache, **self._session_knobs)
+
+    # -- reads -----------------------------------------------------------------
+
+    def submit(
+        self,
+        source: Any,
+        params: Mapping[str, Any] | None = None,
+        *,
+        snapshot: Database | None = None,
+        optimize: bool | None = None,
+        budget: Budget | None = None,
+        executor: str | None = None,
+        engine: str | None = None,
+    ):
+        """Schedule ``source`` on a worker; returns a Future.
+
+        The read is pinned to ``snapshot`` when given (obtain one from
+        :meth:`pin`), else to a fresh snapshot taken *now*, at
+        submission — not when the worker dequeues the job.
+        """
+        view = snapshot if snapshot is not None else self.db.snapshot()
+        session = self._session(view)
+        return self._pool.submit(
+            session.query,
+            source,
+            params,
+            optimize=optimize,
+            budget=budget,
+            executor=executor,
+            engine=engine,
+        )
+
+    def query(
+        self,
+        source: Any,
+        params: Mapping[str, Any] | None = None,
+        **kwargs: Any,
+    ) -> Any:
+        """Synchronous convenience: ``submit(...).result()``."""
+        return self.submit(source, params, **kwargs).result()
+
+    def pin(self) -> Database:
+        """A snapshot to share across several :meth:`submit` calls."""
+        return self.db.snapshot()
+
+    # -- writes ----------------------------------------------------------------
+
+    def submit_update(self, root_name: str, updater, *args: Any, **kwargs: Any):
+        """Schedule ``apply_update(db, root_name, updater, ...)``.
+
+        Writers go against the *base* database (never a snapshot) and
+        serialize on its write lock; the returned Future resolves to the
+        new root value.  A raising updater rolls back and re-raises
+        through the Future.
+        """
+        from .algebra.update import apply_update
+
+        return self._pool.submit(
+            apply_update, self.db, root_name, updater, *args, **kwargs
+        )
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self, wait: bool = True) -> None:
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "SessionPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"SessionPool<{self.db!r}, workers={self.workers}>"
+
+
 def default_session(db: Database) -> Session:
     """The Session behind the legacy entry points.
 
@@ -203,4 +351,4 @@ def default_session(db: Database) -> Session:
     return Session(db)
 
 
-__all__ = ["Session", "default_session"]
+__all__ = ["Session", "SessionPool", "default_session"]

@@ -318,4 +318,9 @@ def guarded(budget: Budget | None = None) -> Iterator[Guard | None]:
     try:
         yield guard
     finally:
-        _local.guard = None
+        # Restore the pre-scope value (always None here, since a live
+        # guard short-circuits above) rather than assuming it: a budget
+        # trip unwinding through this finally must leave the pool thread
+        # exactly as it found it, or the next query scheduled on the
+        # thread would inherit a spent guard.
+        _local.guard = active

@@ -495,18 +495,28 @@ def match_scope(db: "Database | None" = None) -> Iterator[MatchContextRegistry]:
 
     The outermost scope wins (mirroring ``guardrails.guarded``): the
     interpreter opens one per evaluation, and nested engine entry points
-    reuse it.  Arming a fresh scope resets the database's per-query
-    predicate bitmaps so two identical runs report identical work.
+    reuse it.  A fresh scope also arms
+    :func:`repro.storage.tree_index.scoped_bitmaps`, giving the query
+    predicate-outcome bitmaps private to this scope: two identical runs
+    report identical work, and — unlike the old cross-thread
+    ``reset_predicate_bitmaps()`` — a query on one pool thread can
+    neither clobber nor inherit the bitmap state of a query running (or
+    previously run) on another.  The previous registry is restored on
+    exit even when the query raises (the ``ResourceExhaustedError``
+    unwind path included), so nothing bleeds into later queries
+    scheduled on the same pool thread.
     """
+    from ..storage.tree_index import scoped_bitmaps
+
     active = getattr(_active, "registry", None)
     if active is not None:
         yield active
         return
-    if db is not None:
-        db.reset_predicate_bitmaps()
     registry = MatchContextRegistry(db)
+    previous = active
     _active.registry = registry
     try:
-        yield registry
+        with scoped_bitmaps():
+            yield registry
     finally:
-        _active.registry = None
+        _active.registry = previous

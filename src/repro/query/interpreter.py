@@ -64,11 +64,16 @@ def evaluate(
 ) -> Any:
     """Evaluate a query expression against ``db``.
 
+    ``db`` may be a :class:`~repro.storage.Database` or a pinned
+    :class:`~repro.storage.snapshot.DatabaseSnapshot` — operators resolve
+    roots, extents and indexes through the view at runtime, so a snapshot
+    evaluates exactly as the base did at pin time.
+
     Now a thin wrapper over the default :class:`repro.api.Session`: the
     expression is prepared (planned once, served from the process-wide
-    plan cache on repeats — lazily invalidated when the database epoch
-    moves) and executed with semantics identical to the historical
-    direct path.  The guard, the instrumentation sink and the tree-match
+    plan cache on repeats — lazily invalidated when any of the plan's
+    per-resource version counters move) and executed with semantics
+    identical to the historical direct path.  The guard, the instrumentation sink and the tree-match
     registry are armed **once** per run and threaded through the chosen
     executor; when a :class:`~repro.query.metrics.PlanMetrics` collector
     is installed (see :func:`evaluate_with_metrics`), per-operator

@@ -8,12 +8,17 @@ planned against.  Two queries with the same shape share one cached
 :class:`~repro.query.prepare.PreparedQuery`; a ``$param`` appears in the
 fingerprint as its slot name, so one plan serves every binding.
 
-Entries are validated **lazily against the database epoch**
-(:attr:`repro.storage.database.Database.epoch`): storage bumps the
-counter on inserts, root (re)binds, index create/drop and statistics
-recalibration, and a lookup that finds an entry prepared under an older
-epoch drops it and reports a miss — there is no eager invalidation
-traffic on the write path.
+Entries are validated **lazily against per-resource version counters**
+(:meth:`repro.storage.database.Database.versions`): storage stamps the
+touched extent/root on inserts, root (re)binds, index create/drop and
+statistics recalibration, and a lookup that finds an entry whose
+*dependencies* (the extents and roots its plan reads) moved drops it and
+reports a miss — there is no eager invalidation traffic on the write
+path, and a mutation of root ``A`` leaves cached plans over extent ``B``
+warm.  A bare ``bump_epoch()`` (no resources named) still invalidates
+everything.  Snapshots share their base database's cache identity and
+validate against their *pinned* versions, so a reader pinned before a
+write keeps hitting the plan prepared for its version.
 
 Opaque values (raw-predicate closures, arbitrary functions) cannot be
 fingerprinted by content, so they contribute their object/code identity.
@@ -193,13 +198,41 @@ def plan_fingerprint(expr: E.Expr, *, optimize: bool) -> Hashable:
 # -- the cache -----------------------------------------------------------------
 
 
+def cache_identity(db: "Database") -> int:
+    """The keying identity of a database view.
+
+    Snapshots expose their base database's identity, so one cache entry
+    serves the live handle and every compatible snapshot; a plain
+    ``id()`` fallback covers duck-typed stand-ins.
+    """
+    return getattr(db, "cache_identity", None) or id(db)
+
+
+def _is_current(prepared: "PreparedQuery", db: "Database") -> bool:
+    """Does ``prepared`` still match ``db``'s (possibly pinned) versions?
+
+    Fine-grained when both sides speak versions: the entry's recorded
+    dependency tags are compared against the view's counters, so a
+    mutation of an unrelated extent/root leaves the entry live.  Falls
+    back to the global-epoch comparison for version-less stand-ins.
+    """
+    versions = getattr(db, "versions", None)
+    deps = getattr(prepared, "deps", None)
+    if versions is not None and deps is not None:
+        return versions(deps) == prepared.dep_versions
+    return prepared.epoch == db.epoch
+
+
 class PlanCache:
     """A bounded LRU of :class:`~repro.query.prepare.PreparedQuery`.
 
-    Thread-safe; entries are keyed by ``(id(db), fingerprint)`` and
-    validated against the database epoch on lookup.  The side table
-    ``alias`` maps AQL source text to fingerprints so a warm textual
-    query skips parsing entirely.
+    Thread-safe; entries are keyed by ``(cache_identity(db),
+    fingerprint)`` and validated against the plan's dependency versions
+    on lookup.  The side table ``alias`` maps AQL source text to
+    fingerprints so a warm textual query skips parsing entirely; aliases
+    are LRU-bounded by the same capacity and dropped eagerly whenever
+    their target entry is invalidated or evicted, so the table can never
+    outgrow — or outlive — the entries it points at.
     """
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
@@ -209,34 +242,51 @@ class PlanCache:
         self._lock = threading.RLock()
         self._entries: "OrderedDict[Hashable, PreparedQuery]" = OrderedDict()
         self._aliases: "OrderedDict[Hashable, Hashable]" = OrderedDict()
+        #: entry key → alias keys pointing at it (invalidation cleanup).
+        self._alias_index: dict[Hashable, set[Hashable]] = {}
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        self.alias_invalidations = 0
         self.replans = 0
         self.evictions = 0
 
     # -- keys ------------------------------------------------------------------
 
     def entry_key(self, db: "Database", fingerprint: Hashable) -> Hashable:
-        return (id(db), fingerprint)
+        return (cache_identity(db), fingerprint)
 
     def alias_key(self, db: "Database", text: str, optimize: bool) -> Hashable:
-        return (id(db), text, bool(optimize))
+        return (cache_identity(db), text, bool(optimize))
+
+    # -- alias/entry consistency (call with the lock held) ---------------------
+
+    def _drop_entry(self, key: Hashable) -> None:
+        del self._entries[key]
+        for alias in self._alias_index.pop(key, ()):
+            if self._aliases.pop(alias, None) is not None:
+                self.alias_invalidations += 1
+
+    def _unlink_alias(self, alias: Hashable, fingerprint: Hashable) -> None:
+        identity = alias[0]
+        index = self._alias_index.get((identity, fingerprint))
+        if index is not None:
+            index.discard(alias)
 
     # -- the protocol ----------------------------------------------------------
 
     def lookup(self, db: "Database", fingerprint: Hashable) -> "PreparedQuery | None":
         """The live entry for ``fingerprint``, or ``None`` (a miss).
 
-        An entry prepared under an older database epoch is dropped here
-        — lazy invalidation — and counted as both an invalidation and a
-        miss.
+        An entry whose dependency versions no longer match the view is
+        dropped here — lazy invalidation, aliases included — and counted
+        as both an invalidation and a miss.
         """
         key = self.entry_key(db, fingerprint)
         with self._lock:
             prepared = self._entries.get(key)
-            if prepared is not None and prepared.epoch != db.epoch:
-                del self._entries[key]
+            if prepared is not None and not _is_current(prepared, db):
+                self._drop_entry(key)
                 self.invalidations += 1
                 stats_mod.emit("plan_cache_invalidations")
                 prepared = None
@@ -255,7 +305,8 @@ class PlanCache:
             self._entries[key] = prepared
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+                evicted, _ = next(iter(self._entries.items()))
+                self._drop_entry(evicted)
                 self.evictions += 1
                 stats_mod.emit("plan_cache_evictions")
 
@@ -270,10 +321,17 @@ class PlanCache:
     def store_alias(self, db: "Database", text: str, optimize: bool, fingerprint: Hashable) -> None:
         with self._lock:
             key = self.alias_key(db, text, optimize)
+            previous = self._aliases.get(key)
+            if previous is not None and previous != fingerprint:
+                self._unlink_alias(key, previous)
             self._aliases[key] = fingerprint
             self._aliases.move_to_end(key)
+            self._alias_index.setdefault(
+                self.entry_key(db, fingerprint), set()
+            ).add(key)
             while len(self._aliases) > self.capacity:
-                self._aliases.popitem(last=False)
+                stale, target = self._aliases.popitem(last=False)
+                self._unlink_alias(stale, target)
 
     def note_replan(self) -> None:
         """Record a binding-forced re-plan (see ``PreparedQuery.run``)."""
@@ -291,15 +349,18 @@ class PlanCache:
         with self._lock:
             self._entries.clear()
             self._aliases.clear()
+            self._alias_index.clear()
 
     def snapshot(self) -> dict[str, int]:
         with self._lock:
             return {
                 "entries": len(self._entries),
+                "aliases": len(self._aliases),
                 "capacity": self.capacity,
                 "hits": self.hits,
                 "misses": self.misses,
                 "invalidations": self.invalidations,
+                "alias_invalidations": self.alias_invalidations,
                 "replans": self.replans,
                 "evictions": self.evictions,
             }

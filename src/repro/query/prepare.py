@@ -47,6 +47,27 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..physical.lower import PipelineFactory
 
 
+def _plan_dependencies(expr: E.Expr, plan: E.Expr) -> tuple[str, ...]:
+    """The version-map tags this query's validity depends on.
+
+    Every extent and named root the expression (or its optimized plan —
+    rewrites can only preserve or drop references, but the union is
+    cheap insurance) reads contributes a tag; index create/drop and
+    ``analyze`` stamp the extent tag too, so access-path choices are
+    covered.  A query that touches no stored resource depends only on
+    the blanket tag, which moves on bare ``bump_epoch()`` calls.
+    """
+    from ..storage.database import GLOBAL_RESOURCE, extent_resource, root_resource
+
+    tags: set[str] = {GLOBAL_RESOURCE}
+    for node in list(expr.walk()) + list(plan.walk()):
+        if isinstance(node, E.Root):
+            tags.add(root_resource(node.name))
+        elif isinstance(node, E.Extent):
+            tags.add(extent_resource(node.name))
+    return tuple(sorted(tags))
+
+
 def _anchor_param_slots(plan: E.Expr) -> frozenset[str]:
     """The ``$param`` slots backing index-anchor choices in ``plan``.
 
@@ -105,6 +126,8 @@ class PreparedQuery:
         optimize: bool,
         fingerprint: Hashable,
         cache: PlanCache | None,
+        deps: tuple[str, ...] | None = None,
+        dep_versions: tuple[int, ...] | None = None,
     ) -> None:
         self.expr = expr
         self.plan = plan
@@ -114,6 +137,10 @@ class PreparedQuery:
         self.optimize = optimize
         self.fingerprint = fingerprint
         self.cache = cache
+        self.deps = deps if deps is not None else _plan_dependencies(expr, plan)
+        self.dep_versions = (
+            dep_versions if dep_versions is not None else db.versions(self.deps)
+        )
         self.anchor_params = _anchor_param_slots(plan)
         self.param_slots = frozenset(
             node.name for node in expr.walk() if isinstance(node, E.Param)
@@ -131,7 +158,9 @@ class PreparedQuery:
             for name in self.anchor_params
         )
 
-    def _plan_for_bindings(self) -> tuple[E.Expr, "PipelineFactory"]:
+    def _plan_for_bindings(
+        self, view: Database
+    ) -> tuple[E.Expr, "PipelineFactory"]:
         if not self._needs_replan():
             return self.plan, self.factory
         # Re-plan under the armed bindings: the binding-aware anchor
@@ -140,7 +169,7 @@ class PreparedQuery:
         # stays correct for bindings that honour the assumption.
         if self.cache is not None:
             self.cache.note_replan()
-        return _plan(self.expr, self.db, self.optimize)
+        return _plan(self.expr, view, self.optimize)
 
     # -- execution -------------------------------------------------------------
 
@@ -151,26 +180,34 @@ class PreparedQuery:
         budget: Budget | None = None,
         executor: str | None = None,
         engine: str | None = None,
+        db: Database | None = None,
     ) -> Any:
         """Execute with ``params`` bound; semantics match ``evaluate()``.
 
         ``executor`` / ``engine`` override the session/env/default
-        resolution for this run only (see :mod:`repro.config`).
+        resolution for this run only (see :mod:`repro.config`).  ``db``
+        overrides the execution *view*: operators resolve roots, extents
+        and indexes at runtime through the context database, so a plan
+        prepared against one view (and served from the shared cache)
+        executes correctly against another — in particular against a
+        pinned :class:`~repro.storage.snapshot.DatabaseSnapshot` of the
+        same base database.
         """
         from ..physical import ExecutionContext
         from .interpreter import _eval
 
         executor = config.validated_executor(executor)
-        stats = self.db.stats
+        view = db if db is not None else self.db
+        stats = view.stats
         with bound_params(params):
-            plan, factory = self._plan_for_bindings()
+            plan, factory = self._plan_for_bindings(view)
             with config.tree_engine_scope(engine), guardrails.guarded(
                 budget
-            ) as guard, stats.activated(), match_scope(self.db):
+            ) as guard, stats.activated(), match_scope(view):
                 if executor == "eager":
-                    return _eval(plan, self.db, guard, ())
+                    return _eval(plan, view, guard, ())
                 ctx = ExecutionContext(
-                    db=self.db, guard=guard, metrics=stats.collector, stats=stats
+                    db=view, guard=guard, metrics=stats.collector, stats=stats
                 )
                 return factory.instantiate().execute(ctx)
 
@@ -182,12 +219,14 @@ class PreparedQuery:
         budget: Budget | None = None,
         executor: str | None = None,
         engine: str | None = None,
+        db: Database | None = None,
     ) -> tuple[Any, PlanMetrics]:
         """Like :meth:`run`, collecting per-operator runtime metrics."""
         metrics = metrics if metrics is not None else PlanMetrics()
-        with self.db.stats.collecting(metrics):
+        view = db if db is not None else self.db
+        with view.stats.collecting(metrics):
             result = self.run(
-                params, budget=budget, executor=executor, engine=engine
+                params, budget=budget, executor=executor, engine=engine, db=view
             )
         return result, metrics
 
@@ -259,17 +298,24 @@ def prepare(
                 cache.store_alias(db, text, optimize, fingerprint)
             return prepared
 
-    epoch = db.epoch
+    # Capture the version cut BEFORE planning: a write that lands while
+    # the optimizer runs then makes this entry immediately stale (it
+    # re-plans on next lookup) instead of being served as current — the
+    # conservative side of the race.
+    token = db.version_token()
     plan, factory = _plan(expr, db, optimize)
+    deps = _plan_dependencies(expr, plan)
     prepared = PreparedQuery(
         expr=expr,
         plan=plan,
         factory=factory,
         db=db,
-        epoch=epoch,
+        epoch=token.epoch,
         optimize=optimize,
         fingerprint=fingerprint,
         cache=cache,
+        deps=deps,
+        dep_versions=token.versions(deps),
     )
     if cache is not None:
         cache.store(db, fingerprint, prepared)

@@ -1,7 +1,14 @@
 """Storage substrate: object store, extents, indexes, instrumentation."""
 
-from .database import Database
+from .database import (
+    GLOBAL_RESOURCE,
+    Database,
+    VersionToken,
+    extent_resource,
+    root_resource,
+)
 from .index import VALUE_ATTRIBUTE, HashIndex, OrderedIndex
+from .snapshot import DatabaseSnapshot
 from .serialize import (
     dump_database,
     dump_value,
@@ -19,8 +26,13 @@ from .tree_index import ListIndex, NodeLabel, TreeIndex
 __all__ = [
     "AttributeHistogram",
     "Database",
+    "DatabaseSnapshot",
+    "GLOBAL_RESOURCE",
     "GLOBAL_STATS",
     "HashIndex",
+    "VersionToken",
+    "extent_resource",
+    "root_resource",
     "Instrumentation",
     "ListIndex",
     "NodeLabel",

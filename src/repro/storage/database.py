@@ -21,7 +21,9 @@ benchmarks can report scans vs probes.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from .. import guardrails, params
 from ..core.aqua_list import AquaList
@@ -34,9 +36,66 @@ from .index import HashIndex, OrderedIndex
 from .stats import Instrumentation
 from .tree_index import ListIndex, TreeIndex
 
+#: The dependency tag covering "the database as a whole" — bare
+#: :meth:`Database.bump_epoch` calls (no named resources) touch it, so
+#: plans that depend on nothing in particular still notice external
+#: invalidation requests.
+GLOBAL_RESOURCE = "db"
+
+
+def extent_resource(name: str) -> str:
+    """The version-map tag for extent ``name`` (data, indexes, stats)."""
+    return f"extent:{name}"
+
+
+def root_resource(name: str) -> str:
+    """The version-map tag for the named root ``name``."""
+    return f"root:{name}"
+
+
+class VersionToken:
+    """An immutable cut of the database's per-resource version counters.
+
+    Captured under the write lock (see :meth:`Database.version_token`),
+    so the epoch, the blanket-touch watermark and every per-resource
+    counter are mutually consistent.  The plan cache stores one of these
+    per prepared plan and compares :meth:`versions` over the plan's
+    dependency tags — fine-grained invalidation instead of one global
+    epoch comparison.
+    """
+
+    __slots__ = ("epoch", "_touch_all", "_versions")
+
+    def __init__(self, epoch: int, touch_all: int, versions: Mapping[str, int]) -> None:
+        self.epoch = epoch
+        self._touch_all = touch_all
+        self._versions = versions
+
+    def versions(self, resources: Sequence[str]) -> tuple[int, ...]:
+        """The version of each tag in ``resources`` (input order kept).
+
+        A resource never touched reports the blanket watermark, and a
+        touched one reports the later of its own counter and the
+        watermark, so a bare ``bump_epoch()`` still invalidates every
+        plan while targeted bumps stay targeted.
+        """
+        touch = self._touch_all
+        return tuple(
+            touch if tag == GLOBAL_RESOURCE else max(self._versions.get(tag, 0), touch)
+            for tag in resources
+        )
+
 
 class Database:
-    """An in-memory OODB: extents, named roots and indexes."""
+    """An in-memory OODB: extents, named roots and indexes.
+
+    Mutations (:meth:`insert`, root binds, index create/drop,
+    :meth:`analyze`) serialize on an internal write lock and advance
+    **per-resource version counters** alongside the global epoch;
+    :meth:`snapshot` captures a consistent copy-on-write read view under
+    the same lock, so readers pinned to a snapshot never observe a torn
+    extent or a half-applied transaction.
+    """
 
     def __init__(self, stats: Instrumentation | None = None) -> None:
         self._extents: dict[str, list[Any]] = {}
@@ -46,9 +105,13 @@ class Database:
         self._list_indexes: dict[int, ListIndex] = {}
         self._histograms: dict[tuple[str, str], Any] = {}
         self._epoch = 0
+        self._touch_all = 0
+        self._versions: dict[str, int] = {}
+        self._lock = threading.RLock()
+        self._structure_lock = threading.Lock()
         self.stats = stats or Instrumentation()
 
-    # -- epochs ----------------------------------------------------------------
+    # -- epochs and versions ---------------------------------------------------
 
     @property
     def epoch(self) -> int:
@@ -56,32 +119,146 @@ class Database:
 
         Inserts, root (re)binds, extent-index create/drop and statistics
         recalibration all bump it; the plan cache
-        (:mod:`repro.query.plan_cache`) compares it lazily on lookup and
-        drops entries prepared under an older epoch.  The lazily built
+        (:mod:`repro.query.plan_cache`) compares the finer-grained
+        per-resource counters (:meth:`versions`) lazily on lookup and
+        drops entries whose dependencies moved.  The lazily built
         per-structure node indexes (:meth:`tree_index`,
         :meth:`list_index`) do *not* bump — they are caches over
         unchanged data, and queries create them mid-execution.
         """
-        return self._epoch
+        with self._lock:
+            return self._epoch
 
-    def bump_epoch(self) -> int:
-        self._epoch += 1
-        return self._epoch
+    @property
+    def cache_identity(self) -> int:
+        """The plan-cache keying identity — shared by this database's
+        snapshots, so plans prepared against either serve both."""
+        return id(self)
+
+    def bump_epoch(self, *resources: str) -> int:
+        """Advance the epoch, stamping ``resources`` with the new value.
+
+        Thread-safe (two concurrent writers can never observe the same
+        epoch).  With no resources named this is a **blanket** bump: the
+        touch-all watermark moves, invalidating every cached plan — the
+        conservative behavior external callers relied on before
+        per-resource versioning existed.
+        """
+        with self._lock:
+            self._epoch += 1
+            if resources:
+                for tag in resources:
+                    self._versions[tag] = self._epoch
+            else:
+                self._touch_all = self._epoch
+            return self._epoch
+
+    def versions(self, resources: Sequence[str]) -> tuple[int, ...]:
+        """Current version of each dependency tag (see :class:`VersionToken`)."""
+        with self._lock:
+            touch = self._touch_all
+            return tuple(
+                touch
+                if tag == GLOBAL_RESOURCE
+                else max(self._versions.get(tag, 0), touch)
+                for tag in resources
+            )
+
+    def version_token(self) -> VersionToken:
+        """A consistent cut of every version counter (for plan caching)."""
+        with self._lock:
+            return VersionToken(self._epoch, self._touch_all, dict(self._versions))
+
+    # -- write locking and snapshots -------------------------------------------
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        """Hold the write lock for a multi-step mutation.
+
+        Re-entrant: the individual mutators acquire the same lock, so a
+        transaction can wrap any number of them into one atomic unit —
+        :meth:`snapshot` (which also takes the lock) can never observe a
+        partially applied batch.
+        """
+        with self._lock:
+            yield
+
+    def snapshot(self, stats: Instrumentation | None = None):
+        """An immutable read view pinned to the current version.
+
+        Roots and the index registry are copied (cheap — values are
+        persistent structures shared, not cloned); extents are captured
+        as append-only watermarks, so the snapshot is O(#extents +
+        #roots) regardless of data size.  See
+        :class:`repro.storage.snapshot.DatabaseSnapshot`.
+        """
+        from .snapshot import DatabaseSnapshot
+
+        with self._lock:
+            return DatabaseSnapshot(
+                self,
+                roots=dict(self._roots),
+                extents={
+                    name: (rows, len(rows)) for name, rows in self._extents.items()
+                },
+                indexes=dict(self._indexes),
+                histograms=dict(self._histograms),
+                token=VersionToken(self._epoch, self._touch_all, dict(self._versions)),
+                stats=stats,
+            )
+
+    def commit_staged(
+        self,
+        root_rebinds: Mapping[str, Any],
+        root_binds: Mapping[str, Any],
+        inserts: Sequence[tuple[Any, str | None]],
+    ) -> None:
+        """Apply a transaction's staged writes atomically.
+
+        Everything lands under one hold of the write lock with a single
+        epoch bump stamping every touched resource, so a concurrent
+        :meth:`snapshot` sees either none of the batch or all of it.
+        Fresh binds are validated *before* anything is applied — a
+        name collision rolls the whole batch back by never starting it.
+        """
+        with self._lock:
+            for name in root_binds:
+                if name in self._roots or name in root_rebinds:
+                    raise StorageError(f"root {name!r} is already bound")
+            touched: list[str] = []
+            for name, value in {**root_binds, **root_rebinds}.items():
+                self._roots[name] = value
+                touched.append(root_resource(name))
+            for obj, extent in inserts:
+                name = extent or type(obj).__name__
+                self._extents.setdefault(name, []).append(obj)
+                for (extent_name, _attr), index in self._indexes.items():
+                    if extent_name == name:
+                        index.insert(obj)
+                tag = extent_resource(name)
+                if tag not in touched:
+                    touched.append(tag)
+            if touched:
+                self.bump_epoch(*touched)
 
     # -- extents ---------------------------------------------------------------
 
     def insert(self, obj: Any, extent: str | None = None) -> Any:
         """Register ``obj`` under ``extent`` (default: its class name)."""
         name = extent or type(obj).__name__
-        self._extents.setdefault(name, []).append(obj)
-        for (extent_name, attribute), index in self._indexes.items():
-            if extent_name == name:
-                index.insert(obj)
-        self.bump_epoch()
+        with self._lock:
+            self._extents.setdefault(name, []).append(obj)
+            for (extent_name, attribute), index in self._indexes.items():
+                if extent_name == name:
+                    index.insert(obj)
+            self.bump_epoch(extent_resource(name))
         return obj
 
     def insert_many(self, objects: Iterable[Any], extent: str | None = None) -> list[Any]:
-        return [self.insert(obj, extent) for obj in objects]
+        # One lock hold for the whole batch: a concurrent snapshot sees
+        # none of it or all of it, never a torn prefix.
+        with self._lock:
+            return [self.insert(obj, extent) for obj in objects]
 
     def extent(self, name: str) -> AquaSet:
         """The extent as an AQUA set (empty if never populated)."""
@@ -116,14 +293,16 @@ class Database:
     # -- named roots -------------------------------------------------------------
 
     def bind_root(self, name: str, value: Any) -> None:
-        if name in self._roots:
-            raise StorageError(f"root {name!r} is already bound")
-        self._roots[name] = value
-        self.bump_epoch()
+        with self._lock:
+            if name in self._roots:
+                raise StorageError(f"root {name!r} is already bound")
+            self._roots[name] = value
+            self.bump_epoch(root_resource(name))
 
     def rebind_root(self, name: str, value: Any) -> None:
-        self._roots[name] = value
-        self.bump_epoch()
+        with self._lock:
+            self._roots[name] = value
+            self.bump_epoch(root_resource(name))
 
     def root(self, name: str) -> Any:
         fault_point("storage_lookup")
@@ -142,20 +321,22 @@ class Database:
     ) -> HashIndex | OrderedIndex:
         """Build (or return) an index on ``extent.attribute``."""
         key = (extent, attribute)
-        if key in self._indexes:
-            return self._indexes[key]
-        index: HashIndex | OrderedIndex
-        index = OrderedIndex(attribute) if ordered else HashIndex(attribute)
-        index.bulk_load(self._extents.get(extent, ()))
-        self._indexes[key] = index
-        self.bump_epoch()
+        with self._lock:
+            if key in self._indexes:
+                return self._indexes[key]
+            index: HashIndex | OrderedIndex
+            index = OrderedIndex(attribute) if ordered else HashIndex(attribute)
+            index.bulk_load(self._extents.get(extent, ()))
+            self._indexes[key] = index
+            self.bump_epoch(extent_resource(extent))
         return index
 
     def drop_index(self, extent: str, attribute: str) -> bool:
         """Drop the index on ``extent.attribute``; True if one existed."""
-        removed = self._indexes.pop((extent, attribute), None) is not None
-        if removed:
-            self.bump_epoch()
+        with self._lock:
+            removed = self._indexes.pop((extent, attribute), None) is not None
+            if removed:
+                self.bump_epoch(extent_resource(extent))
         return removed
 
     def index_for(self, extent: str, attribute: str) -> HashIndex | OrderedIndex | None:
@@ -222,11 +403,12 @@ class Database:
         """Build (or refresh) a histogram on ``extent.attribute``."""
         from .statistics import AttributeHistogram
 
-        histogram = AttributeHistogram.build(
-            attribute, self._extents.get(extent, ()), buckets
-        )
-        self._histograms[(extent, attribute)] = histogram
-        self.bump_epoch()
+        with self._lock:
+            histogram = AttributeHistogram.build(
+                attribute, self._extents.get(extent, ()), buckets
+            )
+            self._histograms[(extent, attribute)] = histogram
+            self.bump_epoch(extent_resource(extent))
         return histogram
 
     def histogram(self, extent: str, attribute: str):
@@ -236,22 +418,29 @@ class Database:
     # -- per-structure node indexes ---------------------------------------------------
 
     def tree_index(self, tree: AquaTree, attributes: Iterable[str] = ()) -> TreeIndex:
-        """A (cached) node index for ``tree``; extends attributes as needed."""
-        cached = self._tree_indexes.get(id(tree))
-        if cached is None or cached.tree is not tree:
-            cached = TreeIndex(tree, attributes)
-            self._tree_indexes[id(tree)] = cached
-        else:
-            for attribute in attributes:
-                cached.add_attribute(attribute)
-        return cached
+        """A (cached) node index for ``tree``; extends attributes as needed.
+
+        Build-once under a dedicated lock: concurrent queries over the
+        same tree share one index instead of racing to build duplicates
+        (the build is pure, so the lock protects work, not correctness).
+        """
+        with self._structure_lock:
+            cached = self._tree_indexes.get(id(tree))
+            if cached is None or cached.tree is not tree:
+                cached = TreeIndex(tree, attributes)
+                self._tree_indexes[id(tree)] = cached
+            else:
+                for attribute in attributes:
+                    cached.add_attribute(attribute)
+            return cached
 
     def list_index(self, aqua_list: AquaList, attributes: Iterable[str] = ()) -> ListIndex:
-        cached = self._list_indexes.get(id(aqua_list))
-        if cached is None or cached.aqua_list is not aqua_list:
-            cached = ListIndex(aqua_list, attributes)
-            self._list_indexes[id(aqua_list)] = cached
-        return cached
+        with self._structure_lock:
+            cached = self._list_indexes.get(id(aqua_list))
+            if cached is None or cached.aqua_list is not aqua_list:
+                cached = ListIndex(aqua_list, attributes)
+                self._list_indexes[id(aqua_list)] = cached
+            return cached
 
     def reset_predicate_bitmaps(self) -> None:
         """Clear every cached tree index's predicate-outcome bitmap.

@@ -17,6 +17,7 @@ single-letter figure trees need).
 from __future__ import annotations
 
 import bisect
+import threading
 from typing import Any, Hashable, Iterable, Iterator
 
 from ..errors import IndexError_
@@ -92,12 +93,20 @@ class OrderedIndex:
 
     Keys must be mutually comparable.  Internally a sorted list of
     ``(key, entry)`` pairs — the in-memory stand-in for a B⁺-tree.
+
+    Probes and inserts serialize on a small internal lock: an insert
+    updates ``_keys`` and ``_entries`` in two steps, and a concurrent
+    reader landing between them would otherwise see the two lists
+    shifted against each other and return entries under the wrong keys.
+    (:class:`HashIndex` needs no lock — its bucket append is a single
+    atomic list operation.)
     """
 
     def __init__(self, attribute: str) -> None:
         self.attribute = attribute
         self._keys: list[Any] = []
         self._entries: list[Any] = []
+        self._lock = threading.Lock()
         self.probes = 0
 
     def insert(self, entry: Any, key: Any = _MISSING) -> None:
@@ -105,9 +114,10 @@ class OrderedIndex:
             key = read_key(entry, self.attribute)
         if key is _MISSING:
             return
-        position = bisect.bisect_right(self._keys, key)
-        self._keys.insert(position, key)
-        self._entries.insert(position, entry)
+        with self._lock:
+            position = bisect.bisect_right(self._keys, key)
+            self._keys.insert(position, key)
+            self._entries.insert(position, entry)
 
     def bulk_load(self, entries: Iterable[Any]) -> None:
         pairs = []
@@ -116,16 +126,18 @@ class OrderedIndex:
             if key is not _MISSING:
                 pairs.append((key, entry))
         pairs.sort(key=lambda pair: pair[0])
-        self._keys = [k for k, _ in pairs]
-        self._entries = [e for _, e in pairs]
+        with self._lock:
+            self._keys = [k for k, _ in pairs]
+            self._entries = [e for _, e in pairs]
 
     def lookup(self, key: Any) -> list[Any]:
         fault_point("index_probe")
         self.probes += 1
         stats_mod.emit("index_probes")
-        left = bisect.bisect_left(self._keys, key)
-        right = bisect.bisect_right(self._keys, key)
-        return self._entries[left:right]
+        with self._lock:
+            left = bisect.bisect_left(self._keys, key)
+            right = bisect.bisect_right(self._keys, key)
+            return self._entries[left:right]
 
     def range(
         self,
@@ -138,19 +150,20 @@ class OrderedIndex:
         fault_point("index_probe")
         self.probes += 1
         stats_mod.emit("index_probes")
-        if low is None:
-            left = 0
-        elif include_low:
-            left = bisect.bisect_left(self._keys, low)
-        else:
-            left = bisect.bisect_right(self._keys, low)
-        if high is None:
-            right = len(self._keys)
-        elif include_high:
-            right = bisect.bisect_right(self._keys, high)
-        else:
-            right = bisect.bisect_left(self._keys, high)
-        return self._entries[left:right]
+        with self._lock:
+            if low is None:
+                left = 0
+            elif include_low:
+                left = bisect.bisect_left(self._keys, low)
+            else:
+                left = bisect.bisect_right(self._keys, low)
+            if high is None:
+                right = len(self._keys)
+            elif include_high:
+                right = bisect.bisect_right(self._keys, high)
+            else:
+                right = bisect.bisect_left(self._keys, high)
+            return self._entries[left:right]
 
     def probe_term(self, op: str, constant: Any) -> list[Any]:
         """Serve one ``(attribute, op, constant)`` indexable term."""

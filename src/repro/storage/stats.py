@@ -82,7 +82,17 @@ def emit_many(counts: Mapping[str, int]) -> None:
 
 
 class Instrumentation:
-    """A thread-safe bag of named counters with attribution hooks."""
+    """A thread-safe bag of named counters with attribution hooks.
+
+    Thread model: the counter bag itself is lock-protected and may be
+    bumped from any number of threads concurrently, while attribution
+    frames, collectors and activation are **thread-local** — each worker
+    thread attributes to its own operator stack, so sharing one sink
+    across a thread pool is safe but mixes all workers' totals into one
+    bag.  Workloads that want per-query isolation give each snapshot its
+    own sink (``db.snapshot(stats=Instrumentation())``) and fold the
+    results together afterwards with :meth:`merge`.
+    """
 
     def __init__(self) -> None:
         self.counters: Counter = Counter()
@@ -109,6 +119,21 @@ class Instrumentation:
     def snapshot(self) -> dict[str, int]:
         with self._lock:
             return dict(self.counters)
+
+    def merge(self, other: "Instrumentation | Mapping[str, int]") -> None:
+        """Fold another sink's counters into this one.
+
+        The concurrent serving path gives each pinned snapshot its own
+        private sink (so parallel queries never interleave attribution
+        frames); after the futures resolve, a harness merges the
+        per-worker sinks back into the database's own for one combined
+        report.  Thread-safe on both sides — ``other`` is snapshotted
+        first, then folded in under this sink's lock.
+        """
+        counts = other.snapshot() if isinstance(other, Instrumentation) else other
+        with self._lock:
+            for name, amount in counts.items():
+                self.counters[name] += amount
 
     # -- scoping -----------------------------------------------------------
 

@@ -18,8 +18,10 @@ saying which happened, so benchmarks can report the narrowing).
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable
+from typing import Any, Callable, Iterable, Iterator
 
 from .. import guardrails, params
 from ..core.aqua_list import AquaList
@@ -31,6 +33,36 @@ from .stats import Instrumentation
 
 #: Bitmap plane states: 0 = unknown, 1 = known false, 2 = known true.
 _UNKNOWN, _FALSE, _TRUE = 0, 1, 2
+
+
+# -- per-query bitmap scoping ---------------------------------------------------
+
+_bitmap_scope = threading.local()
+
+
+@contextmanager
+def scoped_bitmaps() -> Iterator[None]:
+    """Arm per-query predicate-bitmap isolation for this thread.
+
+    While armed, :attr:`TreeIndex.bitmap` hands out a bitmap private to
+    this scope (one per index, created on demand) instead of the
+    index-resident one.  That keeps per-query outcome state from
+    bleeding between queries scheduled on a shared pool thread — and
+    from racing between *concurrent* queries over the same tree, whose
+    shared index previously also shared one mutable bitmap.  The
+    previous scope (usually none) is restored on exit, exceptions
+    included.
+    """
+    previous = getattr(_bitmap_scope, "bitmaps", None)
+    _bitmap_scope.bitmaps = {}
+    try:
+        yield
+    finally:
+        _bitmap_scope.bitmaps = previous
+
+
+def _scope_bitmaps() -> "dict[int, PredicateBitmap] | None":
+    return getattr(_bitmap_scope, "bitmaps", None)
 
 
 class PredicateBitmap:
@@ -161,22 +193,35 @@ class TreeIndex:
 
     # -- predicate-outcome bitmap ---------------------------------------------
 
+    def _make_bitmap(self) -> PredicateBitmap:
+        labels = self.labels
+        return PredicateBitmap(
+            2 * self.node_count + 2,
+            lambda node: (
+                label.pre if (label := labels.get(id(node))) is not None else None
+            ),
+        )
+
     @property
     def bitmap(self) -> PredicateBitmap:
         """The per-query predicate-outcome bitmap, keyed by ``pre`` labels.
 
         Lazily allocated; plane size spans the label counter's range
         (pre labels run to ``2 · node_count`` because the counter also
-        advances at each postorder visit).
+        advances at each postorder visit).  Inside a
+        :func:`scoped_bitmaps` scope (armed per query by
+        :func:`repro.patterns.tree_memo.match_scope`) the bitmap is
+        private to the scope, so concurrent queries sharing this index
+        never share — or reset — each other's outcome planes.
         """
+        scoped = _scope_bitmaps()
+        if scoped is not None:
+            bitmap = scoped.get(id(self))
+            if bitmap is None:
+                bitmap = scoped[id(self)] = self._make_bitmap()
+            return bitmap
         if self._bitmap is None:
-            labels = self.labels
-            self._bitmap = PredicateBitmap(
-                2 * self.node_count + 2,
-                lambda node: (
-                    label.pre if (label := labels.get(id(node))) is not None else None
-                ),
-            )
+            self._bitmap = self._make_bitmap()
         return self._bitmap
 
     def reset_bitmap(self) -> None:

@@ -1,0 +1,155 @@
+"""Snapshot isolation properties (PR 6 satellite 4).
+
+Hypothesis drives interleaved sequences of writes (root updates, extent
+inserts, rollback-destined failures) and snapshot pins against a plain
+shadow model, asserting:
+
+* a pinned snapshot reports exactly the shadow state at pin time, no
+  matter how many commits land after it;
+* a raising updater rolls back completely — the live database equals
+  the shadow that never applied the failed write;
+* a multi-operation :class:`~repro.algebra.update.Transaction` is
+  atomic: no pin taken before commit sees any part of the batch, every
+  pin taken after sees all of it (never a torn prefix).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import update
+from repro.core.aqua_list import AquaList
+from repro.storage import Database
+
+SETTINGS = settings(max_examples=30, deadline=None)
+
+
+# One step of the interleaving: (op, payload)
+steps = st.lists(
+    st.one_of(
+        st.tuples(st.just("pin"), st.just(0)),
+        st.tuples(st.just("append"), st.integers(0, 99)),
+        st.tuples(st.just("insert"), st.integers(0, 99)),
+        st.tuples(st.just("fail"), st.integers(0, 99)),
+    ),
+    min_size=1,
+    max_size=24,
+)
+
+
+def list_values(db) -> list[int]:
+    return db.root("L").values()
+
+
+def extent_values(db) -> list[int]:
+    return [row["v"] for row in db.iter_extent("E")]
+
+
+@SETTINGS
+@given(steps=steps)
+def test_pinned_snapshots_track_the_shadow_model(steps):
+    db = Database()
+    db.bind_root("L", AquaList.from_values([]))
+
+    shadow_list: list[int] = []
+    shadow_extent: list[int] = []
+    pins = []  # (snapshot, shadow list at pin, shadow extent at pin)
+
+    for op, value in steps:
+        if op == "pin":
+            pins.append((db.snapshot(), list(shadow_list), list(shadow_extent)))
+        elif op == "append":
+            update.apply_update(
+                db, "L", update.insert_at, len(shadow_list), value
+            )
+            shadow_list.append(value)
+        elif op == "insert":
+            db.insert({"v": value}, extent="E")
+            shadow_extent.append(value)
+        elif op == "fail":
+
+            def exploding(_current, v=value):
+                raise RuntimeError(f"boom {v}")
+
+            with pytest.raises(RuntimeError):
+                update.apply_update(db, "L", exploding)
+            # the shadow never applies the failed write
+
+    # The live database matches the final shadow.
+    assert list_values(db) == shadow_list
+    assert extent_values(db) == shadow_extent
+    # Every pin still shows exactly its moment-in-time shadow.
+    for snap, pinned_list, pinned_extent in pins:
+        assert list_values(snap) == pinned_list
+        assert extent_values(snap) == pinned_extent
+
+
+@SETTINGS
+@given(
+    batch=st.lists(st.integers(0, 99), min_size=2, max_size=8),
+    fail_at_commit=st.booleans(),
+)
+def test_transactions_are_atomic_to_pins(batch, fail_at_commit):
+    """No pin ever observes a torn multi-operation batch."""
+    db = Database()
+    db.bind_root("L", AquaList.from_values([0]))
+    before = db.snapshot()
+
+    try:
+        with update.transaction(db) as txn:
+            txn.rebind_root("L", AquaList.from_values(batch))
+            txn.bind_root("M", AquaList.from_values(batch[:1]))
+            for value in batch:
+                txn.insert({"v": value}, extent="E")
+            # Nothing staged is visible yet — not to the base, not to a
+            # pre-transaction pin.
+            assert list_values(db) == [0]
+            assert db.extent_size("E") == 0
+            assert "M" not in db.roots()
+            if fail_at_commit:
+                raise RuntimeError("abort")
+    except RuntimeError:
+        pass
+
+    after = db.snapshot()
+    if fail_at_commit:
+        # Rollback: all-or-nothing means nothing.
+        assert list_values(db) == [0]
+        assert db.extent_size("E") == 0
+        assert "M" not in db.roots()
+        assert list_values(after) == [0]
+    else:
+        # Commit: the pin taken after sees the entire batch...
+        assert list_values(after) == batch
+        assert extent_values(after) == batch
+        assert after.root("M").values() == batch[:1]
+        # ...and the epoch moved exactly once for the whole batch.
+        assert db.epoch == before.epoch + 1
+    # The pre-transaction pin is untouched either way.
+    assert list_values(before) == [0]
+    assert before.extent_size("E") == 0
+    assert "M" not in before.roots()
+
+
+@SETTINGS
+@given(values=st.lists(st.integers(0, 99), min_size=1, max_size=10))
+def test_rollback_never_leaks_partial_root_state(values):
+    """A updater that fails midway leaves the root bit-identical."""
+    db = Database()
+    db.bind_root("L", AquaList.from_values(values))
+    original = list_values(db)
+
+    def partial_then_fail(current):
+        # Do real work on the persistent value before failing — none of
+        # it may escape, because persistent updates never mutate.
+        working = update.insert_at(current, 0, -1)
+        working = update.delete_at(working, len(working.values()) - 1)
+        raise RuntimeError("midway")
+
+    pin = db.snapshot()
+    with pytest.raises(RuntimeError):
+        update.apply_update(db, "L", partial_then_fail)
+    assert list_values(db) == original
+    assert list_values(pin) == original
+    # Version counters did not move: nothing was committed.
+    assert db.epoch == pin.epoch

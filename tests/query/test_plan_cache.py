@@ -125,6 +125,111 @@ class TestCacheMechanics:
         assert before == after
 
 
+class TestFineGrainedInvalidation:
+    """Satellite 3 (PR 6): per-resource versioning and alias hygiene."""
+
+    def test_unrelated_extent_mutation_keeps_plans_warm(self, db):
+        cache = PlanCache(capacity=8)
+        first = prepare(anchor_query(), db, cache=cache)
+        db.insert(Record(name="dog"), "Animal")  # different extent
+        second = prepare(anchor_query(), db, cache=cache)
+        assert second is first
+        assert cache.invalidations == 0
+
+    def test_unrelated_root_mutation_keeps_plans_warm(self, db):
+        cache = PlanCache(capacity=8)
+        first = prepare(anchor_query(), db, cache=cache)
+        db.rebind_root("T", parse_tree("r(a b)"))
+        second = prepare(anchor_query(), db, cache=cache)
+        assert second is first
+        assert cache.invalidations == 0
+
+    def test_touched_root_invalidates_its_plans_only(self, db):
+        cache = PlanCache(capacity=8)
+        tree_query = Q.root("T").sub_select("d(e j)").node
+        tree_plan = prepare(tree_query, db, cache=cache)
+        person_plan = prepare(anchor_query(), db, cache=cache)
+        db.rebind_root("T", parse_tree("r(a b)"))
+        assert prepare(tree_query, db, cache=cache) is not tree_plan
+        assert prepare(anchor_query(), db, cache=cache) is person_plan
+        assert cache.invalidations == 1
+
+    def test_bare_bump_epoch_is_blanket(self, db):
+        cache = PlanCache(capacity=8)
+        tree_plan = prepare(Q.root("T").sub_select("d(e j)").node, db, cache=cache)
+        person_plan = prepare(anchor_query(), db, cache=cache)
+        db.bump_epoch()  # external blanket invalidation request
+        assert prepare(Q.root("T").sub_select("d(e j)").node, db, cache=cache) is not tree_plan
+        assert prepare(anchor_query(), db, cache=cache) is not person_plan
+        assert cache.invalidations == 2
+
+    def test_plan_records_its_dependencies(self, db):
+        prepared = prepare(anchor_query(), db, cache=None)
+        assert "extent:Person" in prepared.deps
+        assert "db" in prepared.deps
+        tree_prepared = prepare(Q.root("T").sub_select("d(e j)").node, db, cache=None)
+        assert "root:T" in tree_prepared.deps
+
+    def test_snapshot_keeps_hitting_its_pinned_plans(self, db):
+        cache = PlanCache(capacity=8)
+        snap = db.snapshot()
+        pinned = prepare(anchor_query(), snap, cache=cache)
+        db.insert(Record(name="new", age=31), "Person")
+        # The snapshot's versions did not move: still warm for the pin.
+        assert prepare(anchor_query(), snap, cache=cache) is pinned
+
+
+class TestAliasConsistency:
+    """Satellite 3 (PR 6): the alias table tracks its target entries."""
+
+    TEXT = 'root T | sub_select "d(e j)"'
+
+    def test_alias_dropped_with_invalidated_entry(self, db):
+        cache = PlanCache(capacity=8)
+        prepare(self.TEXT, db, cache=cache)
+        assert cache.snapshot()["aliases"] == 1
+        db.rebind_root("T", parse_tree("r(a b)"))
+        prepare(self.TEXT, db, cache=cache)  # invalidates, re-stores
+        stats = cache.snapshot()
+        assert stats["alias_invalidations"] == 1
+        assert stats["aliases"] == 1  # the fresh alias, not the stale one
+        # and the refreshed alias serves hits again
+        before_hits = cache.hits
+        prepare(self.TEXT, db, cache=cache)
+        assert cache.hits == before_hits + 1
+
+    def test_alias_dropped_with_evicted_entry(self, db):
+        cache = PlanCache(capacity=1)
+        prepare(self.TEXT, db, cache=cache)
+        assert cache.snapshot()["aliases"] == 1
+        # A second distinct shape evicts the only entry — its alias must go too.
+        prepare(anchor_query(), db, cache=cache)
+        stats = cache.snapshot()
+        assert stats["evictions"] == 1
+        assert stats["aliases"] == 0
+
+    def test_alias_table_respects_capacity(self, db):
+        cache = PlanCache(capacity=2)
+        texts = [
+            'root T | sub_select "d(e j)"',
+            'root T | sub_select "d(x)"',
+            'root T | all_desc "s"',
+        ]
+        for text in texts:
+            prepare(text, db, cache=cache)
+        assert cache.snapshot()["aliases"] <= 2
+
+    def test_unrelated_mutation_keeps_alias_path_warm(self, db):
+        cache = PlanCache(capacity=8)
+        prepare(self.TEXT, db, cache=cache)
+        db.insert(Record(name="dog"), "Animal")
+        sink = Instrumentation()
+        with sink.activated():
+            prepare(self.TEXT, db, cache=cache)
+        assert sink["pattern_compilations"] == 0  # alias skipped the parse
+        assert cache.invalidations == 0
+
+
 class TestPreparedQuery:
     def test_run_matches_cold_evaluation(self, db):
         prepared = prepare(anchor_query(), db)
