@@ -1,0 +1,346 @@
+"""BENCH-CHAOS — the PR-7 fault-tolerant serving layer under chaos.
+
+Drives a :class:`repro.api.SessionPool` through three chaos segments
+and gates on the resilience contracts:
+
+* **availability** — a read storm under the injected fault plan
+  (default ``storage_lookup:error:0.05,index_probe:latency:0.2:0.002``,
+  overridable via ``AQUA_FAULTS``/``AQUA_FAULT_SEED``), run twice:
+  retries **off** (the disclosed baseline) and retries **on**.  With
+  retries on, availability must clear ``MIN_AVAILABILITY`` (99%) and
+  retry amplification (attempts per admitted request) must stay under
+  ``MAX_AMPLIFICATION`` (3x);
+* **zero corruption** — every successful read from the retries-on storm
+  is re-executed serially with fault injection uninstalled and must be
+  *bit-identical* (same elements, same order): retries, degradation and
+  re-pinning may change latency, never answers;
+* **breaker** — against a seam failing 100% of the time, the first
+  request burns its schedule until the breaker trips; subsequent
+  requests shed after a single attempt (``breaker_to_open`` counted);
+* **overload** — a burst beyond ``max_in_flight`` is shed at submission
+  with structured :class:`~repro.errors.ServerOverloadedError`, never
+  queued into unbounded latency.
+
+Writes are exercised under the same plan but never retried (a commit
+cannot be re-checked from the serving layer); their failure count is
+disclosed separately and excluded from read availability.
+
+Run standalone (CI smoke): ``python benchmarks/bench_chaos_serving.py
+--quick --json BENCH_PR7.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro import Database, Record, Session, SessionPool, faults
+from repro.algebra.update import replace_at
+from repro.config import FAULT_SEED_ENV, FAULTS_ENV
+from repro.core.aqua_list import AquaList
+from repro.errors import CircuitOpenError, ServerOverloadedError
+from repro.guardrails import Budget
+from repro.query.plan_cache import PlanCache
+from repro.serving import BreakerBoard, RetryPolicy
+
+#: The chaos plan the gates are calibrated against (ISSUE PR 7).
+DEFAULT_SPEC = "storage_lookup:error:0.05,index_probe:latency:0.2:0.002"
+DEFAULT_SEED = 42
+
+MIN_AVAILABILITY = 0.99
+MAX_AMPLIFICATION = 3.0
+
+PEOPLE = 120
+READ_QUERIES = (
+    "extent Person | sselect {age >= 18} | project name",
+    "extent Person | sselect {age < 30} | project name",
+    "extent Person | project name",
+)
+
+RETRY = RetryPolicy(
+    max_attempts=4, base_delay=0.001, max_delay=0.01, jitter=0.5, seed=7
+)
+
+
+def chaos_plan() -> faults.FaultPlan:
+    """The environment's plan, or the calibrated default."""
+    spec = os.environ.get(FAULTS_ENV, "").strip() or DEFAULT_SPEC
+    raw_seed = os.environ.get(FAULT_SEED_ENV, "").strip()
+    seed = int(raw_seed) if raw_seed else DEFAULT_SEED
+    return faults.FaultPlan(faults.parse_rules(spec), seed=seed)
+
+
+def make_db(people: int = PEOPLE) -> Database:
+    db = Database()
+    for i in range(people):
+        db.insert(Record(name=f"p{i}", age=i % 80), "Person")
+    db.create_index("Person", "age")
+    db.bind_root("L", AquaList.from_values(list(range(16))))
+    return db
+
+
+# ---------------------------------------------------------------------------
+# segment 1: availability + bit-identical reads
+# ---------------------------------------------------------------------------
+
+
+def read_storm(
+    db: Database, requests: int, *, retries: bool
+) -> tuple[SessionPool, list, int]:
+    """Run ``requests`` reads under the chaos plan; returns the closed
+    pool (for stats), recorded (source, result) successes, failures."""
+    policy = RETRY if retries else None
+    # Reads under chaos can see long failure streaks without the seam
+    # being *down*; the availability segment uses a tolerant board so
+    # the breaker segment below can test tripping in isolation.
+    board = BreakerBoard(failure_threshold=1000)
+    recorded = []
+    failures = 0
+    with SessionPool(
+        db,
+        workers=4,
+        retry_policy=policy,
+        breakers=board,
+        budget=Budget(deadline_seconds=5.0),
+        plan_cache=PlanCache(capacity=64),
+    ) as pool:
+        with faults.injected(chaos_plan()):
+            futures = [
+                (
+                    READ_QUERIES[i % len(READ_QUERIES)],
+                    pool.submit(READ_QUERIES[i % len(READ_QUERIES)]),
+                )
+                for i in range(requests)
+            ]
+            for source, future in futures:
+                try:
+                    recorded.append((source, list(future.result())))
+                except Exception:
+                    failures += 1
+    return pool, recorded, failures
+
+
+def verify_bit_identical(db: Database, recorded) -> int:
+    """Re-run every successful read serially, faults uninstalled; count
+    results that are not bit-identical (same order, same elements)."""
+    previous = faults.install(None)
+    try:
+        corrupted = 0
+        session = Session(db, plan_cache=PlanCache())
+        for source, chaotic_result in recorded:
+            if list(session.query(source)) != chaotic_result:
+                corrupted += 1
+        return corrupted
+    finally:
+        faults.install(previous)
+
+
+def write_disclosure(db: Database, updates: int) -> dict:
+    """Writes under the same plan: never retried, failures disclosed."""
+    ok = failed = 0
+    with SessionPool(db, workers=2) as pool:
+        with faults.injected(chaos_plan()):
+            futures = [
+                pool.submit_update("L", replace_at, i % 16, i)
+                for i in range(updates)
+            ]
+            for future in futures:
+                try:
+                    future.result()
+                    ok += 1
+                except Exception:
+                    failed += 1
+    return {"updates": updates, "committed": ok, "failed": failed}
+
+
+# ---------------------------------------------------------------------------
+# segment 2: circuit breaker against a hard-down seam
+# ---------------------------------------------------------------------------
+
+
+def breaker_segment(db: Database) -> dict:
+    """A seam failing 100%: the first request trips the breaker, later
+    requests shed after one attempt instead of burning retries."""
+    down = faults.FaultPlan(
+        [faults.FaultRule("storage_lookup", "error", 1.0)]
+    )
+    board = BreakerBoard(failure_threshold=3, reset_timeout=60.0)
+    with SessionPool(
+        db,
+        workers=1,
+        retry_policy=RetryPolicy(
+            max_attempts=4, base_delay=0.0005, max_delay=0.002
+        ),
+        breakers=board,
+    ) as pool:
+        outcomes = []
+        with faults.injected(down):
+            for _ in range(4):
+                before = pool.stats.counters["attempts"]
+                try:
+                    pool.query(READ_QUERIES[0])
+                    outcomes.append("success")
+                except CircuitOpenError:
+                    outcomes.append("shed")
+                except Exception:
+                    outcomes.append("failed")
+                outcomes[-1] += f":{pool.stats.counters['attempts'] - before}"
+        snap = pool.stats.snapshot()
+        return {
+            "outcomes": outcomes,
+            "attempts": snap["attempts"],
+            "breaker_to_open": snap["breaker_to_open"],
+            "breaker_short_circuits": snap["breaker_short_circuits"],
+            "breaker_state": board.breaker("storage_lookup").state,
+        }
+
+
+# ---------------------------------------------------------------------------
+# segment 3: admission control under a burst
+# ---------------------------------------------------------------------------
+
+
+def overload_segment(db: Database, burst: int = 24) -> dict:
+    """Fire a burst past ``max_in_flight``; excess must shed at submit."""
+    slow = faults.FaultPlan(
+        [faults.FaultRule("index_probe", "latency", 1.0, 0.005)]
+    )
+    shed = 0
+    futures = []
+    with SessionPool(db, workers=2, max_in_flight=6) as pool:
+        with faults.injected(slow):
+            for i in range(burst):
+                try:
+                    futures.append(pool.submit(READ_QUERIES[0]))
+                except ServerOverloadedError as exc:
+                    shed += 1
+                    stats = exc.queue_stats()
+                    assert stats["max_in_flight"] == 6
+            for future in futures:
+                future.result()
+        snap = pool.stats.snapshot()
+        return {
+            "burst": burst,
+            "accepted": len(futures),
+            "shed": shed,
+            "shed_overload_counter": snap["shed_overload"],
+            "availability_of_admitted": snap["availability"],
+        }
+
+
+# ---------------------------------------------------------------------------
+# standalone/CI entry point
+# ---------------------------------------------------------------------------
+
+
+def run(requests: int, people: int) -> dict:
+    db = make_db(people=people)
+
+    started = time.perf_counter()
+    baseline_pool, _, baseline_failures = read_storm(
+        db, requests, retries=False
+    )
+    baseline_stats = baseline_pool.stats.snapshot()
+
+    retry_pool, recorded, retry_failures = read_storm(
+        db, requests, retries=True
+    )
+    retry_stats = retry_pool.stats.snapshot()
+    corrupted = verify_bit_identical(db, recorded)
+
+    writes = write_disclosure(db, updates=16)
+    breaker = breaker_segment(make_db(people=30))
+    overload = overload_segment(make_db(people=30))
+    elapsed = time.perf_counter() - started
+
+    return {
+        "benchmark": "bench_chaos_serving",
+        "fault_spec": os.environ.get(FAULTS_ENV, "").strip() or DEFAULT_SPEC,
+        "requests": requests,
+        "elapsed_seconds": round(elapsed, 3),
+        "availability_without_retries": baseline_stats["availability"],
+        "availability_with_retries": retry_stats["availability"],
+        "retry_amplification": retry_stats["retry_amplification"],
+        "reads_verified_bit_identical": len(recorded),
+        "corrupted": corrupted,
+        "baseline_failures": baseline_failures,
+        "retry_failures": retry_failures,
+        "pool_stats": retry_stats,
+        "pool_stats_baseline": baseline_stats,
+        "writes": writes,
+        "breaker": breaker,
+        "overload": overload,
+    }
+
+
+def gate(report: dict) -> None:
+    availability = report["availability_with_retries"]
+    assert availability >= MIN_AVAILABILITY, (
+        f"availability {availability:.4f} below the {MIN_AVAILABILITY} gate"
+    )
+    assert report["corrupted"] == 0, (
+        f"{report['corrupted']} retried reads were not bit-identical"
+    )
+    amplification = report["retry_amplification"]
+    assert amplification <= MAX_AMPLIFICATION, (
+        f"retry amplification {amplification:.2f} above {MAX_AMPLIFICATION}x"
+    )
+    assert report["breaker"]["breaker_to_open"] >= 1, "breaker never tripped"
+    assert report["breaker"]["breaker_short_circuits"] >= 1, (
+        "open breaker never shed a request"
+    )
+    assert report["overload"]["shed"] >= 1, "overload burst was never shed"
+    assert (
+        report["availability_without_retries"]
+        <= report["availability_with_retries"]
+    ), "retries made availability worse"
+
+
+def main(argv: list[str] | None = None) -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="smaller storm")
+    parser.add_argument("--json", metavar="PATH", help="write results as JSON")
+    arguments = parser.parse_args(argv)
+
+    # The environment plan auto-installs at import; the benchmark owns
+    # fault activation per segment, so start clean.
+    faults.install(None)
+
+    requests = 200 if arguments.quick else 400
+    people = 60 if arguments.quick else PEOPLE
+    report = run(requests, people)
+
+    print(
+        f"availability: retries-off={report['availability_without_retries']:.4f}  "
+        f"retries-on={report['availability_with_retries']:.4f}  "
+        f"amplification={report['retry_amplification']:.2f}x"
+    )
+    print(
+        f"bit-identical: {report['reads_verified_bit_identical']} reads, "
+        f"{report['corrupted']} corrupted; "
+        f"writes: {report['writes']['committed']}/{report['writes']['updates']} "
+        f"committed (never retried)"
+    )
+    print(
+        f"breaker: {report['breaker']['outcomes']} "
+        f"(to_open={report['breaker']['breaker_to_open']})"
+    )
+    print(
+        f"overload: shed {report['overload']['shed']} of "
+        f"{report['overload']['burst']} burst submissions"
+    )
+
+    if arguments.json:
+        with open(arguments.json, "w") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"wrote {arguments.json}")
+
+    gate(report)
+    print("chaos-serving smoke ok")
+
+
+if __name__ == "__main__":
+    main()

@@ -464,6 +464,78 @@ def claim_engines() -> None:
     )
 
 
+def claim_chaos_serving() -> None:
+    """PR 7: fault-tolerant serving — availability under injected chaos.
+
+    A small read storm through a :class:`SessionPool` under the PR-7
+    chaos plan, retries off vs on; the row carries the full PoolStats
+    snapshot so shed/breaker/retry counters land in ``--json`` output.
+    """
+    from repro import faults
+    from repro import Record
+    from repro.api import SessionPool
+    from repro.guardrails import Budget
+    from repro.query import PlanCache
+    from repro.serving import BreakerBoard, RetryPolicy
+
+    previous = faults.install(None)
+    try:
+        db = Database()
+        for i in range(60):
+            db.insert(Record(name=f"p{i}", age=i % 80), "Person")
+        db.create_index("Person", "age")
+        source = "extent Person | sselect {age >= 18} | project name"
+        plan_rules = "storage_lookup:error:0.05,index_probe:latency:0.2:0.002"
+
+        availability = {}
+        stats_snapshots = {}
+        for label, policy in (
+            ("retries_off", None),
+            (
+                "retries_on",
+                RetryPolicy(
+                    max_attempts=4, base_delay=0.001, max_delay=0.01, seed=7
+                ),
+            ),
+        ):
+            chaos = faults.FaultPlan(faults.parse_rules(plan_rules), seed=42)
+            with SessionPool(
+                db,
+                workers=4,
+                retry_policy=policy,
+                breakers=BreakerBoard(failure_threshold=1000),
+                budget=Budget(deadline_seconds=5.0),
+                plan_cache=PlanCache(capacity=16),
+            ) as pool:
+                with faults.injected(chaos):
+                    futures = [pool.submit(source) for _ in range(120)]
+                    for future in futures:
+                        try:
+                            future.result()
+                        except Exception:
+                            pass
+                snapshot = pool.stats.snapshot()
+            availability[label] = snapshot["availability"]
+            stats_snapshots[label] = snapshot
+
+        row(
+            "CHAOS-SERVING",
+            f"120 reads under {plan_rules!r}: availability "
+            f"{availability['retries_off']:.3f} without retries → "
+            f"{availability['retries_on']:.3f} with retries "
+            f"(amplification x"
+            f"{stats_snapshots['retries_on']['retry_amplification']:.2f}, "
+            f"{stats_snapshots['retries_on']['shed_overload']} shed)",
+            fault_spec=plan_rules,
+            availability_without_retries=availability["retries_off"],
+            availability_with_retries=availability["retries_on"],
+            pool_stats=stats_snapshots["retries_on"],
+            pool_stats_baseline=stats_snapshots["retries_off"],
+        )
+    finally:
+        faults.install(previous)
+
+
 EXPERIMENTS = [
     fig1,
     fig2,
@@ -479,6 +551,7 @@ EXPERIMENTS = [
     claim_prepared,
     claim_list_tree,
     claim_engines,
+    claim_chaos_serving,
 ]
 
 

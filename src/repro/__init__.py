@@ -14,7 +14,10 @@ The public API re-exports the pieces a downstream user needs most:
   builder (:class:`Q`) and the AQL text language (:func:`run_aql`),
 * the session API (:class:`Session`): resolved execution knobs, prepared
   queries (:func:`prepare`, :class:`PreparedQuery`), the plan cache
-  (:class:`PlanCache`) and ``$name`` parameters (:class:`Param`).
+  (:class:`PlanCache`) and ``$name`` parameters (:class:`Param`),
+* the fault-tolerant serving layer (:class:`SessionPool` plus
+  :class:`RetryPolicy`, :class:`BreakerBoard`, :class:`PoolStats` and
+  the degradation ladder from :mod:`repro.serving`).
 
 See README.md for a guided tour and DESIGN.md for the paper-to-module map.
 """
@@ -59,6 +62,15 @@ from .core import (
 )
 from .api import Session, SessionPool, default_session
 from .optimizer import Optimizer, optimize
+from .serving import (
+    DEFAULT_LADDER,
+    AdmissionController,
+    BreakerBoard,
+    CircuitBreaker,
+    DegradationLadder,
+    PoolStats,
+    RetryPolicy,
+)
 from .params import Param
 from .patterns import list_pattern, tree_pattern
 from .predicates import ANY, attr, parse_predicate, pred, sym
@@ -80,22 +92,29 @@ __version__ = "1.0.0"
 __all__ = [
     "ALPHA",
     "ANY",
+    "AdmissionController",
     "AquaGraph",
     "AquaList",
     "AquaMultiset",
     "AquaSet",
     "AquaTree",
     "AquaTuple",
+    "BreakerBoard",
     "Cell",
+    "CircuitBreaker",
     "ConcatPoint",
+    "DEFAULT_LADDER",
     "Database",
+    "DegradationLadder",
     "NIL",
     "Optimizer",
     "Param",
     "PlanCache",
+    "PoolStats",
     "PreparedQuery",
     "Q",
     "Record",
+    "RetryPolicy",
     "Session",
     "SessionPool",
     "all_anc",

@@ -178,7 +178,22 @@ class Shell:
             return self._budget(argument)
         if name == "faults":
             plan = faults.active_plan()
-            return repr(plan) if plan is not None else "(no fault injection active)"
+            if plan is None:
+                return "(no fault injection active)"
+            report = plan.snapshot()
+            lines = [f"seed: {report['seed']}"]
+            for seam, rules in report["rules"].items():
+                specs = ", ".join(
+                    f"{rule['kind']} p={rule['probability']}"
+                    + (f" value={rule['value']}" if rule["value"] else "")
+                    for rule in rules
+                )
+                lines.append(
+                    f"{seam}: {specs}  "
+                    f"(hits={report['hits'].get(seam, 0)}, "
+                    f"fired={report['fired'].get(seam, 0)})"
+                )
+            return "\n".join(lines)
         if name == "noopt":
             return render(evaluate(parse_aql(argument), self.db))
         if name == "save":

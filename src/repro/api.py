@@ -26,15 +26,32 @@ parameterized workloads.
 
 from __future__ import annotations
 
+import threading
+import time
 from typing import Any, Mapping
 
 from . import config
+from .errors import QueryError
 from .guardrails import Budget
 from .query import expr as E
 from .query.metrics import PlanMetrics
 from .query.plan_cache import DEFAULT_CACHE, PlanCache
 from .query.prepare import PreparedQuery, prepare as _prepare
+from .serving import (
+    AdmissionController,
+    BreakerBoard,
+    DEFAULT_LADDER,
+    DegradationLadder,
+    DegradationStep,
+    PoolStats,
+    RetryPolicy,
+    run_with_policy,
+)
 from .storage.database import Database
+
+#: Sentinel distinguishing "not passed" from an explicit ``None`` for
+#: the per-call plan-cache override (``cache=None`` bypasses caching).
+_UNSET = object()
 
 
 class Session:
@@ -91,14 +108,20 @@ class Session:
     # -- the API ---------------------------------------------------------------
 
     def prepare(
-        self, source: Any, *, optimize: bool | None = None
+        self, source: Any, *, optimize: bool | None = None, cache: Any = _UNSET
     ) -> PreparedQuery:
-        """Plan ``source`` (Expr | Q | AQL text), served from the cache."""
+        """Plan ``source`` (Expr | Q | AQL text), served from the cache.
+
+        ``cache`` overrides the Session's plan cache for this call:
+        pass ``cache=None`` to plan from scratch without touching the
+        shared cache (the serving layer's degradation ladder uses this
+        so degraded plans are never cached).
+        """
         return _prepare(
             source,
             self.db,
             optimize=self._default_optimize(source, optimize),
-            cache=self.plan_cache,
+            cache=self.plan_cache if cache is _UNSET else cache,
         )
 
     def query(
@@ -110,9 +133,10 @@ class Session:
         budget: Budget | None = None,
         executor: str | None = None,
         engine: str | None = None,
+        cache: Any = _UNSET,
     ) -> Any:
         """Prepare (or fetch from cache) and execute in one call."""
-        prepared = self.prepare(source, optimize=optimize)
+        prepared = self.prepare(source, optimize=optimize, cache=cache)
         # db=self.db: the cache is shared across views of one base
         # database (snapshots share its cache identity), so the entry
         # may have been planned against a different view — execute
@@ -234,6 +258,32 @@ class SessionPool:
     scope exit, so nothing bleeds between queries that happen to reuse
     a worker thread (see the PR-6 regression tests).
 
+    **Fault tolerance** (PR 7, all opt-in, see README "Fault-tolerant
+    serving"):
+
+    * ``retry_policy`` — a :class:`~repro.serving.RetryPolicy` retries
+      reads whose failures classify as *transient* (injected faults,
+      deadline pressure, snapshot-pin races), with capped exponential
+      backoff under seeded deterministic jitter, each attempt's deadline
+      carved out of the caller's overall budget, optional per-attempt
+      snapshot re-pin, and the graceful-degradation ladder
+      (``ladder``, default :data:`~repro.serving.DEFAULT_LADDER`);
+    * ``breakers`` — a :class:`~repro.serving.BreakerBoard` (created
+      automatically when a retry policy is set) opens a per-seam
+      circuit after repeated failures so a persistently failing index
+      or storage path sheds fast instead of burning retry budget;
+    * ``max_queue_depth`` / ``max_in_flight`` — admission control:
+      excess load is rejected at submission with a structured
+      :class:`~repro.errors.ServerOverloadedError` carrying queue
+      statistics;
+    * ``pool.stats`` — a :class:`~repro.serving.PoolStats` bag counting
+      attempts, retries, backoff time, breaker transitions, sheds,
+      degraded runs and latency percentiles.
+
+    Writes are **never retried**: the transaction layer makes a failed
+    update roll back cleanly, but whether a *commit* landed cannot be
+    re-checked from out here, so re-applying is the caller's decision.
+
     Use as a context manager, or call :meth:`close` when done.
     """
 
@@ -246,6 +296,12 @@ class SessionPool:
         engine: str | None = None,
         budget: Budget | None = None,
         plan_cache: PlanCache | None = None,
+        retry_policy: RetryPolicy | None = None,
+        ladder: DegradationLadder | None = DEFAULT_LADDER,
+        breakers: BreakerBoard | None = None,
+        max_queue_depth: int | None = None,
+        max_in_flight: int | None = None,
+        pool_stats: PoolStats | None = None,
     ) -> None:
         from concurrent.futures import ThreadPoolExecutor
 
@@ -257,6 +313,17 @@ class SessionPool:
             executor=executor, engine=engine, budget=budget
         )
         self.plan_cache = plan_cache if plan_cache is not None else DEFAULT_CACHE
+        self.retry_policy = retry_policy
+        self.ladder = ladder
+        self.stats = pool_stats if pool_stats is not None else PoolStats()
+        self.breakers = breakers if breakers is not None else BreakerBoard()
+        self.breakers.observe(self.stats.note_breaker_transition)
+        self.admission = AdmissionController(
+            max_queue_depth=max_queue_depth, max_in_flight=max_in_flight
+        )
+        self._closed = False
+        self._lifecycle_lock = threading.Lock()
+        self._sequence = 0
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="aqua-session"
         )
@@ -265,6 +332,38 @@ class SessionPool:
 
     def _session(self, view: Database) -> Session:
         return Session(view, plan_cache=self.plan_cache, **self._session_knobs)
+
+    def _next_key(self) -> str:
+        """A stable per-request key for the seeded jitter stream."""
+        with self._lifecycle_lock:
+            self._sequence += 1
+            return str(self._sequence)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise QueryError(
+                "SessionPool is closed: submit after close() is not allowed"
+            )
+
+    def _admit(self) -> None:
+        """Admission control for one request; stats-visible shedding."""
+        self.stats.note_submitted()
+        try:
+            self.admission.admit()
+        except Exception:
+            self.stats.note_shed()
+            raise
+        self.stats.note_admitted()
+
+    def _schedule(self, fn, *args: Any, **kwargs: Any):
+        """Submit to the executor, converting its shutdown error."""
+        try:
+            return self._pool.submit(fn, *args, **kwargs)
+        except RuntimeError as exc:  # racing close(): executor refused
+            self.admission.release_unstarted()
+            raise QueryError(
+                "SessionPool is closed: submit after close() is not allowed"
+            ) from exc
 
     # -- reads -----------------------------------------------------------------
 
@@ -278,23 +377,121 @@ class SessionPool:
         budget: Budget | None = None,
         executor: str | None = None,
         engine: str | None = None,
+        retry_policy: RetryPolicy | None | Any = _UNSET,
     ):
         """Schedule ``source`` on a worker; returns a Future.
 
         The read is pinned to ``snapshot`` when given (obtain one from
         :meth:`pin`), else to a fresh snapshot taken *now*, at
-        submission — not when the worker dequeues the job.
+        submission — not when the worker dequeues the job.  When a
+        retry policy is active (the pool's, or a per-call override —
+        pass ``retry_policy=None`` to disable for one call), transient
+        failures are retried as documented on the class; an explicitly
+        shared ``snapshot`` is never re-pinned, a pool-pinned one may
+        be when the policy asks for it.
         """
+        self._check_open()
+        self._admit()
         view = snapshot if snapshot is not None else self.db.snapshot()
-        session = self._session(view)
-        return self._pool.submit(
-            session.query,
+        policy = self.retry_policy if retry_policy is _UNSET else retry_policy
+        effective_budget = (
+            budget if budget is not None else self._session_knobs["budget"]
+        )
+        return self._schedule(
+            self._serve_read,
+            self._next_key(),
             source,
             params,
-            optimize=optimize,
+            view,
+            snapshot is None,  # repinnable only if the pool pinned it
+            policy,
+            effective_budget,
+            dict(optimize=optimize, executor=executor, engine=engine),
+        )
+
+    def _serve_read(
+        self,
+        key: str,
+        source: Any,
+        params: Mapping[str, Any] | None,
+        view: Database,
+        repinnable: bool,
+        policy: RetryPolicy | None,
+        budget: Budget | None,
+        knobs: dict,
+    ) -> Any:
+        """Worker-side read path: admission bracket + retry loop."""
+        self.admission.begin()
+        started = time.perf_counter()
+        try:
+            result = self._read_attempts(
+                key, source, params, view, repinnable, policy, budget, knobs
+            )
+        except BaseException:
+            self.stats.note_failed(time.perf_counter() - started)
+            raise
+        else:
+            self.stats.note_success(time.perf_counter() - started)
+            return result
+        finally:
+            self.admission.finish()
+
+    def _read_attempts(
+        self,
+        key: str,
+        source: Any,
+        params: Mapping[str, Any] | None,
+        view: Database,
+        repinnable: bool,
+        policy: RetryPolicy | None,
+        budget: Budget | None,
+        knobs: dict,
+    ) -> Any:
+        holder = {"view": view}
+
+        def runner(
+            step: DegradationStep | None, attempt_budget: Budget | None
+        ) -> Any:
+            optimize = knobs["optimize"]
+            executor = knobs["executor"]
+            engine = knobs["engine"]
+            cache: Any = _UNSET
+            if step is not None:
+                if step.bypass_cache:
+                    cache = None
+                if step.engine is not None:
+                    engine = step.engine
+                if step.executor is not None:
+                    executor = step.executor
+                if step.optimize is not None:
+                    optimize = step.optimize
+            session = self._session(holder["view"])
+            return session.query(
+                source,
+                params,
+                optimize=optimize,
+                budget=attempt_budget if attempt_budget is not None else budget,
+                executor=executor,
+                engine=engine,
+                cache=cache,
+            )
+
+        if policy is None:
+            self.stats.note_attempt()
+            return runner(None, budget)
+
+        def repin() -> None:
+            holder["view"] = self.db.snapshot()
+
+        return run_with_policy(
+            runner,
+            policy=policy,
+            key=key,
             budget=budget,
-            executor=executor,
-            engine=engine,
+            breakers=self.breakers,
+            ladder=self.ladder,
+            stats=self.stats,
+            repin=repin if repinnable else None,
         )
 
     def query(
@@ -318,18 +515,62 @@ class SessionPool:
         Writers go against the *base* database (never a snapshot) and
         serialize on its write lock; the returned Future resolves to the
         new root value.  A raising updater rolls back and re-raises
-        through the Future.
+        through the Future.  Updates pass admission control like reads
+        but are never retried (see the class docstring).
         """
         from .algebra.update import apply_update
 
-        return self._pool.submit(
-            apply_update, self.db, root_name, updater, *args, **kwargs
+        self._check_open()
+        self._admit()
+        return self._schedule(
+            self._serve_update, apply_update, root_name, updater, args, kwargs
         )
+
+    def _serve_update(self, apply_update, root_name, updater, args, kwargs):
+        self.admission.begin()
+        started = time.perf_counter()
+        self.stats.note_attempt()
+        try:
+            result = apply_update(self.db, root_name, updater, *args, **kwargs)
+        except BaseException:
+            self.stats.note_failed(time.perf_counter() - started)
+            raise
+        else:
+            self.stats.note_success(time.perf_counter() - started)
+            return result
+        finally:
+            self.admission.finish()
+
+    # -- observability ---------------------------------------------------------
+
+    def observability(self) -> dict:
+        """One JSON-ready report: pool stats, breakers, admission."""
+        return {
+            "pool": self.stats.snapshot(),
+            "breakers": self.breakers.snapshot(),
+            "admission": self.admission.snapshot(),
+        }
 
     # -- lifecycle -------------------------------------------------------------
 
-    def close(self, wait: bool = True) -> None:
-        self._pool.shutdown(wait=wait)
+    def close(self, wait: bool = True, *, cancel_futures: bool = False) -> None:
+        """Shut the pool down; idempotent.
+
+        ``cancel_futures=True`` additionally cancels queued work that
+        has not started executing (their Futures report cancelled).
+        Further ``submit`` / ``submit_update`` calls raise a
+        :class:`~repro.errors.QueryError` instead of the executor's raw
+        ``RuntimeError``.
+        """
+        with self._lifecycle_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._pool.shutdown(wait=wait, cancel_futures=cancel_futures)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     def __enter__(self) -> "SessionPool":
         return self
@@ -338,7 +579,8 @@ class SessionPool:
         self.close()
 
     def __repr__(self) -> str:
-        return f"SessionPool<{self.db!r}, workers={self.workers}>"
+        suffix = ", closed" if self._closed else ""
+        return f"SessionPool<{self.db!r}, workers={self.workers}{suffix}>"
 
 
 def default_session(db: Database) -> Session:

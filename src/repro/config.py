@@ -39,11 +39,27 @@ DEFAULT_TREE_ENGINE = "memo"
 DFA_CACHE_LIMIT_ENV = "AQUA_DFA_CACHE_LIMIT"
 DEFAULT_DFA_CACHE_LIMIT = 4096
 
+#: Environment knobs configuring deterministic fault injection (parsed
+#: and validated by :mod:`repro.faults`, reported here so every knob
+#: failure reads the same).
+FAULTS_ENV = "AQUA_FAULTS"
+FAULT_SEED_ENV = "AQUA_FAULT_SEED"
+
 _local = threading.local()
 
 
-def _bad_knob(knob: str, value: object, accepted: str) -> QueryError:
+def invalid_knob(knob: str, value: object, accepted: str) -> QueryError:
+    """The one-line diagnostic every ``AQUA_*`` knob failure uses.
+
+    Public so other modules that own a knob's grammar (e.g.
+    :mod:`repro.faults` for ``AQUA_FAULTS``) raise the same shape of
+    error the core knobs do: the knob name, the offending value, and
+    what would have been accepted.
+    """
     return QueryError(f"{knob}: invalid value {value!r} (accepted: {accepted})")
+
+
+_bad_knob = invalid_knob
 
 
 @contextmanager

@@ -43,6 +43,17 @@ class StorageError(AquaError):
     """Raised by the storage substrate (unknown OID, duplicate root...)."""
 
 
+class SnapshotPinError(StorageError):
+    """A consistent snapshot could not be pinned (a racing writer moved
+    the version cut mid-pin).
+
+    Unlike its parent, this failure is *transient*: the base database is
+    intact, and re-pinning a fresh snapshot succeeds once the writer's
+    commit completes.  The serving layer's retry policy treats it as
+    retryable-with-repin (see :mod:`repro.serving.taxonomy`).
+    """
+
+
 class IndexError_(StorageError):
     """An index was used inconsistently (duplicate key in unique index...).
 
@@ -102,6 +113,62 @@ class ResourceExhaustedError(AquaError):
 
 class QueryCancelledError(AquaError):
     """A cooperative :class:`~repro.guardrails.CancellationToken` fired."""
+
+
+class ServerOverloadedError(AquaError):
+    """Admission control shed a request: the serving queue is full.
+
+    Carries the queue statistics at rejection time so clients (and the
+    chaos benchmark) can report *why* they were shed and back off
+    accordingly:
+
+    * ``queued`` — requests admitted but not yet executing;
+    * ``in_flight`` — requests currently executing on a worker;
+    * ``max_queue_depth`` / ``max_in_flight`` — the configured caps;
+    * ``shed`` — total requests this controller has rejected so far.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        queued: int = 0,
+        in_flight: int = 0,
+        max_queue_depth: int | None = None,
+        max_in_flight: int | None = None,
+        shed: int = 0,
+    ) -> None:
+        self.queued = queued
+        self.in_flight = in_flight
+        self.max_queue_depth = max_queue_depth
+        self.max_in_flight = max_in_flight
+        self.shed = shed
+        super().__init__(message)
+
+    def queue_stats(self) -> dict:
+        """JSON-ready statistics snapshot carried by this rejection."""
+        return {
+            "queued": self.queued,
+            "in_flight": self.in_flight,
+            "max_queue_depth": self.max_queue_depth,
+            "max_in_flight": self.max_in_flight,
+            "shed": self.shed,
+        }
+
+
+class CircuitOpenError(AquaError):
+    """A circuit breaker is open for the failing seam/resource.
+
+    Raised by the retry loop instead of burning further retry budget
+    when the seam that just failed has tripped its breaker: the original
+    failure is chained as ``__cause__``, and ``seam`` names the breaker.
+    """
+
+    def __init__(self, seam: str, message: str = "") -> None:
+        self.seam = seam
+        super().__init__(
+            message or f"circuit breaker open for seam {seam!r}; request shed"
+        )
 
 
 class InjectedFaultError(AquaError):

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import os
 import random
+import threading
 import time
 import zlib
 from collections import Counter
@@ -44,7 +45,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator
 
-from .errors import InjectedFaultError, ResourceExhaustedError
+from .config import FAULT_SEED_ENV, FAULTS_ENV, invalid_knob
+from .errors import InjectedFaultError, QueryError, ResourceExhaustedError
 
 #: The seams :func:`fault_point` is planted at.
 SEAMS = ("storage_lookup", "index_probe", "matcher_step", "optimizer_rewrite")
@@ -69,7 +71,17 @@ class FaultRule:
 
 
 class FaultPlan:
-    """A seeded set of fault rules plus per-seam hit/fire accounting."""
+    """A seeded set of fault rules plus per-seam hit/fire accounting.
+
+    Thread-safe: a :class:`SessionPool` shares one plan across all its
+    workers, so the hit/fire counters and the per-seam RNG draws are
+    serialized under a lock.  The seeded-determinism contract survives
+    concurrency in the aggregate — the *n*-th hit of a seam fires
+    exactly when it would single-threaded — though which worker lands
+    which hit number depends on scheduling.  The lock covers only the
+    bookkeeping: injected latency sleeps and raised faults happen
+    outside it, so one seam's slow fault never blocks another seam.
+    """
 
     def __init__(self, rules: list[FaultRule] | None = None, seed: int = 0) -> None:
         self.seed = seed
@@ -77,6 +89,7 @@ class FaultPlan:
         self.hits: Counter = Counter()
         self.fired: Counter = Counter()
         self._rngs: dict[str, random.Random] = {}
+        self._lock = threading.Lock()
         for rule in rules or ():
             self.add(rule)
 
@@ -95,35 +108,79 @@ class FaultPlan:
         rules = self.rules.get(seam)
         if not rules:
             return
-        self.hits[seam] += 1
-        rng = self._rng(seam)
-        for rule in rules:
-            # Always draw, even when the rule won't fire, so the random
-            # sequence (and therefore which hits fire) is a function of
-            # the hit number alone — deterministic across runs.
-            draw = rng.random()
-            if rule.probability < 1.0 and draw >= rule.probability:
-                continue
-            self.fired[seam] += 1
-            if rule.kind == "latency":
-                time.sleep(rule.value)
-            elif rule.kind == "error":
-                raise InjectedFaultError(seam, self.hits[seam])
-            else:  # budget pressure
-                raise ResourceExhaustedError(
-                    f"injected budget pressure at seam {seam!r} "
-                    f"(hit #{self.hits[seam]})",
-                    limit_name="injected",
-                    seam=seam,
-                )
+        sleep_for = 0.0
+        raise_exc: Exception | None = None
+        with self._lock:
+            self.hits[seam] += 1
+            hit = self.hits[seam]
+            rng = self._rng(seam)
+            for rule in rules:
+                # Always draw, even when the rule won't fire, so the
+                # random sequence (and therefore which hits fire) is a
+                # function of the hit number alone — deterministic
+                # across runs.
+                draw = rng.random()
+                if rule.probability < 1.0 and draw >= rule.probability:
+                    continue
+                self.fired[seam] += 1
+                if rule.kind == "latency":
+                    sleep_for += rule.value
+                elif rule.kind == "error":
+                    raise_exc = InjectedFaultError(seam, hit)
+                    break
+                else:  # budget pressure
+                    raise_exc = ResourceExhaustedError(
+                        f"injected budget pressure at seam {seam!r} "
+                        f"(hit #{hit})",
+                        limit_name="injected",
+                        seam=seam,
+                    )
+                    break
+        # Act outside the lock: a latency fault must not serialize every
+        # other thread's fault points behind this thread's sleep.
+        if sleep_for > 0.0:
+            time.sleep(sleep_for)
+        if raise_exc is not None:
+            raise raise_exc
+
+    def snapshot(self) -> dict:
+        """A consistent copy of the accounting (for reports / shell)."""
+        with self._lock:
+            return {
+                "seed": self.seed,
+                "rules": {
+                    seam: [
+                        {
+                            "kind": rule.kind,
+                            "probability": rule.probability,
+                            "value": rule.value,
+                        }
+                        for rule in rules
+                    ]
+                    for seam, rules in sorted(self.rules.items())
+                },
+                "hits": dict(self.hits),
+                "fired": dict(self.fired),
+            }
 
     def __repr__(self) -> str:
         rules = sum(len(r) for r in self.rules.values())
-        return f"FaultPlan(seed={self.seed}, rules={rules}, fired={dict(self.fired)})"
+        with self._lock:
+            fired = dict(self.fired)
+        return f"FaultPlan(seed={self.seed}, rules={rules}, fired={fired})"
+
+
+_RULE_GRAMMAR = "seam:kind:probability[:value] (comma-separated)"
 
 
 def parse_rules(text: str) -> list[FaultRule]:
-    """Parse the ``AQUA_FAULTS`` grammar: ``seam:kind:probability[:value]``."""
+    """Parse the ``AQUA_FAULTS`` grammar: ``seam:kind:probability[:value]``.
+
+    Malformed input raises a :class:`~repro.errors.QueryError` naming
+    the knob — the same validation style as :mod:`repro.config` — so a
+    typo in the environment produces a diagnostic, not a stack trace
+    from ``float()`` deep inside a dataclass.
+    """
     rules: list[FaultRule] = []
     for chunk in text.split(","):
         chunk = chunk.strip()
@@ -131,42 +188,78 @@ def parse_rules(text: str) -> list[FaultRule]:
             continue
         parts = chunk.split(":")
         if len(parts) < 2:
-            raise ValueError(f"malformed fault rule {chunk!r} (seam:kind[:prob[:value]])")
+            raise invalid_knob(FAULTS_ENV, chunk, _RULE_GRAMMAR)
         seam, kind = parts[0], parts[1]
-        probability = float(parts[2]) if len(parts) > 2 else 1.0
-        value = float(parts[3]) if len(parts) > 3 else 0.0
-        rules.append(FaultRule(seam, kind, probability, value))
+        try:
+            probability = float(parts[2]) if len(parts) > 2 else 1.0
+            value = float(parts[3]) if len(parts) > 3 else 0.0
+        except ValueError:
+            raise invalid_knob(FAULTS_ENV, chunk, _RULE_GRAMMAR) from None
+        try:
+            rules.append(FaultRule(seam, kind, probability, value))
+        except ValueError as exc:
+            raise invalid_knob(FAULTS_ENV, chunk, str(exc)) from None
     return rules
 
 
 def plan_from_env(environ=None) -> FaultPlan | None:
-    """Build the plan ``AQUA_FAULTS``/``AQUA_FAULT_SEED`` describe, if any."""
+    """Build the plan ``AQUA_FAULTS``/``AQUA_FAULT_SEED`` describe, if any.
+
+    Raises :class:`~repro.errors.QueryError` on a malformed spec *or* a
+    malformed seed — a chaos run configured with a typo must fail loudly
+    at the knob, not silently run with seed 0 or no faults at all.
+    """
     environ = os.environ if environ is None else environ
-    spec = environ.get("AQUA_FAULTS", "").strip()
+    spec = environ.get(FAULTS_ENV, "").strip()
     if not spec:
         return None
+    raw_seed = environ.get(FAULT_SEED_ENV, "0").strip() or "0"
     try:
-        seed = int(environ.get("AQUA_FAULT_SEED", "0"))
+        seed = int(raw_seed)
     except ValueError:
-        seed = 0
+        raise invalid_knob(FAULT_SEED_ENV, raw_seed, "an integer") from None
     return FaultPlan(parse_rules(spec), seed=seed)
+
+
+def _initial_state() -> tuple[FaultPlan | None, QueryError | None]:
+    """Read the environment once at import, deferring any error.
+
+    A malformed ``AQUA_FAULTS`` must not make ``import repro`` itself
+    explode (that would take down tools that never hit a fault point);
+    the error is stored and raised from :func:`active_plan` /
+    :func:`fault_point` — the first moment the bad config would have
+    mattered — with the knob named in the message.
+    """
+    try:
+        return plan_from_env(), None
+    except QueryError as exc:
+        return None, exc
 
 
 #: The active plan.  ``None`` keeps every fault point a single global
 #: read.  Initialized from the environment once at import; tests install
 #: plans with :func:`injected` and CI sets the env before Python starts.
-_active: FaultPlan | None = plan_from_env()
+_active: FaultPlan | None
+_env_error: QueryError | None
+_active, _env_error = _initial_state()
 
 
 def active_plan() -> FaultPlan | None:
+    if _env_error is not None:
+        raise _env_error
     return _active
 
 
 def install(plan: FaultPlan | None) -> FaultPlan | None:
-    """Install ``plan`` process-wide; returns the previous plan."""
-    global _active
+    """Install ``plan`` process-wide; returns the previous plan.
+
+    Explicit installation supersedes a malformed environment: the
+    deferred import-time error is cleared.
+    """
+    global _active, _env_error
     previous = _active
     _active = plan
+    _env_error = None
     return previous
 
 
@@ -190,3 +283,5 @@ def fault_point(seam: str) -> None:
     plan = _active
     if plan is not None:
         plan.check(seam)
+    elif _env_error is not None:
+        raise _env_error

@@ -146,6 +146,27 @@ class Budget:
     def with_token(self, token: CancellationToken) -> "Budget":
         return replace(self, token=token)
 
+    def carve(self, elapsed: float) -> "Budget":
+        """The budget left after ``elapsed`` seconds have been spent.
+
+        The retry layer uses this to give each attempt only what remains
+        of the *caller's* overall deadline — a retried query can never
+        outlive the budget the first attempt was given.  Only the
+        deadline shrinks; the other knobs are per-attempt bounds, not
+        cumulative spend, so they carry over unchanged.  With no deadline
+        configured the budget is returned as-is.
+
+        The remaining deadline is floored at a hair above zero rather
+        than clamped negative, so an attempt launched after the deadline
+        trips immediately with the standard ``deadline_seconds``
+        diagnostic instead of a confusing negative limit.
+        """
+        if self.deadline_seconds is None:
+            return self
+        return replace(
+            self, deadline_seconds=max(self.deadline_seconds - elapsed, 1e-9)
+        )
+
     def to_dict(self) -> dict[str, float | int | None]:
         """JSON-ready knob → limit mapping (the benchmark harness)."""
         return {

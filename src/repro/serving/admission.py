@@ -1,0 +1,125 @@
+"""Admission control: bounded queue depth and in-flight caps.
+
+A thread pool with an unbounded submission queue converts overload into
+unbounded latency — every shed-worthy request is accepted, queues for
+seconds, and then executes against a deadline that already expired.
+Admission control rejects excess load *at submission time* with a
+structured :class:`~repro.errors.ServerOverloadedError` carrying the
+queue statistics, so clients can back off (and the chaos benchmark can
+count sheds).
+
+Accounting model, all under one lock:
+
+* ``queued``    — admitted requests a worker has not yet dequeued;
+* ``in_flight`` — requests currently executing on a worker;
+* ``max_queue_depth`` caps ``queued`` (``None`` = unbounded);
+* ``max_in_flight`` caps ``queued + in_flight`` — total outstanding
+  work — which is the knob that bounds end-to-end latency.
+
+The controller is pure bookkeeping: the pool calls :meth:`admit` before
+scheduling, and the worker wrapper brackets execution with
+:meth:`begin` / :meth:`finish`.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..errors import ServerOverloadedError
+
+
+class AdmissionController:
+    """Thread-safe queue-depth and in-flight bookkeeping for a pool."""
+
+    def __init__(
+        self,
+        *,
+        max_queue_depth: int | None = None,
+        max_in_flight: int | None = None,
+    ) -> None:
+        if max_queue_depth is not None and max_queue_depth < 0:
+            raise ValueError(
+                f"max_queue_depth must be >= 0, got {max_queue_depth}"
+            )
+        if max_in_flight is not None and max_in_flight < 1:
+            raise ValueError(f"max_in_flight must be >= 1, got {max_in_flight}")
+        self.max_queue_depth = max_queue_depth
+        self.max_in_flight = max_in_flight
+        self._lock = threading.Lock()
+        self.queued = 0
+        self.in_flight = 0
+        self.admitted = 0
+        self.shed = 0
+
+    @property
+    def unbounded(self) -> bool:
+        return self.max_queue_depth is None and self.max_in_flight is None
+
+    def _shed(self, reason: str) -> ServerOverloadedError:
+        """Build the rejection (lock held) and count it."""
+        self.shed += 1
+        return ServerOverloadedError(
+            f"server overloaded: {reason} "
+            f"(queued={self.queued}, in_flight={self.in_flight})",
+            queued=self.queued,
+            in_flight=self.in_flight,
+            max_queue_depth=self.max_queue_depth,
+            max_in_flight=self.max_in_flight,
+            shed=self.shed,
+        )
+
+    def admit(self) -> None:
+        """Admit one request or raise :class:`ServerOverloadedError`."""
+        with self._lock:
+            if (
+                self.max_in_flight is not None
+                and self.queued + self.in_flight >= self.max_in_flight
+            ):
+                raise self._shed(
+                    f"in-flight cap {self.max_in_flight} reached"
+                )
+            if (
+                self.max_queue_depth is not None
+                and self.queued >= self.max_queue_depth
+            ):
+                raise self._shed(
+                    f"queue depth cap {self.max_queue_depth} reached"
+                )
+            self.queued += 1
+            self.admitted += 1
+
+    def begin(self) -> None:
+        """A worker dequeued an admitted request and started executing."""
+        with self._lock:
+            self.queued -= 1
+            self.in_flight += 1
+
+    def finish(self) -> None:
+        """The request finished (successfully or not)."""
+        with self._lock:
+            self.in_flight -= 1
+
+    def release_unstarted(self) -> None:
+        """An admitted request will never start (submit itself failed)."""
+        with self._lock:
+            self.queued -= 1
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "queued": self.queued,
+                "in_flight": self.in_flight,
+                "admitted": self.admitted,
+                "shed": self.shed,
+                "max_queue_depth": self.max_queue_depth,
+                "max_in_flight": self.max_in_flight,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"AdmissionController(queued={self.queued}, "
+            f"in_flight={self.in_flight}, shed={self.shed})"
+        )
+
+
+__all__ = ["AdmissionController"]

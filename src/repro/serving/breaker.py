@@ -1,0 +1,221 @@
+"""Circuit breakers: shed persistently failing seams fast.
+
+A retry policy turns *occasional* faults into successes; against a
+*persistently* failing resource it only multiplies the damage — every
+request burns its full retry schedule against a storage path that is
+down.  A :class:`CircuitBreaker` is the standard three-state remedy:
+
+* **closed** — normal operation; consecutive failures are counted and
+  a success resets the count;
+* **open** — ``failure_threshold`` consecutive failures tripped the
+  breaker; every ``allow()`` answers ``False`` (callers fail fast,
+  spending no retry budget) until ``reset_timeout`` seconds pass;
+* **half-open** — after the cooldown, up to ``half_open_probes``
+  trial requests are allowed through; one success closes the breaker,
+  one failure re-opens it (and restarts the cooldown).
+
+Breakers are keyed per *seam/resource* — the engine seam carried by the
+failure (``storage_lookup``, ``index_probe``, ...) — and live in a
+:class:`BreakerBoard`, which creates them lazily with shared settings
+and reports every state transition to an observer (the pool's
+:class:`~repro.serving.pool_stats.PoolStats`).
+
+Both classes are thread-safe; the clock is injectable so the state
+machine is unit-testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: ``on_transition(key, old_state, new_state)``.
+TransitionObserver = Callable[[str, str, str], None]
+
+
+class CircuitBreaker:
+    """One breaker: closed → open → half-open state machine."""
+
+    def __init__(
+        self,
+        name: str = "",
+        *,
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: TransitionObserver | None = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_timeout < 0:
+            raise ValueError(f"reset_timeout must be >= 0, got {reset_timeout}")
+        if half_open_probes < 1:
+            raise ValueError(
+                f"half_open_probes must be >= 1, got {half_open_probes}"
+            )
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.half_open_probes = half_open_probes
+        self._clock = clock
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_granted = 0
+
+    # -- state machine ------------------------------------------------------
+
+    def _transition(self, new_state: str) -> None:
+        """Move to ``new_state`` (lock held), notifying the observer."""
+        old_state = self._state
+        if old_state == new_state:
+            return
+        self._state = new_state
+        if new_state == OPEN:
+            self._opened_at = self._clock()
+        if new_state == HALF_OPEN:
+            self._probes_granted = 0
+        if new_state == CLOSED:
+            self._consecutive_failures = 0
+        observer = self._on_transition
+        if observer is not None:
+            observer(self.name, old_state, new_state)
+
+    def allow(self) -> bool:
+        """May a request (or a retry) proceed against this resource?
+
+        In the open state the cooldown is checked here — the first
+        ``allow()`` after ``reset_timeout`` moves the breaker to
+        half-open and grants a probe slot.
+        """
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                if self._clock() - self._opened_at < self.reset_timeout:
+                    return False
+                self._transition(HALF_OPEN)
+            # half-open: grant up to half_open_probes trial slots.
+            if self._probes_granted < self.half_open_probes:
+                self._probes_granted += 1
+                return True
+            return False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            if self._state == HALF_OPEN:
+                # The probe failed: back to open, cooldown restarts.
+                self._transition(OPEN)
+            elif (
+                self._state == CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._transition(OPEN)
+
+    def record_success(self) -> None:
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._transition(CLOSED)
+            else:
+                self._consecutive_failures = 0
+
+    # -- reporting ----------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "failure_threshold": self.failure_threshold,
+                "reset_timeout": self.reset_timeout,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker({self.name!r}, state={self.state}, "
+            f"threshold={self.failure_threshold})"
+        )
+
+
+class BreakerBoard:
+    """Lazily created per-key breakers with shared settings.
+
+    One board per :class:`~repro.api.SessionPool`; keys are failure
+    seams (see :func:`~repro.serving.taxonomy.failure_seam`).  The
+    board's ``on_transition`` observer receives every state change of
+    every breaker it owns — the pool routes this into its
+    :class:`~repro.serving.pool_stats.PoolStats`.
+    """
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: TransitionObserver | None = None,
+    ) -> None:
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.half_open_probes = half_open_probes
+        self._clock = clock
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def observe(self, observer: TransitionObserver | None) -> None:
+        """Install the transition observer (also on existing breakers)."""
+        with self._lock:
+            self._on_transition = observer
+            for breaker in self._breakers.values():
+                breaker._on_transition = observer
+
+    def breaker(self, key: str) -> CircuitBreaker:
+        with self._lock:
+            breaker = self._breakers.get(key)
+            if breaker is None:
+                breaker = self._breakers[key] = CircuitBreaker(
+                    key,
+                    failure_threshold=self.failure_threshold,
+                    reset_timeout=self.reset_timeout,
+                    half_open_probes=self.half_open_probes,
+                    clock=self._clock,
+                    on_transition=self._on_transition,
+                )
+            return breaker
+
+    def snapshot(self) -> dict[str, dict]:
+        """Per-key breaker states (JSON-ready)."""
+        with self._lock:
+            breakers = dict(self._breakers)
+        return {key: breaker.snapshot() for key, breaker in sorted(breakers.items())}
+
+    def __repr__(self) -> str:
+        states = {key: entry["state"] for key, entry in self.snapshot().items()}
+        return f"BreakerBoard({states})"
+
+
+__all__ = [
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "CircuitBreaker",
+    "BreakerBoard",
+]

@@ -1,0 +1,106 @@
+"""Error taxonomy for the serving layer: what is safe to retry?
+
+The paper's semantics are what make this classification *sound*: reads
+are pure functions over immutable list/tree values, and a re-executed
+read against a pinned snapshot is bit-identical to the first attempt.
+Retrying therefore cannot change any answer — the only question is
+whether a retry can *help*, which is exactly the transient/permanent
+split:
+
+* **transient** — the engine hit an environmental hiccup that a fresh
+  attempt (possibly against a freshly pinned snapshot) may dodge:
+
+  - :class:`~repro.errors.InjectedFaultError` — a chaos-plan fault at a
+    named seam; by construction the model of a flaky storage/index path;
+  - :class:`~repro.errors.ResourceExhaustedError` whose ``limit_name``
+    is ``deadline_seconds`` (wall-clock pressure, e.g. latency faults or
+    a loaded box — more time may remain in the caller's overall budget)
+    or ``injected`` (synthetic budget pressure from the fault plan);
+  - :class:`~repro.errors.SnapshotPinError` — a snapshot-pin race with a
+    writer; re-pinning succeeds once the commit lands.
+
+* **permanent** — the query itself is at fault and will fail the same
+  way every time: parse errors, type mismatches, malformed patterns,
+  unknown roots, genuine budget exhaustion (``max_steps`` and friends
+  measure *work*, which a retry repeats rather than avoids), an
+  explicit cancellation, and anything that is not an engine error at
+  all (a user updater raising ``RuntimeError``).
+
+``register_transient()`` lets deployments extend the transient set with
+their own backend exception types (e.g. a remote store's timeout class)
+without patching this module.
+"""
+
+from __future__ import annotations
+
+from ..errors import (
+    InjectedFaultError,
+    QueryCancelledError,
+    ResourceExhaustedError,
+    SnapshotPinError,
+)
+
+#: Classification labels returned by :func:`classify`.
+TRANSIENT = "transient"
+PERMANENT = "permanent"
+
+#: ``ResourceExhaustedError.limit_name`` values that signal time/fault
+#: pressure rather than the query's own appetite for work.
+TRANSIENT_LIMITS = frozenset({"deadline_seconds", "injected"})
+
+#: Exception types that are transient wherever they appear.
+_TRANSIENT_TYPES: tuple[type[BaseException], ...] = (
+    InjectedFaultError,
+    SnapshotPinError,
+)
+
+#: Deployment-registered extensions to the transient set.
+_extra_transient: set[type[BaseException]] = set()
+
+
+def register_transient(exc_type: type[BaseException]) -> None:
+    """Teach the taxonomy that ``exc_type`` failures are retryable."""
+    if not (isinstance(exc_type, type) and issubclass(exc_type, BaseException)):
+        raise TypeError(f"expected an exception type, got {exc_type!r}")
+    _extra_transient.add(exc_type)
+
+
+def classify(exc: BaseException) -> str:
+    """``TRANSIENT`` or ``PERMANENT`` for one failure instance."""
+    if isinstance(exc, QueryCancelledError):
+        # An explicit cancellation is a *decision*, never retried.
+        return PERMANENT
+    if isinstance(exc, _TRANSIENT_TYPES):
+        return TRANSIENT
+    if isinstance(exc, ResourceExhaustedError):
+        return TRANSIENT if exc.limit_name in TRANSIENT_LIMITS else PERMANENT
+    if _extra_transient and isinstance(exc, tuple(_extra_transient)):
+        return TRANSIENT
+    return PERMANENT
+
+
+def is_transient(exc: BaseException) -> bool:
+    return classify(exc) == TRANSIENT
+
+
+def failure_seam(exc: BaseException) -> str:
+    """The breaker key for one failure: the seam it fired at.
+
+    Injected faults and budget trips both carry the engine seam they
+    fired at (``storage_lookup``, ``index_probe``, ``matcher step``,
+    ...); failures with no seam fall into one shared bucket so a storm
+    of unclassified errors still trips *some* breaker.
+    """
+    seam = getattr(exc, "seam", "")
+    return seam if seam else type(exc).__name__
+
+
+__all__ = [
+    "TRANSIENT",
+    "PERMANENT",
+    "TRANSIENT_LIMITS",
+    "classify",
+    "is_transient",
+    "failure_seam",
+    "register_transient",
+]

@@ -162,7 +162,10 @@ class TestGuardrails:
                 [faults.FaultRule("index_probe", "latency", 1.0, 0.0)]
             )
             with faults.injected(plan):
-                assert "FaultPlan" in shell.execute("\\faults")
+                out = shell.execute("\\faults")
+                assert "seed: 0" in out
+                assert "index_probe: latency p=1.0" in out
+                assert "hits=0" in out
         finally:
             faults.install(previous)
 

@@ -18,6 +18,7 @@ from repro.errors import (
     AquaError,
     InjectedFaultError,
     QueryCancelledError,
+    QueryError,
     ResourceExhaustedError,
 )
 from repro.guardrails import Budget, CancellationToken, Guard, guarded
@@ -309,7 +310,9 @@ class TestFaultInjection:
         ]
 
     def test_parse_rules_rejects_malformed(self):
-        with pytest.raises(ValueError):
+        # parse_rules (the AQUA_FAULTS surface) raises QueryError naming
+        # the knob; the FaultRule constructor keeps plain ValueError.
+        with pytest.raises(QueryError, match="AQUA_FAULTS"):
             faults.parse_rules("storage_lookup")
         with pytest.raises(ValueError):
             faults.FaultRule("storage_lookup", "explode")

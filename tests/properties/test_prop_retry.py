@@ -1,0 +1,162 @@
+"""Retry-layer properties (PR 7 satellite d).
+
+Hypothesis drives the retry policy across its parameter space and the
+pool across random fault placements, asserting the three contracts the
+serving layer stands on:
+
+* backoff schedules are a pure function of (policy, request key) —
+  bit-identical across runs, within the capped-exponential jitter band;
+* a retried read is *bit-identical* to a clean read of the same query:
+  retries (with degradation and re-pinning) can change latency, never
+  answers;
+* a retried request never outlives its budget's ``deadline_seconds`` —
+  backoff that would sleep past the deadline aborts instead.
+"""
+
+import threading
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Database, Record, SessionPool, faults
+from repro.errors import InjectedFaultError
+from repro.guardrails import Budget
+from repro.serving import BreakerBoard, RetryPolicy, run_with_policy
+
+SETTINGS = settings(max_examples=25, deadline=None)
+
+policies = st.builds(
+    RetryPolicy,
+    max_attempts=st.integers(1, 6),
+    base_delay=st.floats(0.0, 0.05),
+    multiplier=st.floats(1.0, 3.0),
+    max_delay=st.floats(0.0, 0.2),
+    jitter=st.floats(0.0, 1.0),
+    seed=st.integers(0, 2**16),
+)
+
+
+class FailFirstK(faults.FaultPlan):
+    """Raise at a seam for the first ``k`` checks, then heal."""
+
+    def __init__(self, seam: str, k: int) -> None:
+        super().__init__()
+        self.fail_seam = seam
+        self.remaining = k
+        self._gate = threading.Lock()
+
+    def check(self, seam: str) -> None:
+        if seam != self.fail_seam:
+            return
+        with self._gate:
+            if self.remaining <= 0:
+                return
+            self.remaining -= 1
+            hit = self.remaining
+        raise InjectedFaultError(seam, hit)
+
+
+@SETTINGS
+@given(policy=policies, key=st.text(max_size=12))
+def test_schedule_is_deterministic_and_within_the_jitter_band(policy, key):
+    first = policy.schedule(key)
+    second = policy.schedule(key)
+    assert first == second
+    assert len(first) == policy.max_attempts - 1
+    for retry_number, delay in enumerate(first, start=1):
+        cap = min(
+            policy.base_delay * policy.multiplier ** (retry_number - 1),
+            policy.max_delay,
+        )
+        assert 0.0 <= delay <= cap + 1e-12
+        assert delay >= cap * (1.0 - policy.jitter) - 1e-12
+
+
+@SETTINGS
+@given(
+    ages=st.lists(st.integers(0, 80), min_size=1, max_size=20),
+    threshold=st.integers(0, 80),
+    failures=st.integers(1, 6),
+    seam=st.sampled_from(["storage_lookup", "index_probe", "matcher_step"]),
+    seed=st.integers(0, 2**16),
+)
+def test_retried_read_is_bit_identical_to_clean_read(
+    ages, threshold, failures, seam, seed
+):
+    previous = faults.install(None)
+    try:
+        db = Database()
+        for i, age in enumerate(ages):
+            db.insert(Record(name=f"p{i}", age=age), "Person")
+        source = (
+            f"extent Person | sselect {{age >= {threshold}}} | project name"
+        )
+        policy = RetryPolicy(
+            max_attempts=8, base_delay=0.0, max_delay=0.0, seed=seed
+        )
+        # A high-threshold board keeps the breaker out of this property:
+        # it asserts retry *equivalence*, not shedding behavior.
+        board = BreakerBoard(failure_threshold=1000)
+        with SessionPool(
+            db, workers=1, retry_policy=policy, breakers=board
+        ) as pool:
+            clean = list(pool.query(source, retry_policy=None))
+            with faults.injected(FailFirstK(seam, failures)):
+                retried = list(pool.query(source))
+        assert retried == clean
+    finally:
+        faults.install(previous)
+
+
+@SETTINGS
+@given(
+    policy=policies,
+    deadline=st.floats(0.05, 2.0),
+    failing_attempt_cost=st.floats(0.001, 0.5),
+)
+def test_retries_never_outlive_the_deadline(
+    policy, deadline, failing_attempt_cost
+):
+    """Simulated clock: every attempt fails after ``failing_attempt_cost``
+    seconds and every backoff advances the clock; the loop must give up
+    before the deadline would be crossed *by a backoff sleep*."""
+    clock = {"now": 0.0}
+    budgets = []
+
+    def fake_clock():
+        return clock["now"]
+
+    def fake_sleep(seconds):
+        clock["now"] += seconds
+
+    def runner(step, budget):
+        budgets.append(budget)
+        clock["now"] += failing_attempt_cost
+        raise InjectedFaultError("storage_lookup", 1)
+
+    from repro.serving import retry as retry_module
+
+    original_sleep = retry_module._sleep
+    retry_module._sleep = fake_sleep
+    try:
+        try:
+            run_with_policy(
+                runner,
+                policy=policy,
+                budget=Budget(deadline_seconds=deadline),
+                clock=fake_clock,
+            )
+        except InjectedFaultError:
+            pass
+        # No backoff sleep may start past the deadline: the clock at the
+        # *start* of every attempt is before deadline (attempt bodies
+        # themselves are bounded by the carved per-attempt budget).
+        total_sleep_end = clock["now"] - len(budgets) * failing_attempt_cost
+        assert total_sleep_end <= deadline + 1e-9
+        # And every attempt saw a carved budget no larger than remaining.
+        for index, budget in enumerate(budgets):
+            assert budget.deadline_seconds <= deadline + 1e-9
+            if index > 0:
+                assert budget.deadline_seconds <= budgets[0].deadline_seconds
+    finally:
+        retry_module._sleep = original_sleep

@@ -1,0 +1,78 @@
+"""Admission control: bounded queues, structured shedding (PR 7)."""
+
+import pytest
+
+from repro.errors import ServerOverloadedError
+from repro.serving import AdmissionController
+
+
+class TestAdmission:
+    def test_unbounded_by_default(self):
+        controller = AdmissionController()
+        assert controller.unbounded
+        for _ in range(100):
+            controller.admit()
+        assert controller.queued == 100
+
+    def test_queue_depth_cap(self):
+        controller = AdmissionController(max_queue_depth=2)
+        controller.admit()
+        controller.admit()
+        with pytest.raises(ServerOverloadedError) as info:
+            controller.admit()
+        stats = info.value.queue_stats()
+        assert stats["queued"] == 2
+        assert stats["max_queue_depth"] == 2
+        assert stats["shed"] == 1
+        assert controller.shed == 1
+
+    def test_begin_frees_queue_slot(self):
+        controller = AdmissionController(max_queue_depth=1)
+        controller.admit()
+        controller.begin()  # queued -> in_flight
+        controller.admit()  # queue slot free again
+        assert controller.queued == 1
+        assert controller.in_flight == 1
+
+    def test_in_flight_cap_counts_queued_plus_executing(self):
+        controller = AdmissionController(max_in_flight=2)
+        controller.admit()
+        controller.begin()
+        controller.admit()  # one queued + one executing = 2 outstanding
+        with pytest.raises(ServerOverloadedError):
+            controller.admit()
+        controller.finish()
+        controller.admit()  # capacity returned
+
+    def test_release_unstarted_returns_the_slot(self):
+        controller = AdmissionController(max_queue_depth=1)
+        controller.admit()
+        controller.release_unstarted()
+        controller.admit()
+        assert controller.queued == 1
+
+    def test_error_message_names_the_cap(self):
+        controller = AdmissionController(max_in_flight=1)
+        controller.admit()
+        with pytest.raises(ServerOverloadedError, match="in-flight cap 1"):
+            controller.admit()
+
+    def test_snapshot(self):
+        controller = AdmissionController(max_queue_depth=4, max_in_flight=8)
+        controller.admit()
+        controller.begin()
+        report = controller.snapshot()
+        assert report == {
+            "queued": 0,
+            "in_flight": 1,
+            "admitted": 1,
+            "shed": 0,
+            "max_queue_depth": 4,
+            "max_in_flight": 8,
+        }
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue_depth=-1)
+        with pytest.raises(ValueError):
+            AdmissionController(max_in_flight=0)

@@ -1,0 +1,150 @@
+"""Circuit breaker state machine: closed → open → half-open (PR 7)."""
+
+import pytest
+
+from repro.serving import BreakerBoard, CircuitBreaker
+from repro.serving.breaker import CLOSED, HALF_OPEN, OPEN
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_breaker(**kwargs) -> tuple[CircuitBreaker, FakeClock]:
+    clock = FakeClock()
+    kwargs.setdefault("failure_threshold", 3)
+    kwargs.setdefault("reset_timeout", 10.0)
+    breaker = CircuitBreaker("seam", clock=clock, **kwargs)
+    return breaker, clock
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self):
+        breaker, _ = make_breaker()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_opens_at_threshold_consecutive_failures(self):
+        breaker, _ = make_breaker(failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_streak(self):
+        breaker, _ = make_breaker(failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_cooldown_moves_to_half_open_and_grants_probe(self):
+        breaker, clock = make_breaker(reset_timeout=10.0)
+        for _ in range(3):
+            breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(9.9)
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.allow()  # the probe slot
+        assert breaker.state == HALF_OPEN
+        # only half_open_probes slots are granted
+        assert not breaker.allow()
+
+    def test_half_open_probe_success_closes(self):
+        breaker, clock = make_breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(11.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+        # the failure streak was cleared on close
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_half_open_probe_failure_reopens_and_restarts_cooldown(self):
+        breaker, clock = make_breaker(reset_timeout=10.0)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(11.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(5.0)  # cooldown restarted at re-open
+        assert not breaker.allow()
+        clock.advance(6.0)
+        assert breaker.allow()
+
+    def test_multiple_half_open_probes(self):
+        breaker, clock = make_breaker(half_open_probes=2)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(11.0)
+        assert breaker.allow()
+        assert breaker.allow()
+        assert not breaker.allow()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_timeout=-1.0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(half_open_probes=0)
+
+    def test_snapshot(self):
+        breaker, _ = make_breaker()
+        breaker.record_failure()
+        report = breaker.snapshot()
+        assert report["state"] == CLOSED
+        assert report["consecutive_failures"] == 1
+        assert report["failure_threshold"] == 3
+
+
+class TestBreakerBoard:
+    def test_lazily_creates_per_key_breakers_with_shared_settings(self):
+        board = BreakerBoard(failure_threshold=2)
+        first = board.breaker("storage_lookup")
+        assert board.breaker("storage_lookup") is first
+        assert first.failure_threshold == 2
+        assert set(board.snapshot()) == {"storage_lookup"}
+
+    def test_observer_sees_every_transition(self):
+        clock = FakeClock()
+        events: list[tuple[str, str, str]] = []
+        board = BreakerBoard(
+            failure_threshold=2, reset_timeout=5.0, clock=clock
+        )
+        board.observe(lambda key, old, new: events.append((key, old, new)))
+        breaker = board.breaker("index_probe")
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(6.0)
+        breaker.allow()
+        breaker.record_success()
+        assert events == [
+            ("index_probe", CLOSED, OPEN),
+            ("index_probe", OPEN, HALF_OPEN),
+            ("index_probe", HALF_OPEN, CLOSED),
+        ]
+
+    def test_observe_installs_on_existing_breakers(self):
+        board = BreakerBoard(failure_threshold=1)
+        breaker = board.breaker("made-early")
+        events = []
+        board.observe(lambda key, old, new: events.append(new))
+        breaker.record_failure()
+        assert events == [OPEN]

@@ -1,0 +1,88 @@
+"""Failure taxonomy: transient vs permanent classification (PR 7)."""
+
+import pytest
+
+from repro.errors import (
+    InjectedFaultError,
+    NotationError,
+    QueryCancelledError,
+    QueryError,
+    ResourceExhaustedError,
+    SnapshotPinError,
+    TypeMismatchError,
+)
+from repro.serving import classify, failure_seam, is_transient, register_transient
+from repro.serving.taxonomy import PERMANENT, TRANSIENT
+
+
+class TestClassify:
+    def test_injected_faults_are_transient(self):
+        exc = InjectedFaultError("storage_lookup", 3)
+        assert classify(exc) == TRANSIENT
+        assert is_transient(exc)
+
+    def test_snapshot_pin_races_are_transient(self):
+        assert is_transient(SnapshotPinError("version cut moved"))
+
+    def test_deadline_exhaustion_is_transient(self):
+        exc = ResourceExhaustedError(
+            "deadline exceeded", limit_name="deadline_seconds"
+        )
+        assert classify(exc) == TRANSIENT
+
+    def test_injected_budget_pressure_is_transient(self):
+        exc = ResourceExhaustedError(
+            "injected", limit_name="injected", seam="matcher_step"
+        )
+        assert is_transient(exc)
+
+    def test_hard_budget_limits_are_permanent(self):
+        # max_steps / max_nodes_scanned exhaustion recurs identically on
+        # retry: the same query scans the same snapshot the same way.
+        for limit in ("max_steps", "max_nodes_scanned", "max_results"):
+            exc = ResourceExhaustedError("limit", limit_name=limit)
+            assert classify(exc) == PERMANENT
+
+    def test_semantic_errors_are_permanent(self):
+        for exc in (
+            TypeMismatchError("list expected"),
+            NotationError("bad tree"),
+            QueryError("no such root"),
+            ValueError("plain"),
+        ):
+            assert classify(exc) == PERMANENT
+            assert not is_transient(exc)
+
+    def test_cancellation_always_permanent(self):
+        # Even though cancellation rides the guard machinery, the user
+        # asked the request to stop — retrying would defy them.
+        assert classify(QueryCancelledError("stop")) == PERMANENT
+
+    def test_register_transient_extension(self):
+        class FlakyNetworkError(Exception):
+            pass
+
+        assert not is_transient(FlakyNetworkError())
+        register_transient(FlakyNetworkError)
+        try:
+            assert is_transient(FlakyNetworkError())
+        finally:
+            from repro.serving import taxonomy
+
+            taxonomy._extra_transient.discard(FlakyNetworkError)
+
+    def test_register_transient_rejects_non_exception(self):
+        with pytest.raises(TypeError):
+            register_transient(int)
+
+
+class TestFailureSeam:
+    def test_seam_carried_by_exception(self):
+        assert failure_seam(InjectedFaultError("index_probe", 1)) == "index_probe"
+        exc = ResourceExhaustedError(
+            "x", limit_name="injected", seam="matcher_step"
+        )
+        assert failure_seam(exc) == "matcher_step"
+
+    def test_falls_back_to_type_name(self):
+        assert failure_seam(SnapshotPinError("racy")) == "SnapshotPinError"

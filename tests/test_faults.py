@@ -1,0 +1,149 @@
+"""FaultPlan thread-safety and environment validation (PR 7 satellites)."""
+
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro import faults
+from repro.errors import InjectedFaultError, QueryError
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+class TestThreadSafety:
+    def test_concurrent_checks_count_every_hit(self):
+        # Fire probability 0 keeps every check on the pure accounting
+        # path: 8 threads x 200 checks must land exactly 1600 hits.
+        plan = faults.FaultPlan(
+            [faults.FaultRule("storage_lookup", "error", 0.0)]
+        )
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            for _ in range(200):
+                plan.check("storage_lookup")
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert plan.hits["storage_lookup"] == 1600
+        assert plan.fired["storage_lookup"] == 0
+
+    def test_concurrent_firing_counts_are_consistent(self):
+        plan = faults.FaultPlan(
+            [faults.FaultRule("index_probe", "error", 0.5)], seed=3
+        )
+        errors = []
+        barrier = threading.Barrier(4)
+
+        def worker():
+            barrier.wait()
+            for _ in range(100):
+                try:
+                    plan.check("index_probe")
+                except InjectedFaultError:
+                    errors.append(1)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert plan.hits["index_probe"] == 400
+        # Every fire raised, and every raise was counted as a fire.
+        assert plan.fired["index_probe"] == len(errors)
+        # The seeded draws are serialized, so the aggregate fire count
+        # matches the single-threaded run of the same plan.
+        serial = faults.FaultPlan(
+            [faults.FaultRule("index_probe", "error", 0.5)], seed=3
+        )
+        fired = 0
+        for _ in range(400):
+            try:
+                serial.check("index_probe")
+            except InjectedFaultError:
+                fired += 1
+        assert plan.fired["index_probe"] == fired
+
+    def test_snapshot_is_consistent_and_json_ready(self):
+        plan = faults.FaultPlan(
+            [faults.FaultRule("storage_lookup", "latency", 1.0, 0.0)]
+        )
+        plan.check("storage_lookup")
+        report = plan.snapshot()
+        assert report["hits"] == {"storage_lookup": 1}
+        assert report["fired"] == {"storage_lookup": 1}
+        assert report["rules"]["storage_lookup"][0]["kind"] == "latency"
+        import json
+
+        json.dumps(report)  # must serialize as-is
+
+
+class TestEnvValidation:
+    def test_malformed_rule_names_the_knob(self):
+        with pytest.raises(QueryError, match="AQUA_FAULTS"):
+            faults.parse_rules("storage_lookup")
+        with pytest.raises(QueryError, match="AQUA_FAULTS"):
+            faults.parse_rules("storage_lookup:error:not-a-number")
+        with pytest.raises(QueryError, match="AQUA_FAULTS"):
+            faults.parse_rules("storage_lookup:explode:1.0")
+
+    def test_malformed_seed_raises_instead_of_coercing(self):
+        with pytest.raises(QueryError, match="AQUA_FAULT_SEED"):
+            faults.plan_from_env(
+                {
+                    "AQUA_FAULTS": "storage_lookup:error:1.0",
+                    "AQUA_FAULT_SEED": "not-an-int",
+                }
+            )
+
+    def test_empty_seed_defaults_to_zero(self):
+        plan = faults.plan_from_env(
+            {"AQUA_FAULTS": "storage_lookup:error:1.0", "AQUA_FAULT_SEED": ""}
+        )
+        assert plan is not None and plan.seed == 0
+
+    def test_malformed_env_does_not_crash_import(self):
+        code = (
+            "import repro\n"
+            "from repro import faults\n"
+            "from repro.errors import QueryError\n"
+            "try:\n"
+            "    faults.active_plan()\n"
+            "except QueryError as exc:\n"
+            "    assert 'AQUA_FAULTS' in str(exc)\n"
+            "    print('DEFERRED')\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            env={"PYTHONPATH": SRC, "AQUA_FAULTS": "!!not a rule"},
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "DEFERRED" in result.stdout
+
+    def test_fault_point_raises_the_deferred_error(self, monkeypatch):
+        monkeypatch.setattr(
+            faults,
+            "_env_error",
+            QueryError("AQUA_FAULTS: invalid value 'x'"),
+        )
+        monkeypatch.setattr(faults, "_active", None)
+        with pytest.raises(QueryError, match="AQUA_FAULTS"):
+            faults.fault_point("storage_lookup")
+        with pytest.raises(QueryError):
+            faults.active_plan()
+
+    def test_install_clears_the_deferred_error(self, monkeypatch):
+        monkeypatch.setattr(faults, "_env_error", QueryError("bad"))
+        monkeypatch.setattr(faults, "_active", None)
+        faults.install(None)
+        assert faults.active_plan() is None
+        faults.fault_point("storage_lookup")  # no raise
