@@ -106,12 +106,17 @@ def main(argv: list[str] | None = None) -> None:
     query = Q.root("T").sub_select(DEEP_PATTERN).build()
     plan, _ = Optimizer(db).optimize(query)
     assert isinstance(plan, E.IndexedSubSelect)
+    from repro import config
     from repro.query import evaluate_with_metrics
 
-    with db.stats.scope():
-        naive, naive_metrics = evaluate_with_metrics(query, db)
-    with db.stats.scope():
-        indexed, indexed_metrics = evaluate_with_metrics(plan, db)
+    # Pin the columnar kernel off: this smoke isolates the §4 index-probe
+    # rewrite, and the kernel would otherwise accelerate the *naive* leg
+    # (its own claim is gated separately via CLAIM-COLUMNAR).
+    with config.columnar_scope("off"):
+        with db.stats.scope():
+            naive, naive_metrics = evaluate_with_metrics(query, db)
+        with db.stats.scope():
+            indexed, indexed_metrics = evaluate_with_metrics(plan, db)
     assert naive == indexed
     naive_evals = naive_metrics.total("predicate_evals")
     indexed_evals = indexed_metrics.total("predicate_evals")

@@ -464,6 +464,104 @@ def claim_engines() -> None:
     )
 
 
+def claim_columnar() -> None:
+    """PR 8: the columnar tree kernel — batch bitset filtering vs node-at-a-time.
+
+    Two n=100k workloads at ~1% anchor selectivity, kernel pinned off
+    (the per-node scan every prior PR used) vs on (shared predicate
+    columns select candidate roots in bulk).  Both legs run the *same
+    logical plan* through the same executor — only candidate selection
+    differs — so the result sets must be bit-identical.  CI gates
+    ``speedup_x >= 10`` and ``identical`` for both workloads
+    (BENCH_PR8.json), once per backend (pure-Python ints and numpy).
+
+    The fig4 leg times split-site *discovery* (``sub_select`` of the
+    split pattern): building the 24 split pieces themselves rebuilds a
+    100k-node remainder tree per piece, an O(answer) cost both legs pay
+    identically that would drown the matching signal.  The full split
+    is still checked bit-identical off-vs-on at n=20k below.
+    """
+    from repro import config
+    from repro.storage.columnar import resolve_backend
+
+    size = 100_000
+    labels = ["d", "e", "h", "i", "j", "u", "v", "w", "x", "y"]
+    weights = [1.0] + [11.0] * 9
+    labeled = random_labeled_tree(size, labels, seed=42, weights=weights)
+    labeled_db = Database()
+    labeled_db.bind_root("T", labeled)
+    labeled_query = Q.root("T").sub_select("d(e(h i) j ?*)").build()
+
+    family = random_family_tree(size, seed=8, planted_matches=24)
+    family_db = Database()
+    family_db.bind_root("family", family)
+    family_query = (
+        Q.root("family")
+        .sub_select("Brazil(!?* USA !?*)", resolver=by_citizen_or_name)
+        .build()
+    )
+
+    # Full Figure 4 split, off vs on, at a scale where the O(answer)
+    # piece construction stays affordable: the whole split answer —
+    # every (x, y, z) tuple — must be bit-identical.
+    small_family = random_family_tree(20_000, seed=8, planted_matches=8)
+    small_db = Database()
+    small_db.bind_root("family", small_family)
+    split_query = (
+        Q.root("family")
+        .split("Brazil(!?* USA !?*)", make_tuple, resolver=by_citizen_or_name)
+        .build()
+    )
+    with config.columnar_scope("off"):
+        split_off = evaluate(split_query, small_db)
+    with config.columnar_scope("on"):
+        split_on = evaluate(split_query, small_db)
+    assert split_off == split_on, "fig4 split diverged under the columnar kernel"
+
+    backend = resolve_backend()
+    counter_names = (
+        "column_builds",
+        "column_rows",
+        "column_hits",
+        "columnar_roots",
+        "columnar_pruned",
+        "nodes_scanned",
+    )
+    for workload, db, query, detail in (
+        ("bench_claim_split_index", labeled_db, labeled_query, "deep sub_select"),
+        ("bench_fig4_split", family_db, family_query, "split-site discovery"),
+    ):
+        with config.columnar_scope("off"):
+            scan_time, scan_result = timed(lambda: evaluate(query, db))
+        with config.columnar_scope("on"):
+            evaluate(query, db)  # warm the predicate columns once
+            columnar_time, columnar_result = timed(lambda: evaluate(query, db))
+            with db.stats.scope():
+                evaluate(query, db)
+                counters = {name: db.stats[name] for name in counter_names}
+        identical = scan_result == columnar_result
+        assert identical, f"{workload}: columnar result diverged from scan"
+        speedup = scan_time / max(columnar_time, 1e-9)
+        row(
+            "CLAIM-COLUMNAR",
+            f"{workload} ({detail}): scan {scan_time * 1e3:.1f} ms vs columnar "
+            f"{columnar_time * 1e3:.1f} ms (x{speedup:.1f}) at n={size}, "
+            f"{counters['columnar_roots']} roots survive the bitset filter "
+            f"[{backend}]",
+            workload=workload,
+            measured=detail,
+            size=size,
+            backend=backend,
+            scan_ms=scan_time * 1e3,
+            columnar_ms=columnar_time * 1e3,
+            speedup_x=speedup,
+            identical=identical,
+            full_split_identical=True,
+            full_split_size=20_000,
+            columnar_counters=counters,
+        )
+
+
 def claim_chaos_serving() -> None:
     """PR 7: fault-tolerant serving — availability under injected chaos.
 
@@ -551,6 +649,7 @@ EXPERIMENTS = [
     claim_prepared,
     claim_list_tree,
     claim_engines,
+    claim_columnar,
     claim_chaos_serving,
 ]
 
@@ -560,14 +659,29 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument(
         "--json", metavar="PATH", help="also write rows as JSON records"
     )
+    parser.add_argument(
+        "--only",
+        nargs="+",
+        metavar="NAME",
+        help="run only the named experiments (function names, e.g. claim_columnar)",
+    )
     arguments = parser.parse_args(argv)
+    experiments = EXPERIMENTS
+    if arguments.only:
+        known = {e.__name__: e for e in EXPERIMENTS}
+        unknown = [name for name in arguments.only if name not in known]
+        if unknown:
+            parser.error(
+                f"unknown experiments {unknown}; choose from {sorted(known)}"
+            )
+        experiments = [known[name] for name in arguments.only]
     budget = Budget.from_env()
     print("AQUA reproduction — experiment summary (see EXPERIMENTS.md)")
     if not budget.is_unlimited:
         print(f"execution budget: {budget.describe()}")
     print("-" * 78)
     tripped: list[str] = []
-    for experiment in EXPERIMENTS:
+    for experiment in experiments:
         label = experiment.__name__.upper().replace("_", "-")
         try:
             with guardrails.guarded(budget):

@@ -72,10 +72,11 @@ class AquaTree:
     concatenation closes off a point with :data:`~repro.core.concat.NIL`.
     """
 
-    __slots__ = ("root",)
+    __slots__ = ("root", "_size")
 
     def __init__(self, root: TreeNode | None = None) -> None:
         self.root = root
+        self._size: int | None = None
 
     # -- constructors -----------------------------------------------------
 
@@ -151,8 +152,17 @@ class AquaTree:
         return (n.value for n in self.element_nodes())
 
     def size(self) -> int:
-        """Number of element nodes (labeled NULLs are not elements)."""
-        return sum(1 for _ in self.element_nodes())
+        """Number of element nodes (labeled NULLs are not elements).
+
+        Cached after the first walk: trees are value-like (operations
+        return new trees rather than mutating), so the count is stable
+        for any published tree.  Builders that do edit node structures
+        in place (the workload generators) must finish before handing
+        the tree out — the contract this cache leans on.
+        """
+        if self._size is None:
+            self._size = sum(1 for _ in self.element_nodes())
+        return self._size
 
     def height(self) -> int:
         """Length of the longest root-to-leaf path in edges; empty tree = -1."""

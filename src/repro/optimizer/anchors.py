@@ -29,7 +29,7 @@ from ..patterns.list_ast import Atom as ListAtom
 from ..patterns.list_ast import Concat as ListConcat
 from ..patterns.list_ast import ListPattern, ListPatternNode
 from ..patterns.tree_ast import TreePattern
-from ..predicates.alphabet import AlphabetPredicate, And
+from ..predicates.alphabet import AlphabetPredicate, And, TruePredicate
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..storage.database import Database
@@ -77,6 +77,69 @@ def tree_split_anchors(pattern: TreePattern) -> tuple[AlphabetPredicate, ...] | 
         if not _index_servable(anchor):
             return None
     return tuple(anchors)
+
+
+def tree_columnar_anchors(
+    pattern: TreePattern,
+) -> tuple[AlphabetPredicate, ...] | None:
+    """The pattern's root predicates, when predicate columns can serve
+    them all, or ``None``.
+
+    The columnar analogue of :func:`tree_split_anchors`: the same
+    complete-candidate-set argument (every match of an unanchored
+    pattern roots at a node satisfying some root predicate), but the
+    serving machinery is a batch bitset column per anchor rather than an
+    equality-term index probe — so ordering comparisons and ``OR``
+    combinations qualify too.  Trivially-true anchors (a bare ``?``)
+    are rejected: their column selects every node, so filtering through
+    it only adds work.
+    """
+    from ..storage.columnar import column_servable
+
+    if pattern.root_anchor:
+        return None  # already pinned to the tree root; nothing to gain
+    anchors = pattern.root_predicates()
+    if not anchors:
+        return None
+    for anchor in anchors:
+        if isinstance(anchor, TruePredicate) or not column_servable(anchor):
+            return None
+    return tuple(anchors)
+
+
+def list_columnar_choice(
+    pattern: ListPattern,
+) -> tuple[tuple[AlphabetPredicate, tuple[int, ...]], ...] | None:
+    """Every column-servable required atom with bounded offsets, or ``None``.
+
+    The columnar analogue of :func:`list_anchor_choice` — but where the
+    position index probes *one* anchor (more would mean more probes),
+    the shift-AND pass over predicate columns conjoins **all** of them
+    at once: each extra ``(predicate, offsets)`` pair is a single
+    bitwise AND, and every pair narrows the surviving starts.  Pairs
+    with trivially-true predicates are skipped (their column is all
+    ones); ``None`` when no usable pair remains.
+    """
+    from ..storage.columnar import column_servable
+
+    body = pattern.body
+    parts: Sequence[ListPatternNode]
+    if isinstance(body, ListConcat):
+        parts = body.parts
+    else:
+        parts = (body,)
+    choices: list[tuple[AlphabetPredicate, tuple[int, ...]]] = []
+    for index, part in enumerate(parts):
+        if not isinstance(part, ListAtom):
+            continue
+        predicate = part.predicate
+        if isinstance(predicate, TruePredicate) or not column_servable(predicate):
+            continue
+        offsets = anchor_offsets(parts, index)
+        if offsets is None:
+            continue
+        choices.append((predicate, offsets))
+    return tuple(choices) if choices else None
 
 
 def probe_anchor_roots(

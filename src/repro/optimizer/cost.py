@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Mapping
 
+from .. import config
 from ..core.aqua_list import AquaList
 from ..core.aqua_tree import AquaTree
 from ..patterns.list_ast import ListPattern, Star as ListStar, Plus as ListPlus
@@ -41,6 +42,13 @@ DEFAULT_SELECTIVITY = 0.1
 
 #: Cost of one index probe, in predicate-evaluation units.
 PROBE_COST = 5.0
+
+#: Per-position cost of the columnar kernel's bitset filtering, in
+#: predicate-evaluation units.  A warm extent serves candidate roots
+#: straight from cached predicate columns; even a cold one evaluates
+#: each anchor in one batch pass — either way a candidate test is a bit
+#: probe, not a Python predicate dispatch.
+COLUMN_SCAN_COST = 0.05
 
 #: Per-closure blowup of the backtracking tree matcher: every star/plus
 #: roughly doubles the candidate expansions it explores.
@@ -244,6 +252,9 @@ class CostModel:
             return 1.0
         size = self.input_size(node)
         if isinstance(node, E.SubSelect):
+            columnar = self._columnar_tree_cost(size, node.pattern)
+            if columnar is not None:
+                return columnar
             return size * tree_pattern_cost(node.pattern)
         if isinstance(node, E.IndexedSubSelect):
             selectivity = sum(
@@ -255,6 +266,9 @@ class CostModel:
                 + candidates * tree_pattern_cost(node.pattern)
             )
         if isinstance(node, E.ListSubSelect):
+            columnar = self._columnar_list_cost(size, node.pattern)
+            if columnar is not None:
+                return columnar
             return size * list_pattern_cost(node.pattern)
         if isinstance(node, E.IndexedListSubSelect):
             selectivity = self.anchor_selectivity(node.input, node.anchor)
@@ -278,7 +292,12 @@ class CostModel:
                 PROBE_COST * len(node.anchors)
                 + candidates * tree_pattern_cost(node.pattern) * 2.0
             )
-        if isinstance(node, (E.Split, E.AllAnc, E.AllDesc)):
+        if isinstance(node, E.Split):
+            columnar = self._columnar_tree_cost(size, node.pattern, factor=2.0)
+            if columnar is not None:
+                return columnar
+            return size * tree_pattern_cost(node.pattern) * 2.0
+        if isinstance(node, (E.AllAnc, E.AllDesc)):
             return size * tree_pattern_cost(node.pattern) * 2.0
         if isinstance(node, E.ListSplit):
             return size * list_pattern_cost(node.pattern) * 2.0
@@ -287,6 +306,53 @@ class CostModel:
         if isinstance(node, (E.SetUnion, E.SetIntersection, E.SetDifference)):
             return self.input_size(node.left) + self.input_size(node.right)
         return size
+
+    def _columnar_tree_cost(
+        self, size: float, pattern: TreePattern, factor: float = 1.0
+    ) -> float | None:
+        """Columnar-path estimate for an unanchored tree scan, or ``None``.
+
+        Mirrors the lowering decision (:func:`tree_columnar_anchors` +
+        the ``AQUA_COLUMNAR`` gate and size threshold): when the kernel
+        will serve the scan, candidate filtering is a bit probe per node
+        plus per-candidate matching — already engine-aware through
+        :func:`tree_pattern_cost`'s closure penalty, so a memo-engine
+        columnar scan prices lower than a backtracking one exactly as it
+        runs.
+        """
+        from .anchors import tree_columnar_anchors
+
+        if not config.columnar_enabled():
+            return None
+        if size < config.validated_columnar_threshold():
+            return None
+        anchors = tree_columnar_anchors(pattern)
+        if anchors is None:
+            return None
+        candidates = min(size, size * DEFAULT_SELECTIVITY * len(anchors))
+        return (
+            size * COLUMN_SCAN_COST
+            + candidates * tree_pattern_cost(pattern) * factor
+        )
+
+    def _columnar_list_cost(
+        self, size: float, pattern: ListPattern, factor: float = 1.0
+    ) -> float | None:
+        """Columnar shift-AND estimate for a list scan, or ``None``."""
+        from .anchors import list_columnar_choice
+
+        if not config.columnar_enabled():
+            return None
+        if size < config.validated_columnar_threshold():
+            return None
+        choices = list_columnar_choice(pattern)
+        if choices is None:
+            return None
+        starts = min(size, size * DEFAULT_SELECTIVITY)
+        return (
+            size * COLUMN_SCAN_COST * len(choices)
+            + starts * list_pattern_cost(pattern) * factor
+        )
 
 
 #: Physical node type → the rewrite rule that introduces it (for

@@ -588,6 +588,35 @@ def find_tree_matches(
     return results
 
 
+def _columnar_candidates(
+    pattern: TreePattern, data: AquaTree
+) -> "list[TreeNode] | None":
+    """Engine-level candidate-root filter via shared predicate columns.
+
+    When a db-armed match scope is active (the interpreter opens one per
+    evaluation, for either executor), the pattern's root predicates are
+    column-servable and non-trivial, and the tree clears the columnar
+    gate (``AQUA_COLUMNAR`` + size threshold), the full pre-order
+    candidate walk collapses to the nodes whose predicate-column bits
+    are set — exactly the nodes any match could root at, in pre-order,
+    so the match stream is bit-identical by construction.  ``None``
+    means "no help here": fall back to walking every node.
+    """
+    from .tree_memo import current_registry
+
+    registry = current_registry()
+    if registry is None or registry.db is None:
+        return None
+    from ..optimizer.anchors import tree_columnar_anchors
+
+    anchors = tree_columnar_anchors(pattern)
+    if anchors is None:
+        return None
+    from ..storage.columnar import columnar_candidate_roots
+
+    return columnar_candidate_roots(registry.db, anchors, data)
+
+
 def iter_tree_matches(
     pattern: TreePattern,
     data: AquaTree,
@@ -596,6 +625,7 @@ def iter_tree_matches(
     flush_per_candidate: bool = False,
     engine: str | None = None,
     context: "TreeMatchContext | None" = None,
+    roots_in_preorder: bool = False,
 ) -> Iterator[TreeMatch]:
     """Lazily enumerate distinct matches, in preorder of their roots.
 
@@ -631,12 +661,18 @@ def iter_tree_matches(
         if pattern.root_anchor:
             candidates = [data.root]
         elif roots is not None:
-            ordered = list(roots)
-            order = {id(node): position for position, node in enumerate(data.nodes())}
-            ordered.sort(key=lambda n: order.get(id(n), len(order)))
-            candidates = ordered
+            if roots_in_preorder:
+                candidates = list(roots)
+            else:
+                ordered = list(roots)
+                order = {
+                    id(node): position for position, node in enumerate(data.nodes())
+                }
+                ordered.sort(key=lambda n: order.get(id(n), len(order)))
+                candidates = ordered
         else:
-            candidates = data.nodes()
+            filtered = _columnar_candidates(pattern, data)
+            candidates = data.nodes() if filtered is None else filtered
 
         seen: set[tuple] = set()
         try:

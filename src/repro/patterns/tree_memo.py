@@ -45,7 +45,7 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
-from typing import TYPE_CHECKING, Iterator, Sequence
+from typing import TYPE_CHECKING, Any, Iterator, Sequence
 
 from ..core.aqua_tree import AquaTree, TreeNode
 from ..storage.tree_index import PredicateBitmap
@@ -84,6 +84,8 @@ class TreeMatchContext:
         pattern: TreePattern,
         tree: AquaTree,
         bitmap: PredicateBitmap | None = None,
+        column_source: "Any | None" = None,
+        position_maps: tuple[dict[int, int], dict[int, int]] | None = None,
     ) -> None:
         self.pattern = pattern
         self.tree = tree
@@ -104,15 +106,27 @@ class TreeMatchContext:
         self._plus_nums: dict[int, int] = {}
         # -- data-node interning: preorder position per node and per
         # child list (child-sequence memo keys need the owning node).
-        self._pre: dict[int, int] = {}
-        self._children_pre: dict[int, int] = {}
-        for position, node in enumerate(tree.nodes()):
-            self._pre[id(node)] = position
-            self._children_pre[id(node.children)] = position
+        # A columnar extent already interned the same preorder during
+        # its build; ``position_maps`` shares those dicts (read-only
+        # here) instead of repeating the O(n) walk per evaluation.
+        if position_maps is not None:
+            self._pre, self._children_pre = position_maps
+        else:
+            self._pre = {}
+            self._children_pre = {}
+            for position, node in enumerate(tree.nodes()):
+                self._pre[id(node)] = position
+                self._children_pre[id(node.children)] = position
         if bitmap is None:
             pre = self._pre
+            # column_source (a ColumnarExtent) lets the TreeAtom
+            # fast-fail serve outcomes from shared predicate columns:
+            # one batch evaluation per extent instead of one bitmap
+            # fill per (predicate, node).
             bitmap = PredicateBitmap(
-                max(1, len(pre)), lambda node: pre.get(id(node))
+                max(1, len(pre)),
+                lambda node: pre.get(id(node)),
+                source=column_source,
             )
         self.bitmap = bitmap
         # -- environment fingerprinting.
@@ -451,7 +465,21 @@ class MatchContextRegistry:
         )
         context = self._contexts.get(key)
         if context is None or context.tree is not tree:
-            context = TreeMatchContext(pattern, tree, bitmap=bitmap)
+            column_source = None
+            position_maps = None
+            if bitmap is None and self.db is not None:
+                from ..storage.columnar import columnar_source_for
+
+                column_source = columnar_source_for(self.db, tree)
+                if column_source is not None:
+                    position_maps = column_source.position_maps()
+            context = TreeMatchContext(
+                pattern,
+                tree,
+                bitmap=bitmap,
+                column_source=column_source,
+                position_maps=position_maps,
+            )
             self._contexts[key] = context
         return context
 

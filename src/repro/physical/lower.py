@@ -39,6 +39,8 @@ from ..errors import QueryError
 from ..optimizer.anchors import (
     extent_conjunct_split,
     list_anchor_choice,
+    list_columnar_choice,
+    tree_columnar_anchors,
     tree_split_anchors,
 )
 from ..patterns.list_parser import list_pattern
@@ -91,9 +93,13 @@ def lower(
     With ``choose_access_paths`` the lowering consults the optimizer's
     anchor analysis and upgrades plain ``sub_select`` / ``split`` /
     extent-``select`` nodes to their index-probing operators on its own;
-    without it (the default) the plan mirrors the logical tree exactly,
+    without it (the default) the plan mirrors the logical tree,
     which keeps plan-path metrics and work counters bit-compatible with
-    the eager interpreter for the same expression.
+    the eager interpreter for the same expression.  The columnar
+    operators are the one exception in both modes: they gate themselves
+    per execution (falling back to the plain full scan when the kernel
+    is off or the tree is under the size threshold), so column-servable
+    nodes always lower to them.
     """
     return lower_factory(
         expr, db, choose_access_paths=choose_access_paths
@@ -159,6 +165,16 @@ def _lower_sub_select(node: E.SubSelect, db, choose) -> Thunk:
         anchors = tree_split_anchors(tp)
         if anchors is not None:
             return lambda: P.IndexAnchorScan(node, child(), tp, anchors)
+    # Index upgrades are the optimizer's call (it emits Indexed* nodes
+    # when a probe wins), but the columnar operators gate themselves at
+    # execution time — knob off or an undersized tree falls back to the
+    # inherited full scan bit-identically — so any column-servable
+    # anchor set takes the batch operator unconditionally.  That also
+    # covers anchors an index can never serve (ordering comparisons,
+    # OR combinations).
+    columnar = tree_columnar_anchors(tp)
+    if columnar is not None:
+        return lambda: P.ColumnarAnchorScan(node, child(), tp, columnar)
     return lambda: P.SubSelectPipe(node, child(), tp)
 
 
@@ -175,6 +191,9 @@ def _lower_split(node: E.Split, db, choose) -> Thunk:
         anchors = tree_split_anchors(tp)
         if anchors is not None:
             return lambda: P.IndexAnchorSplit(node, child(), tp, node.function, anchors)
+    columnar = tree_columnar_anchors(tp)
+    if columnar is not None:
+        return lambda: P.ColumnarAnchorSplit(node, child(), tp, node.function, columnar)
     return lambda: P.SplitPipe(node, child(), tp, node.function)
 
 
@@ -223,6 +242,9 @@ def _lower_list_sub_select(node: E.ListSubSelect, db, choose) -> Thunk:
         if chosen is not None:
             anchor, offsets = chosen
             return lambda: P.ListAnchorScan(node, child(), lp, anchor, offsets)
+    choices = list_columnar_choice(lp)
+    if choices is not None:
+        return lambda: P.ColumnarListScan(node, child(), lp, choices)
     return lambda: P.ListSubSelectPipe(node, child(), lp)
 
 

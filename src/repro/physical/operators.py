@@ -42,6 +42,7 @@ from ..core.equality import DEFAULT
 from ..core.identity import as_cell
 from ..errors import QueryError
 from ..optimizer.anchors import probe_anchor_roots
+from ..storage.columnar import columnar_candidate_roots, columnar_list_for
 from ..patterns.list_match import iter_list_matches
 from ..patterns.list_parser import list_pattern
 from ..patterns.tree_match import iter_tree_matches
@@ -157,6 +158,12 @@ class SubSelectPipe(PhysicalOp):
         super().__init__(logical, (child,))
         self.pattern = pattern
 
+    def _candidate_roots(self, tree, tp) -> "list[TreeNode] | None":
+        """Access-path hook: restricted candidate roots, or ``None`` (scan
+        everything).  Overridden by :class:`ColumnarAnchorScan`."""
+        del tree, tp
+        return None
+
     def rows(self) -> Iterator[Any]:
         ctx = self.ctx
         tree = self.input_tree()
@@ -166,6 +173,7 @@ class SubSelectPipe(PhysicalOp):
         stats = ctx.stats
         guard = ctx.guard
         charged = 0
+        roots = self._candidate_roots(tree, tp)
 
         def on_candidate(node: TreeNode) -> None:
             nonlocal charged
@@ -178,7 +186,12 @@ class SubSelectPipe(PhysicalOp):
 
         seen: set[Any] = set()
         for match in iter_tree_matches(
-            tp, tree, on_candidate=on_candidate, flush_per_candidate=True
+            tp,
+            tree,
+            roots=roots,
+            roots_in_preorder=roots is not None,
+            on_candidate=on_candidate,
+            flush_per_candidate=True,
         ):
             y, points = match.match_tree()
             row = y.close_points(points)
@@ -241,6 +254,37 @@ class IndexAnchorScan(PhysicalOp):
     def access_path(self) -> str:
         probes = ", ".join(anchor.describe() for anchor in self.anchors)
         return f"node-index probe on {probes}"
+
+
+class ColumnarAnchorScan(SubSelectPipe):
+    """``sub_select`` served by shared predicate columns (batch mode).
+
+    The columnar kernel's scan operator: each root-predicate anchor is
+    evaluated once over the whole extent as a bitset column, the columns
+    are OR-ed, and the matcher runs only where bits are set — covering
+    anchors a node index cannot serve (ordering comparisons, ``OR``
+    combinations) and skipping the per-candidate dispatch entirely.
+    Charging is identical to :class:`SubSelectPipe` (one node per
+    surviving candidate, topped up to the tree size), so budgets and
+    EXPLAIN totals stay bit-identical with the eager interpreter.
+    Falls back to the inherited full scan when the kernel is gated off
+    (``AQUA_COLUMNAR=off``, an undersized tree, or a bare snapshot-less
+    context).
+    """
+
+    name = "columnar_anchor_scan"
+
+    def __init__(self, logical, child: PhysicalOp, pattern, anchors) -> None:
+        super().__init__(logical, child, pattern)
+        self.anchors = tuple(anchors)
+
+    def _candidate_roots(self, tree, tp) -> "list[TreeNode] | None":
+        del tp
+        return columnar_candidate_roots(self.ctx.db, self.anchors, tree)
+
+    def access_path(self) -> str:
+        columns = ", ".join(anchor.describe() for anchor in self.anchors)
+        return f"columnar bitset filter on {columns}"
 
 
 class SplitPipe(PhysicalOp):
@@ -310,6 +354,38 @@ class IndexAnchorSplit(SplitPipe):
     def access_path(self) -> str:
         probes = ", ".join(anchor.describe() for anchor in self.anchors)
         return f"node-index probe on {probes}"
+
+
+class ColumnarAnchorSplit(SplitPipe):
+    """``split`` with column-filtered candidate roots — the batch-mode
+    counterpart of :class:`IndexAnchorSplit` for anchors only the
+    predicate columns can serve."""
+
+    name = "columnar_anchor_split"
+
+    def __init__(self, logical, child: PhysicalOp, pattern, function, anchors) -> None:
+        super().__init__(logical, child, pattern, function)
+        self.anchors = tuple(anchors)
+
+    def rows(self) -> Iterator[Any]:
+        tree = self.input_tree()
+        tp = tree_pattern(self.pattern)
+        self.result_equality = DEFAULT
+        roots = columnar_candidate_roots(self.ctx.db, self.anchors, tree)
+        yield from self._piece_rows(
+            tree,
+            iter_tree_matches(
+                tp,
+                tree,
+                roots=roots,
+                roots_in_preorder=roots is not None,
+                flush_per_candidate=True,
+            ),
+        )
+
+    def access_path(self) -> str:
+        columns = ", ".join(anchor.describe() for anchor in self.anchors)
+        return f"columnar bitset filter on {columns}"
 
 
 class MaterializeOp(PhysicalOp):
@@ -393,8 +469,10 @@ class ListSubSelectPipe(PhysicalOp):
         self.pattern = pattern
 
     def rows(self) -> Iterator[Any]:
+        yield from self._scan_rows(self.input_list())
+
+    def _scan_rows(self, aqua_list: AquaList) -> Iterator[Any]:
         ctx = self.ctx
-        aqua_list = self.input_list()
         lp = list_pattern(self.pattern)
         self.result_equality = DEFAULT
         cells = list(aqua_list.cells())
@@ -430,6 +508,62 @@ class ListSubSelectPipe(PhysicalOp):
 
     def access_path(self) -> str:
         return "scan of all start positions"
+
+
+class ColumnarListScan(ListSubSelectPipe):
+    """List ``sub_select`` whose start positions come from a shift-AND
+    pass over the list's predicate columns.
+
+    The batch-mode list operator the ROADMAP asks for: instead of
+    running the pattern automaton from every start (or probing one
+    equality anchor), every column-servable required atom is evaluated
+    once over the whole label array, each column is shifted by the
+    atom's feasible offsets and the results are AND-ed — one bitwise
+    pass yielding exactly the starts any match could begin at.  Charging
+    mirrors :class:`ListAnchorScan` (one position per surviving start);
+    falls back to the inherited full scan when the kernel is gated off.
+    """
+
+    name = "columnar_list_scan"
+
+    def __init__(self, logical, child: PhysicalOp, pattern, choices) -> None:
+        super().__init__(logical, child, pattern)
+        self.choices = tuple(choices)
+
+    def rows(self) -> Iterator[Any]:
+        ctx = self.ctx
+        aqua_list = self.input_list()
+        columns = columnar_list_for(ctx.db, aqua_list)
+        if columns is None:
+            # Kernel gated off (knob, threshold): behave exactly like
+            # the plain pipe, charges included.
+            yield from self._scan_rows(aqua_list)
+            return
+        lp = list_pattern(self.pattern)
+        self.result_equality = DEFAULT
+        starts = columns.candidate_starts(self.choices)
+        ctx.stats.bump("positions_scanned", len(starts))
+        if ctx.guard is not None:
+            ctx.guard.charge_nodes(len(starts), "columnar candidates")
+        cells = list(aqua_list.cells())
+        values = aqua_list.values()
+        seen: set[Any] = set()
+        for match in iter_list_matches(
+            lp, values, starts=starts, flush_per_start=True
+        ):
+            row = AquaList([cells[i] for i in match.kept])
+            key = DEFAULT.key(row)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield row
+
+    def access_path(self) -> str:
+        passes = ", ".join(
+            f"{predicate.describe()} @ -{{{','.join(str(o) for o in offsets)}}}"
+            for predicate, offsets in self.choices
+        )
+        return f"columnar shift-AND over {passes}"
 
 
 class ListAnchorScan(PhysicalOp):

@@ -103,6 +103,8 @@ class Database:
         self._indexes: dict[tuple[str, str], HashIndex | OrderedIndex] = {}
         self._tree_indexes: dict[int, TreeIndex] = {}
         self._list_indexes: dict[int, ListIndex] = {}
+        self._columnar_extents: dict[int, Any] = {}
+        self._columnar_lists: dict[int, Any] = {}
         self._histograms: dict[tuple[str, str], Any] = {}
         self._epoch = 0
         self._touch_all = 0
@@ -424,10 +426,13 @@ class Database:
         same tree share one index instead of racing to build duplicates
         (the build is pure, so the lock protects work, not correctness).
         """
+        from .columnar import make_column_provider
+
         with self._structure_lock:
             cached = self._tree_indexes.get(id(tree))
             if cached is None or cached.tree is not tree:
                 cached = TreeIndex(tree, attributes)
+                cached.attach_column_source(make_column_provider(self, tree))
                 self._tree_indexes[id(tree)] = cached
             else:
                 for attribute in attributes:
@@ -441,6 +446,51 @@ class Database:
                 cached = ListIndex(aqua_list, attributes)
                 self._list_indexes[id(aqua_list)] = cached
             return cached
+
+    def columnar_extent(self, tree: AquaTree, *, min_size: int = 0):
+        """The (cached) columnar encoding of ``tree``, or ``None``.
+
+        Build-once under the same dedicated lock as :meth:`tree_index`;
+        ``min_size`` is the caller's engagement threshold
+        (``AQUA_COLUMNAR_THRESHOLD``) — undersized trees return ``None``
+        without caching anything.  The cache is keyed by object identity
+        and rechecked like the index caches: rebinding a root to a new
+        tree object naturally invalidates (trees are immutable, and the
+        per-resource version counters already gate any cached *plan*
+        that depended on the old binding), while a pinned
+        :class:`DatabaseSnapshot` keeps referencing the old tree object
+        and therefore keeps its consistent columnar cut.
+        """
+        from .columnar import ColumnarExtent
+
+        with self._structure_lock:
+            cached = self._columnar_extents.get(id(tree))
+            if cached is not None and cached.tree is tree:
+                return cached if cached.size >= min_size else None
+        # Size the tree outside the lock (it is an O(n) walk) and only
+        # encode structures worth the column builds.
+        if min_size and tree.size() < min_size:
+            return None
+        extent = ColumnarExtent(tree)
+        with self._structure_lock:
+            cached = self._columnar_extents.get(id(tree))
+            if cached is not None and cached.tree is tree:
+                return cached if cached.size >= min_size else None
+            self._columnar_extents[id(tree)] = extent
+        return extent if extent.size >= min_size else None
+
+    def columnar_list(self, aqua_list: AquaList, *, min_size: int = 0):
+        """The list analogue of :meth:`columnar_extent`."""
+        from .columnar import ColumnarList
+
+        with self._structure_lock:
+            cached = self._columnar_lists.get(id(aqua_list))
+            if cached is None or cached.aqua_list is not aqua_list:
+                if min_size and len(aqua_list) < min_size:
+                    return None
+                cached = ColumnarList(aqua_list)
+                self._columnar_lists[id(aqua_list)] = cached
+            return cached if cached.size >= min_size else None
 
     def reset_predicate_bitmaps(self) -> None:
         """Clear every cached tree index's predicate-outcome bitmap.

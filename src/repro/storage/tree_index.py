@@ -79,9 +79,20 @@ class PredicateBitmap:
     the index for sharing, not a persistent statistic).
     """
 
-    def __init__(self, size: int, pre_of: Callable[[TreeNode], int | None]) -> None:
+    def __init__(
+        self,
+        size: int,
+        pre_of: Callable[[TreeNode], int | None],
+        source: Any | None = None,
+    ) -> None:
         self._size = max(1, size)
         self._pre_of = pre_of
+        #: Optional shared-column source (a
+        #: :class:`repro.storage.columnar.ColumnarExtent`): a plane miss
+        #: consults ``source.outcome_for(predicate, node)`` before
+        #: evaluating, so outcomes another consumer already batch-computed
+        #: for the whole extent are never re-derived per node.
+        self._source = source
         self._planes: dict[int, bytearray] = {}
         self._slots: dict[int, int] = {}
         self._keep: list[AlphabetPredicate] = []  # keeps id() keys stable
@@ -92,8 +103,8 @@ class PredicateBitmap:
         """``(result, filled)`` — evaluate-once semantics per node.
 
         ``filled`` is True when this call actually ran the predicate (a
-        bitmap fill); False means the outcome was served from the plane
-        (a saved evaluation).
+        bitmap fill); False means the outcome was served without an
+        evaluation — from the plane, or from a shared predicate column.
         """
         pre = self._pre_of(node)
         if pre is None or pre >= self._size:
@@ -111,6 +122,12 @@ class PredicateBitmap:
         if state != _UNKNOWN:
             self.hits += 1
             return state == _TRUE, False
+        if self._source is not None:
+            served = self._source.outcome_for(predicate, node)
+            if served is not None:
+                plane[pre] = _TRUE if served else _FALSE
+                self.hits += 1
+                return served, False
         result = bool(predicate(node.value))
         plane[pre] = _TRUE if result else _FALSE
         self.fills += 1
@@ -155,6 +172,7 @@ class TreeIndex:
         }
         self.node_count = 0
         self._bitmap: PredicateBitmap | None = None
+        self._column_provider: Callable[[], Any] | None = None
         self._build()
 
     def _build(self) -> None:
@@ -191,6 +209,22 @@ class TreeIndex:
     def depth(self, node: TreeNode) -> int:
         return self.labels[id(node)].depth
 
+    # -- shared predicate columns ----------------------------------------------
+
+    def attach_column_source(self, provider: Callable[[], Any]) -> None:
+        """Wire a columnar-extent provider (set by ``Database.tree_index``).
+
+        ``provider`` re-resolves the ``AQUA_COLUMNAR*`` knobs on every
+        call, so a cached index never pins a stale on/off or threshold
+        decision; it returns the tree's
+        :class:`~repro.storage.columnar.ColumnarExtent` or ``None``.
+        """
+        self._column_provider = provider
+
+    def _column_source(self) -> Any | None:
+        provider = self._column_provider
+        return provider() if provider is not None else None
+
     # -- predicate-outcome bitmap ---------------------------------------------
 
     def _make_bitmap(self) -> PredicateBitmap:
@@ -200,6 +234,7 @@ class TreeIndex:
             lambda node: (
                 label.pre if (label := labels.get(id(node))) is not None else None
             ),
+            source=self._column_source(),
         )
 
     @property
@@ -322,6 +357,19 @@ class TreeIndex:
                 stats.bump("index_candidates", len(nodes))
             if guard is not None:
                 guard.charge_nodes(len(nodes), "tree-index candidates")
+            return nodes, True
+        source = self._column_source()
+        if source is not None and source.servable(predicate):
+            # Fallback-scan fix: instead of handing back every element
+            # node for a per-probe re-check, serve the shared predicate
+            # column — one batch evaluation per extent, after which the
+            # caller's re-checks are all bitmap/column hits.
+            nodes = source.matching_nodes(predicate)
+            if stats is not None:
+                stats.bump("column_scans")
+                stats.bump("index_candidates", len(nodes))
+            if guard is not None:
+                guard.charge_nodes(len(nodes), "columnar candidates")
             return nodes, True
         nodes = list(self.tree.element_nodes())
         if stats is not None:

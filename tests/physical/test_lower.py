@@ -115,9 +115,21 @@ class TestStructure:
         assert by_path[()].trail == (query.head(),)
         assert by_path[(0,)].trail == (query.head(), query.input.head())
 
-    def test_default_lowering_is_full_scan(self):
+    def test_default_lowering_takes_the_self_gating_columnar_scan(self):
+        # Anchored patterns lower to the columnar scan even without
+        # choose_access_paths: the operator re-resolves the kernel knobs
+        # per execution and degrades to the inherited full scan when the
+        # kernel is off or the tree is under the threshold.
         db = labeled_tree_db()
         plan = lower(Q.root("T").sub_select("d(e(h i) j ?*)").build(), db)
+        assert type(plan.root) is P.ColumnarAnchorScan
+        assert type(plan.root.children[0]) is P.ScanRoot
+
+    def test_default_lowering_of_unanchored_pattern_is_full_scan(self):
+        # A bare-? root predicate selects every node — no column to
+        # filter through, so the plain pipe is kept.
+        db = labeled_tree_db()
+        plan = lower(Q.root("T").sub_select("?(e ?*)").build(), db)
         assert type(plan.root) is P.SubSelectPipe
         assert type(plan.root.children[0]) is P.ScanRoot
 
@@ -187,6 +199,52 @@ class TestAccessPathChoice:
         plan = lower(query, db)
         assert type(plan.root) is P.SelectFilter
         assert type(plan.root.children[0]) is P.ScanExtent
+
+
+class TestColumnarLowering:
+    """The columnar operators are chosen in *both* lowering modes —
+    they gate themselves per execution, so the upgrade is always safe —
+    and their answers match the plain pipes bit for bit."""
+
+    def test_split_lowers_to_columnar_anchor_split(self):
+        db = Database()
+        db.bind_root("family", figure3_family_tree())
+        query = Q.root("family").split(
+            "Brazil(!?* USA !?*)",
+            lambda x, y, z: y.close_points(y.concat_points()),
+            resolver=by_citizen_or_name,
+        ).build()
+        plan = lower(query, db)
+        assert type(plan.root) is P.ColumnarAnchorSplit
+        assert "columnar bitset filter" in plan.render()
+
+    def test_list_sub_select_lowers_to_columnar_list_scan(self):
+        db = Database()
+        song = song_with_melody(300, ["A", "C", "D", "F"], occurrences=3, seed=11)
+        db.bind_root("song", song)
+        query = Q.root("song").lsub_select("[A??F]", resolver=by_pitch).build()
+        plan = lower(query, db)
+        assert type(plan.root) is P.ColumnarListScan
+
+    def test_index_choice_still_wins_over_columnar(self):
+        db = labeled_tree_db()
+        query = Q.root("T").sub_select("d(e(h i) j ?*)").build()
+        chosen = lower(query, db, choose_access_paths=True)
+        assert type(chosen.root) is P.IndexAnchorScan
+
+    @pytest.mark.parametrize("mode", ["on", "off"])
+    def test_columnar_operators_match_plain_pipes(self, mode):
+        from repro import config
+
+        db = labeled_tree_db()
+        query = Q.root("T").sub_select("d(e(h i) j ?*)").build()
+        plan = lower(query, db)
+        assert type(plan.root) is P.ColumnarAnchorScan
+        with config.columnar_scope(mode), config.columnar_threshold_scope(0):
+            served = run(plan, db)
+        with config.columnar_scope("off"):
+            baseline = run(lower(query, db), db)
+        assert served == baseline
 
 
 class TestDeprecatedShims:
