@@ -634,6 +634,79 @@ def claim_chaos_serving() -> None:
         faults.install(previous)
 
 
+#: Simulated per-tree IO stall for CLAIM-PARALLEL (fetching a stored
+#: tree from cold storage / a remote page server).  ``time.sleep``
+#: releases the GIL, so this is the component the exchange worker pool
+#: overlaps — disclosed in the printed row and the JSON record, like
+#: ``bench_concurrent_sessions``'s per-op IO.
+PARALLEL_IO_SECONDS = 0.008
+
+#: Worker count for CLAIM-PARALLEL (the ``--shards`` flag).
+PARALLEL_SHARDS = 4
+
+
+def claim_parallel() -> None:
+    """PR 9: sharded parallel execution with order-preserving merge.
+
+    A forest-split workload — ~300 family trees, ~100k nodes total,
+    each member's work being one simulated-IO fetch plus a real
+    ``split`` of the Figure-4 pattern — evaluated once sequentially
+    (``AQUA_PARALLEL=off``) and once through the exchange operator at
+    ``--shards`` workers.  Ordered bit-identity between the two runs is
+    asserted in the same process as the timing, so the speedup figure
+    can never outlive a parity break.
+    """
+    from repro import config
+
+    trees = 300
+    nodes_per_tree = 350
+    workers = PARALLEL_SHARDS
+    db = Database()
+    db.insert_many(
+        [
+            random_family_tree(nodes_per_tree, seed=s, planted_matches=s % 3)
+            for s in range(trees)
+        ],
+        "Families",
+    )
+    total_nodes = sum(tree.size() for tree in db.extent("Families"))
+
+    def fetch_and_split(tree):
+        time.sleep(PARALLEL_IO_SECONDS)  # simulated storage IO, overlappable
+        return len(
+            split_pieces("Brazil(!?* USA !?*)", tree, resolver=by_citizen_or_name)
+        )
+
+    query = Q.extent("Families").sapply(fetch_and_split).build()
+
+    with config.parallel_scope("off"):
+        sequential_s, sequential = timed(lambda: evaluate(query, db), repeat=1)
+    with config.parallel_scope("on"), config.parallel_workers_scope(workers):
+        parallel_s, parallel = timed(lambda: evaluate(query, db), repeat=1)
+
+    ordered_parity = list(sequential) == list(parallel) and sequential == parallel
+    assert ordered_parity, "parallel stream diverged from the sequential one"
+    speedup = sequential_s / parallel_s if parallel_s else 0.0
+    row(
+        "CLAIM-PARALLEL",
+        f"{trees} trees ({total_nodes} nodes), split + {PARALLEL_IO_SECONDS * 1e3:.0f}ms"
+        f" simulated IO/tree: sequential {sequential_s:.2f}s → "
+        f"{workers} workers {parallel_s:.2f}s (x{speedup:.1f}, ordered parity"
+        f" {'OK' if ordered_parity else 'BROKEN'})",
+        workload="bench_fig4_split",
+        trees=trees,
+        total_nodes=total_nodes,
+        workers=workers,
+        mode=config.validated_parallel_worker_kind(),
+        simulated_io_ms=PARALLEL_IO_SECONDS * 1e3,
+        sequential_seconds=sequential_s,
+        parallel_seconds=parallel_s,
+        speedup_x=round(speedup, 2),
+        ordered_parity=ordered_parity,
+        cpu_count=os.cpu_count(),
+    )
+
+
 EXPERIMENTS = [
     fig1,
     fig2,
@@ -651,10 +724,12 @@ EXPERIMENTS = [
     claim_engines,
     claim_columnar,
     claim_chaos_serving,
+    claim_parallel,
 ]
 
 
 def main(argv: list[str] | None = None) -> None:
+    global PARALLEL_SHARDS
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--json", metavar="PATH", help="also write rows as JSON records"
@@ -665,7 +740,17 @@ def main(argv: list[str] | None = None) -> None:
         metavar="NAME",
         help="run only the named experiments (function names, e.g. claim_columnar)",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=PARALLEL_SHARDS,
+        metavar="N",
+        help="worker count for the CLAIM-PARALLEL experiment (default 4)",
+    )
     arguments = parser.parse_args(argv)
+    if arguments.shards < 1:
+        parser.error(f"--shards must be >= 1, got {arguments.shards}")
+    PARALLEL_SHARDS = arguments.shards
     experiments = EXPERIMENTS
     if arguments.only:
         known = {e.__name__: e for e in EXPERIMENTS}
@@ -697,6 +782,7 @@ def main(argv: list[str] | None = None) -> None:
                 "limits": budget.to_dict(),
                 "tripped_experiments": tripped,
                 "any_tripped": bool(tripped),
+                "cpu_count": os.cpu_count(),
             },
             *RECORDS,
         ]

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import threading
 import time
+from contextlib import ExitStack, contextmanager
 from typing import Any, Mapping
 
 from . import config
@@ -60,6 +61,10 @@ class Session:
     Parameters mirror the knobs: ``executor`` (``streaming`` |
     ``eager``), ``engine`` (tree-pattern engine, ``memo`` |
     ``backtrack``), ``budget`` (a :class:`~repro.guardrails.Budget`),
+    ``parallel`` (``on`` | ``off`` — sharded exchange execution),
+    ``parallel_workers`` (``auto`` or a worker count; all of a
+    process's Sessions draw from one shared worker budget, so pooled
+    serving and per-query fan-out compose without multiplying),
     ``plan_cache`` (a :class:`~repro.query.plan_cache.PlanCache`; the
     process-wide default when omitted; ``plan_cache=None`` is replaced
     by that default — pass ``cache=None`` per call via :meth:`prepare`
@@ -74,16 +79,24 @@ class Session:
         executor: str | None = None,
         engine: str | None = None,
         budget: Budget | None = None,
+        parallel: str | None = None,
+        parallel_workers: int | str | None = None,
         plan_cache: PlanCache | None = None,
     ) -> None:
         if executor is not None:
             config.validated_executor(executor)
         if engine is not None:
             config.validated_tree_engine(engine)
+        if parallel is not None:
+            config.validated_parallel(parallel)
+        if parallel_workers is not None:
+            config.validated_parallel_workers(parallel_workers)
         self.db = db
         self.executor = executor
         self.engine = engine
         self.budget = budget
+        self.parallel = parallel
+        self.parallel_workers = parallel_workers
         self.plan_cache = plan_cache if plan_cache is not None else DEFAULT_CACHE
 
     # -- knob resolution -------------------------------------------------------
@@ -96,6 +109,31 @@ class Session:
 
     def _budget(self, budget: Budget | None) -> Budget | None:
         return budget if budget is not None else self.budget
+
+    @contextmanager
+    def _parallel_context(
+        self, parallel: str | None, parallel_workers: int | str | None
+    ) -> Any:
+        """Arm the session/call parallel knobs for one execution.
+
+        The exchange operator reads these thread-locally at execution
+        time (it gates itself per run), so the Session arms scopes
+        around ``prepared.run`` rather than baking the decision into
+        the cached plan — one cached shape serves parallel and
+        sequential callers alike.
+        """
+        with ExitStack() as scopes:
+            mode = parallel if parallel is not None else self.parallel
+            if mode is not None:
+                scopes.enter_context(config.parallel_scope(mode))
+            workers = (
+                parallel_workers
+                if parallel_workers is not None
+                else self.parallel_workers
+            )
+            if workers is not None:
+                scopes.enter_context(config.parallel_workers_scope(workers))
+            yield
 
     @staticmethod
     def _default_optimize(source: Any, optimize: bool | None) -> bool:
@@ -133,6 +171,8 @@ class Session:
         budget: Budget | None = None,
         executor: str | None = None,
         engine: str | None = None,
+        parallel: str | None = None,
+        parallel_workers: int | str | None = None,
         cache: Any = _UNSET,
     ) -> Any:
         """Prepare (or fetch from cache) and execute in one call."""
@@ -141,13 +181,14 @@ class Session:
         # database (snapshots share its cache identity), so the entry
         # may have been planned against a different view — execute
         # against *this* session's view regardless.
-        return prepared.run(
-            params,
-            budget=self._budget(budget),
-            executor=self._executor(executor),
-            engine=self._engine(engine),
-            db=self.db,
-        )
+        with self._parallel_context(parallel, parallel_workers):
+            return prepared.run(
+                params,
+                budget=self._budget(budget),
+                executor=self._executor(executor),
+                engine=self._engine(engine),
+                db=self.db,
+            )
 
     def query_with_metrics(
         self,
@@ -158,18 +199,21 @@ class Session:
         budget: Budget | None = None,
         executor: str | None = None,
         engine: str | None = None,
+        parallel: str | None = None,
+        parallel_workers: int | str | None = None,
         metrics: PlanMetrics | None = None,
     ) -> tuple[Any, PlanMetrics]:
         """Like :meth:`query`, also collecting per-operator metrics."""
         prepared = self.prepare(source, optimize=optimize)
-        return prepared.run_with_metrics(
-            params,
-            metrics=metrics,
-            budget=self._budget(budget),
-            executor=self._executor(executor),
-            engine=self._engine(engine),
-            db=self.db,
-        )
+        with self._parallel_context(parallel, parallel_workers):
+            return prepared.run_with_metrics(
+                params,
+                metrics=metrics,
+                budget=self._budget(budget),
+                executor=self._executor(executor),
+                engine=self._engine(engine),
+                db=self.db,
+            )
 
     def explain(
         self,
@@ -202,13 +246,14 @@ class Session:
             return "\n".join(
                 [render_plan(prepared.plan, self.db), render_planning(planning)]
             )
-        _, metrics = prepared.run_with_metrics(
-            params,
-            budget=self._budget(budget),
-            executor=self._executor(executor),
-            engine=self._engine(engine),
-            db=self.db,
-        )
+        with self._parallel_context(None, None):
+            _, metrics = prepared.run_with_metrics(
+                params,
+                budget=self._budget(budget),
+                executor=self._executor(executor),
+                engine=self._engine(engine),
+                db=self.db,
+            )
         report = render_analysis(prepared.plan, self.db, metrics)
         return "\n".join([report, render_planning(planning)])
 
@@ -225,6 +270,8 @@ class Session:
             executor=self.executor,
             engine=self.engine,
             budget=self.budget,
+            parallel=self.parallel,
+            parallel_workers=self.parallel_workers,
             plan_cache=self.plan_cache,
         )
 
@@ -236,6 +283,10 @@ class Session:
             knobs.append(f"engine={self.engine}")
         if self.budget is not None:
             knobs.append("budget=set")
+        if self.parallel is not None:
+            knobs.append(f"parallel={self.parallel}")
+        if self.parallel_workers is not None:
+            knobs.append(f"parallel_workers={self.parallel_workers}")
         suffix = f" ({', '.join(knobs)})" if knobs else ""
         return f"Session<{self.db!r}>{suffix}"
 

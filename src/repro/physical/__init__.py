@@ -8,13 +8,14 @@ drives that plan instead of recursing eagerly.  See
 
 from .base import ExecutionContext, PhysicalOp, PhysicalPlan
 from .lower import PipelineFactory, lower, lower_factory
-from . import operators
+from . import exchange, operators
 
 __all__ = [
     "ExecutionContext",
     "PhysicalOp",
     "PhysicalPlan",
     "PipelineFactory",
+    "exchange",
     "lower",
     "lower_factory",
     "operators",

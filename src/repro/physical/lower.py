@@ -43,10 +43,12 @@ from ..optimizer.anchors import (
     tree_columnar_anchors,
     tree_split_anchors,
 )
+from ..optimizer.cost import CostModel, exchange_profitable
 from ..patterns.list_parser import list_pattern
 from ..patterns.tree_parser import tree_pattern
 from ..query import expr as E
 from .base import PhysicalOp, PhysicalPlan
+from . import exchange as X
 from . import operators as P
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -269,6 +271,14 @@ def _lower_set_select(node: E.SetSelect, db, choose) -> Thunk:
             extent = node.input.name
             return lambda: P.IndexedSelectFilter(node, None, extent, indexed, residual)
     child = _child(node, db, choose)
+    # Like the columnar operators, the exchange gates itself per
+    # execution (``AQUA_PARALLEL`` off or an undersized input runs the
+    # inherited sequential loop bit-identically), so the static cost
+    # gate only filters out inputs *known* to be too small to ever
+    # profit — small extents keep the plain operator and its zero
+    # buffering.
+    if exchange_profitable(CostModel(db).input_size(node)):
+        return lambda: X.ParallelSelectFilter(node, (child(),))
     return lambda: P.SelectFilter(node, (child(),))
 
 
@@ -289,6 +299,8 @@ def _lower_indexed_set_select(node: E.IndexedSetSelect, db, choose) -> Thunk:
 
 def _lower_set_apply(node: E.SetApply, db, choose) -> Thunk:
     child = _child(node, db, choose)
+    if exchange_profitable(CostModel(db).input_size(node)):
+        return lambda: X.ParallelApplyMap(node, (child(),))
     return lambda: P.ApplyMap(node, (child(),))
 
 

@@ -201,3 +201,93 @@ class TestInstrumentationThreadSafety:
         for metrics in results:
             assert metrics[()].counters["nodes_scanned"] == 15
             assert metrics[()].calls == 1
+
+
+class TestPlanMetricsMerge:
+    """The shard-registry fold behind parallel EXPLAIN ANALYZE (PR 9)."""
+
+    @staticmethod
+    def registry(path=(), head="op", *, counters=None, rows=None, wall=0.0,
+                 buffered=0, flags=(), shards=None):
+        metrics = PlanMetrics()
+        op = metrics.register(path, head)
+        for name, value in (counters or {}).items():
+            op.counters[name] += value
+        op.rows_out = rows
+        op.wall_seconds = wall
+        op.peak_buffered = buffered
+        op.flags |= set(flags)
+        op.shards = shards
+        return metrics
+
+    def test_counters_rows_and_calls_sum(self):
+        left = self.registry(counters={"predicate_evals": 3}, rows=2)
+        right = self.registry(counters={"predicate_evals": 5, "index_probes": 1}, rows=4)
+        merged = left.merge(right)
+        assert merged is left
+        op = merged[()]
+        assert op.counters == {"predicate_evals": 8, "index_probes": 1}
+        assert op.rows_out == 6
+        assert op.calls == 2
+
+    def test_zero_row_shard_folds_cleanly(self):
+        # A hash shard can own members yet keep none; its registry must
+        # not perturb the totals or flip rows_out to None.
+        busy = self.registry(counters={"predicate_evals": 7}, rows=7, wall=0.5)
+        empty = self.registry(counters={"predicate_evals": 2}, rows=0, wall=0.1)
+        op = busy.merge(empty, wall="max")[()]
+        assert op.rows_out == 7
+        assert op.counters["predicate_evals"] == 9
+        assert op.wall_seconds == 0.5
+
+    def test_single_shard_merge_is_identity_shaped(self):
+        only = self.registry(counters={"nodes_scanned": 4}, rows=3, wall=0.2,
+                             buffered=5, flags={"misestimate"})
+        rolled = PlanMetrics().merge(only, wall="max")[()]
+        assert rolled.counters == {"nodes_scanned": 4}
+        assert rolled.rows_out == 3
+        assert rolled.wall_seconds == 0.2
+        assert rolled.peak_buffered == 5
+        assert rolled.flags == {"misestimate"}
+
+    def test_wall_sum_vs_max(self):
+        slow = self.registry(wall=0.4)
+        fast = self.registry(wall=0.1)
+        assert slow.merge(fast)[()].wall_seconds == 0.5
+        overlapped = self.registry(wall=0.4).merge(self.registry(wall=0.1), wall="max")
+        assert overlapped[()].wall_seconds == 0.4
+
+    def test_bad_wall_mode_raises(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="wall"):
+            self.registry().merge(self.registry(), wall="avg")
+
+    def test_peak_buffered_takes_the_max_not_the_sum(self):
+        merged = self.registry(buffered=10).merge(self.registry(buffered=25))
+        assert merged[()].peak_buffered == 25
+        # ...and the registry-wide peak follows the folded records.
+        assert merged.peak_intermediate() == 25
+
+    def test_flags_or_together(self):
+        clean = self.registry()
+        flagged = self.registry(flags={"misestimate"})
+        assert clean.merge(flagged)[()].flags == {"misestimate"}
+        # And a flag already present survives a clean merge.
+        assert flagged.merge(self.registry())[()].flags == {"misestimate"}
+
+    def test_shard_summaries_concatenate(self):
+        a = self.registry(shards=[{"shard": 0, "rows": 1}])
+        b = self.registry(shards=[{"shard": 1, "rows": 2}])
+        merged = a.merge(b)[()]
+        assert [s["shard"] for s in merged.shards] == [0, 1]
+        untouched = self.registry().merge(self.registry())[()]
+        assert untouched.shards is None
+
+    def test_disjoint_paths_union(self):
+        left = self.registry(path=(), head="root", rows=1)
+        right = self.registry(path=(0,), head="child", rows=9)
+        merged = left.merge(right)
+        assert merged[()].rows_out == 1
+        assert merged[(0,)].rows_out == 9
+        assert merged[(0,)].head == "child"
