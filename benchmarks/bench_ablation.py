@@ -13,12 +13,12 @@ from __future__ import annotations
 
 import pytest
 
-from repro.optimizer import Optimizer
+from repro.api import Session
 from repro.patterns.dfa import compile_dfa
 from repro.patterns.list_match import find_list_matches, find_spans
 from repro.patterns.list_parser import parse_list_pattern
+from repro.physical import lower, operators as P
 from repro.query import Q, evaluate
-from repro.query import expr as E
 from repro.storage import Database
 from repro.workloads import random_labeled_tree, random_list
 
@@ -41,19 +41,29 @@ def test_ablation_memoized_spans(benchmark, length):
 
 
 def test_ablation_cost_gate_declines_unselective_anchor():
-    """Anchor matching ~every node: the gated optimizer keeps the scan."""
+    """Anchor matching ~every node: the gated lowering keeps the scan."""
     tree = random_labeled_tree(2000, ["d"], seed=1)  # every node is 'd'
     db = Database()
     db.bind_root("T", tree)
     db.tree_index(tree)
     query = Q.root("T").sub_select("d(?*)").build()
+    assert not isinstance(
+        lower(query, db, choose_access_paths=True).root, P.IndexAnchorScan
+    )
 
-    gated, _ = Optimizer(db).optimize(query)
-    ungated, _ = Optimizer(db, cost_gate=False).optimize(query)
-    assert isinstance(gated, E.SubSelect)
-    assert isinstance(ungated, E.IndexedSubSelect)
+    # The same pattern over a tree where 'd' is rare takes the probe.
+    labels = ["d", "e", "h", "i", "j", "u", "v", "w", "x", "y"]
+    rare_tree = random_labeled_tree(
+        2000, labels, seed=1, weights=[1.0] + [11.0] * 9
+    )
+    rare_db = Database()
+    rare_db.bind_root("T", rare_tree)
+    rare_db.tree_index(rare_tree)
+    assert type(lower(query, rare_db, choose_access_paths=True).root) is (
+        P.IndexAnchorScan
+    )
     # Semantics agree either way.
-    assert evaluate(gated, db) == evaluate(ungated, db)
+    assert Session(db).query(query, optimize=True) == evaluate(query, db)
 
 
 def test_ablation_dfa_cache_warms(benchmark):

@@ -14,11 +14,11 @@ from __future__ import annotations
 
 import pytest
 
+from repro.api import Session
 from repro.core.identity import Record
-from repro.optimizer import Optimizer
+from repro.physical import lower, operators as P
 from repro.predicates.alphabet import attr
 from repro.query import Q, evaluate
-from repro.query import expr as E
 from repro.storage import Database
 
 
@@ -55,9 +55,9 @@ def test_claim_conjunct_naive(benchmark, size):
 def test_claim_conjunct_decomposed(benchmark, size):
     db = make_db(size, cities=50)
     query = conjunctive_query()
-    plan, _ = Optimizer(db).optimize(query)
-    assert isinstance(plan, E.IndexedSetSelect)
-    result = benchmark(evaluate, plan, db)
+    assert type(lower(query, db, choose_access_paths=True).root) is P.IndexedSelectFilter
+    session = Session(db)
+    result = benchmark(session.query, query, optimize=True)
     assert result == evaluate(query, db)
 
 
@@ -66,8 +66,8 @@ def test_claim_conjunct_selectivity_sweep(benchmark, cities):
     """Decomposed plan over varying index selectivity (1/cities)."""
     db = make_db(6000, cities=cities)
     query = conjunctive_query()
-    plan, _ = Optimizer(db).optimize(query)
-    result = benchmark(evaluate, plan, db)
+    session = Session(db)
+    result = benchmark(session.query, query, optimize=True)
     assert result == evaluate(query, db)
 
 
@@ -79,8 +79,7 @@ def test_claim_conjunct_counters():
     naive_evals = db.stats["predicate_evals"]
     db.stats.reset()
 
-    plan, _ = Optimizer(db).optimize(query)
-    evaluate(plan, db)
+    Session(db).query(query, optimize=True)
     decomposed_evals = db.stats["predicate_evals"]
 
     assert naive_evals == 10000

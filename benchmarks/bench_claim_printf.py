@@ -11,10 +11,9 @@ from __future__ import annotations
 import pytest
 
 from repro.algebra import sub_select
-from repro.core import AquaTree
-from repro.optimizer import Optimizer
-from repro.query import Q, evaluate
-from repro.query import expr as E
+from repro.api import Session
+from repro.physical import lower, operators as P
+from repro.query import Q
 from repro.storage import Database
 from repro.workloads import by_op_name, random_c_program
 
@@ -35,9 +34,9 @@ def test_claim_printf_indexed(benchmark, size):
     db.bind_root("prog", program)
     db.tree_index(program, ["OpName"])
     query = Q.root("prog").sub_select(PATTERN, resolver=by_op_name).build()
-    plan, _ = Optimizer(db).optimize(query)
-    assert isinstance(plan, E.IndexedSubSelect)
-    result = benchmark(evaluate, plan, db)
+    assert type(lower(query, db, choose_access_paths=True).root) is P.IndexAnchorScan
+    session = Session(db)
+    result = benchmark(session.query, query, optimize=True)
     assert len(result) == 6
 
 

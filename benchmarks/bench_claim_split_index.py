@@ -2,21 +2,22 @@
 
 The paper: rewriting ``sub_select(d(e(h i)j))(T)`` through ``split`` on
 an indexed anchor ``d`` "drastically narrows the search space".  We run
-the logical plan (scan every node) and the physical plan (probe the
-anchor's node index) on the same trees and sweep anchor selectivity.
+the logical plan (scan every node) and the index-anchored plan the
+lowering chooses under ``optimize=True`` (probe the anchor's node
+index) on the same trees and sweep anchor selectivity.
 
 Expected shape: the indexed plan wins by roughly the inverse of the
 anchor's selectivity; as the anchor approaches selectivity 1 the plans
-converge (and the optimizer's cost gate stops firing).
+converge (and the lowering's cost gate stops choosing the probe).
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.optimizer import Optimizer
+from repro.api import Session
+from repro.physical import lower, operators as P
 from repro.query import Q, evaluate
-from repro.query import expr as E
 from repro.storage import Database
 from repro.workloads import random_labeled_tree
 
@@ -48,9 +49,9 @@ def test_claim_split_naive_scan(benchmark, size):
 def test_claim_split_indexed(benchmark, size):
     db = make_db(size, anchor_weight=1.0, seed=size)
     query = Q.root("T").sub_select(DEEP_PATTERN).build()
-    plan, _ = Optimizer(db).optimize(query)
-    assert isinstance(plan, E.IndexedSubSelect)
-    result = benchmark(evaluate, plan, db)
+    assert type(lower(query, db, choose_access_paths=True).root) is P.IndexAnchorScan
+    session = Session(db)
+    result = benchmark(session.query, query, optimize=True)
     assert result == evaluate(query, db)
 
 
@@ -65,12 +66,9 @@ def test_claim_split_selectivity_sweep_naive(benchmark, anchor_pct):
 def test_claim_split_selectivity_sweep_indexed(benchmark, anchor_pct):
     db = make_db(3000, anchor_weight=float(anchor_pct), seed=anchor_pct)
     query = Q.root("T").sub_select(PATTERN).build()
-    plan = E.IndexedSubSelect(
-        E.Root("T"),
-        pattern=query.pattern,
-        anchors=tuple(query.pattern.root_predicates()),
-    )
-    result = benchmark(evaluate, plan, db)
+    assert type(lower(query, db, choose_access_paths=True).root) is P.IndexAnchorScan
+    session = Session(db)
+    result = benchmark(session.query, query, optimize=True)
     assert result == evaluate(query, db)
 
 
@@ -83,9 +81,9 @@ def test_claim_split_counters_narrow_search_space():
         evaluate(query, db)
         naive_scanned = db.stats["nodes_scanned"]
 
-    plan, _ = Optimizer(db).optimize(query)
+    session = Session(db)
     with db.stats.scope():
-        evaluate(plan, db)
+        session.query(query, optimize=True)
         indexed_candidates = db.stats["index_candidates"]
 
     assert naive_scanned >= 4000
@@ -104,19 +102,21 @@ def main(argv: list[str] | None = None) -> None:
     size = 500 if arguments.quick else 4000
     db = make_db(size, anchor_weight=1.0, seed=99)
     query = Q.root("T").sub_select(DEEP_PATTERN).build()
-    plan, _ = Optimizer(db).optimize(query)
-    assert isinstance(plan, E.IndexedSubSelect)
+    assert type(lower(query, db, choose_access_paths=True).root) is P.IndexAnchorScan
     from repro import config
     from repro.query import evaluate_with_metrics
 
     # Pin the columnar kernel off: this smoke isolates the §4 index-probe
-    # rewrite, and the kernel would otherwise accelerate the *naive* leg
-    # (its own claim is gated separately via CLAIM-COLUMNAR).
+    # access path, and the kernel would otherwise accelerate the *naive*
+    # leg (its own claim is gated separately via CLAIM-COLUMNAR).
     with config.columnar_scope("off"):
         with db.stats.scope():
             naive, naive_metrics = evaluate_with_metrics(query, db)
+        session = Session(db)
         with db.stats.scope():
-            indexed, indexed_metrics = evaluate_with_metrics(plan, db)
+            indexed, indexed_metrics = session.query_with_metrics(
+                query, optimize=True
+            )
     assert naive == indexed
     naive_evals = naive_metrics.total("predicate_evals")
     indexed_evals = indexed_metrics.total("predicate_evals")

@@ -40,8 +40,8 @@ from repro.algebra import (
     sub_select_list,
 )
 from repro.algebra.list_tree_bridge import sub_select_via_tree
+from repro.api import Session
 from repro.core import alpha, make_tuple, parse_tree
-from repro.optimizer import Optimizer
 from repro.patterns import (
     compile_dfa,
     find_spans,
@@ -110,10 +110,13 @@ def row(experiment: str, line: str, **extra: Any) -> None:
     RECORDS.append({"experiment": experiment, "line": line, **extra})
 
 
-def operator_metrics(query, db) -> list[dict[str, Any]]:
+def operator_metrics(query, db, *, optimize: bool = False) -> list[dict[str, Any]]:
     """Per-operator runtime metrics for one instrumented run of ``query``."""
     with db.stats.scope():
-        _, metrics = evaluate_with_metrics(query, db)
+        if optimize:
+            _, metrics = Session(db).query_with_metrics(query, optimize=True)
+        else:
+            _, metrics = evaluate_with_metrics(query, db)
     return metrics.to_records()
 
 
@@ -196,9 +199,9 @@ def claim_split() -> None:
     db.bind_root("T", tree)
     db.tree_index(tree)
     query = Q.root("T").sub_select("d(e(h i) j ?*)").build()
-    plan, _ = Optimizer(db).optimize(query)
+    session = Session(db)
     naive_time, naive = timed(lambda: evaluate(query, db))
-    indexed_time, indexed = timed(lambda: evaluate(plan, db))
+    indexed_time, indexed = timed(lambda: session.query(query, optimize=True))
     assert naive == indexed
     row(
         "CLAIM-SPLIT",
@@ -207,7 +210,7 @@ def claim_split() -> None:
         naive_ms=naive_time * 1e3,
         indexed_ms=indexed_time * 1e3,
         naive_operators=operator_metrics(query, db),
-        indexed_operators=operator_metrics(plan, db),
+        indexed_operators=operator_metrics(query, db, optimize=True),
     )
 
 
@@ -226,9 +229,9 @@ def claim_conjunct() -> None:
         .sselect((attr("age") > 30) & (attr("city") == "C3") & (attr("salary") > 1000))
         .build()
     )
-    plan, _ = Optimizer(db).optimize(query)
+    session = Session(db)
     naive_time, naive = timed(lambda: evaluate(query, db))
-    indexed_time, indexed = timed(lambda: evaluate(plan, db))
+    indexed_time, indexed = timed(lambda: session.query(query, optimize=True))
     assert naive == indexed
     row(
         "CLAIM-CONJ",
@@ -341,9 +344,9 @@ def claim_melody() -> None:
     db.bind_root("song", song)
     db.list_index(song, ["pitch"])
     query = Q.root("song").lsub_select("[A??F]", resolver=by_pitch).build()
-    plan, _ = Optimizer(db).optimize(query)
+    session = Session(db)
     naive_time, naive = timed(lambda: evaluate(query, db))
-    indexed_time, indexed = timed(lambda: evaluate(plan, db))
+    indexed_time, indexed = timed(lambda: session.query(query, optimize=True))
     assert naive == indexed
     pieces = split_list_pieces("[A??F]", song, resolver=by_pitch)
     row(
@@ -354,7 +357,7 @@ def claim_melody() -> None:
         naive_ms=naive_time * 1e3,
         indexed_ms=indexed_time * 1e3,
         naive_operators=operator_metrics(query, db),
-        indexed_operators=operator_metrics(plan, db),
+        indexed_operators=operator_metrics(query, db, optimize=True),
     )
 
 
@@ -707,6 +710,61 @@ def claim_parallel() -> None:
     )
 
 
+def claim_docstore() -> None:
+    """PR 10: document-store path queries vs a naive DOM walk.
+
+    The corpus is a ~10k-node scraped-site HTML page (150 articles,
+    1 in 20 carrying ``lang='en'``) ingested through ``from_html``.
+    The measured query ``//article[@lang='en']//p`` runs through the
+    full pipeline — AQL alias table → plan cache → optimizer →
+    ``index_anchor_split`` on the ``(tag, kind)`` node index →
+    ``flatten(apply(step))`` — against ``repro.docstore.naive_path``,
+    a plain recursive DOM walk over the same tree.  Result parity (by
+    serialization), corpus round-trip fidelity, and warm plan-cache
+    service are asserted in the same process as the timing.
+    """
+    from repro.docstore import from_html, naive_path, to_html
+    from repro.docstore.corpus import corpus_document, corpus_html
+
+    path = "//article[@lang='en']//p"
+    html = corpus_html()
+    round_trip = to_html(from_html(html)) == html
+    assert round_trip, "corpus does not survive from_html → to_html"
+
+    doc = corpus_document()
+    nodes = doc.tree.size()
+
+    algebra_s, algebra = timed(lambda: doc.path(path), repeat=5)
+    naive_s, reference = timed(lambda: naive_path(doc.tree, path), repeat=5)
+
+    rendered = sorted(to_html(member) for member in algebra)
+    identical = rendered == sorted(to_html(member) for member in reference)
+    assert identical, "path query diverged from the naive walk"
+
+    hits_before = doc.session.plan_cache.hits
+    doc.path(path)
+    warm_hit = doc.session.plan_cache.hits == hits_before + 1
+
+    speedup = naive_s / algebra_s if algebra_s else 0.0
+    row(
+        "CLAIM-DOCSTORE",
+        f"{nodes}-node scraped site, {path}: naive walk {naive_s * 1e3:.1f}ms"
+        f" → algebra {algebra_s * 1e3:.1f}ms (x{speedup:.1f},"
+        f" {len(rendered)} matches, parity {'OK' if identical else 'BROKEN'},"
+        f" round-trip {'OK' if round_trip else 'BROKEN'},"
+        f" warm cache {'hit' if warm_hit else 'MISS'})",
+        workload="bench_claim_docstore",
+        nodes=nodes,
+        matches=len(rendered),
+        naive_seconds=naive_s,
+        algebra_seconds=algebra_s,
+        speedup_x=round(speedup, 2),
+        identical=identical,
+        round_trip=round_trip,
+        warm_cache_hit=warm_hit,
+    )
+
+
 EXPERIMENTS = [
     fig1,
     fig2,
@@ -725,6 +783,7 @@ EXPERIMENTS = [
     claim_columnar,
     claim_chaos_serving,
     claim_parallel,
+    claim_docstore,
 ]
 
 

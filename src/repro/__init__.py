@@ -17,7 +17,15 @@ The public API re-exports the pieces a downstream user needs most:
   (:class:`PlanCache`) and ``$name`` parameters (:class:`Param`),
 * the fault-tolerant serving layer (:class:`SessionPool` plus
   :class:`RetryPolicy`, :class:`BreakerBoard`, :class:`PoolStats` and
-  the degradation ladder from :mod:`repro.serving`).
+  the degradation ladder from :mod:`repro.serving`),
+* the document store (:class:`Document`, :class:`DocNode`,
+  ``from_json/xml/html`` ingestion, ``to_json/xml/html`` round-trip
+  serialization, and the ``//a[@x='v']//b`` path-query frontend that
+  compiles to the stock algebra).
+
+``__all__`` below is the canonical public surface, grouped to mirror
+the README's "Public API" table; ``tests/test_public_api.py`` asserts
+the two stay in sync.
 
 See README.md for a guided tour and DESIGN.md for the paper-to-module map.
 """
@@ -86,62 +94,60 @@ from .query import (
     run_aql,
 )
 from .storage import Database
+from .docstore import (
+    DocNode,
+    Document,
+    compile_path,
+    from_html,
+    from_json,
+    from_xml,
+    load_document,
+    parse_path,
+    to_html,
+    to_json,
+    to_xml,
+)
 
 __version__ = "1.0.0"
 
+#: The canonical public surface, grouped to mirror the README's
+#: "Public API" table (tests/test_public_api.py keeps them in sync).
 __all__ = [
+    # -- bulk types & notation --
     "ALPHA",
-    "ANY",
-    "AdmissionController",
     "AquaGraph",
     "AquaList",
     "AquaMultiset",
     "AquaSet",
     "AquaTree",
     "AquaTuple",
-    "BreakerBoard",
     "Cell",
-    "CircuitBreaker",
     "ConcatPoint",
-    "DEFAULT_LADDER",
-    "Database",
-    "DegradationLadder",
     "NIL",
-    "Optimizer",
-    "Param",
-    "PlanCache",
-    "PoolStats",
-    "PreparedQuery",
-    "Q",
     "Record",
-    "RetryPolicy",
-    "Session",
-    "SessionPool",
+    "alpha",
+    "deref",
+    "format_list",
+    "format_tree",
+    "make_tuple",
+    "parse_list",
+    "parse_tree",
+    "tree",
+    # -- predicates & patterns --
+    "ANY",
+    "attr",
+    "list_pattern",
+    "parse_predicate",
+    "pred",
+    "sym",
+    "tree_pattern",
+    # -- algebra operators --
     "all_anc",
     "all_anc_list",
     "all_desc",
     "all_desc_list",
-    "alpha",
     "apply_list",
     "apply_tree",
-    "attr",
-    "default_session",
-    "deref",
-    "evaluate",
-    "explain",
-    "explain_optimization",
-    "format_list",
-    "format_tree",
-    "list_pattern",
-    "make_tuple",
-    "optimize",
-    "parse_aql",
-    "parse_list",
-    "parse_predicate",
-    "parse_tree",
-    "pred",
-    "prepare",
-    "run_aql",
     "select",
     "select_list",
     "split",
@@ -150,9 +156,44 @@ __all__ = [
     "sub_select",
     "sub_select_approx",
     "sub_select_list",
-    "sym",
-    "tree",
     "tree_edit_distance",
-    "tree_pattern",
+    # -- storage, optimizer & query layer --
+    "Database",
+    "Optimizer",
+    "Q",
+    "evaluate",
+    "explain",
+    "explain_optimization",
+    "optimize",
+    "parse_aql",
+    "run_aql",
+    # -- sessions, prepared queries & serving --
+    "AdmissionController",
+    "BreakerBoard",
+    "CircuitBreaker",
+    "DEFAULT_LADDER",
+    "DegradationLadder",
+    "Param",
+    "PlanCache",
+    "PoolStats",
+    "PreparedQuery",
+    "RetryPolicy",
+    "Session",
+    "SessionPool",
+    "default_session",
+    "prepare",
+    # -- document store --
+    "DocNode",
+    "Document",
+    "compile_path",
+    "from_html",
+    "from_json",
+    "from_xml",
+    "load_document",
+    "parse_path",
+    "to_html",
+    "to_json",
+    "to_xml",
+    # -- meta --
     "__version__",
 ]

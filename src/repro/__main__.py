@@ -6,6 +6,7 @@ AQL query (see :mod:`repro.query.aql`)::
     \\load FILE          load a database serialized with \\save
     \\save FILE          serialize the current database to FILE
     \\demo               load the built-in demo database
+    \\doc FILE [ROOT]    ingest a JSON/XML/HTML document, bind it as ROOT
     \\roots              list named roots
     \\extents            list extents and sizes
     \\explain QUERY      show the optimization story for an AQL query
@@ -96,7 +97,7 @@ def render(value: Any) -> str:
 
 
 def _label(payload: Any) -> str:
-    for attribute in ("name", "pitch", "OpName", "kind", "label"):
+    for attribute in ("name", "pitch", "OpName", "tag", "kind", "label"):
         value = getattr(payload, attribute, None)
         if value is not None:
             return str(value)
@@ -150,6 +151,8 @@ class Shell:
         if name == "demo":
             self.db = demo_database()
             return "demo database loaded"
+        if name == "doc":
+            return self._doc(argument)
         if name == "roots":
             return "\n".join(self.db.roots()) or "(no roots)"
         if name == "extents":
@@ -207,6 +210,28 @@ class Shell:
         if name in ("quit", "exit"):
             raise SystemExit(0)
         return f"unknown command \\{name} (try \\help)"
+
+    def _doc(self, argument: str) -> str:
+        """``\\doc``: ingest a document file into the current database.
+
+        The document's tree is bound as a named root (default ``doc``)
+        and indexed over ``(tag, kind)``, so path queries against it are
+        ordinary AQL: ``root doc | path "//article[@lang='en']//p"``.
+        """
+        from .docstore import load_document
+
+        if not argument:
+            return "error: \\doc needs a file (.json/.xml/.html), optionally a root name"
+        parts = argument.split()
+        if len(parts) > 2:
+            return "error: \\doc takes a file and an optional root name"
+        root = parts[1] if len(parts) > 1 else "doc"
+        document = load_document(parts[0], name=root, db=self.db)
+        return (
+            f"loaded {parts[0]} as root {root!r}"
+            f" ({document.format}, {document.tree.size()} nodes);"
+            f' try: root {root} | path "//tag"'
+        )
 
     def _budget(self, argument: str) -> str:
         """``\\budget``: show, set (``knob=value``), or clear limits."""

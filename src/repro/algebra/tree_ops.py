@@ -112,13 +112,29 @@ def apply_tree(function: Callable[[Any], Any], tree: AquaTree) -> AquaTree:
 
 @dataclass
 class SplitPiece:
-    """The three pieces ``split`` produces for one match, plus metadata."""
+    """The three pieces ``split`` produces for one match, plus metadata.
 
-    context: AquaTree          # x — ancestors, with α at the attachment site
+    The context ``x`` is the expensive piece — a full rebuild of the
+    input with α at the attachment site — and many split functions
+    (``sub_select``'s λ, the docstore's subtree reattachment) never look
+    at it.  It is therefore built lazily on first access; functions that
+    provably ignore it declare ``needs_context = False`` (see
+    :func:`invoke_split_function`) and skip the rebuild entirely.
+    """
+
     match: AquaTree            # y — the match, with α1..αn at pruned sites
     descendants: AquaList      # z — the pruned subtrees [t1..tn]
     points: list[ConcatPoint]  # the α1..αn, aligned with ``descendants``
     tree_match: TreeMatch      # the underlying match (kept/pruned data nodes)
+    source: AquaTree           # the input T the piece was cut from
+    _context: AquaTree | None = None
+
+    @property
+    def context(self) -> AquaTree:
+        """x — ancestors, with α at the attachment site (built lazily)."""
+        if self._context is None:
+            self._context = _context_tree(self.source, self.tree_match.root)
+        return self._context
 
     def reassembled(self) -> AquaTree:
         """``x ∘α (y ∘α1 z1 ... ∘αn zn)`` — the reassembly invariant."""
@@ -157,17 +173,37 @@ def split_pieces(
     for match in find_tree_matches(tp, tree, roots=roots):
         y, points = match.match_tree()
         z = match.pruned_subtrees()
-        x = _context_tree(tree, match.root)
         pieces.append(
             SplitPiece(
-                context=x,
                 match=y,
                 descendants=AquaList.from_values(z),
                 points=points,
                 tree_match=match,
+                source=tree,
             )
         )
     return pieces
+
+
+def invoke_split_function(function: Callable[..., Any], piece: SplitPiece) -> Any:
+    """Apply a split function ``f(x, y, z)`` to one piece.
+
+    A function that declares ``needs_context = False`` promises never to
+    read ``x``; it receives ``None`` there and the context rebuild is
+    skipped — the declaration idiom callables already use for
+    ``plan_fingerprint``.  A function that further declares
+    ``returns_match_subtree = True`` promises ``f(x, y, z)`` *is* the §4
+    identity reassembly ``y ∘α1..αn z`` — the full subtree at the match
+    root — which the source tree already holds, so it is served by
+    structure sharing without calling ``function`` at all.
+    """
+    if getattr(function, "returns_match_subtree", False):
+        from ..core.aqua_tree import subtree_at
+
+        return subtree_at(piece.tree_match.root)
+    if getattr(function, "needs_context", True):
+        return function(piece.context, piece.match, piece.descendants)
+    return function(None, piece.match, piece.descendants)
 
 
 def split(
@@ -178,8 +214,16 @@ def split(
     roots: Sequence[TreeNode] | None = None,
 ) -> AquaSet:
     """``split(tp, f)(T)`` (paper §4): apply ``f(x, y, z)`` per match."""
+    if getattr(function, "returns_match_subtree", False):
+        from ..core.aqua_tree import subtree_at
+
+        tp = tree_pattern(pattern, resolver)
+        return AquaSet(
+            subtree_at(match.root)
+            for match in find_tree_matches(tp, tree, roots=roots)
+        )
     return AquaSet(
-        function(piece.context, piece.match, piece.descendants)
+        invoke_split_function(function, piece)
         for piece in split_pieces(pattern, tree, resolver, roots)
     )
 

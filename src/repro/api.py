@@ -28,8 +28,7 @@ from __future__ import annotations
 
 import threading
 import time
-from contextlib import ExitStack, contextmanager
-from typing import Any, Mapping
+from typing import Any, Mapping, NamedTuple
 
 from . import config
 from .errors import QueryError
@@ -53,6 +52,35 @@ from .storage.database import Database
 #: Sentinel distinguishing "not passed" from an explicit ``None`` for
 #: the per-call plan-cache override (``cache=None`` bypasses caching).
 _UNSET = object()
+
+
+class ResolvedKnobs(NamedTuple):
+    """One query's fully resolved execution knobs.
+
+    Produced by :meth:`Session.resolve_knobs` — the *single* place the
+    per-call > session > environment > default precedence is applied.
+    Every entry point (``Session.query``, ``SessionPool.submit``,
+    ``run_aql``, ``Q.run``, the shell) funnels through it, so the knob
+    names and their precedence cannot drift between APIs.
+    """
+
+    optimize: bool
+    budget: Budget | None
+    executor: str | None
+    engine: str | None
+    parallel: str | None
+    parallel_workers: int | str | None
+    cache: Any
+
+    def run_kwargs(self) -> dict:
+        """The keywords :meth:`PreparedQuery.run` accepts, ready to splat."""
+        return dict(
+            budget=self.budget,
+            executor=self.executor,
+            engine=self.engine,
+            parallel=self.parallel,
+            parallel_workers=self.parallel_workers,
+        )
 
 
 class Session:
@@ -101,40 +129,6 @@ class Session:
 
     # -- knob resolution -------------------------------------------------------
 
-    def _executor(self, executor: str | None) -> str | None:
-        return executor if executor is not None else self.executor
-
-    def _engine(self, engine: str | None) -> str | None:
-        return engine if engine is not None else self.engine
-
-    def _budget(self, budget: Budget | None) -> Budget | None:
-        return budget if budget is not None else self.budget
-
-    @contextmanager
-    def _parallel_context(
-        self, parallel: str | None, parallel_workers: int | str | None
-    ) -> Any:
-        """Arm the session/call parallel knobs for one execution.
-
-        The exchange operator reads these thread-locally at execution
-        time (it gates itself per run), so the Session arms scopes
-        around ``prepared.run`` rather than baking the decision into
-        the cached plan — one cached shape serves parallel and
-        sequential callers alike.
-        """
-        with ExitStack() as scopes:
-            mode = parallel if parallel is not None else self.parallel
-            if mode is not None:
-                scopes.enter_context(config.parallel_scope(mode))
-            workers = (
-                parallel_workers
-                if parallel_workers is not None
-                else self.parallel_workers
-            )
-            if workers is not None:
-                scopes.enter_context(config.parallel_workers_scope(workers))
-            yield
-
     @staticmethod
     def _default_optimize(source: Any, optimize: bool | None) -> bool:
         """AQL text optimizes by default (``run_aql`` parity); built
@@ -142,6 +136,40 @@ class Session:
         if optimize is not None:
             return optimize
         return isinstance(source, str)
+
+    def resolve_knobs(
+        self,
+        source: Any,
+        *,
+        optimize: bool | None = None,
+        budget: Budget | None = None,
+        executor: str | None = None,
+        engine: str | None = None,
+        parallel: str | None = None,
+        parallel_workers: int | str | None = None,
+        cache: Any = _UNSET,
+    ) -> ResolvedKnobs:
+        """Apply the per-call > session precedence once, for every knob.
+
+        (Environment and built-in defaults resolve later, inside
+        :mod:`repro.config`, at the point of use — they are thread-local
+        scopes, not values.)  This is the shared resolver behind
+        :meth:`query`, :meth:`query_with_metrics`, :meth:`explain`,
+        ``run_aql`` and ``Q.run``.
+        """
+        return ResolvedKnobs(
+            optimize=self._default_optimize(source, optimize),
+            budget=budget if budget is not None else self.budget,
+            executor=executor if executor is not None else self.executor,
+            engine=engine if engine is not None else self.engine,
+            parallel=parallel if parallel is not None else self.parallel,
+            parallel_workers=(
+                parallel_workers
+                if parallel_workers is not None
+                else self.parallel_workers
+            ),
+            cache=self.plan_cache if cache is _UNSET else cache,
+        )
 
     # -- the API ---------------------------------------------------------------
 
@@ -155,11 +183,9 @@ class Session:
         shared cache (the serving layer's degradation ladder uses this
         so degraded plans are never cached).
         """
+        knobs = self.resolve_knobs(source, optimize=optimize, cache=cache)
         return _prepare(
-            source,
-            self.db,
-            optimize=self._default_optimize(source, optimize),
-            cache=self.plan_cache if cache is _UNSET else cache,
+            source, self.db, optimize=knobs.optimize, cache=knobs.cache
         )
 
     def query(
@@ -176,19 +202,24 @@ class Session:
         cache: Any = _UNSET,
     ) -> Any:
         """Prepare (or fetch from cache) and execute in one call."""
-        prepared = self.prepare(source, optimize=optimize, cache=cache)
+        knobs = self.resolve_knobs(
+            source,
+            optimize=optimize,
+            budget=budget,
+            executor=executor,
+            engine=engine,
+            parallel=parallel,
+            parallel_workers=parallel_workers,
+            cache=cache,
+        )
+        prepared = _prepare(
+            source, self.db, optimize=knobs.optimize, cache=knobs.cache
+        )
         # db=self.db: the cache is shared across views of one base
         # database (snapshots share its cache identity), so the entry
         # may have been planned against a different view — execute
         # against *this* session's view regardless.
-        with self._parallel_context(parallel, parallel_workers):
-            return prepared.run(
-                params,
-                budget=self._budget(budget),
-                executor=self._executor(executor),
-                engine=self._engine(engine),
-                db=self.db,
-            )
+        return prepared.run(params, db=self.db, **knobs.run_kwargs())
 
     def query_with_metrics(
         self,
@@ -204,16 +235,21 @@ class Session:
         metrics: PlanMetrics | None = None,
     ) -> tuple[Any, PlanMetrics]:
         """Like :meth:`query`, also collecting per-operator metrics."""
-        prepared = self.prepare(source, optimize=optimize)
-        with self._parallel_context(parallel, parallel_workers):
-            return prepared.run_with_metrics(
-                params,
-                metrics=metrics,
-                budget=self._budget(budget),
-                executor=self._executor(executor),
-                engine=self._engine(engine),
-                db=self.db,
-            )
+        knobs = self.resolve_knobs(
+            source,
+            optimize=optimize,
+            budget=budget,
+            executor=executor,
+            engine=engine,
+            parallel=parallel,
+            parallel_workers=parallel_workers,
+        )
+        prepared = _prepare(
+            source, self.db, optimize=knobs.optimize, cache=knobs.cache
+        )
+        return prepared.run_with_metrics(
+            params, metrics=metrics, db=self.db, **knobs.run_kwargs()
+        )
 
     def explain(
         self,
@@ -239,21 +275,21 @@ class Session:
         from .query.explain import render_analysis, render_planning
         from .storage.stats import Instrumentation
 
+        knobs = self.resolve_knobs(
+            source, optimize=optimize, budget=budget, executor=executor, engine=engine
+        )
         planning = Instrumentation()
         with planning.activated():
-            prepared = self.prepare(source, optimize=optimize)
+            prepared = _prepare(
+                source, self.db, optimize=knobs.optimize, cache=knobs.cache
+            )
         if not analyze:
             return "\n".join(
                 [render_plan(prepared.plan, self.db), render_planning(planning)]
             )
-        with self._parallel_context(None, None):
-            _, metrics = prepared.run_with_metrics(
-                params,
-                budget=self._budget(budget),
-                executor=self._executor(executor),
-                engine=self._engine(engine),
-                db=self.db,
-            )
+        _, metrics = prepared.run_with_metrics(
+            params, db=self.db, **knobs.run_kwargs()
+        )
         report = render_analysis(prepared.plan, self.db, metrics)
         return "\n".join([report, render_planning(planning)])
 
@@ -346,6 +382,8 @@ class SessionPool:
         executor: str | None = None,
         engine: str | None = None,
         budget: Budget | None = None,
+        parallel: str | None = None,
+        parallel_workers: int | str | None = None,
         plan_cache: PlanCache | None = None,
         retry_policy: RetryPolicy | None = None,
         ladder: DegradationLadder | None = DEFAULT_LADDER,
@@ -361,7 +399,11 @@ class SessionPool:
         self.db = db
         self.workers = workers
         self._session_knobs = dict(
-            executor=executor, engine=engine, budget=budget
+            executor=executor,
+            engine=engine,
+            budget=budget,
+            parallel=parallel,
+            parallel_workers=parallel_workers,
         )
         self.plan_cache = plan_cache if plan_cache is not None else DEFAULT_CACHE
         self.retry_policy = retry_policy
@@ -428,9 +470,17 @@ class SessionPool:
         budget: Budget | None = None,
         executor: str | None = None,
         engine: str | None = None,
+        parallel: str | None = None,
+        parallel_workers: int | str | None = None,
+        cache: Any = _UNSET,
         retry_policy: RetryPolicy | None | Any = _UNSET,
     ):
         """Schedule ``source`` on a worker; returns a Future.
+
+        The knob keywords (``optimize`` / ``budget`` / ``executor`` /
+        ``engine`` / ``parallel`` / ``parallel_workers`` / ``cache``)
+        are :meth:`Session.query`'s, with identical precedence — a
+        per-call value beats the pool's, which beats the environment.
 
         The read is pinned to ``snapshot`` when given (obtain one from
         :meth:`pin`), else to a fresh snapshot taken *now*, at
@@ -457,7 +507,14 @@ class SessionPool:
             snapshot is None,  # repinnable only if the pool pinned it
             policy,
             effective_budget,
-            dict(optimize=optimize, executor=executor, engine=engine),
+            dict(
+                optimize=optimize,
+                executor=executor,
+                engine=engine,
+                parallel=parallel,
+                parallel_workers=parallel_workers,
+                cache=cache,
+            ),
         )
 
     def _serve_read(
@@ -506,7 +563,7 @@ class SessionPool:
             optimize = knobs["optimize"]
             executor = knobs["executor"]
             engine = knobs["engine"]
-            cache: Any = _UNSET
+            cache: Any = knobs["cache"]
             if step is not None:
                 if step.bypass_cache:
                     cache = None
@@ -524,6 +581,8 @@ class SessionPool:
                 budget=attempt_budget if attempt_budget is not None else budget,
                 executor=executor,
                 engine=engine,
+                parallel=knobs["parallel"],
+                parallel_workers=knobs["parallel_workers"],
                 cache=cache,
             )
 

@@ -72,11 +72,12 @@ class AquaTree:
     concatenation closes off a point with :data:`~repro.core.concat.NIL`.
     """
 
-    __slots__ = ("root", "_size")
+    __slots__ = ("root", "_size", "_hash")
 
     def __init__(self, root: TreeNode | None = None) -> None:
         self.root = root
         self._size: int | None = None
+        self._hash: int | None = None
 
     # -- constructors -----------------------------------------------------
 
@@ -257,11 +258,68 @@ class AquaTree:
         return AquaTree(new_root)
 
     def concat_many(self, assignments: Sequence[tuple[ConcatPoint, "AquaTree | Nil"]]) -> "AquaTree":
-        """Left-to-right sequence of concatenations: ``t ∘α1 u1 ∘α2 u2 ...``."""
-        result = self
+        """Left-to-right sequence of concatenations: ``t ∘α1 u1 ∘α2 u2 ...``.
+
+        When the assignments are independent — distinct labels, and no
+        plugged subtree carries a label a *later* assignment targets —
+        all points are filled in one rebuild pass instead of rebuilding
+        the growing result once per assignment (split reassembly plugs
+        every pruned subtree back, so the sequential form is quadratic
+        exactly where it is hottest).  Dependent sequences keep the
+        literal left-to-right semantics.
+        """
+        assignments = list(assignments)
+        if len(assignments) <= 1 or self.root is None:
+            result = self
+            for point, subtree in assignments:
+                result = result.concat(point, subtree)
+            return result
+
+        labels = [point for point, _ in assignments]
+        independent = len(set(labels)) == len(labels)
+        if independent:
+            for index, (_, subtree) in enumerate(assignments[:-1]):
+                if isinstance(subtree, AquaTree) and not subtree.is_empty:
+                    later = set(labels[index + 1 :])
+                    if any(p in later for p in subtree.concat_points()):
+                        independent = False
+                        break
+        if not independent:
+            result = self
+            for point, subtree in assignments:
+                result = result.concat(point, subtree)
+            return result
+
+        plugged: dict[ConcatPoint, AquaTree] = {}
         for point, subtree in assignments:
-            result = result.concat(point, subtree)
-        return result
+            if isinstance(subtree, Nil):
+                plugged[point] = AquaTree(None)
+            elif isinstance(subtree, AquaTree):
+                plugged[point] = subtree
+            else:
+                raise ConcatenationError(
+                    f"cannot concatenate {type(subtree).__name__} into a tree"
+                )
+        inserted: dict[ConcatPoint, int] = {}
+
+        def rebuild(node: TreeNode) -> TreeNode | None:
+            if node.is_concat_point and node.item in plugged:
+                target = plugged[node.item]
+                if target.root is None:
+                    return None
+                count = inserted.get(node.item, 0) + 1
+                inserted[node.item] = count
+                # First insertion may share cells; later ones need fresh
+                # cells so the result's node set stays a set.
+                return _clone_node(target.root, fresh_cells=count > 1)
+            children = []
+            for child in node.children:
+                rebuilt = rebuild(child)
+                if rebuilt is not None:
+                    children.append(rebuilt)
+            return TreeNode(node.item, children)
+
+        return AquaTree(rebuild(self.root))
 
     def close_points(self, points: Iterable[ConcatPoint] | None = None) -> "AquaTree":
         """Concatenate NULL into the given points (all points if None).
@@ -283,7 +341,12 @@ class AquaTree:
         return _nodes_equal(self.root, other.root)
 
     def __hash__(self) -> int:
-        return hash(("AquaTree", _node_key(self.root)))
+        # Cached under the same value-like contract as ``size()``: trees
+        # handed to set operations are no longer mutated in place, and
+        # hash-based dedup hashes the same subtree many times.
+        if self._hash is None:
+            self._hash = hash(("AquaTree", _node_key(self.root)))
+        return self._hash
 
     def __repr__(self) -> str:
         from .notation import format_tree
@@ -336,22 +399,34 @@ def _node_key(node: TreeNode | None) -> Any:
     """
     if node is None:
         return None
+    # Hot path for set dedup: the item/deref properties are inlined and
+    # the loop bound to locals — this runs once per node of every tree a
+    # set operation hashes.
     parts: list[Any] = []
+    append = parts.append
     stack = [node]
+    pop = stack.pop
+    extend = stack.extend
     while stack:
-        current = stack.pop()
-        value = current.value
-        if isinstance(value, ConcatPoint):
-            head: Any = ("@", value.label)
+        current = pop()
+        item = current.item
+        children = current.children
+        if type(item) is Cell:
+            value = item.contents
+        elif isinstance(item, ConcatPoint):
+            append((("@", item.label), len(children)))
+            continue
         else:
-            try:
-                hash(value)
-            except TypeError:
-                head = repr(value)
-            else:
-                head = value
-        parts.append((head, len(current.children)))
-        stack.extend(reversed(current.children))
+            value = deref(item)
+        try:
+            hash(value)
+        except TypeError:
+            head: Any = repr(value)
+        else:
+            head = value
+        append((head, len(children)))
+        if children:
+            extend(reversed(children))
     return tuple(parts)
 
 

@@ -12,26 +12,18 @@ from .cost import CostModel, list_pattern_cost, tree_pattern_cost
 from .engine import Optimizer, Region, Trace, default_regions, optimize
 from .rules import (
     DEFAULT_RULES,
-    ConjunctDecompositionRule,
-    ListAnchorIndexRule,
     Rule,
     SetSelectFusionRule,
-    SplitIndexRule,
-    SubSelectIndexRule,
     paper_split_rewrite,
 )
 
 __all__ = [
     "CostModel",
-    "ConjunctDecompositionRule",
     "DEFAULT_RULES",
-    "ListAnchorIndexRule",
     "Optimizer",
     "Region",
     "Rule",
     "SetSelectFusionRule",
-    "SplitIndexRule",
-    "SubSelectIndexRule",
     "Trace",
     "default_regions",
     "extent_conjunct_split",

@@ -180,7 +180,9 @@ def probe_anchor_roots(
                 roots[id(candidate)] = candidate
     if fell_through:
         return None, index
-    return list(roots.values()), index
+    # Document preorder via the index labels, so consumers can stream the
+    # candidates without rebuilding an O(n) position map of their own.
+    return index.preorder_sorted(list(roots.values())), index
 
 
 def anchor_offsets(

@@ -89,6 +89,31 @@ def exchange_profitable(
     return sequential > parallel
 
 
+def anchor_scan_profitable(
+    db: Database,
+    input_node: E.Expr,
+    anchors: tuple[AlphabetPredicate, ...],
+    pattern: TreePattern,
+) -> bool:
+    """Is probing ``anchors`` priced no worse than the full tree scan?
+
+    The lowering's cost gate for the §4 split/index choice.  The probe
+    pays :data:`PROBE_COST` per anchor plus per-candidate matching on
+    the survivors; the scan matches every node.  An unselective anchor
+    (every node is ``d``) prices out and keeps the scan — the decision
+    the optimizer's rule-level cost gate used to make when the choice
+    was a plan rewrite.
+    """
+    model = CostModel(db)
+    size = model.input_size(input_node)
+    per_candidate = tree_pattern_cost(pattern)
+    selectivity = min(
+        1.0, sum(model.anchor_selectivity(input_node, anchor) for anchor in anchors)
+    )
+    probed = PROBE_COST * len(anchors) + selectivity * size * per_candidate
+    return probed <= size * per_candidate
+
+
 def closure_penalty_base() -> float:
     """Per-closure cost multiplier for the active tree-match engine.
 
@@ -232,20 +257,6 @@ class CostModel:
         size = self.input_size(node)
         if isinstance(node, (E.TreeSelect, E.ListSelect, E.SetSelect)):
             return size * DEFAULT_SELECTIVITY
-        if isinstance(node, E.IndexedSetSelect):
-            if isinstance(node.input, E.Extent):
-                return size * self.extent_term_selectivity(
-                    node.input.name, node.indexed
-                )
-            return size * DEFAULT_SELECTIVITY
-        if isinstance(node, (E.IndexedSubSelect, E.IndexedSplit)):
-            selectivity = sum(
-                self.anchor_selectivity(node.input, anchor) for anchor in node.anchors
-            )
-            return min(size, size * selectivity)
-        if isinstance(node, E.IndexedListSubSelect):
-            selectivity = self.anchor_selectivity(node.input, node.anchor)
-            return min(size, size * selectivity * max(1, len(node.offsets)))
         if isinstance(node, (E.SubSelect, E.Split, E.AllAnc, E.AllDesc)):
             return size * DEFAULT_SELECTIVITY
         if isinstance(node, (E.ListSubSelect, E.ListSplit)):
@@ -279,7 +290,7 @@ class CostModel:
                     CalibrationRecord(
                         path=path,
                         operator=node.head(),
-                        rule=_PRODUCING_RULE.get(type(node)),
+                        rule=None,
                         estimated_rows=self.estimated_rows(node),
                         actual_rows=op.rows_out,
                         estimated_cost=self.local_cost(node),
@@ -301,42 +312,13 @@ class CostModel:
             if columnar is not None:
                 return columnar
             return size * tree_pattern_cost(node.pattern)
-        if isinstance(node, E.IndexedSubSelect):
-            selectivity = sum(
-                self.anchor_selectivity(node.input, anchor) for anchor in node.anchors
-            )
-            candidates = min(size, size * selectivity)
-            return (
-                PROBE_COST * len(node.anchors)
-                + candidates * tree_pattern_cost(node.pattern)
-            )
         if isinstance(node, E.ListSubSelect):
             columnar = self._columnar_list_cost(size, node.pattern)
             if columnar is not None:
                 return columnar
             return size * list_pattern_cost(node.pattern)
-        if isinstance(node, E.IndexedListSubSelect):
-            selectivity = self.anchor_selectivity(node.input, node.anchor)
-            starts = min(size, size * selectivity * max(1, len(node.offsets)))
-            return PROBE_COST + starts * list_pattern_cost(node.pattern)
         if isinstance(node, (E.TreeSelect, E.ListSelect, E.SetSelect)):
             return size
-        if isinstance(node, E.IndexedSetSelect):
-            if isinstance(node.input, E.Extent):
-                selectivity = self.extent_term_selectivity(
-                    node.input.name, node.indexed
-                )
-                return PROBE_COST + size * selectivity * 2.0
-            return size
-        if isinstance(node, E.IndexedSplit):
-            selectivity = sum(
-                self.anchor_selectivity(node.input, anchor) for anchor in node.anchors
-            )
-            candidates = min(size, size * selectivity)
-            return (
-                PROBE_COST * len(node.anchors)
-                + candidates * tree_pattern_cost(node.pattern) * 2.0
-            )
         if isinstance(node, E.Split):
             columnar = self._columnar_tree_cost(size, node.pattern, factor=2.0)
             if columnar is not None:
@@ -398,16 +380,6 @@ class CostModel:
             size * COLUMN_SCAN_COST * len(choices)
             + starts * list_pattern_cost(pattern) * factor
         )
-
-
-#: Physical node type → the rewrite rule that introduces it (for
-#: calibration reports; logical nodes have no producing rule).
-_PRODUCING_RULE: dict[type, str] = {
-    E.IndexedSubSelect: "sub_select→indexed",
-    E.IndexedSplit: "split→indexed",
-    E.IndexedListSubSelect: "list_sub_select→indexed",
-    E.IndexedSetSelect: "conjunct-decomposition",
-}
 
 
 def actual_cost_units(counters: Mapping[str, int]) -> float:

@@ -59,13 +59,14 @@ class Trace:
 
 
 def default_regions() -> list[Region]:
-    """The standard two-region pipeline: algebraic, then access paths."""
-    algebraic = [r for r in DEFAULT_RULES if r.name == "set-select-fusion"]
-    physical = [r for r in DEFAULT_RULES if r.name != "set-select-fusion"]
-    return [
-        Region("algebraic", algebraic, strategy="fixpoint"),
-        Region("access-paths", physical, strategy="once"),
-    ]
+    """The standard pipeline: one algebraic fixpoint region.
+
+    Access-path choice is no longer a rewrite region — it happens in the
+    lowering pass (:mod:`repro.physical.lower` with
+    ``choose_access_paths``), where index anchors, conjunct
+    decomposition and columnar batch operators are picked per plan node.
+    """
+    return [Region("algebraic", list(DEFAULT_RULES), strategy="fixpoint")]
 
 
 class Optimizer:
@@ -93,12 +94,7 @@ class Optimizer:
         """
         trace = Trace()
         try:
-            # The rewrite rules construct Indexed* shim nodes (their
-            # serializable plan shapes) and ``with_children`` rebuilds
-            # them bottom-up; neither is a user calling the deprecated
-            # API, so the whole rewrite runs with the warning suppressed.
-            with E.internal_shims():
-                return self._optimize(expr, trace)
+            return self._optimize(expr, trace)
         except AquaError as exc:
             trace.steps.append(
                 f"[fallback] optimizer aborted ({exc}); keeping the logical plan"

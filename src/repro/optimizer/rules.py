@@ -1,13 +1,11 @@
 """Rewrite rules (paper §4 "Why Split?", §5, and [31]).
 
-Each rule is a local transformation on one expression node.  Rules come
-in two flavors:
-
-* **access-path rules** introduce physical operators when an index can
-  serve part of a pattern or predicate — the split/index rewrite for
-  trees, the position-anchor rewrite for lists, and the relational-style
-  conjunct decomposition for extent selects;
-* **algebraic rules** reshape logical plans (select fusion / cascade).
+Each rule is a local *algebraic* transformation on one expression node:
+it reshapes logical plans (select fusion / cascade) but never commits to
+an access path.  Access-path choice — index anchors for tree and list
+patterns, the relational-style conjunct decomposition for extent
+selects — lives in the lowering pass (:mod:`repro.physical.lower` with
+``choose_access_paths``, backed by :mod:`repro.optimizer.anchors`).
 
 A rule returns the rewritten node or ``None`` when it does not apply;
 the engine (:mod:`repro.optimizer.engine`) handles traversal, cost
@@ -19,11 +17,6 @@ from __future__ import annotations
 from ..predicates.alphabet import And
 from ..query import expr as E
 from ..storage.database import Database
-from .anchors import (
-    extent_conjunct_split,
-    list_anchor_choice,
-    tree_split_anchors,
-)
 
 
 class Rule:
@@ -36,107 +29,6 @@ class Rule:
 
     def __repr__(self) -> str:
         return f"<Rule {self.name}>"
-
-
-class SubSelectIndexRule(Rule):
-    """``sub_select(tp)(T)`` → probe the root-predicate indexes (§4).
-
-    Mirrors the paper's rewrite of ``sub_select(d(e(h i)j))(T)`` into
-    ``apply(sub_select(⊤d(e(h i)j)))(split(d, reassemble)(T))``: every
-    match is rooted at a node satisfying one of the pattern's root
-    predicates, so probing those predicates' indexes yields a complete,
-    typically tiny, candidate set.
-
-    Applies when the pattern exposes usable root predicates — non-opaque,
-    each with at least one equality term an index can serve.
-    """
-
-    name = "sub_select→indexed"
-
-    def apply(self, node: E.Expr, db: Database) -> E.Expr | None:
-        del db
-        if not isinstance(node, E.SubSelect):
-            return None
-        anchors = tree_split_anchors(node.pattern)
-        if anchors is None:
-            return None
-        # The candidate-roots restriction plays the role of the paper's
-        # ⊤-anchoring of the inner sub_select: the pattern itself stays
-        # unanchored, but it is only tried at the probed roots.
-        return E.IndexedSubSelect(node.input, pattern=node.pattern, anchors=anchors)
-
-
-class SplitIndexRule(Rule):
-    """``split(tp, f)(T)`` → index-probed candidate roots (§4).
-
-    The paper's literal sentence: "the split operator uses the index on
-    d to pick all the subtrees of T that are rooted at d."  Same anchor
-    analysis as :class:`SubSelectIndexRule`.
-    """
-
-    name = "split→indexed"
-
-    def apply(self, node: E.Expr, db: Database) -> E.Expr | None:
-        del db
-        if not isinstance(node, E.Split):
-            return None
-        anchors = tree_split_anchors(node.pattern)
-        if anchors is None:
-            return None
-        return E.IndexedSplit(
-            node.input,
-            pattern=node.pattern,
-            function=node.function,
-            anchors=anchors,
-        )
-
-
-class ListAnchorIndexRule(Rule):
-    """``sub_select(lp)(L)`` → probe a position index on a required atom.
-
-    Picks an atom of the pattern that every match must contain at a
-    bounded offset from the match start (e.g. the leading ``A`` of
-    ``[A??F]``), probes the list's position index for it, and restricts
-    candidate start positions to ``position - offset``.  This is the
-    list-flavored instance of the paper's decompose-and-index strategy.
-    """
-
-    name = "list_sub_select→indexed"
-
-    def apply(self, node: E.Expr, db: Database) -> E.Expr | None:
-        del db
-        if not isinstance(node, E.ListSubSelect):
-            return None
-        choice = list_anchor_choice(node.pattern)
-        if choice is None:
-            return None
-        anchor, offsets = choice
-        return E.IndexedListSubSelect(
-            node.input, pattern=node.pattern, anchor=anchor, offsets=offsets
-        )
-
-
-class ConjunctDecompositionRule(Rule):
-    """``select(p1 ∧ p2)(extent)`` → indexed conjunct + residual (§4).
-
-    "In relational optimization, a select with a complex conjunctive
-    predicate might be rewritten as an intersection of two or more
-    selects, each containing a different conjunct ... some of which
-    might be very cheap to process (e.g., by using an index)."
-    """
-
-    name = "conjunct-decomposition"
-
-    def apply(self, node: E.Expr, db: Database) -> E.Expr | None:
-        if not isinstance(node, E.SetSelect):
-            return None
-        if not isinstance(node.input, E.Extent):
-            return None
-        split = extent_conjunct_split(node.predicate, node.input.name, db)
-        if split is None:
-            return None
-        indexed, residual = split
-        return E.IndexedSetSelect(node.input, indexed=indexed, residual=residual)
 
 
 class SetSelectFusionRule(Rule):
@@ -165,11 +57,11 @@ def paper_split_rewrite(node: E.SubSelect) -> E.Expr | None:
     ``apply(sub_select(⊤tp))(split(anchor, λ(x,y,z) y ∘α1..αn z)(T))``
     flattened into one result set.
 
-    The production path uses the fused :class:`~repro.query.expr.
-    IndexedSubSelect` instead — same plan shape with the split's
-    reassembly and the per-piece sub_select collapsed into an index
-    probe plus a roots-restricted match.  ``None`` when the pattern
-    exposes no usable single root predicate.
+    The production path keeps the logical ``sub_select`` and lets the
+    lowering pass fuse the same shape into an ``index_anchor_scan`` —
+    the split's reassembly and the per-piece sub_select collapsed into
+    an index probe plus a roots-restricted match.  ``None`` when the
+    pattern exposes no usable single root predicate.
     """
     from ..algebra.tree_ops import reassemble, sub_select as run_sub_select
     from ..patterns.tree_ast import TreeAtom, TreePattern
@@ -195,8 +87,4 @@ def paper_split_rewrite(node: E.SubSelect) -> E.Expr | None:
 #: The default rule pipeline, in the order the engine's regions run them.
 DEFAULT_RULES: list[Rule] = [
     SetSelectFusionRule(),
-    SubSelectIndexRule(),
-    SplitIndexRule(),
-    ListAnchorIndexRule(),
-    ConjunctDecompositionRule(),
 ]

@@ -456,6 +456,7 @@ class MatchContextRegistry:
         pattern: TreePattern,
         tree: AquaTree,
         bitmap: PredicateBitmap | None = None,
+        position_maps: tuple[dict[int, int], dict[int, int]] | None = None,
     ) -> TreeMatchContext:
         key = (
             id(tree),
@@ -466,12 +467,11 @@ class MatchContextRegistry:
         context = self._contexts.get(key)
         if context is None or context.tree is not tree:
             column_source = None
-            position_maps = None
             if bitmap is None and self.db is not None:
                 from ..storage.columnar import columnar_source_for
 
                 column_source = columnar_source_for(self.db, tree)
-                if column_source is not None:
+                if column_source is not None and position_maps is None:
                     position_maps = column_source.position_maps()
             context = TreeMatchContext(
                 pattern,
@@ -491,22 +491,26 @@ def prime_match_context(
     pattern: TreePattern,
     tree: AquaTree,
     bitmap: PredicateBitmap | None = None,
+    position_maps: tuple[dict[int, int], dict[int, int]] | None = None,
 ) -> TreeMatchContext | None:
     """Pre-register a shared context for ``(pattern, tree)``, if possible.
 
     The index-probing operators call this right after their anchor probe
     with the tree index's predicate-outcome bitmap, so the context that
     serves the whole candidate stream (and any later operator on the
-    same pair) shares fills with the probe's own re-checks.  A no-op
-    (returns ``None``) when no registry is armed or the backtrack engine
-    is selected.
+    same pair) shares fills with the probe's own re-checks.  Passing the
+    index's ``position_maps`` as well saves the context's own O(n)
+    position-interning walk.  A no-op (returns ``None``) when no
+    registry is armed or the backtrack engine is selected.
     """
     from .tree_match import tree_engine
 
     registry = current_registry()
     if registry is None or tree_engine() != "memo":
         return None
-    return registry.context_for(pattern, tree, bitmap=bitmap)
+    return registry.context_for(
+        pattern, tree, bitmap=bitmap, position_maps=position_maps
+    )
 
 
 _active = threading.local()

@@ -7,13 +7,14 @@ preserving — one physical operator per logical node, at the same plan
 path, so EXPLAIN ANALYZE metrics line up position-for-position with the
 logical tree and with the eager interpreter's scopes.
 
-Access-path choice lives here, not in the expression tree.  The
-deprecated ``Indexed*`` shim nodes (what the rewrite engine still emits)
-lower to their probing operators, and ``choose_access_paths=True``
-additionally runs the same anchor analysis the rewrite rules use
-(:mod:`repro.optimizer.anchors`) directly on plain logical nodes — the
-lowering-native replacement for routing every decision through shim
-node types.
+Access-path choice lives here, not in the expression tree.
+``choose_access_paths=True`` runs the anchor analysis
+(:mod:`repro.optimizer.anchors`) directly on plain logical nodes and
+commits to the probing operators; the factory records which ``$param``
+slots back those commitments (``PipelineFactory.anchor_params``) so the
+prepared-query re-plan guard can watch them.  The ``Indexed*``
+expression shims that used to carry these decisions as plan nodes are
+gone.
 
 Lowering is split into two stages so one analysis serves many runs:
 
@@ -43,7 +44,8 @@ from ..optimizer.anchors import (
     tree_columnar_anchors,
     tree_split_anchors,
 )
-from ..optimizer.cost import CostModel, exchange_profitable
+from ..optimizer.cost import CostModel, anchor_scan_profitable, exchange_profitable
+from ..params import Param
 from ..patterns.list_parser import list_pattern
 from ..patterns.tree_parser import tree_pattern
 from ..query import expr as E
@@ -58,18 +60,51 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 Thunk = Callable[[], PhysicalOp]
 
 
+class _AccessPaths:
+    """Truthy lowering context: access-path choice is on, record it.
+
+    Passed through the builders in place of the old ``choose`` boolean;
+    every anchor / conjunct commitment notes the predicates it relies
+    on, so the factory can report which ``$param`` slots back an index
+    choice (the prepared-query re-plan guard's watch list).
+    """
+
+    def __init__(self) -> None:
+        self.param_slots: set[str] = set()
+
+    def __bool__(self) -> bool:
+        return True
+
+    def note(self, *predicates) -> None:
+        for predicate in predicates:
+            if predicate is None or predicate.opaque:
+                continue
+            for _, op, constant in predicate.indexable_terms():
+                if op == "=" and isinstance(constant, Param):
+                    self.param_slots.add(constant.name)
+
+
 class PipelineFactory:
     """One lowering, many executions.
 
     Holds the thunk tree produced by :func:`lower_factory`; every
     :meth:`instantiate` call builds a fresh
     :class:`~repro.physical.base.PhysicalPlan` (fresh operators, shared
-    compiled patterns and anchor decisions).
+    compiled patterns and anchor decisions).  ``anchor_params`` is the
+    set of ``$param`` slots whose bindings the lowering's access-path
+    commitments assumed index-servable (empty without
+    ``choose_access_paths``).
     """
 
-    def __init__(self, expr: E.Expr, build_root: Thunk) -> None:
+    def __init__(
+        self,
+        expr: E.Expr,
+        build_root: Thunk,
+        anchor_params: frozenset[str] = frozenset(),
+    ) -> None:
         self.expr = expr
         self._build_root = build_root
+        self.anchor_params = anchor_params
 
     def instantiate(self) -> PhysicalPlan:
         return PhysicalPlan(self._build_root(), self.expr)
@@ -84,7 +119,10 @@ def lower_factory(
     conjunct analyses all happen here, so a cached factory's
     ``instantiate()`` does no planning work at all.
     """
-    return PipelineFactory(expr, _lower_node(expr, db, choose_access_paths))
+    choice = _AccessPaths() if choose_access_paths else False
+    root = _lower_node(expr, db, choice)
+    slots = frozenset(choice.param_slots) if choice else frozenset()
+    return PipelineFactory(expr, root, slots)
 
 
 def lower(
@@ -165,25 +203,20 @@ def _lower_sub_select(node: E.SubSelect, db, choose) -> Thunk:
     tp = tree_pattern(node.pattern)
     if choose:
         anchors = tree_split_anchors(tp)
-        if anchors is not None:
+        if anchors is not None and anchor_scan_profitable(db, node.input, anchors, tp):
+            choose.note(*anchors)
             return lambda: P.IndexAnchorScan(node, child(), tp, anchors)
-    # Index upgrades are the optimizer's call (it emits Indexed* nodes
-    # when a probe wins), but the columnar operators gate themselves at
-    # execution time — knob off or an undersized tree falls back to the
-    # inherited full scan bit-identically — so any column-servable
-    # anchor set takes the batch operator unconditionally.  That also
-    # covers anchors an index can never serve (ordering comparisons,
-    # OR combinations).
+    # Index upgrades are the planner's call (``choose_access_paths``
+    # above), but the columnar operators gate themselves at execution
+    # time — knob off or an undersized tree falls back to the inherited
+    # full scan bit-identically — so any column-servable anchor set
+    # takes the batch operator unconditionally.  That also covers
+    # anchors an index can never serve (ordering comparisons, OR
+    # combinations).
     columnar = tree_columnar_anchors(tp)
     if columnar is not None:
         return lambda: P.ColumnarAnchorScan(node, child(), tp, columnar)
     return lambda: P.SubSelectPipe(node, child(), tp)
-
-
-def _lower_indexed_sub_select(node: E.IndexedSubSelect, db, choose) -> Thunk:
-    child = _child(node, db, choose)
-    tp = tree_pattern(node.pattern)
-    return lambda: P.IndexAnchorScan(node, child(), tp, node.anchors)
 
 
 def _lower_split(node: E.Split, db, choose) -> Thunk:
@@ -191,18 +224,13 @@ def _lower_split(node: E.Split, db, choose) -> Thunk:
     tp = tree_pattern(node.pattern)
     if choose:
         anchors = tree_split_anchors(tp)
-        if anchors is not None:
+        if anchors is not None and anchor_scan_profitable(db, node.input, anchors, tp):
+            choose.note(*anchors)
             return lambda: P.IndexAnchorSplit(node, child(), tp, node.function, anchors)
     columnar = tree_columnar_anchors(tp)
     if columnar is not None:
         return lambda: P.ColumnarAnchorSplit(node, child(), tp, node.function, columnar)
     return lambda: P.SplitPipe(node, child(), tp, node.function)
-
-
-def _lower_indexed_split(node: E.IndexedSplit, db, choose) -> Thunk:
-    child = _child(node, db, choose)
-    tp = tree_pattern(node.pattern)
-    return lambda: P.IndexAnchorSplit(node, child(), tp, node.function, node.anchors)
 
 
 def _materializer(
@@ -243,17 +271,12 @@ def _lower_list_sub_select(node: E.ListSubSelect, db, choose) -> Thunk:
         chosen = list_anchor_choice(lp)
         if chosen is not None:
             anchor, offsets = chosen
+            choose.note(anchor)
             return lambda: P.ListAnchorScan(node, child(), lp, anchor, offsets)
     choices = list_columnar_choice(lp)
     if choices is not None:
         return lambda: P.ColumnarListScan(node, child(), lp, choices)
     return lambda: P.ListSubSelectPipe(node, child(), lp)
-
-
-def _lower_indexed_list_sub_select(node: E.IndexedListSubSelect, db, choose) -> Thunk:
-    child = _child(node, db, choose)
-    lp = list_pattern(node.pattern)
-    return lambda: P.ListAnchorScan(node, child(), lp, node.anchor, node.offsets)
 
 
 def _lower_list_split(node: E.ListSplit, db, choose) -> Thunk:
@@ -269,6 +292,7 @@ def _lower_set_select(node: E.SetSelect, db, choose) -> Thunk:
         if split is not None:
             indexed, residual = split
             extent = node.input.name
+            choose.note(indexed)
             return lambda: P.IndexedSelectFilter(node, None, extent, indexed, residual)
     child = _child(node, db, choose)
     # Like the columnar operators, the exchange gates itself per
@@ -280,21 +304,6 @@ def _lower_set_select(node: E.SetSelect, db, choose) -> Thunk:
     if exchange_profitable(CostModel(db).input_size(node)):
         return lambda: X.ParallelSelectFilter(node, (child(),))
     return lambda: P.SelectFilter(node, (child(),))
-
-
-def _lower_indexed_set_select(node: E.IndexedSetSelect, db, choose) -> Thunk:
-    if isinstance(node.input, E.Extent):
-        # The candidates come straight from the attribute index; the
-        # extent is never scanned as a child operator (eager parity:
-        # the interpreter leaves the input unevaluated too).
-        extent = node.input.name
-        return lambda: P.IndexedSelectFilter(
-            node, None, extent, node.indexed, node.residual
-        )
-    child = _child(node, db, choose)
-    return lambda: P.IndexedSelectFilter(
-        node, child(), None, node.indexed, node.residual
-    )
 
 
 def _lower_set_apply(node: E.SetApply, db, choose) -> Thunk:
@@ -326,18 +335,14 @@ _LOWERING: dict[type, Callable[[E.Expr, "Database", bool], Thunk]] = {
     E.TreeSelect: _lower_tree_select,
     E.TreeApply: _lower_tree_apply,
     E.SubSelect: _lower_sub_select,
-    E.IndexedSubSelect: _lower_indexed_sub_select,
     E.Split: _lower_split,
-    E.IndexedSplit: _lower_indexed_split,
     E.AllAnc: _lower_all_anc,
     E.AllDesc: _lower_all_desc,
     E.ListSelect: _lower_list_select,
     E.ListApply: _lower_list_apply,
     E.ListSubSelect: _lower_list_sub_select,
-    E.IndexedListSubSelect: _lower_indexed_list_sub_select,
     E.ListSplit: _lower_list_split,
     E.SetSelect: _lower_set_select,
-    E.IndexedSetSelect: _lower_indexed_set_select,
     E.SetApply: _lower_set_apply,
     E.SetFlatten: _lower_set_flatten,
     E.SetUnion: _lower_binary(P.UnionPipe),

@@ -37,7 +37,7 @@ from ..algebra.tree_ops import (
 )
 from ..core.aqua_list import AquaList
 from ..core.aqua_set import AquaSet
-from ..core.aqua_tree import TreeNode
+from ..core.aqua_tree import TreeNode, subtree_at
 from ..core.equality import DEFAULT
 from ..core.identity import as_cell
 from ..errors import QueryError
@@ -218,8 +218,7 @@ class IndexAnchorScan(PhysicalOp):
     The paper's §4 rewrite: every match roots at a node satisfying one
     of the pattern's root predicates, so probe those predicates' indexes
     and only try the matcher there.  Falls back to the full scan when a
-    probe cannot be served (charging nothing extra, like the eager
-    interpreter's ``Indexed*`` path).
+    probe cannot be served (charging nothing extra).
     """
 
     name = "index_anchor_scan"
@@ -237,11 +236,17 @@ class IndexAnchorScan(PhysicalOp):
         db = self.ctx.db
         roots, index = probe_anchor_roots(db, tree, self.anchors, db.stats)
         # Batched candidate evaluation: one memo context + the index's
-        # own predicate bitmap serve the entire candidate stream.
-        prime_match_context(tp, tree, index.bitmap)
+        # own predicate bitmap serve the entire candidate stream.  The
+        # index also donates its preorder position maps, so the context
+        # skips its own O(n) interning walk.
+        prime_match_context(tp, tree, index.bitmap, index.position_maps())
         seen: set[Any] = set()
         for match in iter_tree_matches(
-            tp, tree, roots=roots, flush_per_candidate=True
+            tp,
+            tree,
+            roots=roots,
+            roots_in_preorder=roots is not None,
+            flush_per_candidate=True,
         ):
             y, points = match.match_tree()
             row = y.close_points(points)
@@ -306,10 +311,28 @@ class SplitPipe(PhysicalOp):
 
     def _piece_rows(self, tree, matches) -> Iterator[Any]:
         seen: set[Any] = set()
+        # ``returns_match_subtree = True`` functions are the §4 identity
+        # reassembly ``y ∘α1..αn z`` — the full subtree at the match
+        # root, which the source tree already holds.  Serve it by
+        # structure sharing (value-identical to the rebuilt form) and
+        # skip the prune/rebuild machinery entirely.
+        if getattr(self.function, "returns_match_subtree", False):
+            for match in matches:
+                row = subtree_at(match.root)
+                key = DEFAULT.key(row)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield row
+            return
+        # ``needs_context = False`` functions never read x, so the
+        # per-match full-tree context rebuild is skipped (the same
+        # contract as algebra.tree_ops.invoke_split_function).
+        wants_context = getattr(self.function, "needs_context", True)
         for match in matches:
             y, points = match.match_tree()
             z = match.pruned_subtrees()
-            x = _context_tree(tree, match.root)
+            x = _context_tree(tree, match.root) if wants_context else None
             row = self.function(x, y, AquaList.from_values(z))
             key = DEFAULT.key(row)
             if key in seen:
@@ -346,9 +369,16 @@ class IndexAnchorSplit(SplitPipe):
         self.result_equality = DEFAULT
         db = self.ctx.db
         roots, index = probe_anchor_roots(db, tree, self.anchors, db.stats)
-        prime_match_context(tp, tree, index.bitmap)
+        prime_match_context(tp, tree, index.bitmap, index.position_maps())
         yield from self._piece_rows(
-            tree, iter_tree_matches(tp, tree, roots=roots, flush_per_candidate=True)
+            tree,
+            iter_tree_matches(
+                tp,
+                tree,
+                roots=roots,
+                roots_in_preorder=roots is not None,
+                flush_per_candidate=True,
+            ),
         )
 
     def access_path(self) -> str:
@@ -571,8 +601,7 @@ class ListAnchorScan(PhysicalOp):
 
     Probes the list's position index for a required atom and tries only
     ``position - offset`` candidate starts.  Falls back to the full
-    position scan when the probe cannot be served (no extra charges,
-    like the eager ``IndexedListSubSelect`` path).
+    position scan when the probe cannot be served (no extra charges).
     """
 
     name = "list_anchor_scan"
@@ -651,8 +680,7 @@ class IndexedSelectFilter(PhysicalOp):
     When the logical input is the extent itself, the extent is never
     scanned as a child operator — the candidates come straight from the
     attribute index (or one full scan when no index serves), and both
-    conjuncts re-check each candidate, exactly like the eager
-    ``IndexedSetSelect`` path.
+    conjuncts re-check each candidate.
     """
 
     name = "indexed_select_filter"

@@ -19,6 +19,7 @@ Syntax::
               | 'lsub_select' PATTERN resolver?    -- list pattern
               | 'all_anc' PATTERN resolver?        -- pairs ⟨ancestors, match⟩
               | 'all_desc' PATTERN resolver?       -- pairs ⟨match, descendants⟩
+              | 'path' PATTERN                     -- document path query (docstore)
               | 'project' ATTR                     -- set apply of one attribute
     resolver := 'by' ATTR                          -- bare pattern symbols mean ATTR = symbol
     PATTERN  := a 'quoted' or "quoted" pattern in the §3 notation
@@ -27,6 +28,7 @@ Examples::
 
     root family | sub_select "Brazil(!?* USA !?*)" by citizen
     root song   | lsub_select "[A??F]" by pitch
+    root site   | path "//article[@lang='en']//p"
     extent Person | sselect {age > 30 and city = "C3"} | project name
 
 ``parse_aql`` returns the :class:`~repro.query.expr.Expr`; ``run_aql``
@@ -151,6 +153,13 @@ class _Parser:
             from ..core.aqua_tuple import make_tuple
 
             return E.AllDesc(node, pattern=pattern, function=make_tuple)
+        if op == "path":
+            # Document path queries: the docstore compiles the quoted
+            # path text into stock split/apply/flatten algebra, so the
+            # stage slots into any pipeline position a tree flows out of.
+            from ..docstore.path import compile_path
+
+            return compile_path(node, self._pattern_text())
         if op == "project":
             attribute = self._expect_word()
 
@@ -191,14 +200,18 @@ def run_aql(
     db: Database,
     optimize: bool = True,
     params: "Mapping[str, Any] | None" = None,
+    **knobs: Any,
 ) -> Any:
     """Parse, (optionally) optimize, and evaluate an AQL query.
 
     A thin wrapper over the default :class:`repro.api.Session`: repeated
     text is served from the plan cache's alias table without even being
     re-parsed.  ``$name`` slots inside ``{...}`` predicates bind through
-    ``params``.
+    ``params``.  Any :meth:`repro.api.Session.query` knob keyword
+    (``budget=``, ``executor=``, ``engine=``, ``parallel=``,
+    ``parallel_workers=``, ``cache=``) passes through to the shared
+    resolver, same names and precedence as everywhere else.
     """
     from ..api import default_session
 
-    return default_session(db).query(text, params, optimize=optimize)
+    return default_session(db).query(text, params, optimize=optimize, **knobs)

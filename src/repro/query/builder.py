@@ -140,17 +140,28 @@ class Q:
     def build(self) -> E.Expr:
         return self.node
 
-    def run(self, db: Database, params: "Mapping[str, Any] | None" = None) -> Any:
+    def run(
+        self,
+        db: Database,
+        params: "Mapping[str, Any] | None" = None,
+        **knobs: Any,
+    ) -> Any:
+        """Evaluate via the default Session; accepts its knob keywords
+        (``budget=``, ``executor=``, ``engine=``, ``optimize=``, ...)."""
         from ..api import default_session
 
-        return default_session(db).query(self.node, params)
+        return default_session(db).query(self.node, params, **knobs)
 
     def run_optimized(
-        self, db: Database, params: "Mapping[str, Any] | None" = None
+        self,
+        db: Database,
+        params: "Mapping[str, Any] | None" = None,
+        **knobs: Any,
     ) -> Any:
         from ..api import default_session
 
-        return default_session(db).query(self.node, params, optimize=True)
+        knobs.setdefault("optimize", True)
+        return default_session(db).query(self.node, params, **knobs)
 
     def describe(self) -> str:
         return self.node.describe()

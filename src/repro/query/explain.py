@@ -64,16 +64,25 @@ def explain(expr: E.Expr, db: Database, indent: int = 0) -> str:
     return "\n".join(lines)
 
 
-def explain_physical(expr: E.Expr, db: Database, indent: int = 0) -> str:
+def explain_physical(
+    expr: E.Expr,
+    db: Database,
+    indent: int = 0,
+    *,
+    choose_access_paths: bool = True,
+) -> str:
     """Render the lowered physical pipeline for ``expr``.
 
     One line per streaming operator — its physical name plus the access
     path the lowering chose (full scan, index probe, eager fallback) —
-    indented to mirror the logical tree it was lowered from.
+    indented to mirror the logical tree it was lowered from.  Access
+    paths are chosen by default (that is what an optimized execution
+    runs); pass ``choose_access_paths=False`` to see the plain
+    structure-mirroring lowering instead.
     """
     from ..physical import lower
 
-    plan = lower(expr, db)
+    plan = lower(expr, db, choose_access_paths=choose_access_paths)
     pad = "  " * indent
     return "\n".join(pad + line for line in plan.render().splitlines())
 

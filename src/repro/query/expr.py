@@ -8,59 +8,23 @@ small immutable value object; the interpreter
 :class:`~repro.storage.Database`, and the optimizer
 (:mod:`repro.optimizer`) rewrites them.
 
-Logical nodes mirror the paper's operators; *physical* nodes (the
-``Indexed*`` variants) are the access-path-committed forms the optimizer
-introduces — they make the §4 rewrites visible as plan shapes::
-
-    SubSelect(tp, src)                      -- scan every node
-    IndexedSubSelect(tp, anchor, src)       -- split-style: probe the
-                                               anchor's index, match at
-                                               the survivors only
+Every node here is *logical*: plans describe what to compute, never how.
+Access-path choice (index anchors, conjunct decomposition, columnar
+batch operators) lives entirely in the lowering pass
+(:func:`repro.physical.lower.lower` with ``choose_access_paths``) — the
+``Indexed*`` expression shims that used to make those choices visible as
+plan nodes were removed after their deprecation cycle.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import threading
-import warnings
-from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
 from ..patterns.list_ast import ListPattern
 from ..patterns.tree_ast import TreePattern
 from ..predicates.alphabet import AlphabetPredicate
-
-_shim_depth = threading.local()
-
-
-@contextmanager
-def internal_shims() -> Iterator[None]:
-    """Suppress the ``Indexed*`` deprecation warning for internal rebuilds.
-
-    The optimizer's rewrite rules still *produce* the shims (they are the
-    serializable plan shapes of the §4 rewrites), and ``with_children``
-    reconstructs them during passes; neither is a user choosing the
-    deprecated API, so both wrap themselves in this scope.
-    """
-    depth = getattr(_shim_depth, "value", 0)
-    _shim_depth.value = depth + 1
-    try:
-        yield
-    finally:
-        _shim_depth.value = depth
-
-
-def _warn_shim(node: Expr) -> None:
-    if getattr(_shim_depth, "value", 0):
-        return
-    warnings.warn(
-        f"constructing {type(node).__name__} directly is deprecated; access-path"
-        " choice lives in the lowering pass (physical.lower with"
-        " choose_access_paths) and the optimizer now emits these nodes itself",
-        DeprecationWarning,
-        stacklevel=3,
-    )
 
 
 class Expr:
@@ -197,63 +161,12 @@ class SubSelect(_Unary):
 
 
 @dataclass(frozen=True, repr=False)
-class IndexedSubSelect(_Unary):
-    """Physical: probe the anchors' node indexes, then match only there.
-
-    This is the plan shape of §4's rewrite
-    ``apply(sub_select(⊤tp))(split(d, reassemble)(T))`` with the split
-    fused away: the index probes play the role of ``split(d, ...)``.
-    ``anchors`` is the set of root predicates — every match root must
-    satisfy one of them, so their probes jointly cover all matches.
-
-    .. deprecated:: Access-path choice now lives in the lowering pass
-       (:func:`repro.physical.lower.lower` with ``choose_access_paths``,
-       backed by :func:`repro.optimizer.anchors.tree_split_anchors`).
-       This node remains as a shim so rewrite-engine plans stay
-       serializable; it lowers to the same ``index_anchor_scan``
-       operator the lowering pass would pick itself.
-    """
-
-    pattern: TreePattern = field(kw_only=True)
-    anchors: tuple[AlphabetPredicate, ...] = field(kw_only=True)
-
-    def __post_init__(self) -> None:
-        _warn_shim(self)
-
-    def head(self) -> str:
-        anchors = " | ".join(a.describe() for a in self.anchors)
-        return f"ix_sub_select[{self.pattern.describe()}; anchors={anchors}]"
-
-
-@dataclass(frozen=True, repr=False)
 class Split(_Unary):
     pattern: TreePattern = field(kw_only=True)
     function: Callable[..., Any] = field(kw_only=True)
 
     def head(self) -> str:
         return f"split[{self.pattern.describe()}]"
-
-
-@dataclass(frozen=True, repr=False)
-class IndexedSplit(_Unary):
-    """Physical: "the split operator uses the index on d" (§4) — probe
-    the anchors' node indexes to find candidate match roots, then build
-    the (x, y, z) pieces only there.
-
-    .. deprecated:: Shim for the lowering pass's access-path choice
-       (see :class:`IndexedSubSelect`); lowers to ``index_anchor_split``.
-    """
-
-    pattern: TreePattern = field(kw_only=True)
-    function: Callable[..., Any] = field(kw_only=True)
-    anchors: tuple[AlphabetPredicate, ...] = field(kw_only=True)
-
-    def __post_init__(self) -> None:
-        _warn_shim(self)
-
-    def head(self) -> str:
-        anchors = " | ".join(a.describe() for a in self.anchors)
-        return f"ix_split[{self.pattern.describe()}; anchors={anchors}]"
 
 
 @dataclass(frozen=True, repr=False)
@@ -305,31 +218,6 @@ class ListSubSelect(_Unary):
 
 
 @dataclass(frozen=True, repr=False)
-class IndexedListSubSelect(_Unary):
-    """Physical: use a position index on ``anchor`` to limit start
-    positions; ``offsets`` are the possible distances from a match start
-    to the anchor's position (computed by the optimizer).
-
-    .. deprecated:: Shim for the lowering pass's access-path choice
-       (backed by :func:`repro.optimizer.anchors.list_anchor_choice`);
-       lowers to ``list_anchor_scan``.
-    """
-
-    pattern: ListPattern = field(kw_only=True)
-    anchor: AlphabetPredicate = field(kw_only=True)
-    offsets: tuple[int, ...] = field(kw_only=True)
-
-    def __post_init__(self) -> None:
-        _warn_shim(self)
-
-    def head(self) -> str:
-        return (
-            f"ix_lsub_select[{self.pattern.describe()};"
-            f" anchor={self.anchor.describe()} @-{list(self.offsets)}]"
-        )
-
-
-@dataclass(frozen=True, repr=False)
 class ListSplit(_Unary):
     pattern: ListPattern = field(kw_only=True)
     function: Callable[..., Any] = field(kw_only=True)
@@ -349,28 +237,6 @@ class SetSelect(_Unary):
 
     def head(self) -> str:
         return f"sselect[{self.predicate.describe()}]"
-
-
-@dataclass(frozen=True, repr=False)
-class IndexedSetSelect(_Unary):
-    """Physical: serve ``indexed`` from an extent index, re-check
-    ``residual`` on the survivors (the relational-style decomposition of
-    §4's "Why Split?" discussion).
-
-    .. deprecated:: Shim for the lowering pass's access-path choice
-       (backed by :func:`repro.optimizer.anchors.extent_conjunct_split`);
-       lowers to ``indexed_select_filter``.
-    """
-
-    indexed: AlphabetPredicate = field(kw_only=True)
-    residual: AlphabetPredicate | None = field(kw_only=True, default=None)
-
-    def __post_init__(self) -> None:
-        _warn_shim(self)
-
-    def head(self) -> str:
-        residual = self.residual.describe() if self.residual else "true"
-        return f"ix_sselect[{self.indexed.describe()}; residual={residual}]"
 
 
 @dataclass(frozen=True, repr=False)

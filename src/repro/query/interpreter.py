@@ -44,8 +44,6 @@ from ..core.aqua_set import AquaSet
 from ..core.aqua_tree import AquaTree
 from ..errors import QueryError, ResourceExhaustedError
 from ..guardrails import Budget, Guard
-from ..optimizer.anchors import probe_anchor_roots
-from ..patterns.tree_memo import prime_match_context
 from ..storage.database import Database
 from . import expr as E
 from .metrics import PlanMetrics, cardinality
@@ -239,29 +237,9 @@ def _eval_sub_select(node: E.SubSelect, db: Database, guard, trail) -> AquaSet:
     return sub_select(node.pattern, tree)
 
 
-def _eval_indexed_sub_select(
-    node: E.IndexedSubSelect, db: Database, guard, trail
-) -> AquaSet:
-    tree = _as_tree(_eval(node.input, db, guard, trail), node, trail)
-    roots, index = probe_anchor_roots(db, tree, node.anchors, db.stats)
-    prime_match_context(node.pattern, tree, index.bitmap)
-    if roots is None:
-        return sub_select(node.pattern, tree)
-    return sub_select(node.pattern, tree, roots=roots)
-
-
 def _eval_split(node: E.Split, db: Database, guard, trail) -> AquaSet:
     tree = _as_tree(_eval(node.input, db, guard, trail), node, trail)
     return split(node.pattern, node.function, tree)
-
-
-def _eval_indexed_split(node: E.IndexedSplit, db: Database, guard, trail) -> AquaSet:
-    tree = _as_tree(_eval(node.input, db, guard, trail), node, trail)
-    roots, index = probe_anchor_roots(db, tree, node.anchors, db.stats)
-    prime_match_context(node.pattern, tree, index.bitmap)
-    if roots is None:
-        return split(node.pattern, node.function, tree)
-    return split(node.pattern, node.function, tree, roots=roots)
 
 
 def _eval_all_anc(node: E.AllAnc, db: Database, guard, trail) -> AquaSet:
@@ -295,21 +273,6 @@ def _eval_list_sub_select(node: E.ListSubSelect, db: Database, guard, trail) -> 
     return sub_select_list(node.pattern, values)
 
 
-def _eval_indexed_list_sub_select(
-    node: E.IndexedListSubSelect, db: Database, guard, trail
-) -> AquaSet:
-    values = _as_list(_eval(node.input, db, guard, trail), node, trail)
-    index = db.list_index(values, node.anchor.attributes())
-    positions, used = index.positions_for(node.anchor, db.stats)
-    if not used:
-        return sub_select_list(node.pattern, values)
-    starts = sorted(
-        {p - offset for p in positions for offset in node.offsets if p - offset >= 0}
-    )
-    db.stats.bump("positions_scanned", len(starts))
-    return sub_select_list(node.pattern, values, starts=starts)
-
-
 def _eval_list_split(node: E.ListSplit, db: Database, guard, trail) -> AquaSet:
     values = _as_list(_eval(node.input, db, guard, trail), node, trail)
     return split_list(node.pattern, node.function, values)
@@ -321,20 +284,6 @@ def _eval_list_split(node: E.ListSplit, db: Database, guard, trail) -> AquaSet:
 def _eval_set_select(node: E.SetSelect, db: Database, guard, trail) -> AquaSet:
     collection = _as_set(_eval(node.input, db, guard, trail), node, trail)
     return collection.select(db.stats.counting(node.predicate))
-
-
-def _eval_indexed_set_select(
-    node: E.IndexedSetSelect, db: Database, guard, trail
-) -> AquaSet:
-    if isinstance(node.input, E.Extent):
-        rows, _ = db.candidates(node.input.name, node.indexed)
-        base = AquaSet(rows)
-    else:
-        base = _as_set(_eval(node.input, db, guard, trail), node, trail)
-    checked = base.select(db.stats.counting(node.indexed))
-    if node.residual is None:
-        return checked
-    return checked.select(db.stats.counting(node.residual))
 
 
 def _eval_set_apply(node: E.SetApply, db: Database, guard, trail) -> AquaSet:
@@ -379,18 +328,14 @@ _DISPATCH = {
     E.TreeSelect: _eval_tree_select,
     E.TreeApply: _eval_tree_apply,
     E.SubSelect: _eval_sub_select,
-    E.IndexedSubSelect: _eval_indexed_sub_select,
     E.Split: _eval_split,
-    E.IndexedSplit: _eval_indexed_split,
     E.AllAnc: _eval_all_anc,
     E.AllDesc: _eval_all_desc,
     E.ListSelect: _eval_list_select,
     E.ListApply: _eval_list_apply,
     E.ListSubSelect: _eval_list_sub_select,
-    E.IndexedListSubSelect: _eval_indexed_list_sub_select,
     E.ListSplit: _eval_list_split,
     E.SetSelect: _eval_set_select,
-    E.IndexedSetSelect: _eval_indexed_set_select,
     E.SetApply: _eval_set_apply,
     E.SetFlatten: _eval_set_flatten,
     E.SetUnion: _eval_union,

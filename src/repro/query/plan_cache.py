@@ -88,6 +88,12 @@ def _function_fp(function: Any) -> Hashable:
     builds one ``projector`` closure per query text, distinguished by
     its default-argument capture.
     """
+    declared = getattr(function, "plan_fingerprint", None)
+    if declared is not None:
+        # A callable object may declare its own plan identity (e.g. the
+        # docstore's path-step functions): two instances built from the
+        # same path text are the same plan, so warm path queries hit.
+        return ("declared-fn", declared)
     code = getattr(function, "__code__", None)
     if code is None:
         return ("callable-id", id(function))

@@ -14,14 +14,15 @@ everything.
 Parameterized queries make the cache earn its keep: ``$name`` slots
 (:mod:`repro.params`) are part of the plan's *structure*, and the bound
 values arrive at :meth:`PreparedQuery.run` — one plan, many bindings.
-One guard protects that bargain: the optimizer's anchor analysis may
+One guard protects that bargain: the lowering's access-path analysis may
 have committed to an index probe on a ``$param`` equality term
 (:func:`~repro.optimizer.anchors.tree_split_anchors` presumes an
-unbound param servable).  :class:`PreparedQuery` records which slots
-back such anchors, and a binding that cannot be an index key (an
-unhashable value) triggers a **re-plan for that run only** — counted as
-``plan_cache_replans`` — planned under the armed bindings so the
-binding-aware analysis picks the safe full-scan shape instead.
+unbound param servable).  The lowering factory records which slots back
+such anchors (``PipelineFactory.anchor_params``), and a binding that
+cannot be an index key (an unhashable value) triggers a **re-plan for
+that run only** — counted as ``plan_cache_replans`` — planned under the
+armed bindings so the binding-aware analysis picks the safe full-scan
+shape instead.
 
 Execution semantics are identical to
 :func:`repro.query.interpreter.evaluate` — same guard, instrumentation,
@@ -36,7 +37,7 @@ from typing import TYPE_CHECKING, Any, Hashable, Mapping
 from .. import config, guardrails
 from ..errors import QueryError
 from ..guardrails import Budget
-from ..params import Param, bound_params, current_bindings, is_bindable
+from ..params import bound_params, current_bindings, is_bindable
 from ..patterns.tree_memo import match_scope
 from ..storage.database import Database
 from . import expr as E
@@ -68,41 +69,23 @@ def _plan_dependencies(expr: E.Expr, plan: E.Expr) -> tuple[str, ...]:
     return tuple(sorted(tags))
 
 
-def _anchor_param_slots(plan: E.Expr) -> frozenset[str]:
-    """The ``$param`` slots backing index-anchor choices in ``plan``.
-
-    These are the prepare-time assumptions the re-plan guard watches: a
-    ``=``-term whose constant is a param, inside a predicate some
-    ``Indexed*`` node committed to probing.
-    """
-    slots: set[str] = set()
-
-    def collect(predicate) -> None:
-        if predicate is None or predicate.opaque:
-            return
-        for _, op, constant in predicate.indexable_terms():
-            if op == "=" and isinstance(constant, Param):
-                slots.add(constant.name)
-
-    for node in plan.walk():
-        for anchor in getattr(node, "anchors", ()) or ():
-            collect(anchor)
-        collect(getattr(node, "anchor", None))
-        collect(getattr(node, "indexed", None))
-    return frozenset(slots)
-
-
 def _plan(
     expr: E.Expr, db: Database, optimize: bool
 ) -> tuple[E.Expr, "PipelineFactory"]:
-    """The planning pipeline shared by cold prepares and re-plans."""
+    """The planning pipeline shared by cold prepares and re-plans.
+
+    ``optimize`` controls both the algebraic rewrite pass and the
+    lowering's access-path choice: an optimized prepare commits to index
+    anchors / conjunct decompositions in the factory, an unoptimized one
+    (the degradation ladder's last rung) mirrors the logical tree.
+    """
     from ..optimizer.engine import Optimizer
     from ..physical.lower import lower_factory
 
     plan = expr
     if optimize:
         plan, _ = Optimizer(db).optimize(expr)
-    return plan, lower_factory(plan, db)
+    return plan, lower_factory(plan, db, choose_access_paths=optimize)
 
 
 class PreparedQuery:
@@ -141,7 +124,7 @@ class PreparedQuery:
         self.dep_versions = (
             dep_versions if dep_versions is not None else db.versions(self.deps)
         )
-        self.anchor_params = _anchor_param_slots(plan)
+        self.anchor_params = factory.anchor_params
         self.param_slots = frozenset(
             node.name for node in expr.walk() if isinstance(node, E.Param)
         )
@@ -180,18 +163,23 @@ class PreparedQuery:
         budget: Budget | None = None,
         executor: str | None = None,
         engine: str | None = None,
+        parallel: str | None = None,
+        parallel_workers: int | str | None = None,
         db: Database | None = None,
     ) -> Any:
         """Execute with ``params`` bound; semantics match ``evaluate()``.
 
-        ``executor`` / ``engine`` override the session/env/default
-        resolution for this run only (see :mod:`repro.config`).  ``db``
-        overrides the execution *view*: operators resolve roots, extents
-        and indexes at runtime through the context database, so a plan
-        prepared against one view (and served from the shared cache)
-        executes correctly against another — in particular against a
-        pinned :class:`~repro.storage.snapshot.DatabaseSnapshot` of the
-        same base database.
+        The knob keywords are the same set :meth:`repro.api.Session.query`
+        and :meth:`repro.api.SessionPool.submit` take — ``budget`` /
+        ``executor`` / ``engine`` / ``parallel`` / ``parallel_workers``
+        override the session/env/default resolution for this run only
+        (see :mod:`repro.config`).  ``db`` overrides the execution
+        *view*: operators resolve roots, extents and indexes at runtime
+        through the context database, so a plan prepared against one
+        view (and served from the shared cache) executes correctly
+        against another — in particular against a pinned
+        :class:`~repro.storage.snapshot.DatabaseSnapshot` of the same
+        base database.
         """
         from ..physical import ExecutionContext
         from .interpreter import _eval
@@ -201,7 +189,9 @@ class PreparedQuery:
         stats = view.stats
         with bound_params(params):
             plan, factory = self._plan_for_bindings(view)
-            with config.tree_engine_scope(engine), guardrails.guarded(
+            with config.tree_engine_scope(engine), config.parallel_scope(
+                parallel
+            ), config.parallel_workers_scope(parallel_workers), guardrails.guarded(
                 budget
             ) as guard, stats.activated(), match_scope(view):
                 if executor == "eager":
@@ -219,6 +209,8 @@ class PreparedQuery:
         budget: Budget | None = None,
         executor: str | None = None,
         engine: str | None = None,
+        parallel: str | None = None,
+        parallel_workers: int | str | None = None,
         db: Database | None = None,
     ) -> tuple[Any, PlanMetrics]:
         """Like :meth:`run`, collecting per-operator runtime metrics."""
@@ -226,7 +218,13 @@ class PreparedQuery:
         view = db if db is not None else self.db
         with view.stats.collecting(metrics):
             result = self.run(
-                params, budget=budget, executor=executor, engine=engine, db=view
+                params,
+                budget=budget,
+                executor=executor,
+                engine=engine,
+                parallel=parallel,
+                parallel_workers=parallel_workers,
+                db=view,
             )
         return result, metrics
 

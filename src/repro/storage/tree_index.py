@@ -171,6 +171,8 @@ class TreeIndex:
             attribute: HashIndex(attribute) for attribute in attributes
         }
         self.node_count = 0
+        self._pre: dict[int, int] = {}
+        self._children_pre: dict[int, int] = {}
         self._bitmap: PredicateBitmap | None = None
         self._column_provider: Callable[[], Any] | None = None
         self._build()
@@ -179,11 +181,18 @@ class TreeIndex:
         if self.tree.root is None:
             return
         counter = 0
+        sequence = 0
 
         def walk(node: TreeNode, depth: int) -> None:
-            nonlocal counter
+            nonlocal counter, sequence
             pre = counter
             counter += 1
+            # The dense preorder sequence (matching enumerate(tree.nodes()))
+            # doubles as the match-memo position interning, so contexts
+            # primed from this index skip their own O(n) walk.
+            self._pre[id(node)] = sequence
+            self._children_pre[id(node.children)] = sequence
+            sequence += 1
             for child in node.children:
                 walk(child, depth + 1)
             self.labels[id(node)] = NodeLabel(pre=pre, post=counter, depth=depth)
@@ -197,7 +206,28 @@ class TreeIndex:
                 index.insert(node, key=_hashable_key(key))
 
         walk(self.tree.root, 0)
-        self.node_count = sum(1 for _ in self.tree.nodes())
+        self.node_count = sequence
+
+    def position_maps(self) -> tuple[dict[int, int], dict[int, int]]:
+        """``(node-id → preorder, children-id → preorder)`` built once.
+
+        The same shape :meth:`repro.storage.columnar.ColumnarExtent.position_maps`
+        shares with the match context — handing these to
+        ``prime_match_context`` saves the context's own full-tree
+        interning walk on every query that probes this index.
+        """
+        return self._pre, self._children_pre
+
+    def preorder_sorted(self, nodes: "list[TreeNode]") -> "list[TreeNode]":
+        """Sort probed nodes into document preorder via the labels."""
+        return sorted(
+            nodes,
+            key=lambda node: (
+                label.pre
+                if (label := self.labels.get(id(node))) is not None
+                else self.node_count
+            ),
+        )
 
     # -- structural predicates ------------------------------------------------
 

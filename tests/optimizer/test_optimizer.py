@@ -1,4 +1,9 @@
-"""Tests for the rewrite rules, cost model and engine."""
+"""Tests for the rewrite rules, cost model, engine and access-path choice.
+
+Access-path decisions moved out of the rewrite rules and into the
+lowering pass (``choose_access_paths``); the anchor analyses themselves
+(:mod:`repro.optimizer.anchors`) are exercised here through that pass.
+"""
 
 import pytest
 
@@ -7,22 +12,14 @@ from repro.core.identity import Record
 from repro.errors import OptimizerError
 from repro.optimizer.cost import CostModel, list_pattern_cost, tree_pattern_cost
 from repro.optimizer.engine import Optimizer, Region, optimize
-from repro.optimizer.rules import (
-    ConjunctDecompositionRule,
-    ListAnchorIndexRule,
-    SetSelectFusionRule,
-    SubSelectIndexRule,
-)
+from repro.optimizer.rules import Rule, SetSelectFusionRule
 from repro.patterns.list_parser import parse_list_pattern
 from repro.patterns.tree_parser import parse_tree_pattern
+from repro.physical import ExecutionContext, lower, operators as P
 from repro.predicates.alphabet import attr, pred, sym
 from repro.query import Q, evaluate
 from repro.query import expr as E
 from repro.storage import Database
-
-pytestmark = pytest.mark.filterwarnings(
-    "ignore:constructing Indexed:DeprecationWarning"
-)
 
 
 @pytest.fixture()
@@ -37,30 +34,37 @@ def db():
     return database
 
 
-class TestSubSelectIndexRule:
-    def test_rewrites_to_physical(self, db):
-        rule = SubSelectIndexRule()
+def run(plan, db):
+    return plan.execute(ExecutionContext(db=db))
+
+
+def chosen(node, db):
+    return lower(node, db, choose_access_paths=True)
+
+
+class TestTreeAnchorChoice:
+    def test_lowers_to_index_anchor_scan(self, db):
         node = Q.root("T").sub_select("d(e(h i) j)").build()
-        rewritten = rule.apply(node, db)
-        assert isinstance(rewritten, E.IndexedSubSelect)
-        assert [a.describe() for a in rewritten.anchors] == ["x = 'd'"]
+        plan = chosen(node, db)
+        assert type(plan.root) is P.IndexAnchorScan
+        assert [a.describe() for a in plan.root.anchors] == ["x = 'd'"]
 
     def test_union_pattern_gets_multiple_anchors(self, db):
         node = Q.root("T").sub_select("d(x) | k").build()
-        rewritten = SubSelectIndexRule().apply(node, db)
-        assert rewritten is not None
-        assert len(rewritten.anchors) == 2
+        plan = chosen(node, db)
+        assert type(plan.root) is P.IndexAnchorScan
+        assert len(plan.root.anchors) == 2
 
     def test_skips_root_anchored_patterns(self, db):
         node = Q.root("T").sub_select("^d(x)").build()
-        assert SubSelectIndexRule().apply(node, db) is None
+        assert not isinstance(chosen(node, db).root, P.IndexAnchorScan)
 
     def test_skips_unusable_roots(self, db):
         node = E.SubSelect(
             E.Root("T"),
             pattern=parse_tree_pattern("[[d(@)]]*@"),  # star root: unknown
         )
-        assert SubSelectIndexRule().apply(node, db) is None
+        assert not isinstance(chosen(node, db).root, P.IndexAnchorScan)
 
     def test_skips_opaque_anchor(self, db):
         from repro.patterns.tree_ast import TreeAtom, TreePattern
@@ -68,64 +72,75 @@ class TestSubSelectIndexRule:
         node = E.SubSelect(
             E.Root("T"), pattern=TreePattern(TreeAtom(pred(lambda v: True), None))
         )
-        assert SubSelectIndexRule().apply(node, db) is None
+        assert not isinstance(chosen(node, db).root, P.IndexAnchorScan)
 
     def test_semantics_preserved(self, db):
         node = Q.root("T").sub_select("d(e(h i) j)").build()
-        rewritten = SubSelectIndexRule().apply(node, db)
-        assert evaluate(node, db) == evaluate(rewritten, db)
+        assert run(chosen(node, db), db) == evaluate(node, db)
+
+    def test_unselective_anchor_priced_out(self):
+        # Every node matches the anchor: probing buys nothing, so the
+        # lowering's cost gate keeps the scan (the decision the
+        # rule-level cost gate used to make).
+        from repro.workloads import random_labeled_tree
+
+        database = Database()
+        tree = random_labeled_tree(500, ["d"], seed=1)
+        database.bind_root("T", tree)
+        database.tree_index(tree)
+        node = Q.root("T").sub_select("d(?*)").build()
+        assert not isinstance(chosen(node, database).root, P.IndexAnchorScan)
 
 
-class TestListAnchorIndexRule:
+class TestListAnchorChoice:
     def test_picks_first_atom(self, db):
         node = Q.root("song").lsub_select("[a??f]").build()
-        rewritten = ListAnchorIndexRule().apply(node, db)
-        assert isinstance(rewritten, E.IndexedListSubSelect)
-        assert rewritten.offsets == (0,)
+        plan = chosen(node, db)
+        assert type(plan.root) is P.ListAnchorScan
+        assert plan.root.offsets == (0,)
 
     def test_anchor_after_star_skipped(self, db):
         # Unbounded prefix before the atom: offsets unknown.
         node = Q.root("song").lsub_select("[?* a]").build()
-        rewritten = ListAnchorIndexRule().apply(node, db)
-        assert rewritten is None
+        assert not isinstance(chosen(node, db).root, P.ListAnchorScan)
 
     def test_anchor_after_bounded_prefix(self, db):
         node = Q.root("song").lsub_select("[? a]").build()
-        rewritten = ListAnchorIndexRule().apply(node, db)
-        assert rewritten is not None
-        assert rewritten.offsets == (1,)
-        assert rewritten.anchor.describe() == "x = 'a'"
+        plan = chosen(node, db)
+        assert type(plan.root) is P.ListAnchorScan
+        assert plan.root.offsets == (1,)
+        assert plan.root.anchor.describe() == "x = 'a'"
 
     def test_semantics_preserved(self, db):
         node = Q.root("song").lsub_select("[a??f]").build()
-        rewritten = ListAnchorIndexRule().apply(node, db)
-        assert evaluate(node, db) == evaluate(rewritten, db)
+        assert run(chosen(node, db), db) == evaluate(node, db)
 
     def test_no_indexable_atom(self, db):
         node = Q.root("song").lsub_select("[??]").build()
-        assert ListAnchorIndexRule().apply(node, db) is None
+        assert not isinstance(chosen(node, db).root, P.ListAnchorScan)
 
 
 class TestConjunctDecomposition:
-    def test_rewrites_with_residual(self, db):
+    def test_decomposes_with_residual(self, db):
         db.create_index("Person", "city")
         node = Q.extent("Person").sselect(
             (attr("age") > 40) & (attr("city") == "C3")
         ).build()
-        rewritten = ConjunctDecompositionRule().apply(node, db)
-        assert isinstance(rewritten, E.IndexedSetSelect)
-        assert rewritten.indexed.describe() == "x.city = 'C3'"
-        assert rewritten.residual is not None
+        plan = chosen(node, db)
+        assert type(plan.root) is P.IndexedSelectFilter
+        assert plan.root.indexed.describe() == "x.city = 'C3'"
+        assert plan.root.residual is not None
 
     def test_all_conjuncts_indexed_leaves_no_residual(self, db):
         db.create_index("Person", "city")
         node = Q.extent("Person").sselect(attr("city") == "C3").build()
-        rewritten = ConjunctDecompositionRule().apply(node, db)
-        assert rewritten.residual is None
+        plan = chosen(node, db)
+        assert type(plan.root) is P.IndexedSelectFilter
+        assert plan.root.residual is None
 
-    def test_no_index_no_rewrite(self, db):
+    def test_no_index_no_decomposition(self, db):
         node = Q.extent("Person").sselect(attr("city") == "C3").build()
-        assert ConjunctDecompositionRule().apply(node, db) is None
+        assert not isinstance(chosen(node, db).root, P.IndexedSelectFilter)
 
     def test_only_on_extent_inputs(self, db):
         db.create_index("Person", "city")
@@ -135,15 +150,15 @@ class TestConjunctDecomposition:
             .sselect(attr("city") == "C3")
             .build()
         )
-        assert ConjunctDecompositionRule().apply(node, db) is None
+        # The outer select's input is another select, not the extent.
+        assert not isinstance(chosen(node, db).root, P.IndexedSelectFilter)
 
     def test_semantics_preserved(self, db):
         db.create_index("Person", "city")
         node = Q.extent("Person").sselect(
             (attr("age") > 40) & (attr("city") == "C3")
         ).build()
-        rewritten = ConjunctDecompositionRule().apply(node, db)
-        assert evaluate(node, db) == evaluate(rewritten, db)
+        assert run(chosen(node, db), db) == evaluate(node, db)
 
 
 class TestFusion:
@@ -168,35 +183,47 @@ class TestFusion:
             .build()
         )
         plan, trace = Optimizer(db).optimize(node)
-        assert isinstance(plan, E.IndexedSetSelect)
-        assert len(trace.steps) == 2
+        # Fusion exposes the whole conjunction on the extent...
+        assert isinstance(plan, E.SetSelect)
+        assert isinstance(plan.input, E.Extent)
+        assert len(trace.steps) == 1
+        # ...which the lowering then serves through the index.
+        assert type(chosen(plan, db).root) is P.IndexedSelectFilter
         assert evaluate(plan, db) == evaluate(node, db)
 
 
+class _Pricier(Rule):
+    """A deliberately regressive rewrite, to exercise the cost gate."""
+
+    name = "pricier"
+
+    def apply(self, node, db):
+        del db
+        if isinstance(node, E.SetSelect) and not isinstance(node.input, E.SetSelect):
+            return E.SetSelect(node, predicate=node.predicate)
+        return None
+
+
 class TestEngine:
-    def test_end_to_end_tree_plan(self, db):
+    def test_optimized_tree_plan_stays_logical(self, db):
         query = Q.root("T").sub_select("d(e(h i) j)").build()
-        plan, trace = Optimizer(db).optimize(query)
-        assert isinstance(plan, E.IndexedSubSelect)
-        assert trace.final_cost < trace.initial_cost
+        plan, _ = Optimizer(db).optimize(query)
+        assert isinstance(plan, E.SubSelect)
+        # The access path is the lowering's call, not a plan rewrite.
+        assert type(chosen(plan, db).root) is P.IndexAnchorScan
 
     def test_cost_gate_rejects_regressions(self, db):
-        # With an absurd probe cost the physical plan prices worse; gate on.
-        import repro.optimizer.cost as cost_module
-
-        original = cost_module.PROBE_COST
-        cost_module.PROBE_COST = 10_000_000.0
-        try:
-            query = Q.root("T").sub_select("d(e(h i) j)").build()
-            plan, _ = Optimizer(db).optimize(query)
-            assert isinstance(plan, E.SubSelect)
-        finally:
-            cost_module.PROBE_COST = original
+        regions = [Region("custom", [_Pricier()], strategy="once")]
+        query = Q.extent("Person").sselect(attr("age") > 40).build()
+        plan, _ = Optimizer(db, regions=regions).optimize(query)
+        assert plan == query  # the pricier rewrite was gated out
 
     def test_gate_can_be_disabled(self, db):
-        query = Q.root("T").sub_select("d(e(h i) j)").build()
-        plan, _ = Optimizer(db, cost_gate=False).optimize(query)
-        assert isinstance(plan, E.IndexedSubSelect)
+        regions = [Region("custom", [_Pricier()], strategy="once")]
+        query = Q.extent("Person").sselect(attr("age") > 40).build()
+        plan, _ = Optimizer(db, regions=regions, cost_gate=False).optimize(query)
+        assert isinstance(plan, E.SetSelect)
+        assert isinstance(plan.input, E.SetSelect)
 
     def test_invalid_region_strategy(self):
         with pytest.raises(OptimizerError):
@@ -204,11 +231,17 @@ class TestEngine:
 
     def test_optimize_convenience(self, db):
         plan = optimize(Q.root("song").lsub_select("[a??f]").build(), db)
-        assert isinstance(plan, E.IndexedListSubSelect)
+        assert isinstance(plan, E.ListSubSelect)
 
     def test_trace_is_readable(self, db):
-        _, trace = Optimizer(db).optimize(Q.root("T").sub_select("d(x)").build())
-        assert "sub_select→indexed" in repr(trace)
+        query = (
+            Q.extent("Person")
+            .sselect(attr("age") > 40)
+            .sselect(attr("city") == "C3")
+            .build()
+        )
+        _, trace = Optimizer(db).optimize(query)
+        assert "set-select-fusion" in repr(trace)
 
 
 class TestCostModel:
@@ -232,8 +265,13 @@ class TestCostModel:
         selectivity = model.anchor_selectivity(E.Root("T"), sym("d"))
         assert 0 < selectivity < 0.5
 
-    def test_indexed_plan_costs_less(self, db):
+    def test_fused_select_prices_no_worse_than_cascade(self, db):
+        cascade = (
+            Q.extent("Person")
+            .sselect(attr("age") > 40)
+            .sselect(attr("city") == "C3")
+            .build()
+        )
+        fused = SetSelectFusionRule().apply(cascade, db)
         model = CostModel(db)
-        logical = Q.root("T").sub_select("d(e(h i) j)").build()
-        physical = SubSelectIndexRule().apply(logical, db)
-        assert model.cost(physical) < model.cost(logical)
+        assert model.cost(fused) <= model.cost(cascade)

@@ -1,17 +1,13 @@
-"""Tests for the IndexedSplit rule — §4's literal sentence about split."""
+"""Index-anchored split — §4's literal sentence, now a lowering choice."""
 
 import pytest
 
 from repro.core import make_tuple, parse_tree
-from repro.optimizer import Optimizer, SplitIndexRule
+from repro.physical import ExecutionContext, lower, operators as P
 from repro.query import Q, evaluate
 from repro.query import expr as E
 from repro.storage import Database
 from repro.workloads import by_citizen_or_name, random_family_tree
-
-pytestmark = pytest.mark.filterwarnings(
-    "ignore:constructing Indexed:DeprecationWarning"
-)
 
 
 @pytest.fixture()
@@ -28,16 +24,24 @@ def piece_summary(x, y, z):
     return (x.size(), y.size(), len(z.values()))
 
 
-class TestSplitIndexRule:
-    def test_rewrites_split(self, db):
+def run(plan, db):
+    return plan.execute(ExecutionContext(db=db))
+
+
+def chosen(node, db):
+    return lower(node, db, choose_access_paths=True)
+
+
+class TestSplitAnchorLowering:
+    def test_lowers_to_index_anchor_split(self, db):
         node = Q.root("T").split("d", piece_summary).build()
-        rewritten = SplitIndexRule().apply(node, db)
-        assert isinstance(rewritten, E.IndexedSplit)
-        assert rewritten.function is piece_summary
+        plan = chosen(node, db)
+        assert type(plan.root) is P.IndexAnchorSplit
+        assert plan.root.function is piece_summary
 
     def test_skips_anchored(self, db):
         node = Q.root("T").split("^d", piece_summary).build()
-        assert SplitIndexRule().apply(node, db) is None
+        assert not isinstance(chosen(node, db).root, P.IndexAnchorSplit)
 
     def test_skips_unusable_root(self, db):
         from repro.patterns.tree_parser import parse_tree_pattern
@@ -47,23 +51,21 @@ class TestSplitIndexRule:
             pattern=parse_tree_pattern("[[d(@)]]*@"),
             function=piece_summary,
         )
-        assert SplitIndexRule().apply(node, db) is None
+        assert not isinstance(chosen(node, db).root, P.IndexAnchorSplit)
 
     def test_semantics_preserved(self, db):
         node = Q.root("T").split("d", piece_summary).build()
-        rewritten = SplitIndexRule().apply(node, db)
-        assert evaluate(node, db) == evaluate(rewritten, db)
+        assert run(chosen(node, db), db) == evaluate(node, db)
 
-    def test_family_tree_split_through_optimizer(self, db):
+    def test_family_tree_split_end_to_end(self, db):
         query = Q.root("family").split(
             "Brazil(!?* USA !?*)",
             lambda x, y, z: make_tuple(y, len(z.values())),
             resolver=by_citizen_or_name,
         ).build()
-        plan, trace = Optimizer(db).optimize(query)
-        assert isinstance(plan, E.IndexedSplit)
-        assert evaluate(plan, db) == evaluate(query, db)
-        assert trace.final_cost < trace.initial_cost
+        plan = chosen(query, db)
+        assert type(plan.root) is P.IndexAnchorSplit
+        assert run(plan, db) == evaluate(query, db)
 
     def test_indexed_split_counters(self, db):
         query = Q.root("family").split(
@@ -71,8 +73,8 @@ class TestSplitIndexRule:
             lambda x, y, z: y.size(),
             resolver=by_citizen_or_name,
         ).build()
-        plan, _ = Optimizer(db).optimize(query)
+        plan = chosen(query, db)
         db.stats.reset()
-        evaluate(plan, db)
+        run(plan, db)
         assert db.stats["index_probes"] >= 1
         assert db.stats["index_candidates"] < 300 / 10

@@ -3,8 +3,8 @@
 The lowering pass must know every logical node (a new ``Expr`` subclass
 without a rule is a bug caught here, not at query time), must mirror the
 logical tree position-for-position so metrics paths line up, and owns
-the access-path decisions the deprecated ``Indexed*`` shim nodes used to
-encode in the expression tree.
+every access-path decision (``choose_access_paths``) — the ``Indexed*``
+expression shims that used to encode those decisions are gone.
 """
 
 import inspect
@@ -13,9 +13,8 @@ import pytest
 
 from repro.core.identity import Record
 from repro.errors import QueryError
-from repro.patterns import parse_tree_pattern
 from repro.physical import ExecutionContext, lower, operators as P
-from repro.physical.lower import _LOWERING
+from repro.physical.lower import _LOWERING, lower_factory
 from repro.predicates import attr
 from repro.query import Q, expr as E
 from repro.storage import Database
@@ -25,10 +24,6 @@ from repro.workloads import (
     figure3_family_tree,
     random_labeled_tree,
     song_with_melody,
-)
-
-pytestmark = pytest.mark.filterwarnings(
-    "ignore:constructing Indexed:DeprecationWarning"
 )
 
 
@@ -247,78 +242,25 @@ class TestColumnarLowering:
         assert served == baseline
 
 
-class TestDeprecatedShims:
-    """The ``Indexed*`` nodes lower to the same probing operators the
-    lowering pass would choose itself — they are shims, not a second
-    access-path mechanism."""
+class TestAnchorParamRecording:
+    """The factory reports which ``$param`` slots back an access-path
+    commitment — the prepared-query re-plan guard's watch list."""
 
-    def test_indexed_sub_select_lowers_to_index_anchor_scan(self):
-        from repro.optimizer import tree_split_anchors
-
-        db = labeled_tree_db()
-        pattern = parse_tree_pattern("d(e(h i) j ?*)")
-        anchors = tree_split_anchors(pattern)
-        assert anchors is not None
-        shim = E.IndexedSubSelect(E.Root("T"), pattern=pattern, anchors=anchors)
-        plan = lower(shim, db)
-        assert type(plan.root) is P.IndexAnchorScan
-        assert run(plan, db) == run(
-            lower(E.SubSelect(E.Root("T"), pattern=pattern), db), db
-        )
-
-    def test_indexed_split_lowers_to_index_anchor_split(self):
-        from repro.optimizer import tree_split_anchors
-
-        db = Database()
-        db.bind_root("family", figure3_family_tree())
-        query = Q.root("family").split(
-            "Brazil(!?* USA !?*)",
-            lambda x, y, z: y.close_points(y.concat_points()),
-            resolver=by_citizen_or_name,
-        ).build()
-        anchors = tree_split_anchors(query.pattern)
-        assert anchors is not None
-        shim = E.IndexedSplit(
-            query.input,
-            pattern=query.pattern,
-            function=query.function,
-            anchors=anchors,
-        )
-        plan = lower(shim, db)
-        assert type(plan.root) is P.IndexAnchorSplit
-        assert run(plan, db) == run(lower(query, db), db)
-
-    def test_indexed_list_sub_select_lowers_to_list_anchor_scan(self):
-        from repro.optimizer import list_anchor_choice
-
-        db = Database()
-        song = song_with_melody(200, ["A", "C", "D", "F"], occurrences=2, seed=7)
-        db.bind_root("song", song)
-        db.list_index(song, ["pitch"])
-        query = Q.root("song").lsub_select("[A??F]", resolver=by_pitch).build()
-        chosen = list_anchor_choice(query.pattern)
-        assert chosen is not None
-        anchor, offsets = chosen
-        shim = E.IndexedListSubSelect(
-            query.input, pattern=query.pattern, anchor=anchor, offsets=offsets
-        )
-        plan = lower(shim, db)
-        assert type(plan.root) is P.ListAnchorScan
-        assert run(plan, db) == run(lower(query, db), db)
-
-    def test_indexed_set_select_over_extent_has_no_child_scan(self):
+    def test_param_anchor_slot_is_recorded(self):
         db = person_db()
-        shim = E.IndexedSetSelect(
-            E.Extent("Person"),
-            indexed=attr("city") == "C3",
-            residual=attr("age") > 30,
-        )
-        plan = lower(shim, db)
-        assert type(plan.root) is P.IndexedSelectFilter
-        assert plan.root.children == ()
-        reference = (
-            Q.extent("Person")
-            .sselect((attr("age") > 30) & (attr("city") == "C3"))
-            .build()
-        )
-        assert run(plan, db) == run(lower(reference, db), db)
+        query = Q.extent("Person").sselect(attr("city") == Q.param("where")).build()
+        factory = lower_factory(query, db, choose_access_paths=True)
+        assert type(factory.instantiate().root) is P.IndexedSelectFilter
+        assert factory.anchor_params == frozenset({"where"})
+
+    def test_plain_lowering_records_no_slots(self):
+        db = labeled_tree_db()
+        query = Q.root("T").sub_select("d(e(h i) j ?*)").build()
+        factory = lower_factory(query, db)
+        assert factory.anchor_params == frozenset()
+
+    def test_chosen_lowering_without_params_records_no_slots(self):
+        db = labeled_tree_db()
+        query = Q.root("T").sub_select("d(e(h i) j ?*)").build()
+        factory = lower_factory(query, db, choose_access_paths=True)
+        assert factory.anchor_params == frozenset()

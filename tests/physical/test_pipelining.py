@@ -10,11 +10,12 @@ eager interpreter bills up front.
 
 import pytest
 
+from repro.api import Session
 from repro.core import make_tuple, parse_tree
 from repro.errors import ResourceExhaustedError
 from repro.guardrails import Budget
-from repro.optimizer import Optimizer
-from repro.query import Q, evaluate, expr as E
+from repro.physical import lower, operators as P
+from repro.query import Q, evaluate
 from repro.query.interpreter import evaluate_with_metrics
 from repro.storage import Database
 from repro.workloads import random_labeled_tree
@@ -35,12 +36,15 @@ class TestPeakIntermediateCardinality:
     def test_indexed_sub_select_streams_below_eager_peak(self):
         db, size = indexed_tree_db()
         query = Q.root("T").sub_select("d(e(h i) j ?*)").build()
-        plan, _ = Optimizer(db).optimize(query)
-        assert isinstance(plan, E.IndexedSubSelect)
+        # Optimized execution serves this through the index anchor scan.
+        assert type(lower(query, db, choose_access_paths=True).root) is P.IndexAnchorScan
 
-        eager_result, eager = evaluate_with_metrics(plan, db, executor="eager")
-        streaming_result, streaming = evaluate_with_metrics(
-            plan, db, executor="streaming"
+        session = Session(db)
+        eager_result, eager = session.query_with_metrics(
+            query, optimize=True, executor="eager"
+        )
+        streaming_result, streaming = session.query_with_metrics(
+            query, optimize=True, executor="streaming"
         )
         assert streaming_result == eager_result
         assert list(streaming_result) == list(eager_result)
@@ -53,12 +57,16 @@ class TestPeakIntermediateCardinality:
     def test_indexed_split_streams_below_eager_peak(self):
         db, size = indexed_tree_db()
         query = Q.root("T").split("d(e(h i) j ?*)", make_tuple).build()
-        plan, _ = Optimizer(db).optimize(query)
-        assert isinstance(plan, E.IndexedSplit)
+        assert (
+            type(lower(query, db, choose_access_paths=True).root) is P.IndexAnchorSplit
+        )
 
-        eager_result, eager = evaluate_with_metrics(plan, db, executor="eager")
-        streaming_result, streaming = evaluate_with_metrics(
-            plan, db, executor="streaming"
+        session = Session(db)
+        eager_result, eager = session.query_with_metrics(
+            query, optimize=True, executor="eager"
+        )
+        streaming_result, streaming = session.query_with_metrics(
+            query, optimize=True, executor="streaming"
         )
         assert streaming_result == eager_result
         assert streaming.peak_intermediate() < eager.peak_intermediate()

@@ -51,9 +51,28 @@ class TestExplain:
         text = explain_optimization(Q.root("T").sub_select("d(e(h i) j)").build(), db)
         assert "Logical plan:" in text
         assert "Rewrites:" in text
-        assert "sub_select→indexed" in text
         assert "Physical plan" in text
-        assert "ix_sub_select" in text
+        # The plan stays logical; the lowered pipeline shows the access path.
+        assert "Lowered pipeline:" in text
+        assert "index_anchor_scan" in text
+
+    def test_explain_optimization_shows_rewrites(self):
+        from repro.core.identity import Record
+        from repro.predicates import attr
+
+        db = make_db()
+        db.insert_many(
+            [Record(name=f"p{i}", age=i % 50, city=f"C{i % 10}") for i in range(20)],
+            "Person",
+        )
+        q = (
+            Q.extent("Person")
+            .sselect(attr("age") > 40)
+            .sselect(attr("city") == "C3")
+            .build()
+        )
+        text = explain_optimization(q, db)
+        assert "set-select-fusion" in text
 
     def test_explain_optimization_no_rewrites(self):
         db = make_db()

@@ -5,16 +5,10 @@ import pytest
 from repro.core import AquaList, AquaSet, AquaTree, parse_list, parse_tree
 from repro.core.identity import Record
 from repro.errors import QueryError
-from repro.patterns.list_parser import parse_list_pattern
-from repro.patterns.tree_parser import parse_tree_pattern
 from repro.predicates.alphabet import attr, sym
 from repro.query import Q, evaluate
 from repro.query import expr as E
 from repro.storage import Database
-
-pytestmark = pytest.mark.filterwarnings(
-    "ignore:constructing Indexed:DeprecationWarning"
-)
 
 
 @pytest.fixture()
@@ -58,23 +52,6 @@ class TestTreeOperators:
         result = Q.root("T").sub_select("d(e(h i) j)").run(db)
         assert [t.to_notation() for t in result] == ["d(e(hi)j)"]
 
-    def test_indexed_sub_select_equivalence(self, db):
-        pattern = parse_tree_pattern("d(e(h i) j)")
-        logical = E.SubSelect(E.Root("T"), pattern=pattern)
-        physical = E.IndexedSubSelect(
-            E.Root("T"), pattern=pattern, anchors=(sym("d"),)
-        )
-        assert evaluate(logical, db) == evaluate(physical, db)
-
-    def test_indexed_sub_select_falls_back_on_opaque_anchor(self, db):
-        from repro.predicates.alphabet import pred
-
-        pattern = parse_tree_pattern("d(e(h i) j)")
-        physical = E.IndexedSubSelect(
-            E.Root("T"), pattern=pattern, anchors=(pred(lambda v: v == "d"),)
-        )
-        assert len(evaluate(physical, db)) == 1
-
     def test_split(self, db):
         result = Q.root("T").split("d(e(h i) j)", lambda x, y, z: y.size()).run(db)
         assert sorted(result) == [5]
@@ -104,14 +81,6 @@ class TestListOperators:
         result = Q.root("song").lsub_select("[a??f]").run(db)
         assert sorted(m.to_notation() for m in result) == ["[acdf]", "[axyf]"]
 
-    def test_indexed_list_sub_select_equivalence(self, db):
-        pattern = parse_list_pattern("[a??f]")
-        logical = E.ListSubSelect(E.Root("song"), pattern=pattern)
-        physical = E.IndexedListSubSelect(
-            E.Root("song"), pattern=pattern, anchor=sym("a"), offsets=(0,)
-        )
-        assert evaluate(logical, db) == evaluate(physical, db)
-
     def test_lsplit(self, db):
         result = Q.root("song").lsplit("[a??f]", lambda x, y, z: len(x)).run(db)
         assert sorted(result) == [1, 6]
@@ -136,21 +105,6 @@ class TestSetOperators:
         assert len(a.union(b).run(db)) == 8
         assert len(a.intersect(b).run(db)) == 4
         assert len(a.difference(b).run(db)) == 4
-
-    def test_indexed_set_select(self, db):
-        db.create_index("Person", "city")
-        physical = E.IndexedSetSelect(
-            E.Extent("Person"), indexed=attr("city") == "C3", residual=attr("age") > 10
-        )
-        result = evaluate(physical, db)
-        assert all(p.city == "C3" and p.age > 10 for p in result)
-
-    def test_indexed_set_select_no_residual(self, db):
-        db.create_index("Person", "city")
-        physical = E.IndexedSetSelect(
-            E.Extent("Person"), indexed=attr("city") == "C3", residual=None
-        )
-        assert len(evaluate(physical, db)) == 10
 
 
 class TestExprProtocol:

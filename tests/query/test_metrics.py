@@ -3,7 +3,6 @@
 import threading
 
 from repro.core import make_tuple, parse_tree
-from repro.optimizer import Optimizer
 from repro.query import (
     PlanMetrics,
     Q,
@@ -12,7 +11,6 @@ from repro.query import (
     explain_analyze,
     render_analysis,
 )
-from repro.query import expr as E
 from repro.storage import Database
 from repro.storage.stats import Instrumentation
 from repro.workloads import BRAZIL, by_citizen_or_name, figure3_family_tree
@@ -92,13 +90,14 @@ class TestPlanMetricsCollection:
         instrumented, _ = evaluate_with_metrics(query, db)
         assert plain == instrumented
 
-    def test_claim_split_indexed_plan_does_strictly_less_predicate_work(self):
+    def test_claim_split_indexed_access_path_does_strictly_less_predicate_work(self):
+        from repro.api import Session
+
         db = make_db()
         query = Q.root("T").sub_select("d(e(h i) j)").build()
-        plan, _ = Optimizer(db).optimize(query)
-        assert isinstance(plan, E.IndexedSubSelect)
-        naive, naive_metrics = evaluate_with_metrics(query, db)
-        indexed, indexed_metrics = evaluate_with_metrics(plan, db)
+        session = Session(db)
+        naive, naive_metrics = session.query_with_metrics(query)
+        indexed, indexed_metrics = session.query_with_metrics(query, optimize=True)
         assert naive == indexed
         assert (
             indexed_metrics.total("predicate_evals")

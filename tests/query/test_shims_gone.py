@@ -1,0 +1,43 @@
+"""Regression: the deprecated ``Indexed*`` expression shims are gone.
+
+Access-path choice lives exclusively in the lowering pass
+(``choose_access_paths``); if one of these names reappears on the
+expression module, a second access-path mechanism has crept back in.
+"""
+
+from repro.query import expr as E
+
+REMOVED = [
+    "IndexedSubSelect",
+    "IndexedSplit",
+    "IndexedListSubSelect",
+    "IndexedSetSelect",
+    "internal_shims",
+]
+
+
+def test_shim_names_are_gone():
+    for name in REMOVED:
+        assert not hasattr(E, name), f"{name} should have been removed"
+
+
+def test_optimizer_emits_no_physical_nodes():
+    """Every node the default optimizer can emit renders a logical head —
+    no ``ix_*`` plan shapes survive a rewrite."""
+    from repro.core.identity import Record
+    from repro.optimizer.engine import Optimizer
+    from repro.predicates.alphabet import attr
+    from repro.query import Q
+    from repro.storage import Database
+
+    db = Database()
+    db.insert_many([Record(name=f"p{i}", city=f"C{i % 5}") for i in range(50)], "Person")
+    db.create_index("Person", "city")
+    query = (
+        Q.extent("Person")
+        .sselect(attr("city") == "C3")
+        .sselect(attr("name") != "p0")
+        .build()
+    )
+    plan, _ = Optimizer(db).optimize(query)
+    assert "ix_" not in plan.describe()

@@ -99,3 +99,81 @@ class TestSessionBehavior:
         )
         assert {p.name for p in result} == {"p5"}
         assert metrics.get(()) is not None
+
+
+class TestKnobAlignment:
+    """One knob surface: Session.query / SessionPool.submit /
+    PreparedQuery.run spell every knob the same way."""
+
+    KNOBS = {"budget", "executor", "engine", "parallel", "parallel_workers"}
+
+    @staticmethod
+    def _keywords(fn):
+        import inspect
+
+        return {
+            name
+            for name, parameter in inspect.signature(fn).parameters.items()
+            if parameter.kind is inspect.Parameter.KEYWORD_ONLY
+        }
+
+    def test_entry_points_share_knob_names(self):
+        from repro.api import Session, SessionPool
+        from repro.query.prepare import PreparedQuery
+
+        assert self.KNOBS | {"optimize", "cache"} <= self._keywords(Session.query)
+        assert self.KNOBS | {"optimize", "cache"} <= self._keywords(
+            SessionPool.submit
+        )
+        assert self.KNOBS <= self._keywords(PreparedQuery.run)
+
+    def test_params_spelled_identically(self):
+        import inspect
+
+        from repro.api import Session, SessionPool
+        from repro.query.prepare import PreparedQuery
+
+        for fn in (Session.query, SessionPool.submit, PreparedQuery.run):
+            assert "params" in inspect.signature(fn).parameters
+
+    def test_resolver_applies_call_over_session_precedence(self, db):
+        session = Session(db, executor="eager", parallel="off")
+        knobs = session.resolve_knobs(Q.extent("Person").node, executor="streaming")
+        assert knobs.executor == "streaming"  # per-call wins
+        assert knobs.parallel == "off"  # session value survives
+        assert knobs.optimize is False  # Expr default
+
+    def test_q_run_accepts_session_knobs(self, db):
+        result = (
+            Q.extent("Person")
+            .sselect(attr("age") == 25)
+            .run(db, executor="eager", engine="backtrack")
+        )
+        assert {p.name for p in result} == {"p5"}
+
+    def test_run_aql_accepts_session_knobs(self, db):
+        from repro.query.aql import run_aql
+
+        result = run_aql(
+            "extent Person | sselect {age = 25} | project name",
+            db,
+            executor="eager",
+        )
+        assert set(result) == {"p5"}
+
+    def test_prepared_run_accepts_parallel_knobs(self, db):
+        session = Session(db, plan_cache=PlanCache())
+        prepared = session.prepare(Q.extent("Person").sselect(attr("age") == 25).node)
+        result = prepared.run(parallel="off", parallel_workers=2)
+        assert {p.name for p in result} == {"p5"}
+
+    def test_pool_submit_accepts_parallel_and_cache_knobs(self, db):
+        from repro.api import SessionPool
+
+        with SessionPool(db, workers=2, parallel="off") as pool:
+            future = pool.submit(
+                Q.extent("Person").sselect(attr("age") == 25).node,
+                parallel_workers=2,
+                cache=None,
+            )
+            assert {p.name for p in future.result()} == {"p5"}

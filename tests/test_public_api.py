@@ -1,0 +1,70 @@
+"""The public surface of ``import repro`` is exactly what is documented.
+
+The README's "Public API" table and ``repro.__all__`` are the same
+contract written twice; this suite parses the table out of the markdown
+and asserts the two never drift.  It also checks the hygiene rules that
+make ``__all__`` worth trusting: every name resolves, no duplicates,
+and ``from repro import *`` imports precisely that set.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import repro
+
+README = Path(__file__).resolve().parent.parent / "README.md"
+
+
+def _readme_table_names() -> list[str]:
+    """Every backticked name in the Public API section's table rows."""
+    text = README.read_text(encoding="utf-8")
+    match = re.search(r"## Public API\n(.*?)\n## ", text, re.DOTALL)
+    assert match is not None, "README has no '## Public API' section"
+    names: list[str] = []
+    for line in match.group(1).splitlines():
+        if not line.startswith("|") or line.startswith("| group") or set(
+            line.replace("|", "").strip()
+        ) <= {"-"}:
+            continue
+        cells = [cell.strip() for cell in line.strip("|").split("|")]
+        assert len(cells) == 2, f"malformed table row: {line!r}"
+        names.extend(re.findall(r"`([^`]+)`", cells[1]))
+    return names
+
+
+def test_readme_table_matches_all() -> None:
+    documented = _readme_table_names()
+    assert sorted(documented) == sorted(repro.__all__)
+
+
+def test_all_names_resolve() -> None:
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"__all__ exports missing name {name!r}"
+
+
+def test_all_has_no_duplicates() -> None:
+    assert len(repro.__all__) == len(set(repro.__all__))
+
+
+def test_star_import_matches_all() -> None:
+    namespace: dict[str, object] = {}
+    exec("from repro import *", namespace)  # noqa: S102 - the point of the test
+    imported = {name for name in namespace if not name.startswith("__")}
+    # ``from x import *`` skips dunders like __version__ by Python's rule.
+    expected = {name for name in repro.__all__ if not name.startswith("__")}
+    assert imported == expected
+
+
+def test_docstore_group_is_complete() -> None:
+    """The docstore's own __all__ is the root group plus its extras."""
+    import repro.docstore as docstore
+
+    root_group = {
+        "DocNode", "Document", "compile_path", "from_html", "from_json",
+        "from_xml", "load_document", "parse_path", "to_html", "to_json",
+        "to_xml",
+    }
+    assert root_group <= set(docstore.__all__)
+    assert root_group <= set(repro.__all__)
